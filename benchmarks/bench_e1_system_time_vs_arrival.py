@@ -1,0 +1,44 @@
+"""E1 — mean transaction system time S versus arrival rate lambda.
+
+Paper claim (Section 5): 2PL performs well at low lambda but S rises sharply
+at high lambda (deadlock victims block others); T/O grows steadily and beats
+2PL at high lambda; PA tracks 2PL at low load and T/O at high load.
+"""
+
+from benchmarks.conftest import save_table
+from repro.analysis.experiments import sweep_arrival_rate
+
+ARRIVAL_RATES = (5.0, 20.0, 60.0)
+COLUMNS = (
+    "arrival_rate",
+    "protocol",
+    "mean_system_time",
+    "throughput",
+    "restarts",
+    "deadlock_aborts",
+    "messages_per_txn",
+    "serializable",
+)
+
+
+def run_sweep(system, workload):
+    return sweep_arrival_rate(ARRIVAL_RATES, system=system, workload=workload)
+
+
+def test_e1_system_time_vs_arrival_rate(benchmark, bench_system, bench_workload, results_dir):
+    rows = benchmark.pedantic(
+        run_sweep, args=(bench_system, bench_workload), rounds=1, iterations=1
+    )
+    save_table(results_dir, "e1_system_time_vs_arrival", rows, COLUMNS)
+
+    by_key = {(row["arrival_rate"], row["protocol"]): row for row in rows}
+    # Every configuration must commit everything serializably.
+    assert all(row["serializable"] for row in rows)
+    # Shape check: at the highest load 2PL suffers more deadlock aborts than at
+    # the lowest load, and T/O's restarts never turn into deadlocks.
+    assert (
+        by_key[(ARRIVAL_RATES[-1], "2PL")]["deadlock_aborts"]
+        >= by_key[(ARRIVAL_RATES[0], "2PL")]["deadlock_aborts"]
+    )
+    assert all(by_key[(rate, "T/O")]["deadlock_aborts"] == 0 for rate in ARRIVAL_RATES)
+    assert all(by_key[(rate, "PA")]["restarts"] == 0 for rate in ARRIVAL_RATES)

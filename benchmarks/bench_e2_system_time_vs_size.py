@@ -1,0 +1,47 @@
+"""E2 — mean transaction system time versus transaction size st.
+
+Paper claim (Section 5, citing Lin & Nolte): T/O degrades relative to 2PL and
+PA as the number of items accessed per transaction grows, because the restart
+probability rises with every extra request.
+"""
+
+from benchmarks.conftest import save_table
+from repro.analysis.experiments import sweep_transaction_size
+
+SIZES = (1, 4, 8)
+COLUMNS = (
+    "transaction_size",
+    "protocol",
+    "mean_system_time",
+    "restarts",
+    "deadlock_aborts",
+    "backoff_rounds",
+    "serializable",
+)
+
+
+def run_sweep(system, workload):
+    workload = workload.with_overrides(arrival_rate=30.0, hotspot_probability=0.4)
+    return sweep_transaction_size(SIZES, system=system, workload=workload)
+
+
+def test_e2_system_time_vs_transaction_size(benchmark, bench_system, bench_workload, results_dir):
+    rows = benchmark.pedantic(
+        run_sweep, args=(bench_system, bench_workload), rounds=1, iterations=1
+    )
+    save_table(results_dir, "e2_system_time_vs_size", rows, COLUMNS)
+
+    assert all(row["serializable"] for row in rows)
+    restarts_by_size = {
+        row["transaction_size"]: row["restarts"] for row in rows if row["protocol"] == "T/O"
+    }
+    # T/O restart pressure must not shrink as transactions grow.
+    assert restarts_by_size[SIZES[-1]] >= restarts_by_size[SIZES[0]]
+    # Every protocol takes longer on big transactions than on single-item ones.
+    for protocol in ("2PL", "T/O", "PA"):
+        times = {
+            row["transaction_size"]: row["mean_system_time"]
+            for row in rows
+            if row["protocol"] == protocol
+        }
+        assert times[SIZES[-1]] > times[SIZES[0]]

@@ -1,0 +1,49 @@
+"""E4 — correctness audit of mixed-protocol executions (Theorems 2-3).
+
+Paper claims: every execution of the unified system is conflict serializable
+(Theorem 2); PA alone never blocks, deadlocks or restarts (Corollary 1); and
+every deadlock cycle contains a 2PL transaction (Corollary 2).
+"""
+
+from benchmarks.conftest import save_table
+from repro.analysis.experiments import correctness_audit
+
+COLUMNS = (
+    "arrival_rate",
+    "mix",
+    "serializable",
+    "pa_restarts",
+    "to_deadlock_aborts",
+    "non_2pl_deadlock_victims",
+    "deadlocks_found",
+    "committed",
+)
+
+
+def run_audit(system, workload):
+    return correctness_audit(
+        arrival_rates=(15.0, 50.0),
+        num_transactions=150,
+        system=system,
+        workload=workload,
+    )
+
+
+def test_e4_correctness_audit(benchmark, bench_system, bench_workload, results_dir):
+    rows = benchmark.pedantic(
+        run_audit, args=(bench_system, bench_workload), rounds=1, iterations=1
+    )
+    save_table(results_dir, "e4_correctness_audit", rows, COLUMNS)
+
+    for row in rows:
+        # Theorem 2: conflict serializability in every configuration.
+        assert row["serializable"] is True
+        # Corollary 1: PA transactions never restart.
+        assert row["pa_restarts"] == 0
+        # T/O transactions are never deadlock victims.
+        assert row["to_deadlock_aborts"] == 0
+        # Corollary 2: every victim chosen by the detector is a 2PL transaction.
+        assert row["non_2pl_deadlock_victims"] == 0
+        # Pure PA / pure T/O systems never deadlock at all.
+        if row["mix"] in ("pure-PA", "pure-T/O"):
+            assert row["deadlocks_found"] == 0

@@ -1,0 +1,48 @@
+"""E5 — STL-based dynamic selection against the three static protocols.
+
+Paper claim (Section 5): choosing the protocol per transaction by minimising
+the estimated system-throughput loss should track the better static choice as
+the load changes, instead of being locked into one algorithm.
+"""
+
+from benchmarks.conftest import save_table
+from repro.analysis.experiments import dynamic_vs_static
+
+ARRIVAL_RATES = (10.0, 40.0)
+COLUMNS = (
+    "arrival_rate",
+    "protocol",
+    "mean_system_time",
+    "throughput",
+    "restarts",
+    "deadlock_aborts",
+    "serializable",
+)
+
+
+def run_comparison(system, workload):
+    return dynamic_vs_static(ARRIVAL_RATES, system=system, workload=workload)
+
+
+def test_e5_dynamic_vs_static(benchmark, bench_system, bench_workload, results_dir):
+    rows = benchmark.pedantic(
+        run_comparison, args=(bench_system, bench_workload), rounds=1, iterations=1
+    )
+    save_table(results_dir, "e5_dynamic_selection", rows, COLUMNS)
+
+    assert all(row["serializable"] for row in rows)
+    for rate in ARRIVAL_RATES:
+        static_times = [
+            row["mean_system_time"]
+            for row in rows
+            if row["arrival_rate"] == rate and row["protocol"] in ("2PL", "T/O", "PA")
+        ]
+        dynamic_time = next(
+            row["mean_system_time"]
+            for row in rows
+            if row["arrival_rate"] == rate and row["protocol"] == "dynamic"
+        )
+        # The dynamic selector must stay within a factor of the best static
+        # protocol and never be worse than the worst static protocol.
+        assert dynamic_time <= max(static_times) * 1.05
+        assert dynamic_time <= min(static_times) * 2.5

@@ -1,0 +1,67 @@
+"""Shared configuration and helpers for the benchmark harness.
+
+Every benchmark regenerates one experiment from DESIGN.md's index (E1-E7).
+Besides the timing numbers collected by pytest-benchmark, each benchmark
+renders the experiment's result table and stores it under
+``benchmarks/results/`` so the rows can be compared with the paper's claims
+(see EXPERIMENTS.md).  The workload sizes here are intentionally small — the
+goal is the qualitative shape (who wins, where the crossover lies), not long
+simulation campaigns; the analysis functions accept larger parameters for
+full-scale runs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis.tables import rows_to_table
+from repro.common.config import SystemConfig, WorkloadConfig
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def bench_system() -> SystemConfig:
+    """System configuration shared by the experiment benchmarks."""
+    return SystemConfig(
+        num_sites=3,
+        num_items=32,
+        replication_factor=1,
+        io_time=0.002,
+        deadlock_detection_period=0.2,
+        restart_delay=0.02,
+        seed=17,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_workload() -> WorkloadConfig:
+    """Baseline workload shared by the experiment benchmarks."""
+    return WorkloadConfig(
+        arrival_rate=20.0,
+        num_transactions=150,
+        min_size=2,
+        max_size=6,
+        read_fraction=0.6,
+        compute_time=0.003,
+        hotspot_probability=0.25,
+        hotspot_fraction=0.15,
+        seed=23,
+    )
+
+
+def save_table(results_dir: pathlib.Path, name: str, rows, columns=()) -> str:
+    """Render ``rows`` as a table, store it under ``results_dir`` and return it."""
+    table = rows_to_table(rows, columns=columns)
+    path = results_dir / f"{name}.txt"
+    path.write_text(table + "\n", encoding="utf-8")
+    print(f"\n== {name} ==\n{table}")
+    return table

@@ -1,0 +1,68 @@
+"""repro — reproduction of Wang & Li, "A Unified Concurrency Control Algorithm
+for Distributed Database Systems" (ICDE 1988).
+
+The package implements, on top of a deterministic discrete-event simulation of
+a distributed database:
+
+* the three concurrency-control protocols the paper integrates — static
+  Two-Phase Locking, Basic Timestamp Ordering, and Precedence Agreement;
+* their integration through the Precedence-Assignment Model: the unified
+  precedence space and the semi-lock enforcement protocol (Section 4);
+* the System Throughput Loss model and the per-transaction dynamic protocol
+  selector (Section 5);
+* a conflict-serializability oracle used to audit every run (Theorem 2).
+
+Quick start::
+
+    from repro import SystemConfig, WorkloadConfig, run_simulation
+
+    result = run_simulation(
+        SystemConfig(num_sites=4, num_items=64),
+        WorkloadConfig(arrival_rate=20.0, num_transactions=300),
+        protocol="PA",
+    )
+    print(result.mean_system_time, result.serializable)
+"""
+
+from repro.common.config import NetworkConfig, ProtocolMix, SystemConfig, WorkloadConfig
+from repro.common.ids import CopyId, ItemId, RequestId, SiteId, TransactionId
+from repro.common.operations import LogicalOperation, OperationType, PhysicalOperation
+from repro.common.protocol_names import Protocol
+from repro.common.transactions import TransactionOutcome, TransactionSpec, TransactionStatus
+from repro.core.serializability import ConflictGraph, check_serializable
+from repro.selection.selector import STLProtocolSelector
+from repro.selection.stl import ThroughputLossModel
+from repro.system.database import DistributedDatabase, RunResult
+from repro.system.runner import run_simulation
+from repro.workload.generator import TransactionGenerator, generate_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConflictGraph",
+    "CopyId",
+    "DistributedDatabase",
+    "ItemId",
+    "LogicalOperation",
+    "NetworkConfig",
+    "OperationType",
+    "PhysicalOperation",
+    "Protocol",
+    "ProtocolMix",
+    "RequestId",
+    "RunResult",
+    "STLProtocolSelector",
+    "SiteId",
+    "SystemConfig",
+    "ThroughputLossModel",
+    "TransactionGenerator",
+    "TransactionId",
+    "TransactionOutcome",
+    "TransactionSpec",
+    "TransactionStatus",
+    "WorkloadConfig",
+    "__version__",
+    "check_serializable",
+    "generate_workload",
+    "run_simulation",
+]

@@ -1,0 +1,37 @@
+"""Experiment harness: parameter sweeps and result-table rendering.
+
+Each experiment of DESIGN.md's index (E1-E7) has a function here that runs
+the corresponding sweep and returns plain rows (lists of dictionaries); the
+benchmark scripts under ``benchmarks/`` call these functions with small
+parameter grids and print the tables, and EXPERIMENTS.md records the
+paper-claim vs. measured comparison.
+"""
+
+from repro.analysis.experiments import (
+    correctness_audit,
+    dynamic_vs_static,
+    semilock_ablation,
+    single_item_write_experiment,
+    sweep_arrival_rate,
+    sweep_transaction_size,
+)
+from repro.analysis.replications import (
+    ReplicatedResult,
+    compare_protocols_replicated,
+    run_replicated,
+)
+from repro.analysis.tables import format_table, rows_to_table
+
+__all__ = [
+    "ReplicatedResult",
+    "compare_protocols_replicated",
+    "correctness_audit",
+    "dynamic_vs_static",
+    "format_table",
+    "rows_to_table",
+    "run_replicated",
+    "semilock_ablation",
+    "single_item_write_experiment",
+    "sweep_arrival_rate",
+    "sweep_transaction_size",
+]

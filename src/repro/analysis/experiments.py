@@ -1,0 +1,214 @@
+"""Experiment definitions E1-E7 (see DESIGN.md for the index).
+
+Each function runs one of the paper's evaluation scenarios and returns a list
+of flat row dictionaries so that benchmarks, examples and EXPERIMENTS.md all
+share the same numbers.  Parameters default to laptop-scale values; the
+benchmark scripts shrink them further to keep the suite fast.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.common.config import ProtocolMix, SystemConfig, WorkloadConfig
+from repro.common.protocol_names import Protocol
+from repro.system.database import DistributedDatabase, RunResult
+from repro.system.runner import run_simulation
+from repro.workload.generator import TransactionGenerator
+
+_ALL_PROTOCOLS = (
+    Protocol.TWO_PHASE_LOCKING,
+    Protocol.TIMESTAMP_ORDERING,
+    Protocol.PRECEDENCE_AGREEMENT,
+)
+
+
+def _result_row(result: RunResult, **extra: object) -> Dict[str, object]:
+    row: Dict[str, object] = dict(extra)
+    row.update(
+        {
+            "mean_system_time": result.mean_system_time,
+            "throughput": result.throughput,
+            "restarts": result.restarts,
+            "deadlock_aborts": result.deadlock_aborts,
+            "backoff_rounds": result.backoff_rounds,
+            "messages_per_txn": result.messages_per_transaction,
+            "committed": result.committed,
+            "serializable": result.serializable,
+        }
+    )
+    return row
+
+
+def sweep_arrival_rate(
+    arrival_rates: Sequence[float],
+    *,
+    protocols: Sequence[Protocol] = _ALL_PROTOCOLS,
+    system: Optional[SystemConfig] = None,
+    workload: Optional[WorkloadConfig] = None,
+    include_dynamic: bool = False,
+) -> List[Dict[str, object]]:
+    """E1: mean system time ``S`` versus arrival rate ``lambda`` per protocol."""
+    system = system if system is not None else SystemConfig()
+    workload = workload if workload is not None else WorkloadConfig()
+    rows: List[Dict[str, object]] = []
+    for rate in arrival_rates:
+        swept = workload.with_overrides(arrival_rate=rate)
+        for protocol in protocols:
+            result = run_simulation(system, swept, protocol=protocol)
+            rows.append(_result_row(result, arrival_rate=rate, protocol=str(protocol)))
+        if include_dynamic:
+            result = run_simulation(system, swept, dynamic_selection=True)
+            rows.append(_result_row(result, arrival_rate=rate, protocol="dynamic"))
+    return rows
+
+
+def sweep_transaction_size(
+    sizes: Sequence[int],
+    *,
+    protocols: Sequence[Protocol] = _ALL_PROTOCOLS,
+    system: Optional[SystemConfig] = None,
+    workload: Optional[WorkloadConfig] = None,
+) -> List[Dict[str, object]]:
+    """E2: mean system time versus transaction size ``st`` per protocol."""
+    system = system if system is not None else SystemConfig()
+    workload = workload if workload is not None else WorkloadConfig()
+    rows: List[Dict[str, object]] = []
+    for size in sizes:
+        swept = workload.with_overrides(min_size=size, max_size=size)
+        for protocol in protocols:
+            result = run_simulation(system, swept, protocol=protocol)
+            rows.append(_result_row(result, transaction_size=size, protocol=str(protocol)))
+    return rows
+
+
+def single_item_write_experiment(
+    *,
+    arrival_rate: float = 40.0,
+    num_transactions: int = 300,
+    system: Optional[SystemConfig] = None,
+    protocols: Sequence[Protocol] = _ALL_PROTOCOLS,
+) -> List[Dict[str, object]]:
+    """E3: single-item write-only transactions — 2PL cannot deadlock, T/O restarts.
+
+    Section 1 of the paper: "in an environment where each transaction only
+    accesses one data item through a write operation, 2PL outperforms T/O
+    since no deadlocks may occur".
+    """
+    system = system if system is not None else SystemConfig()
+    workload = WorkloadConfig(
+        arrival_rate=arrival_rate,
+        num_transactions=num_transactions,
+        min_size=1,
+        max_size=1,
+        read_fraction=0.0,
+        hotspot_probability=0.6,
+        hotspot_fraction=0.05,
+    )
+    rows: List[Dict[str, object]] = []
+    for protocol in protocols:
+        result = run_simulation(system, workload, protocol=protocol)
+        rows.append(_result_row(result, protocol=str(protocol)))
+    return rows
+
+
+def correctness_audit(
+    *,
+    arrival_rates: Sequence[float] = (10.0, 40.0),
+    num_transactions: int = 300,
+    system: Optional[SystemConfig] = None,
+    workload: Optional[WorkloadConfig] = None,
+) -> List[Dict[str, object]]:
+    """E4: mixed-protocol runs audited for Theorems 2-3 and the corollaries.
+
+    For every run the row records whether the execution was conflict
+    serializable, whether any pure-PA or pure-T/O deadlock victim appeared
+    (there must be none), and how many restarts PA suffered (must be zero).
+    """
+    system = system if system is not None else SystemConfig()
+    base = workload if workload is not None else WorkloadConfig(num_transactions=num_transactions)
+    rows: List[Dict[str, object]] = []
+    mixes = {
+        "mixed": ProtocolMix.uniform(),
+        "pure-PA": ProtocolMix.pure(Protocol.PRECEDENCE_AGREEMENT),
+        "pure-T/O": ProtocolMix.pure(Protocol.TIMESTAMP_ORDERING),
+    }
+    for rate in arrival_rates:
+        for label, mix in mixes.items():
+            swept = base.with_overrides(arrival_rate=rate, protocol_mix=mix)
+            result = run_simulation(system, swept)
+            pa_stats = result.metrics.protocol_statistics(Protocol.PRECEDENCE_AGREEMENT)
+            to_stats = result.metrics.protocol_statistics(Protocol.TIMESTAMP_ORDERING)
+            victims_by_protocol = [
+                result.protocol_of.get(victim) for victim in result.deadlock_victims
+            ]
+            non_2pl_victims = sum(
+                1
+                for protocol in victims_by_protocol
+                if protocol is not None and not protocol.is_two_phase_locking
+            )
+            rows.append(
+                {
+                    "arrival_rate": rate,
+                    "mix": label,
+                    "serializable": result.serializable,
+                    "pa_restarts": pa_stats.restarts + pa_stats.deadlock_aborts,
+                    "to_deadlock_aborts": to_stats.deadlock_aborts,
+                    "non_2pl_deadlock_victims": non_2pl_victims,
+                    "deadlocks_found": result.deadlocks_found,
+                    "committed": result.committed,
+                }
+            )
+    return rows
+
+
+def dynamic_vs_static(
+    arrival_rates: Sequence[float],
+    *,
+    system: Optional[SystemConfig] = None,
+    workload: Optional[WorkloadConfig] = None,
+) -> List[Dict[str, object]]:
+    """E5: STL-based dynamic selection against each static protocol."""
+    return sweep_arrival_rate(
+        arrival_rates,
+        system=system,
+        workload=workload,
+        include_dynamic=True,
+    )
+
+
+def semilock_ablation(
+    *,
+    arrival_rate: float = 30.0,
+    num_transactions: int = 300,
+    system: Optional[SystemConfig] = None,
+    workload: Optional[WorkloadConfig] = None,
+) -> List[Dict[str, object]]:
+    """E6: unified enforcement with semi-locks vs. the naive lock-everything rule.
+
+    The workload is T/O-heavy (two thirds T/O, the rest split), which is where
+    Section 4.2 claims semi-locks preserve T/O's degree of concurrency.
+    """
+    system = system if system is not None else SystemConfig()
+    base = workload if workload is not None else WorkloadConfig(num_transactions=num_transactions)
+    mix = ProtocolMix(
+        {
+            Protocol.TIMESTAMP_ORDERING: 4.0,
+            Protocol.TWO_PHASE_LOCKING: 1.0,
+            Protocol.PRECEDENCE_AGREEMENT: 1.0,
+        }
+    )
+    swept = base.with_overrides(arrival_rate=arrival_rate, protocol_mix=mix)
+    rows: List[Dict[str, object]] = []
+    for semi_locks in (True, False):
+        configured = system.with_overrides(semi_locks_enabled=semi_locks)
+        result = run_simulation(configured, swept)
+        to_stats = result.metrics.protocol_statistics(Protocol.TIMESTAMP_ORDERING)
+        rows.append(
+            _result_row(
+                result,
+                enforcement="semi-locks" if semi_locks else "full locking",
+                to_mean_system_time=to_stats.mean_system_time,
+            )
+        )
+    return rows

@@ -1,0 +1,157 @@
+"""Replicated runs and confidence intervals.
+
+The paper's performance statements are about expected behaviour, so a single
+seeded run is only one sample.  This module runs the same configuration under
+several seeds and aggregates the headline metrics with normal-approximation
+confidence intervals, which is what the experiment tables should quote when
+more than a smoke test is wanted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.common.config import SystemConfig, WorkloadConfig
+from repro.common.protocol_names import Protocol
+from repro.sim.stats import WelfordAccumulator
+from repro.system.runner import run_simulation
+
+#: Metrics aggregated across replications (taken from ``RunResult.summary()``).
+AGGREGATED_METRICS = (
+    "mean_system_time",
+    "throughput",
+    "restarts",
+    "deadlock_aborts",
+    "backoff_rounds",
+    "messages_per_transaction",
+)
+
+
+@dataclass(frozen=True)
+class AggregatedMetric:
+    """Mean, spread and confidence half-width of one metric across replications."""
+
+    name: str
+    mean: float
+    stdev: float
+    halfwidth: float
+    samples: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.halfwidth
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.halfwidth
+
+
+@dataclass
+class ReplicatedResult:
+    """Aggregate of several independent runs of one configuration."""
+
+    label: str
+    replications: int
+    metrics: Dict[str, AggregatedMetric]
+    all_serializable: bool
+    all_committed: bool
+
+    def metric(self, name: str) -> AggregatedMetric:
+        return self.metrics[name]
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat row for table rendering: ``metric`` and ``metric_hw`` columns."""
+        row: Dict[str, object] = {
+            "configuration": self.label,
+            "replications": self.replications,
+            "serializable": self.all_serializable,
+        }
+        for name, aggregated in self.metrics.items():
+            row[name] = aggregated.mean
+            row[f"{name}_hw"] = aggregated.halfwidth
+        return row
+
+
+def run_replicated(
+    system: SystemConfig,
+    workload: WorkloadConfig,
+    *,
+    protocol: Optional[Union[str, Protocol]] = None,
+    dynamic_selection: bool = False,
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    label: Optional[str] = None,
+    confidence_z: float = 1.96,
+) -> ReplicatedResult:
+    """Run the same configuration once per seed and aggregate the results.
+
+    Each replication re-seeds both the system (network delays) and the
+    workload (arrivals, shapes) so the samples are independent.
+    """
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    accumulators = {name: WelfordAccumulator() for name in AGGREGATED_METRICS}
+    all_serializable = True
+    all_committed = True
+    for seed in seeds:
+        seeded_system = system.with_overrides(seed=system.seed + seed)
+        seeded_workload = workload.with_overrides(seed=workload.seed + seed)
+        result = run_simulation(
+            seeded_system,
+            seeded_workload,
+            protocol=protocol,
+            dynamic_selection=dynamic_selection,
+        )
+        all_serializable = all_serializable and result.serializable
+        all_committed = all_committed and result.committed == seeded_workload.num_transactions
+        accumulators["mean_system_time"].add(result.mean_system_time)
+        accumulators["throughput"].add(result.throughput)
+        accumulators["restarts"].add(float(result.restarts))
+        accumulators["deadlock_aborts"].add(float(result.deadlock_aborts))
+        accumulators["backoff_rounds"].add(float(result.backoff_rounds))
+        accumulators["messages_per_transaction"].add(result.messages_per_transaction)
+
+    if label is None:
+        if dynamic_selection:
+            label = "dynamic"
+        elif protocol is not None:
+            label = str(Protocol.from_name(protocol))
+        else:
+            label = "mixed"
+    metrics = {
+        name: AggregatedMetric(
+            name=name,
+            mean=accumulator.mean,
+            stdev=accumulator.stdev,
+            halfwidth=accumulator.confidence_halfwidth(confidence_z),
+            samples=accumulator.count,
+        )
+        for name, accumulator in accumulators.items()
+    }
+    return ReplicatedResult(
+        label=label,
+        replications=len(seeds),
+        metrics=metrics,
+        all_serializable=all_serializable,
+        all_committed=all_committed,
+    )
+
+
+def compare_protocols_replicated(
+    system: SystemConfig,
+    workload: WorkloadConfig,
+    *,
+    protocols: Iterable[Union[str, Protocol]] = ("2PL", "T/O", "PA"),
+    include_dynamic: bool = False,
+    seeds: Sequence[int] = (0, 1, 2),
+) -> List[Dict[str, object]]:
+    """Replicated comparison of the static protocols (and optionally the selector)."""
+    rows = [
+        run_replicated(system, workload, protocol=protocol, seeds=seeds).as_row()
+        for protocol in protocols
+    ]
+    if include_dynamic:
+        rows.append(
+            run_replicated(system, workload, dynamic_selection=True, seeds=seeds).as_row()
+        )
+    return rows

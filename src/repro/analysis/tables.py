@@ -1,0 +1,48 @@
+"""Plain-text table rendering for experiment results."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+
+def format_value(value: object, precision: int = 4) -> str:
+    """Human-readable cell value: floats rounded, everything else ``str``-ed."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 1e-3:
+            return f"{value:.{precision}g}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an ASCII table with left-aligned headers and right-aligned cells."""
+    rendered_rows = [[format_value(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    header_line = " | ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(header_line)
+    lines.append(separator)
+    for row in rendered_rows:
+        lines.append(" | ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def rows_to_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str] = ()) -> str:
+    """Render a list of dictionaries as a table.
+
+    ``columns`` selects and orders the columns; when omitted, the keys of the
+    first row are used in their insertion order.
+    """
+    if not rows:
+        return "(no rows)"
+    selected: List[str] = list(columns) if columns else list(rows[0].keys())
+    body = [[row.get(column, "") for column in selected] for row in rows]
+    return format_table(selected, body)

@@ -1,0 +1,195 @@
+"""Command-line interface for running simulations and experiment sweeps.
+
+Two subcommands are provided::
+
+    python -m repro.cli run   --protocol PA --arrival-rate 30 --transactions 300
+    python -m repro.cli sweep --experiment e1 --rates 5 20 60
+
+``run`` executes a single workload under one protocol (or the dynamic
+selector) and prints the result summary; ``sweep`` regenerates one of the
+experiments of DESIGN.md's index (E1, E2, E3, E4, E5 or E6) with configurable
+parameters and prints the result table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.experiments import (
+    correctness_audit,
+    dynamic_vs_static,
+    semilock_ablation,
+    single_item_write_experiment,
+    sweep_arrival_rate,
+    sweep_transaction_size,
+)
+from repro.analysis.tables import rows_to_table
+from repro.common.config import SystemConfig, WorkloadConfig
+from repro.system.runner import run_simulation
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Unified concurrency control (Wang & Li, ICDE 1988) — simulation runner"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run one workload and print its summary")
+    _add_system_arguments(run_parser)
+    _add_workload_arguments(run_parser)
+    run_parser.add_argument(
+        "--protocol",
+        choices=["2PL", "T/O", "PA", "mixed", "dynamic"],
+        default="mixed",
+        help="concurrency control method (default: a uniform mix of the three)",
+    )
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="regenerate one of the experiments from DESIGN.md"
+    )
+    _add_system_arguments(sweep_parser)
+    _add_workload_arguments(sweep_parser)
+    sweep_parser.add_argument(
+        "--experiment",
+        choices=["e1", "e2", "e3", "e4", "e5", "e6"],
+        required=True,
+        help="experiment id from the DESIGN.md index",
+    )
+    sweep_parser.add_argument(
+        "--rates",
+        type=float,
+        nargs="+",
+        default=[5.0, 20.0, 60.0],
+        help="arrival rates for e1/e4/e5 (transactions per time unit)",
+    )
+    sweep_parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=[1, 4, 8],
+        help="transaction sizes for e2",
+    )
+    return parser
+
+
+def _add_system_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--sites", type=int, default=4, help="number of sites")
+    parser.add_argument("--items", type=int, default=64, help="number of logical data items")
+    parser.add_argument("--replication", type=int, default=1, help="copies per data item")
+    parser.add_argument("--seed", type=int, default=0, help="master random seed")
+    parser.add_argument(
+        "--detection-period", type=float, default=0.2, help="deadlock detection period"
+    )
+    parser.add_argument("--restart-delay", type=float, default=0.02, help="restart back-off delay")
+    parser.add_argument(
+        "--no-semi-locks",
+        action="store_true",
+        help="use the naive lock-everything enforcement instead of semi-locks",
+    )
+    parser.add_argument(
+        "--switch-after",
+        type=int,
+        default=None,
+        help="switch a transaction to PA after this many aborts (future-work item 4)",
+    )
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--arrival-rate", type=float, default=20.0, help="arrival rate lambda")
+    parser.add_argument("--transactions", type=int, default=300, help="number of transactions")
+    parser.add_argument("--min-size", type=int, default=2, help="minimum transaction size")
+    parser.add_argument("--max-size", type=int, default=6, help="maximum transaction size")
+    parser.add_argument("--read-fraction", type=float, default=0.6, help="fraction of reads")
+    parser.add_argument(
+        "--hotspot", type=float, default=0.0, help="probability an access hits the hot region"
+    )
+
+
+def _system_from_args(args: argparse.Namespace) -> SystemConfig:
+    return SystemConfig(
+        num_sites=args.sites,
+        num_items=args.items,
+        replication_factor=args.replication,
+        deadlock_detection_period=args.detection_period,
+        restart_delay=args.restart_delay,
+        semi_locks_enabled=not args.no_semi_locks,
+        protocol_switch_threshold=args.switch_after,
+        seed=args.seed,
+    )
+
+
+def _workload_from_args(args: argparse.Namespace) -> WorkloadConfig:
+    return WorkloadConfig(
+        arrival_rate=args.arrival_rate,
+        num_transactions=args.transactions,
+        min_size=args.min_size,
+        max_size=args.max_size,
+        read_fraction=args.read_fraction,
+        hotspot_probability=args.hotspot,
+        seed=args.seed + 1,
+    )
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    system = _system_from_args(args)
+    workload = _workload_from_args(args)
+    protocol = None if args.protocol in ("mixed", "dynamic") else args.protocol
+    result = run_simulation(
+        system,
+        workload,
+        protocol=protocol,
+        dynamic_selection=args.protocol == "dynamic",
+    )
+    rows = [{"metric": key, "value": value} for key, value in result.summary().items()]
+    print(rows_to_table(rows))
+    return 0 if result.serializable else 1
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    system = _system_from_args(args)
+    workload = _workload_from_args(args)
+    if args.experiment == "e1":
+        rows = sweep_arrival_rate(args.rates, system=system, workload=workload)
+    elif args.experiment == "e2":
+        rows = sweep_transaction_size(args.sizes, system=system, workload=workload)
+    elif args.experiment == "e3":
+        rows = single_item_write_experiment(
+            arrival_rate=args.arrival_rate, num_transactions=args.transactions, system=system
+        )
+    elif args.experiment == "e4":
+        rows = correctness_audit(
+            arrival_rates=args.rates,
+            num_transactions=args.transactions,
+            system=system,
+            workload=workload,
+        )
+    elif args.experiment == "e5":
+        rows = dynamic_vs_static(args.rates, system=system, workload=workload)
+    else:
+        rows = semilock_ablation(
+            arrival_rate=args.arrival_rate,
+            num_transactions=args.transactions,
+            system=system,
+            workload=workload,
+        )
+    print(rows_to_table(rows))
+    all_serializable = all(row.get("serializable", True) for row in rows)
+    return 0 if all_serializable else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    if args.command == "run":
+        return _command_run(args)
+    return _command_sweep(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""Shared value types used across the reproduction.
+
+This package holds the vocabulary of the system: identifiers for sites,
+transactions, data items and physical copies; the operation and request
+records exchanged between request issuers and queue managers; transaction
+specifications produced by the workload generator; configuration dataclasses;
+and the exception hierarchy.
+
+Everything here is deliberately free of simulation or protocol logic so that
+the concurrency-control core (:mod:`repro.core`) and the simulation kernel
+(:mod:`repro.sim`) can both depend on it without cycles.
+"""
+
+from repro.common.config import (
+    NetworkConfig,
+    ProtocolMix,
+    SystemConfig,
+    WorkloadConfig,
+)
+from repro.common.errors import (
+    ConfigurationError,
+    DeadlockError,
+    ProtocolError,
+    ReproError,
+    SerializationViolationError,
+    SimulationError,
+    TransactionAbortedError,
+    UnknownProtocolError,
+)
+from repro.common.ids import (
+    CopyId,
+    ItemId,
+    RequestId,
+    SiteId,
+    TransactionId,
+)
+from repro.common.operations import (
+    LogicalOperation,
+    OperationType,
+    PhysicalOperation,
+)
+from repro.common.protocol_names import Protocol
+from repro.common.transactions import TransactionSpec, TransactionStatus
+
+__all__ = [
+    "ConfigurationError",
+    "CopyId",
+    "DeadlockError",
+    "ItemId",
+    "LogicalOperation",
+    "NetworkConfig",
+    "OperationType",
+    "PhysicalOperation",
+    "Protocol",
+    "ProtocolError",
+    "ProtocolMix",
+    "ReproError",
+    "RequestId",
+    "SerializationViolationError",
+    "SimulationError",
+    "SiteId",
+    "SystemConfig",
+    "TransactionAbortedError",
+    "TransactionId",
+    "TransactionSpec",
+    "TransactionStatus",
+    "UnknownProtocolError",
+    "WorkloadConfig",
+]

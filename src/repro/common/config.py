@@ -1,0 +1,225 @@
+"""Configuration dataclasses for the simulated distributed database.
+
+The paper (Section 1) lists the system parameters that drive the choice of
+concurrency-control algorithm: transaction arrival rate, read/write mix,
+transmission delay, transaction size, restart cost and deadlock-detection
+cost.  Every one of those knobs appears explicitly in the configuration
+objects below so that the experiment harness can sweep them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.protocol_names import Protocol
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Inter-site message latency model.
+
+    Latency of one message is ``fixed_delay + Exponential(mean=variable_delay)``
+    for remote messages, and ``local_delay`` for messages that stay on a site.
+    """
+
+    fixed_delay: float = 0.01
+    variable_delay: float = 0.01
+    local_delay: float = 0.001
+
+    def __post_init__(self) -> None:
+        if self.fixed_delay < 0 or self.variable_delay < 0 or self.local_delay < 0:
+            raise ConfigurationError("network delays must be non-negative")
+
+
+@dataclass(frozen=True)
+class ProtocolMix:
+    """Static assignment of protocols to transactions by probability.
+
+    When the dynamic selector is disabled, each arriving transaction draws its
+    protocol from this distribution.  A pure-2PL system is
+    ``ProtocolMix.pure(Protocol.TWO_PHASE_LOCKING)``.
+    """
+
+    weights: Mapping[Protocol, float] = field(
+        default_factory=lambda: {Protocol.TWO_PHASE_LOCKING: 1.0}
+    )
+
+    def __post_init__(self) -> None:
+        total = sum(self.weights.values())
+        if total <= 0:
+            raise ConfigurationError("protocol mix weights must sum to a positive value")
+        if any(weight < 0 for weight in self.weights.values()):
+            raise ConfigurationError("protocol mix weights must be non-negative")
+
+    @classmethod
+    def pure(cls, protocol: Protocol) -> "ProtocolMix":
+        """A mix in which every transaction uses ``protocol``."""
+        return cls({Protocol.from_name(protocol): 1.0})
+
+    @classmethod
+    def uniform(cls) -> "ProtocolMix":
+        """Equal thirds of 2PL, T/O and PA transactions."""
+        return cls({protocol: 1.0 for protocol in Protocol})
+
+    def normalized(self) -> Dict[Protocol, float]:
+        """Weights rescaled to sum to one."""
+        total = sum(self.weights.values())
+        return {protocol: weight / total for protocol, weight in self.weights.items()}
+
+    def sample(self, uniform_draw: float) -> Protocol:
+        """Map a uniform(0, 1) draw onto a protocol according to the weights."""
+        cumulative = 0.0
+        normalized = self.normalized()
+        for protocol, weight in normalized.items():
+            cumulative += weight
+            if uniform_draw <= cumulative:
+                return protocol
+        return next(reversed(list(normalized)))
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Static description of the simulated distributed database.
+
+    Parameters
+    ----------
+    num_sites:
+        Number of computer sites; each hosts a request issuer and the queue
+        managers for the physical copies stored there.
+    num_items:
+        Number of logical data items in the database.
+    replication_factor:
+        Number of physical copies per logical item (read-one / write-all).
+    network:
+        Message latency model.
+    io_time:
+        Simulated time to implement one physical operation once its lock is
+        granted (models the disk/CPU cost at the data site).
+    deadlock_detection_period:
+        Interval between global wait-for-graph scans.  The paper treats
+        detection time/cost as a system parameter; smaller periods find
+        deadlocks sooner but cost more messages.
+    deadlock_detection_message_cost:
+        Number of bookkeeping messages charged per detector scan per site.
+    restart_delay:
+        Back-off delay before an aborted transaction (T/O reject or deadlock
+        victim) is resubmitted — the paper's "cost of restarts" knob.
+    pa_backoff_interval:
+        The PA back-off quantum ``INT_i``; the replacement timestamp is the
+        smallest ``TS + k * INT`` acceptable to the queue manager.
+    semi_locks_enabled:
+        When ``False`` the unified enforcement falls back to the naive
+        "lock everything" rule discussed in Section 4.2 (the E6 ablation).
+    timestamp_wait_enabled:
+        When ``True`` T/O uses the unified queue (waiting in precedence order);
+        the reject-and-restart rule of Basic T/O is always applied to requests
+        that arrive behind an already-granted conflicting request.
+    protocol_switch_threshold:
+        The paper's future-work item 4 ("allowing transactions to change their
+        concurrency control methods"): when set, a transaction that has been
+        aborted this many times (T/O rejections or deadlock victimisations)
+        switches to PA for its next attempt, which cannot be rejected or
+        deadlocked and therefore bounds starvation.  ``None`` disables the
+        feature (the paper's base system).
+    """
+
+    num_sites: int = 4
+    num_items: int = 64
+    replication_factor: int = 1
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    io_time: float = 0.005
+    deadlock_detection_period: float = 0.5
+    deadlock_detection_message_cost: int = 2
+    restart_delay: float = 0.05
+    pa_backoff_interval: float = 1.0
+    semi_locks_enabled: bool = True
+    timestamp_wait_enabled: bool = True
+    protocol_switch_threshold: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_sites < 1:
+            raise ConfigurationError("at least one site is required")
+        if self.num_items < 1:
+            raise ConfigurationError("at least one data item is required")
+        if not 1 <= self.replication_factor <= self.num_sites:
+            raise ConfigurationError(
+                "replication factor must be between 1 and the number of sites"
+            )
+        if self.io_time < 0 or self.restart_delay < 0:
+            raise ConfigurationError("service times must be non-negative")
+        if self.deadlock_detection_period <= 0:
+            raise ConfigurationError("deadlock detection period must be positive")
+        if self.pa_backoff_interval <= 0:
+            raise ConfigurationError("PA back-off interval must be positive")
+        if self.protocol_switch_threshold is not None and self.protocol_switch_threshold < 1:
+            raise ConfigurationError("protocol switch threshold must be at least 1 (or None)")
+
+    def with_overrides(self, **changes: object) -> "SystemConfig":
+        """Return a copy with the given fields replaced (sweep helper)."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Open-arrival workload description.
+
+    Parameters
+    ----------
+    arrival_rate:
+        The paper's ``lambda``: system-wide transaction arrival rate
+        (transactions per simulated time unit), split evenly across sites.
+    num_transactions:
+        Number of transactions to generate for the run.
+    min_size / max_size:
+        Transaction size (number of distinct logical items accessed) is drawn
+        uniformly from this inclusive range — the paper's ``st`` parameter.
+    read_fraction:
+        The paper's ``Q_r``: fraction of accesses that are reads.
+    compute_time:
+        Mean of the exponential local-computation time.
+    hotspot_fraction / hotspot_probability:
+        When ``hotspot_probability > 0`` each access falls inside the first
+        ``hotspot_fraction`` of the database with that probability, producing
+        contention skew; otherwise accesses are uniform.
+    protocol_mix:
+        Static protocol assignment (ignored when the dynamic selector is on).
+    """
+
+    arrival_rate: float = 10.0
+    num_transactions: int = 500
+    min_size: int = 2
+    max_size: int = 8
+    read_fraction: float = 0.7
+    compute_time: float = 0.005
+    hotspot_fraction: float = 0.1
+    hotspot_probability: float = 0.0
+    protocol_mix: ProtocolMix = field(default_factory=ProtocolMix.uniform)
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate <= 0:
+            raise ConfigurationError("arrival rate must be positive")
+        if self.num_transactions < 1:
+            raise ConfigurationError("at least one transaction is required")
+        if not 1 <= self.min_size <= self.max_size:
+            raise ConfigurationError("transaction size range is invalid")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ConfigurationError("read fraction must be within [0, 1]")
+        if self.compute_time < 0:
+            raise ConfigurationError("compute time must be non-negative")
+        if not 0.0 < self.hotspot_fraction <= 1.0:
+            raise ConfigurationError("hotspot fraction must be within (0, 1]")
+        if not 0.0 <= self.hotspot_probability <= 1.0:
+            raise ConfigurationError("hotspot probability must be within [0, 1]")
+
+    def with_overrides(self, **changes: object) -> "WorkloadConfig":
+        """Return a copy with the given fields replaced (sweep helper)."""
+        return replace(self, **changes)
+
+    @property
+    def mean_size(self) -> float:
+        """Expected number of items accessed per transaction (the paper's ``K``)."""
+        return (self.min_size + self.max_size) / 2.0

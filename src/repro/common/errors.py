@@ -1,0 +1,66 @@
+"""Exception hierarchy for the reproduction.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming errors
+such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is internally inconsistent or out of range."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation kernel was used incorrectly.
+
+    Examples: scheduling an event in the past, running a simulator that has
+    already been stopped, or delivering a message to an unregistered actor.
+    """
+
+
+class ProtocolError(ReproError):
+    """A concurrency-control protocol invariant was violated.
+
+    These errors indicate bugs in the protocol implementation (for example a
+    lock release for a lock that was never granted), never expected run-time
+    outcomes such as deadlocks or restarts.
+    """
+
+
+class UnknownProtocolError(ProtocolError):
+    """A protocol name was requested that is not registered."""
+
+
+class TransactionAbortedError(ReproError):
+    """A transaction was aborted and must be restarted by its coordinator."""
+
+    def __init__(self, transaction_id: object, reason: str) -> None:
+        super().__init__(f"transaction {transaction_id} aborted: {reason}")
+        self.transaction_id = transaction_id
+        self.reason = reason
+
+
+class DeadlockError(TransactionAbortedError):
+    """A transaction was chosen as the victim of a detected deadlock cycle."""
+
+    def __init__(self, transaction_id: object, cycle: tuple) -> None:
+        super().__init__(transaction_id, "deadlock victim")
+        self.cycle = cycle
+
+
+class SerializationViolationError(ReproError):
+    """The serializability oracle found a cycle in the conflict graph.
+
+    Raised only by the correctness oracle (:mod:`repro.core.serializability`);
+    a correct run of the unified algorithm never triggers it (Theorem 2).
+    """
+
+    def __init__(self, cycle: tuple) -> None:
+        super().__init__(f"conflict graph contains a cycle: {' -> '.join(map(str, cycle))}")
+        self.cycle = cycle

@@ -1,0 +1,57 @@
+"""The concurrency-control protocol names integrated by the unified scheme."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Protocol(enum.Enum):
+    """Concurrency-control protocol a transaction runs under.
+
+    The unified system of the paper integrates exactly these three; the value
+    strings are used in configuration files, metrics keys and report tables.
+    """
+
+    TWO_PHASE_LOCKING = "2PL"
+    TIMESTAMP_ORDERING = "T/O"
+    PRECEDENCE_AGREEMENT = "PA"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def is_two_phase_locking(self) -> bool:
+        return self is Protocol.TWO_PHASE_LOCKING
+
+    @property
+    def is_timestamp_ordering(self) -> bool:
+        return self is Protocol.TIMESTAMP_ORDERING
+
+    @property
+    def is_precedence_agreement(self) -> bool:
+        return self is Protocol.PRECEDENCE_AGREEMENT
+
+    @classmethod
+    def from_name(cls, name: "str | Protocol") -> "Protocol":
+        """Parse a protocol from a string such as ``"2PL"``, ``"t/o"`` or ``"pa"``."""
+        if isinstance(name, Protocol):
+            return name
+        normalized = str(name).strip().upper().replace("-", "/").replace("TO", "T/O")
+        aliases = {
+            "2PL": cls.TWO_PHASE_LOCKING,
+            "TWO_PHASE_LOCKING": cls.TWO_PHASE_LOCKING,
+            "TWO/PHASE/LOCKING": cls.TWO_PHASE_LOCKING,
+            "T/O": cls.TIMESTAMP_ORDERING,
+            "T//O": cls.TIMESTAMP_ORDERING,
+            "TIMESTAMP_ORDERING": cls.TIMESTAMP_ORDERING,
+            "TIMESTAMP/ORDERING": cls.TIMESTAMP_ORDERING,
+            "PA": cls.PRECEDENCE_AGREEMENT,
+            "PRECEDENCE_AGREEMENT": cls.PRECEDENCE_AGREEMENT,
+            "PRECEDENCE/AGREEMENT": cls.PRECEDENCE_AGREEMENT,
+        }
+        try:
+            return aliases[normalized]
+        except KeyError:
+            from repro.common.errors import UnknownProtocolError
+
+            raise UnknownProtocolError(f"unknown concurrency control protocol: {name!r}") from None

@@ -1,0 +1,132 @@
+"""The per-copy data queue ``QUEUE(j)`` and its head-of-queue rule ``HD(j)``.
+
+Entries are kept sorted by unified precedence.  ``HD(j)`` is the first entry
+that has not yet been granted; by construction every entry with a smaller
+precedence has already been granted, which is exactly the paper's definition
+(Section 3.4, step 2(e)ii).  Granted entries stay in the queue until their
+locks are released (or the transaction aborts), because later entries must
+still order themselves behind them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from repro.common.errors import ProtocolError
+from repro.common.ids import RequestId, TransactionId
+from repro.core.locks import GrantedLock
+from repro.core.precedence import Precedence
+from repro.core.requests import Request
+
+
+class EntryStatus(enum.Enum):
+    """Marking of a queue entry, mirroring the paper's 'accepted' / 'blocked'."""
+
+    ACCEPTED = "accepted"
+    BLOCKED = "blocked"       # PA request waiting for its issuer's final timestamp
+
+
+@dataclass
+class QueuedRequest:
+    """One request sitting in a data queue."""
+
+    request: Request
+    precedence: Precedence
+    status: EntryStatus = EntryStatus.ACCEPTED
+    granted: bool = False
+    lock: Optional[GrantedLock] = None
+    enqueue_time: float = 0.0
+
+    @property
+    def transaction(self) -> TransactionId:
+        return self.request.transaction
+
+    @property
+    def request_id(self) -> RequestId:
+        return self.request.request_id
+
+    @property
+    def is_blocked(self) -> bool:
+        return self.status is EntryStatus.BLOCKED
+
+
+class DataQueue:
+    """Precedence-ordered queue of requests for one physical copy."""
+
+    def __init__(self) -> None:
+        self._entries: List[QueuedRequest] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[QueuedRequest]:
+        return iter(self._entries)
+
+    def entries(self) -> Tuple[QueuedRequest, ...]:
+        """All entries in precedence order."""
+        return tuple(self._entries)
+
+    def insert(self, entry: QueuedRequest) -> None:
+        """Insert an entry keeping the queue sorted by precedence."""
+        if self.find(entry.request_id) is not None:
+            raise ProtocolError(f"request {entry.request_id} is already queued")
+        self._entries.append(entry)
+        self._sort()
+
+    def find(self, request_id: RequestId) -> Optional[QueuedRequest]:
+        """The entry for ``request_id`` or ``None``."""
+        for entry in self._entries:
+            if entry.request_id == request_id:
+                return entry
+        return None
+
+    def entries_of(self, transaction: TransactionId) -> Tuple[QueuedRequest, ...]:
+        """All entries belonging to ``transaction``."""
+        return tuple(entry for entry in self._entries if entry.transaction == transaction)
+
+    def remove(self, request_id: RequestId) -> QueuedRequest:
+        """Remove and return the entry for ``request_id``."""
+        entry = self.find(request_id)
+        if entry is None:
+            raise ProtocolError(f"request {request_id} is not queued")
+        self._entries.remove(entry)
+        return entry
+
+    def remove_transaction(self, transaction: TransactionId) -> Tuple[QueuedRequest, ...]:
+        """Remove every entry of ``transaction`` and return them."""
+        removed = self.entries_of(transaction)
+        self._entries = [entry for entry in self._entries if entry.transaction != transaction]
+        return removed
+
+    def resort(self) -> None:
+        """Re-establish precedence order after an entry's precedence changed."""
+        self._sort()
+
+    def head(self) -> Optional[QueuedRequest]:
+        """``HD(j)``: the first not-yet-granted entry in precedence order, or ``None``."""
+        for entry in self._entries:
+            if not entry.granted:
+                return entry
+        return None
+
+    def ungranted(self) -> Tuple[QueuedRequest, ...]:
+        """All not-yet-granted entries in precedence order."""
+        return tuple(entry for entry in self._entries if not entry.granted)
+
+    def granted(self) -> Tuple[QueuedRequest, ...]:
+        """All granted entries in precedence order."""
+        return tuple(entry for entry in self._entries if entry.granted)
+
+    def entries_before(self, entry: QueuedRequest) -> Tuple[QueuedRequest, ...]:
+        """Entries strictly ahead of ``entry`` in precedence order."""
+        result = []
+        for candidate in self._entries:
+            if candidate is entry:
+                break
+            result.append(candidate)
+        return tuple(result)
+
+    def _sort(self) -> None:
+        self._entries.sort(key=lambda entry: entry.precedence.sort_key())

@@ -1,0 +1,52 @@
+"""Effects emitted by the queue manager state machine.
+
+The queue manager never talks to the network directly; it appends effect
+records to an outbox which the system layer drains and turns into messages.
+This keeps the concurrency-control core deterministic and unit-testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.core.locks import LockMode
+from repro.core.requests import Request
+
+
+@dataclass(frozen=True)
+class GrantIssued:
+    """A lock grant for ``request``.
+
+    ``normal`` distinguishes the two kinds of grant message in the semi-lock
+    protocol: a pre-scheduled grant lets a T/O transaction proceed to
+    execution, but the request issuer keeps waiting for the corresponding
+    *normal* grant (sent later, when the conflicting earlier locks have been
+    released) before it may release the transaction's locks.
+    """
+
+    request: Request
+    mode: LockMode
+    normal: bool
+    time: float
+
+
+@dataclass(frozen=True)
+class BackoffIssued:
+    """PA back-off: the queue manager proposes ``new_timestamp`` for ``request``."""
+
+    request: Request
+    new_timestamp: float
+    time: float
+
+
+@dataclass(frozen=True)
+class RequestRejected:
+    """T/O rejection: ``request`` arrived out of timestamp order; its transaction restarts."""
+
+    request: Request
+    time: float
+    reason: str = "timestamp order violation"
+
+
+Effect = Union[GrantIssued, BackoffIssued, RequestRejected]

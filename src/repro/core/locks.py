@@ -1,0 +1,208 @@
+"""Lock modes, the conflict relation, and the per-copy lock table.
+
+Section 4.2 of the paper defines the semi-lock protocol in terms of four lock
+modes:
+
+* ``RL`` — read lock, held by 2PL and PA readers;
+* ``WL`` — write lock, held by every writer (and by T/O writers until they
+  downgrade);
+* ``SRL`` — semi-read lock, the mode granted to T/O readers;
+* ``SWL`` — semi-write lock, the mode a T/O writer's ``WL`` is converted to
+  when its transaction finishes execution while still holding pre-scheduled
+  locks.
+
+Two locks conflict when they lock the same copy and at least one of them is a
+``WL`` or ``SWL``.  A granted lock is *pre-scheduled* when at least one
+conflicting lock granted earlier has not yet been released; it becomes
+*normal* when the last such lock is released.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.common.errors import ProtocolError
+from repro.common.ids import CopyId, RequestId, TransactionId
+from repro.common.operations import OperationType
+from repro.common.protocol_names import Protocol
+
+
+class LockMode(enum.Enum):
+    """The four lock modes of the semi-lock protocol."""
+
+    READ = "RL"
+    WRITE = "WL"
+    SEMI_READ = "SRL"
+    SEMI_WRITE = "SWL"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def is_semi(self) -> bool:
+        return self in (LockMode.SEMI_READ, LockMode.SEMI_WRITE)
+
+    @property
+    def is_write_like(self) -> bool:
+        """Modes that make every other lock on the copy a conflict (WL and SWL)."""
+        return self in (LockMode.WRITE, LockMode.SEMI_WRITE)
+
+    def conflicts_with(self, other: "LockMode") -> bool:
+        """Two locks conflict iff at least one is a WL or SWL (Section 4.2, rule 2)."""
+        return self.is_write_like or other.is_write_like
+
+    def downgraded(self) -> "LockMode":
+        """The semi-lock this mode converts to when a T/O transaction finishes
+        execution while holding pre-scheduled locks (RL -> SRL, WL -> SWL)."""
+        if self is LockMode.READ:
+            return LockMode.SEMI_READ
+        if self is LockMode.WRITE:
+            return LockMode.SEMI_WRITE
+        return self
+
+
+def requested_lock_mode(protocol: Protocol, op_type: OperationType) -> LockMode:
+    """Lock mode a request of the given protocol and operation type asks for.
+
+    Per the grant rules of Section 4.2: 2PL and PA readers take ``RL``, every
+    writer takes ``WL``, and T/O readers take ``SRL``.
+    """
+    if op_type.is_write:
+        return LockMode.WRITE
+    if protocol.is_timestamp_ordering:
+        return LockMode.SEMI_READ
+    return LockMode.READ
+
+
+@dataclass
+class GrantedLock:
+    """One granted, not-yet-released lock on a physical copy."""
+
+    request_id: RequestId
+    transaction: TransactionId
+    protocol: Protocol
+    copy: CopyId
+    mode: LockMode
+    grant_time: float
+    grant_seq: int
+    pre_scheduled: bool = False
+    normal_grant_sent: bool = True
+    implemented: bool = False
+
+    def conflicts_with_mode(self, mode: LockMode) -> bool:
+        return self.mode.conflicts_with(mode)
+
+    def downgrade(self) -> None:
+        """Convert RL -> SRL / WL -> SWL (the semi-lock transformation)."""
+        self.mode = self.mode.downgraded()
+
+
+class LockTable:
+    """Granted locks of one physical copy, in grant order."""
+
+    def __init__(self, copy: CopyId) -> None:
+        self._copy = copy
+        self._locks: Dict[RequestId, GrantedLock] = {}
+        self._grant_counter = 0
+
+    @property
+    def copy(self) -> CopyId:
+        return self._copy
+
+    def __len__(self) -> int:
+        return len(self._locks)
+
+    def __contains__(self, request_id: RequestId) -> bool:
+        return request_id in self._locks
+
+    def grant(
+        self,
+        request_id: RequestId,
+        transaction: TransactionId,
+        protocol: Protocol,
+        mode: LockMode,
+        time: float,
+        pre_scheduled: bool,
+    ) -> GrantedLock:
+        """Record a newly granted lock."""
+        if request_id in self._locks:
+            raise ProtocolError(f"request {request_id} already holds a lock on {self._copy}")
+        self._grant_counter += 1
+        lock = GrantedLock(
+            request_id=request_id,
+            transaction=transaction,
+            protocol=protocol,
+            copy=self._copy,
+            mode=mode,
+            grant_time=time,
+            grant_seq=self._grant_counter,
+            pre_scheduled=pre_scheduled,
+            normal_grant_sent=not pre_scheduled,
+        )
+        self._locks[request_id] = lock
+        return lock
+
+    def release(self, request_id: RequestId) -> GrantedLock:
+        """Remove a granted lock and return it."""
+        try:
+            return self._locks.pop(request_id)
+        except KeyError:
+            raise ProtocolError(
+                f"request {request_id} holds no lock on {self._copy} to release"
+            ) from None
+
+    def get(self, request_id: RequestId) -> Optional[GrantedLock]:
+        return self._locks.get(request_id)
+
+    def locks(self) -> Tuple[GrantedLock, ...]:
+        """All granted, unreleased locks in grant order."""
+        return tuple(sorted(self._locks.values(), key=lambda lock: lock.grant_seq))
+
+    def locks_of(self, transaction: TransactionId) -> Tuple[GrantedLock, ...]:
+        return tuple(
+            lock for lock in self.locks() if lock.transaction == transaction
+        )
+
+    def holders(self) -> Tuple[TransactionId, ...]:
+        """Distinct transactions currently holding locks, in grant order."""
+        seen: List[TransactionId] = []
+        for lock in self.locks():
+            if lock.transaction not in seen:
+                seen.append(lock.transaction)
+        return tuple(seen)
+
+    def unreleased_with_modes(
+        self, modes: Iterable[LockMode], excluding: Optional[TransactionId] = None
+    ) -> Tuple[GrantedLock, ...]:
+        """Granted locks whose mode is in ``modes``, excluding one transaction's own locks."""
+        mode_set = set(modes)
+        return tuple(
+            lock
+            for lock in self.locks()
+            if lock.mode in mode_set and lock.transaction != excluding
+        )
+
+    def conflicting_locks(
+        self,
+        mode: LockMode,
+        excluding: Optional[TransactionId] = None,
+        granted_before: Optional[int] = None,
+    ) -> Tuple[GrantedLock, ...]:
+        """Granted locks that conflict with ``mode``.
+
+        ``excluding`` skips the requesting transaction's own locks (a
+        transaction never conflicts with itself); ``granted_before`` restricts
+        to locks granted earlier than the given grant sequence number (used to
+        decide whether a lock is still pre-scheduled).
+        """
+        result = []
+        for lock in self.locks():
+            if excluding is not None and lock.transaction == excluding:
+                continue
+            if granted_before is not None and lock.grant_seq >= granted_before:
+                continue
+            if lock.conflicts_with_mode(mode):
+                result.append(lock)
+        return tuple(result)

@@ -1,0 +1,101 @@
+"""The Precedence Agreement algorithm (timestamp version) as a PAM policy.
+
+Section 3.4: PA behaves like Basic T/O except that an out-of-order request is
+not rejected.  Instead the queue manager computes the smallest back-off
+timestamp ``TS' = TS + k * INT`` (``k`` a natural number) acceptable under the
+T/O rule and returns it to the request issuer; the issuer gathers the
+responses, takes the maximum, and broadcasts the agreed timestamp back to
+every queue manager it contacted.  PA is therefore free of both deadlocks and
+restarts (Corollary 1).
+
+Deviation from the paper's one-round presentation
+--------------------------------------------------
+The ICDE 1988 text lets a queue manager grant a PA request *before* the
+issuer has finished the timestamp agreement (its step 1(c)/(d)).  A request
+granted early at its original timestamp can later be re-timestamped upward by
+the agreement, leaving the transaction with *different effective precedences
+at different queues* — and that admits wait-for cycles between two PA
+transactions (each holding an early grant the other needs), contradicting
+Theorem 3.  We therefore run PA as an explicit two-phase negotiation:
+
+1. **Propose.**  Every PA request is inserted *blocked* and the queue manager
+   immediately answers with a timestamp proposal — the request's own
+   timestamp when it is acceptable, or the backed-off ``TS'`` otherwise.
+2. **Confirm.**  The issuer takes the maximum over all proposals (and its own
+   timestamp), broadcasts the agreed value, and only then do the entries
+   become *accepted* and eligible for granting.
+
+With the timestamp fixed before any lock is granted, every wait-for edge
+among PA (and T/O) transactions points from a larger to a smaller final
+timestamp, so cycles require a 2PL member — exactly the property Theorem 3
+claims.  The cost is one extra proposal/confirm round trip per queue, which
+the message counters report.  See DESIGN.md ("Key design decisions").
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.common.errors import ProtocolError
+from repro.common.protocol_names import Protocol
+from repro.core.protocols.base import (
+    ArrivalDecision,
+    DecisionKind,
+    ProtocolPolicy,
+    QueueStateView,
+)
+from repro.core.requests import Request
+
+
+class PrecedenceAgreementPolicy(ProtocolPolicy):
+    """Assignment function for PA requests (propose/confirm variant)."""
+
+    protocol = Protocol.PRECEDENCE_AGREEMENT
+
+    def decide_arrival(self, request: Request, view: QueueStateView) -> ArrivalDecision:
+        precedence = self._timestamp_precedence(request)
+        threshold = self._acceptance_threshold(request, view)
+        if request.timestamp > threshold:
+            # Acceptable as-is: propose the request's own timestamp.  The
+            # entry still waits, blocked, for the issuer's confirmation.
+            return ArrivalDecision(
+                kind=DecisionKind.BLOCK,
+                precedence=precedence,
+                backoff_timestamp=request.timestamp,
+            )
+        backoff_timestamp = self.backoff_timestamp(
+            request.timestamp, request.backoff_interval, threshold
+        )
+        return ArrivalDecision(
+            kind=DecisionKind.BLOCK,
+            precedence=precedence.with_timestamp(backoff_timestamp),
+            backoff_timestamp=backoff_timestamp,
+        )
+
+    @staticmethod
+    def _acceptance_threshold(request: Request, view: QueueStateView) -> float:
+        """Largest granted timestamp the arriving timestamp must exceed."""
+        if request.is_read:
+            return view.write_ts
+        return max(view.write_ts, view.read_ts)
+
+    @staticmethod
+    def backoff_timestamp(timestamp: float, interval: float, threshold: float) -> float:
+        """Smallest ``timestamp + k * interval`` (k a natural number) strictly above ``threshold``.
+
+        This is the paper's ``TS'_ij`` computation.  The interval must be
+        positive; ``k`` is at least 1 so a back-off always moves the timestamp
+        forward even when the original value already exceeds the threshold.
+        """
+        if interval <= 0:
+            raise ProtocolError("PA back-off interval must be positive")
+        if threshold < timestamp:
+            return timestamp + interval
+        steps = math.floor((threshold - timestamp) / interval) + 1
+        candidate = timestamp + steps * interval
+        # Guard against floating-point rounding leaving the candidate at or
+        # below the threshold.
+        while candidate <= threshold:
+            steps += 1
+            candidate = timestamp + steps * interval
+        return candidate

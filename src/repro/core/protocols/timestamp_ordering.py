@@ -1,0 +1,40 @@
+"""Basic Timestamp Ordering as a PAM assignment policy.
+
+Section 3.3: every operation of a transaction carries the transaction's
+timestamp; the serialization order is the timestamp order, so (E2) holds by
+construction, and (E1) is enforced by *rejecting* requests that arrive out of
+timestamp order — a read whose timestamp is not larger than the biggest
+granted write timestamp ``W-TS(j)``, or a write whose timestamp is not larger
+than both ``W-TS(j)`` and the biggest granted read timestamp ``R-TS(j)``.
+A rejected transaction restarts with a fresh, larger timestamp.
+"""
+
+from __future__ import annotations
+
+from repro.common.protocol_names import Protocol
+from repro.core.protocols.base import (
+    ArrivalDecision,
+    DecisionKind,
+    ProtocolPolicy,
+    QueueStateView,
+)
+from repro.core.requests import Request
+
+
+class TimestampOrderingPolicy(ProtocolPolicy):
+    """Assignment function for Basic T/O requests."""
+
+    protocol = Protocol.TIMESTAMP_ORDERING
+
+    def decide_arrival(self, request: Request, view: QueueStateView) -> ArrivalDecision:
+        precedence = self._timestamp_precedence(request)
+        if self._arrives_in_order(request, view):
+            return ArrivalDecision(kind=DecisionKind.ACCEPT, precedence=precedence)
+        return ArrivalDecision(kind=DecisionKind.REJECT, precedence=precedence)
+
+    @staticmethod
+    def _arrives_in_order(request: Request, view: QueueStateView) -> bool:
+        """True when no conflicting request with a later timestamp has been granted."""
+        if request.is_read:
+            return request.timestamp > view.write_ts
+        return request.timestamp > view.write_ts and request.timestamp > view.read_ts

@@ -1,0 +1,41 @@
+"""Static Two-Phase Locking as a PAM assignment policy.
+
+Section 3.3: for 2PL the data queue is first-come-first-served, so the
+precedence of an arriving request is simply its arrival order.  In the
+unified precedence space (Section 4.1) this becomes: the request's timestamp
+component is the biggest timestamp that has ever appeared in the queue before
+its arrival (so it lands at the current tail), 2PL counts as the biggest site
+id on ties, and 2PL requests among themselves are ordered by arrival.
+
+2PL requests are always accepted — the price is that 2PL transactions may
+deadlock (Theorem 3 / Corollary 2 show 2PL is the *only* source of blocking),
+which the system resolves with the wait-for-graph detector.
+"""
+
+from __future__ import annotations
+
+from repro.common.protocol_names import Protocol
+from repro.core.precedence import Precedence
+from repro.core.protocols.base import (
+    ArrivalDecision,
+    DecisionKind,
+    ProtocolPolicy,
+    QueueStateView,
+)
+from repro.core.requests import Request
+
+
+class TwoPhaseLockingPolicy(ProtocolPolicy):
+    """Assignment function for static 2PL requests."""
+
+    protocol = Protocol.TWO_PHASE_LOCKING
+
+    def decide_arrival(self, request: Request, view: QueueStateView) -> ArrivalDecision:
+        precedence = Precedence(
+            timestamp=view.max_timestamp_seen,
+            protocol=self.protocol,
+            site=request.transaction.site,
+            transaction=request.transaction,
+            arrival_seq=view.arrival_seq,
+        )
+        return ArrivalDecision(kind=DecisionKind.ACCEPT, precedence=precedence)

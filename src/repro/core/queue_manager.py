@@ -1,0 +1,484 @@
+"""The unified queue manager: one per physical copy.
+
+This is the heart of the paper's integration step (Section 4).  For each
+arriving request the queue manager
+
+1. applies the *assignment function* of the request's protocol (2PL appends
+   at the tail; T/O accepts or rejects against ``R-TS``/``W-TS``; PA accepts
+   or proposes a back-off timestamp), and
+2. enforces the assigned precedences with the *semi-lock protocol*: requests
+   are considered for granting only when they are ``HD(j)`` (every smaller
+   precedence already granted), and the lock they receive — RL, WL or SRL,
+   normal or pre-scheduled — follows the rules of Section 4.2.
+
+The queue manager is a pure state machine.  It never sends messages; instead
+it appends :mod:`effects <repro.core.effects>` (grants, back-offs,
+rejections) to an outbox which the system layer drains, and it records
+implemented operations into an :class:`~repro.storage.log.ExecutionLog` so
+the serializability oracle can audit the run afterwards.
+
+Two deliberate strengthenings over the paper's prose (both discussed in
+DESIGN.md, "Key design decisions"):
+
+* **PA runs as propose/confirm.**  Every PA request is inserted *blocked* and
+  answered with a timestamp proposal; it only becomes grantable once the
+  issuer broadcasts the agreed timestamp (``update_timestamp``).  The paper's
+  one-round variant can grant a request before the agreement finishes, which
+  leaves a transaction with different effective precedences at different
+  queues and admits PA-PA wait cycles, contradicting Theorem 3.
+* **Repair of intermediate conflicts.**  Should a timestamp update ever reach
+  a request that is *already granted* at a smaller timestamp (possible only
+  when the queue manager is driven directly with the paper's one-round PA),
+  any conflicting requests accepted in the meantime with intermediate
+  timestamps are re-handled: T/O requests are rejected, PA requests are
+  backed off past the new timestamp.  This applies exactly the decision the
+  assignment function would have made had the final timestamp been known at
+  arrival time, preserving condition (E1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ProtocolError
+from repro.common.ids import CopyId, TransactionId
+from repro.common.protocol_names import Protocol
+from repro.core.data_queue import DataQueue, EntryStatus, QueuedRequest
+from repro.core.effects import BackoffIssued, Effect, GrantIssued, RequestRejected
+from repro.core.locks import GrantedLock, LockMode, LockTable
+from repro.core.protocols.base import DecisionKind, ProtocolPolicy, QueueStateView
+from repro.core.protocols.precedence_agreement import PrecedenceAgreementPolicy
+from repro.core.protocols.registry import default_policies
+from repro.core.requests import Request
+from repro.storage.log import ExecutionLog
+
+
+class QueueManager:
+    """Unified concurrency-control manager for one physical copy."""
+
+    def __init__(
+        self,
+        copy: CopyId,
+        execution_log: Optional[ExecutionLog] = None,
+        *,
+        semi_locks_enabled: bool = True,
+        policies: Optional[Dict[Protocol, ProtocolPolicy]] = None,
+    ) -> None:
+        self._copy = copy
+        self._log = execution_log if execution_log is not None else ExecutionLog()
+        self._semi_locks_enabled = semi_locks_enabled
+        self._policies = dict(policies) if policies is not None else default_policies()
+        self._queue = DataQueue()
+        self._locks = LockTable(copy)
+        self._effects: List[Effect] = []
+        # R-TS(j) / W-TS(j): biggest timestamps of granted read / write requests.
+        self._read_ts = float("-inf")
+        self._write_ts = float("-inf")
+        # Biggest timestamp that has ever appeared in this queue (2PL precedence rule).
+        self._max_timestamp_seen = 0.0
+        self._arrival_counter = 0
+        # Statistics.
+        self._grants_issued = 0
+        self._rejections = 0
+        self._backoffs = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def copy(self) -> CopyId:
+        return self._copy
+
+    @property
+    def execution_log(self) -> ExecutionLog:
+        return self._log
+
+    @property
+    def read_ts(self) -> float:
+        """``R-TS(j)``: biggest timestamp of a granted read request."""
+        return self._read_ts
+
+    @property
+    def write_ts(self) -> float:
+        """``W-TS(j)``: biggest timestamp of a granted write request."""
+        return self._write_ts
+
+    @property
+    def semi_locks_enabled(self) -> bool:
+        return self._semi_locks_enabled
+
+    @property
+    def grants_issued(self) -> int:
+        return self._grants_issued
+
+    @property
+    def rejections(self) -> int:
+        return self._rejections
+
+    @property
+    def backoffs(self) -> int:
+        return self._backoffs
+
+    def queue_entries(self) -> Tuple[QueuedRequest, ...]:
+        """Current queue contents in precedence order (granted entries included)."""
+        return self._queue.entries()
+
+    def granted_locks(self) -> Tuple[GrantedLock, ...]:
+        """Granted, unreleased locks in grant order."""
+        return self._locks.locks()
+
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def drain_effects(self) -> List[Effect]:
+        """Return and clear the pending effects (grants, back-offs, rejections)."""
+        effects, self._effects = self._effects, []
+        return effects
+
+    # ------------------------------------------------------------------ #
+    # Request issuer -> queue manager entry points
+    # ------------------------------------------------------------------ #
+
+    def submit(self, request: Request, now: float) -> None:
+        """Handle the arrival of a new request (the paper's QM step 2(b)-(c))."""
+        if request.copy != self._copy:
+            raise ProtocolError(
+                f"request for {request.copy} submitted to the queue manager of {self._copy}"
+            )
+        policy = self._policy_for(request.protocol)
+        view = QueueStateView(
+            read_ts=self._read_ts,
+            write_ts=self._write_ts,
+            max_timestamp_seen=self._max_timestamp_seen,
+            arrival_seq=self._arrival_counter,
+        )
+        decision = policy.decide_arrival(request, view)
+        self._arrival_counter += 1
+
+        if decision.kind is DecisionKind.REJECT:
+            self._rejections += 1
+            self._effects.append(RequestRejected(request=request, time=now))
+            return
+
+        if decision.kind is DecisionKind.BLOCK:
+            if decision.backoff_timestamp is not None and decision.backoff_timestamp > request.timestamp:
+                self._backoffs += 1
+            entry = QueuedRequest(
+                request=request,
+                precedence=decision.precedence,
+                status=EntryStatus.BLOCKED,
+                enqueue_time=now,
+            )
+            self._queue.insert(entry)
+            self._note_timestamp(decision.precedence.timestamp)
+            self._effects.append(
+                BackoffIssued(
+                    request=request,
+                    new_timestamp=decision.backoff_timestamp,
+                    time=now,
+                )
+            )
+            return
+
+        entry = QueuedRequest(
+            request=request,
+            precedence=decision.precedence,
+            status=EntryStatus.ACCEPTED,
+            enqueue_time=now,
+        )
+        self._queue.insert(entry)
+        if not request.protocol.is_two_phase_locking:
+            self._note_timestamp(request.timestamp)
+        self._try_grant(now)
+
+    def update_timestamp(self, transaction: TransactionId, new_timestamp: float, now: float) -> None:
+        """Apply a PA transaction's agreed timestamp (the paper's QM step 2(d)).
+
+        Blocked and not-yet-granted entries of the transaction move to the new
+        precedence and become accepted.  Already-granted entries keep their
+        grants but their recorded timestamps (and ``R-TS``/``W-TS``) are bumped,
+        and any conflicting intermediate arrivals are re-handled (see the
+        module docstring).
+        """
+        self._note_timestamp(new_timestamp)
+        for entry in self._queue.entries_of(transaction):
+            if entry.granted:
+                self._bump_granted_timestamp(entry, new_timestamp, now)
+            else:
+                if new_timestamp > entry.precedence.timestamp or entry.is_blocked:
+                    entry.precedence = entry.precedence.with_timestamp(
+                        max(new_timestamp, entry.precedence.timestamp)
+                    )
+                entry.status = EntryStatus.ACCEPTED
+        self._queue.resort()
+        self._try_grant(now)
+
+    def release(self, transaction: TransactionId, now: float) -> None:
+        """Release every lock ``transaction`` holds here and drop its queue entries.
+
+        Operations that have not been implemented yet (no prior downgrade) are
+        recorded as implemented at release time — the paper's definition of
+        the implementation instant for 2PL and PA operations.
+        """
+        for entry in self._queue.entries_of(transaction):
+            if entry.granted and entry.lock is not None:
+                self._implement(entry.lock, now)
+                self._locks.release(entry.request_id)
+            self._queue.remove(entry.request_id)
+        self._promote_pre_scheduled(now)
+        self._try_grant(now)
+
+    def downgrade(self, transaction: TransactionId, now: float) -> None:
+        """Convert ``transaction``'s locks here into semi-locks (RL->SRL, WL->SWL).
+
+        Called by the issuer of a T/O transaction that finished execution
+        while holding at least one pre-scheduled lock.  The operations are
+        recorded as implemented now; the locks stay in place (still blocking
+        2PL and PA requests) until the final release.
+        """
+        if not self._semi_locks_enabled:
+            raise ProtocolError("downgrade is only meaningful when semi-locks are enabled")
+        changed = False
+        for lock in self._locks.locks_of(transaction):
+            self._implement(lock, now)
+            lock.downgrade()
+            changed = True
+        if changed:
+            self._try_grant(now)
+
+    def abort(self, transaction: TransactionId, now: float) -> None:
+        """Remove every trace of ``transaction`` without recording implementations.
+
+        Used for T/O restarts and 2PL deadlock victims, which by construction
+        have not executed yet.  Reads the attempt had already recorded (reads
+        take effect at grant time) are withdrawn from the execution log so
+        that only committed work is audited for serializability.
+        """
+        removed_any = False
+        for entry in self._queue.entries_of(transaction):
+            if entry.granted and entry.lock is not None and entry.request_id in self._locks:
+                self._locks.release(entry.request_id)
+            self._queue.remove(entry.request_id)
+            removed_any = True
+        if removed_any:
+            self._log.remove_transaction(self._copy, transaction)
+        self._promote_pre_scheduled(now)
+        self._try_grant(now)
+
+    # ------------------------------------------------------------------ #
+    # Wait-for information for the deadlock detector
+    # ------------------------------------------------------------------ #
+
+    def wait_edges(self) -> List[Tuple[TransactionId, TransactionId]]:
+        """Edges ``(waiter, holder)`` contributed by this queue to the wait-for graph.
+
+        A not-yet-granted request waits for (a) every transaction holding an
+        unreleased lock that conflicts with the mode it is asking for, and
+        (b) every transaction with a not-yet-granted entry ahead of it in the
+        queue (the ``HD(j)`` rule prevents it from being considered until
+        those are granted).  Blocked PA entries wait only for their own
+        issuer's timestamp agreement, so they contribute no outgoing edges.
+        """
+        edges: List[Tuple[TransactionId, TransactionId]] = []
+        for entry in self._queue.ungranted():
+            if entry.is_blocked:
+                continue
+            waiter = entry.transaction
+            mode = self._lock_mode_for(entry)
+            for lock in self._locks.conflicting_locks(mode, excluding=waiter):
+                edges.append((waiter, lock.transaction))
+            for earlier in self._queue.entries_before(entry):
+                if earlier.granted or earlier.transaction == waiter:
+                    continue
+                if earlier.is_blocked:
+                    # A blocked (negotiation-pending) PA entry resolves on its
+                    # own — waiting behind it is not a wait on another
+                    # transaction's progress, so it contributes no edge.
+                    continue
+                edges.append((waiter, earlier.transaction))
+        return edges
+
+    def blocked_transactions(self) -> Tuple[TransactionId, ...]:
+        """Transactions with at least one ungranted, non-blocked entry here."""
+        seen = []
+        for entry in self._queue.ungranted():
+            if not entry.is_blocked and entry.transaction not in seen:
+                seen.append(entry.transaction)
+        return tuple(seen)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _policy_for(self, protocol: Protocol) -> ProtocolPolicy:
+        try:
+            return self._policies[protocol]
+        except KeyError:
+            raise ProtocolError(f"queue manager has no policy for protocol {protocol}") from None
+
+    def _note_timestamp(self, timestamp: float) -> None:
+        self._max_timestamp_seen = max(self._max_timestamp_seen, timestamp)
+
+    def _lock_mode_for(self, entry: QueuedRequest) -> LockMode:
+        policy = self._policy_for(entry.request.protocol)
+        return policy.lock_mode(entry.request.op_type, self._semi_locks_enabled)
+
+    def _try_grant(self, now: float) -> None:
+        """Grant ``HD(j)`` while it is grantable (the paper's QM step 2(e))."""
+        while True:
+            entry = self._queue.head()
+            if entry is None or entry.is_blocked:
+                return
+            mode = self._lock_mode_for(entry)
+            if not self._can_grant(entry, mode):
+                return
+            self._grant(entry, mode, now)
+
+    def _can_grant(self, entry: QueuedRequest, mode: LockMode) -> bool:
+        """Semi-lock grant rules of Section 4.2 (rule 2)."""
+        transaction = entry.transaction
+        protocol = entry.request.protocol
+        timestamp_ordering = protocol.is_timestamp_ordering and self._semi_locks_enabled
+
+        if timestamp_ordering and entry.request.is_read:
+            # T/O read: SRL once all previously granted WLs are released.
+            blocking = self._locks.unreleased_with_modes([LockMode.WRITE], excluding=transaction)
+        elif timestamp_ordering:
+            # T/O write: WL once all previously granted RLs and WLs are released.
+            blocking = self._locks.unreleased_with_modes(
+                [LockMode.READ, LockMode.WRITE], excluding=transaction
+            )
+        elif entry.request.is_read:
+            # 2PL / PA read: RL once all previously granted WLs and SWLs are released.
+            blocking = self._locks.unreleased_with_modes(
+                [LockMode.WRITE, LockMode.SEMI_WRITE], excluding=transaction
+            )
+        else:
+            # 2PL / PA write: WL once all previously granted locks are released.
+            blocking = self._locks.unreleased_with_modes(list(LockMode), excluding=transaction)
+        return not blocking
+
+    def _grant(self, entry: QueuedRequest, mode: LockMode, now: float) -> None:
+        transaction = entry.transaction
+        conflicting = self._locks.conflicting_locks(mode, excluding=transaction)
+        pre_scheduled = bool(conflicting)
+        lock = self._locks.grant(
+            request_id=entry.request_id,
+            transaction=transaction,
+            protocol=entry.request.protocol,
+            mode=mode,
+            time=now,
+            pre_scheduled=pre_scheduled,
+        )
+        entry.granted = True
+        entry.lock = lock
+        if entry.request.is_read:
+            self._read_ts = max(self._read_ts, entry.precedence.timestamp)
+            # A read takes effect the moment its lock is granted: the value it
+            # observes is attached to the grant (paper, Section 3.4 step 1(g)),
+            # so this is the instant that orders it against conflicting writes.
+            self._implement(lock, now)
+        else:
+            self._write_ts = max(self._write_ts, entry.precedence.timestamp)
+        self._grants_issued += 1
+        self._effects.append(
+            GrantIssued(request=entry.request, mode=mode, normal=not pre_scheduled, time=now)
+        )
+
+    def _promote_pre_scheduled(self, now: float) -> None:
+        """Send normal grants for pre-scheduled locks whose earlier conflicts are gone."""
+        for lock in self._locks.locks():
+            if lock.normal_grant_sent:
+                continue
+            remaining = self._locks.conflicting_locks(
+                lock.mode, excluding=lock.transaction, granted_before=lock.grant_seq
+            )
+            if remaining:
+                continue
+            lock.normal_grant_sent = True
+            lock.pre_scheduled = False
+            entry = self._queue.find(lock.request_id)
+            if entry is None:
+                continue
+            self._effects.append(
+                GrantIssued(request=entry.request, mode=lock.mode, normal=True, time=now)
+            )
+
+    def _implement(self, lock: GrantedLock, now: float) -> None:
+        """Record the operation as implemented exactly once (paper, Section 4.3)."""
+        if lock.implemented:
+            return
+        entry = self._queue.find(lock.request_id)
+        if entry is None:
+            raise ProtocolError(f"granted lock {lock.request_id} has no queue entry")
+        self._log.record(
+            copy=self._copy,
+            transaction=lock.transaction,
+            op_type=entry.request.op_type,
+            protocol=lock.protocol,
+            time=now,
+        )
+        lock.implemented = True
+
+    def _bump_granted_timestamp(self, entry: QueuedRequest, new_timestamp: float, now: float) -> None:
+        """Raise a granted entry's timestamp to the PA-agreed value and repair the queue."""
+        old_timestamp = entry.precedence.timestamp
+        if new_timestamp <= old_timestamp:
+            return
+        entry.precedence = entry.precedence.with_timestamp(new_timestamp)
+        if entry.request.is_read:
+            self._read_ts = max(self._read_ts, new_timestamp)
+        else:
+            self._write_ts = max(self._write_ts, new_timestamp)
+        self._rehandle_intermediate_conflicts(entry, old_timestamp, new_timestamp, now)
+
+    def _rehandle_intermediate_conflicts(
+        self,
+        granted_entry: QueuedRequest,
+        old_timestamp: float,
+        new_timestamp: float,
+        now: float,
+    ) -> None:
+        """Re-decide conflicting, ungranted arrivals whose timestamps fell in the gap.
+
+        They were accepted against the granted request's original timestamp;
+        with the agreed timestamp known they would have been rejected (T/O) or
+        backed off (PA), so that decision is applied now.  2PL entries are
+        unaffected: their precedence is arrival-based and the serializability
+        argument for them rests on locking, not timestamps.
+        """
+        for entry in list(self._queue.ungranted()):
+            if entry.transaction == granted_entry.transaction:
+                continue
+            if not entry.request.conflicts_with(granted_entry.request):
+                continue
+            timestamp = entry.precedence.timestamp
+            if not old_timestamp <= timestamp <= new_timestamp:
+                continue
+            protocol = entry.request.protocol
+            if protocol.is_timestamp_ordering:
+                self._queue.remove(entry.request_id)
+                self._rejections += 1
+                self._effects.append(
+                    RequestRejected(
+                        request=entry.request,
+                        time=now,
+                        reason="conflicting PA timestamp agreement",
+                    )
+                )
+            elif protocol.is_precedence_agreement:
+                policy = self._policy_for(protocol)
+                if not isinstance(policy, PrecedenceAgreementPolicy):  # pragma: no cover
+                    continue
+                backoff = policy.backoff_timestamp(
+                    entry.request.timestamp, entry.request.backoff_interval, new_timestamp
+                )
+                entry.precedence = entry.precedence.with_timestamp(backoff)
+                entry.status = EntryStatus.BLOCKED
+                self._backoffs += 1
+                self._note_timestamp(backoff)
+                self._effects.append(
+                    BackoffIssued(request=entry.request, new_timestamp=backoff, time=now)
+                )
+        self._queue.resort()

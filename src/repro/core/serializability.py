@@ -1,0 +1,154 @@
+"""Conflict-serializability oracle.
+
+Theorem 1 of the paper (Papadimitriou / Stearns-Lewis-Rosenkrantz): an
+execution is serializable iff there is a total order on the transactions such
+that every pair of conflicting operations is implemented in that order in
+every per-copy log.  Theorem 2 claims every execution produced by the unified
+algorithm is conflict serializable.  This module is the referee: it rebuilds
+the conflict graph from the per-copy logs recorded by the queue managers,
+checks it for cycles, and (when acyclic) produces a witness serialization
+order.  Every integration test and every experiment run passes its execution
+log through :func:`check_serializable`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.common.errors import SerializationViolationError
+from repro.common.ids import TransactionId
+from repro.storage.log import ExecutionLog
+
+
+class ConflictGraph:
+    """Directed graph with edge ``a -> b`` when some op of ``a`` conflicts with and
+    is implemented before some op of ``b``."""
+
+    def __init__(self) -> None:
+        self._successors: Dict[TransactionId, Set[TransactionId]] = {}
+
+    @classmethod
+    def from_execution_log(cls, log: ExecutionLog) -> "ConflictGraph":
+        """Build the conflict graph of an execution from its per-copy logs."""
+        graph = cls()
+        for transaction in log.transactions():
+            graph.add_node(transaction)
+        for copy_log in log.logs():
+            for earlier, later in copy_log.conflicting_pairs():
+                graph.add_edge(earlier.transaction, later.transaction)
+        return graph
+
+    def add_node(self, node: TransactionId) -> None:
+        self._successors.setdefault(node, set())
+
+    def add_edge(self, source: TransactionId, target: TransactionId) -> None:
+        if source == target:
+            return
+        self._successors.setdefault(source, set()).add(target)
+        self._successors.setdefault(target, set())
+
+    def nodes(self) -> Tuple[TransactionId, ...]:
+        return tuple(sorted(self._successors))
+
+    def successors(self, node: TransactionId) -> Tuple[TransactionId, ...]:
+        return tuple(sorted(self._successors.get(node, ())))
+
+    def edge_count(self) -> int:
+        return sum(len(successors) for successors in self._successors.values())
+
+    def has_edge(self, source: TransactionId, target: TransactionId) -> bool:
+        return target in self._successors.get(source, ())
+
+    def topological_order(self) -> Optional[List[TransactionId]]:
+        """A topological order of the nodes, or ``None`` when the graph has a cycle.
+
+        Kahn's algorithm with sorted tie-breaking so the witness order is
+        deterministic.
+        """
+        in_degree: Dict[TransactionId, int] = {node: 0 for node in self._successors}
+        for successors in self._successors.values():
+            for successor in successors:
+                in_degree[successor] += 1
+        ready = sorted(node for node, degree in in_degree.items() if degree == 0)
+        order: List[TransactionId] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            for successor in self.successors(node):
+                in_degree[successor] -= 1
+                if in_degree[successor] == 0:
+                    ready.append(successor)
+            ready.sort()
+        if len(order) != len(self._successors):
+            return None
+        return order
+
+    def find_cycle(self) -> Optional[Tuple[TransactionId, ...]]:
+        """One cycle of transactions, or ``None`` when acyclic."""
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour = {node: WHITE for node in self._successors}
+        parent: Dict[TransactionId, Optional[TransactionId]] = {}
+        for start in sorted(self._successors):
+            if colour[start] != WHITE:
+                continue
+            stack = [(start, iter(self.successors(start)))]
+            colour[start] = GREY
+            parent[start] = None
+            while stack:
+                node, successors = stack[-1]
+                advanced = False
+                for successor in successors:
+                    if colour[successor] == WHITE:
+                        colour[successor] = GREY
+                        parent[successor] = node
+                        stack.append((successor, iter(self.successors(successor))))
+                        advanced = True
+                        break
+                    if colour[successor] == GREY:
+                        cycle = [successor]
+                        current: Optional[TransactionId] = node
+                        while current is not None and current != successor:
+                            cycle.append(current)
+                            current = parent.get(current)
+                        cycle.reverse()
+                        return tuple(cycle)
+                if not advanced:
+                    colour[node] = BLACK
+                    stack.pop()
+        return None
+
+
+@dataclass
+class SerializabilityReport:
+    """Result of auditing one execution."""
+
+    serializable: bool
+    serialization_order: List[TransactionId] = field(default_factory=list)
+    cycle: Optional[Tuple[TransactionId, ...]] = None
+    transactions_checked: int = 0
+    conflict_edges: int = 0
+
+    def raise_on_violation(self) -> None:
+        """Raise :class:`SerializationViolationError` when the execution is not serializable."""
+        if not self.serializable and self.cycle is not None:
+            raise SerializationViolationError(self.cycle)
+
+
+def check_serializable(log: ExecutionLog) -> SerializabilityReport:
+    """Audit an execution log for conflict serializability (Theorem 2 oracle)."""
+    graph = ConflictGraph.from_execution_log(log)
+    order = graph.topological_order()
+    if order is not None:
+        return SerializabilityReport(
+            serializable=True,
+            serialization_order=order,
+            transactions_checked=len(graph.nodes()),
+            conflict_edges=graph.edge_count(),
+        )
+    return SerializabilityReport(
+        serializable=False,
+        cycle=graph.find_cycle(),
+        transactions_checked=len(graph.nodes()),
+        conflict_edges=graph.edge_count(),
+    )

@@ -1,0 +1,139 @@
+"""The per-transaction protocol selector (Section 5.2).
+
+For every arriving transaction the selector evaluates ``STL_2PL``,
+``STL_T/O`` and ``STL_PA`` with the current parameter estimates and picks the
+protocol with the smallest expected system-throughput loss.  Two engineering
+details beyond the paper's prose:
+
+* **Exploration.**  Measured parameters only exist for protocols that have
+  actually been used, so the first ``exploration_transactions`` arrivals are
+  assigned round-robin across the three protocols.  This is the natural
+  realisation of the paper's remark that the parameters are "collected
+  periodically".
+* **Class caching.**  The paper suggests pre-computing STL per transaction
+  class; we cache the breakdown by ``(num_reads, num_writes)`` and invalidate
+  the cache whenever the parameter estimates are refreshed, which bounds the
+  per-arrival cost to a dictionary lookup in steady state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.common.config import SystemConfig, WorkloadConfig
+from repro.common.protocol_names import Protocol
+from repro.common.transactions import TransactionSpec
+from repro.selection.parameters import ParameterEstimator
+from repro.selection.stl import STLBreakdown, ThroughputLossModel
+from repro.system.metrics import MetricsCollector
+
+_PROTOCOL_ORDER = (
+    Protocol.TWO_PHASE_LOCKING,
+    Protocol.TIMESTAMP_ORDERING,
+    Protocol.PRECEDENCE_AGREEMENT,
+)
+
+
+class STLProtocolSelector:
+    """Chooses a concurrency-control protocol per transaction by minimum STL."""
+
+    def __init__(
+        self,
+        estimator: ParameterEstimator,
+        *,
+        exploration_transactions: int = 30,
+        refresh_interval: int = 25,
+        time_steps: int = 32,
+    ) -> None:
+        self._estimator = estimator
+        self._exploration_transactions = exploration_transactions
+        self._refresh_interval = max(1, refresh_interval)
+        self._time_steps = time_steps
+        self._decisions = 0
+        self._choices: Dict[Protocol, int] = {protocol: 0 for protocol in Protocol}
+        self._cache: Dict[Tuple[int, int], STLBreakdown] = {}
+        self._model: Optional[ThroughputLossModel] = None
+        self._costs: Dict[Protocol, object] = {}
+        self._refresh()
+
+    @classmethod
+    def from_configs(
+        cls,
+        system: SystemConfig,
+        workload: WorkloadConfig,
+        *,
+        exploration_transactions: int = 30,
+        refresh_interval: int = 25,
+    ) -> "STLProtocolSelector":
+        """Build a selector seeded with configuration-derived priors."""
+        estimator = ParameterEstimator(system, workload)
+        return cls(
+            estimator,
+            exploration_transactions=exploration_transactions,
+            refresh_interval=refresh_interval,
+        )
+
+    # ---------------------------------------------------------------- #
+    # Wiring
+    # ---------------------------------------------------------------- #
+
+    def bind_metrics(self, metrics: MetricsCollector) -> None:
+        """Feed run-time measurements into the parameter estimator."""
+        self._estimator.bind_metrics(metrics)
+        self._refresh()
+
+    @property
+    def decisions(self) -> int:
+        return self._decisions
+
+    def choice_counts(self) -> Dict[Protocol, int]:
+        """How many transactions each protocol has been assigned so far."""
+        return dict(self._choices)
+
+    # ---------------------------------------------------------------- #
+    # Selection
+    # ---------------------------------------------------------------- #
+
+    def choose(self, spec: TransactionSpec, now: float) -> Protocol:
+        """Protocol for ``spec`` (the hook installed into the request issuers)."""
+        self._decisions += 1
+        if self._decisions <= self._exploration_transactions:
+            protocol = _PROTOCOL_ORDER[(self._decisions - 1) % len(_PROTOCOL_ORDER)]
+            self._choices[protocol] += 1
+            return protocol
+        if (self._decisions - self._exploration_transactions) % self._refresh_interval == 1:
+            self._refresh()
+        breakdown = self.breakdown(spec)
+        protocol = Protocol.from_name(breakdown.best())
+        self._choices[protocol] += 1
+        return protocol
+
+    def breakdown(self, spec: TransactionSpec) -> STLBreakdown:
+        """The three STL values for ``spec`` under the current estimates."""
+        key = (spec.num_reads, spec.num_writes)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        assert self._model is not None
+        breakdown = self._model.evaluate(
+            spec,
+            self._costs[Protocol.TWO_PHASE_LOCKING],
+            self._costs[Protocol.TIMESTAMP_ORDERING],
+            self._costs[Protocol.PRECEDENCE_AGREEMENT],
+        )
+        self._cache[key] = breakdown
+        return breakdown
+
+    # ---------------------------------------------------------------- #
+    # Internals
+    # ---------------------------------------------------------------- #
+
+    def _refresh(self) -> None:
+        """Re-read the parameter estimates and drop the per-class cache."""
+        load = self._estimator.system_parameters()
+        self._model = ThroughputLossModel(load, time_steps=self._time_steps)
+        self._costs = {
+            protocol: self._estimator.protocol_parameters(protocol)
+            for protocol in Protocol
+        }
+        self._cache.clear()

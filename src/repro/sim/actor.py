@@ -1,0 +1,47 @@
+"""Actor base class and the message envelope used on the simulated network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.common.ids import SiteId
+
+
+@dataclass
+class Message:
+    """Envelope for one message exchanged between actors.
+
+    ``kind`` is a short string naming the message type (for example
+    ``"request"``, ``"grant"``, ``"backoff"``, ``"release"``); ``payload``
+    carries the typed body.  Sender/receiver names identify actors registered
+    with the :class:`repro.sim.network.Network`.
+    """
+
+    kind: str
+    sender: str
+    receiver: str
+    payload: Any = None
+    send_time: float = 0.0
+    deliver_time: float = 0.0
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+
+class Actor:
+    """Base class for simulation actors.
+
+    An actor has a globally unique ``name``, lives at a ``site`` and receives
+    messages through :meth:`handle`.  Subclasses implement the behaviour; the
+    network performs delivery and latency accounting.
+    """
+
+    def __init__(self, name: str, site: SiteId) -> None:
+        self.name = name
+        self.site = site
+
+    def handle(self, message: Message) -> None:
+        """Process one delivered message.  Subclasses must override."""
+        raise NotImplementedError(f"{type(self).__name__} does not handle messages")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}@site{self.site}>"

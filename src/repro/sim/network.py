@@ -1,0 +1,151 @@
+"""Simulated inter-site network with configurable latency and message accounting.
+
+Transmission delay is one of the system parameters the paper calls out
+(Section 1, parameter 3).  Every message between actors is delivered through
+this class: remote messages pay ``fixed_delay + Exponential(variable_delay)``,
+messages between actors on the same site pay ``local_delay``.  The network
+also keeps global and per-kind message counters, which the experiment harness
+reports as the communication cost of each protocol (the paper notes PA's
+communication cost grows with load).
+"""
+
+from __future__ import annotations
+
+from collections import Counter as CollectionsCounter
+from typing import Dict, Optional
+
+from repro.common.config import NetworkConfig
+from repro.common.errors import SimulationError
+from repro.sim.actor import Actor, Message
+from repro.sim.rng import RandomStreams
+from repro.sim.simulator import Simulator
+
+
+class Network:
+    """Delivers messages between registered actors through the simulator."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        config: Optional[NetworkConfig] = None,
+        rng: Optional[RandomStreams] = None,
+    ) -> None:
+        self._simulator = simulator
+        self._config = config or NetworkConfig()
+        self._rng = rng or RandomStreams(0)
+        self._actors: Dict[str, Actor] = {}
+        # Per-(sender, receiver) channels are FIFO: a message never overtakes an
+        # earlier message on the same channel, mirroring a reliable transport.
+        self._channel_clock: Dict[tuple, float] = {}
+        self._messages_sent = 0
+        self._messages_by_kind: CollectionsCounter = CollectionsCounter()
+        self._remote_messages = 0
+        self._local_messages = 0
+
+    @property
+    def simulator(self) -> Simulator:
+        return self._simulator
+
+    @property
+    def messages_sent(self) -> int:
+        """Total number of messages delivered or in flight."""
+        return self._messages_sent
+
+    @property
+    def remote_messages(self) -> int:
+        return self._remote_messages
+
+    @property
+    def local_messages(self) -> int:
+        return self._local_messages
+
+    def messages_by_kind(self) -> Dict[str, int]:
+        """Message counts keyed by message kind."""
+        return dict(self._messages_by_kind)
+
+    def register(self, actor: Actor) -> None:
+        """Make ``actor`` addressable by its name."""
+        if actor.name in self._actors:
+            raise SimulationError(f"an actor named {actor.name!r} is already registered")
+        self._actors[actor.name] = actor
+
+    def actor(self, name: str) -> Actor:
+        """Look up a registered actor by name."""
+        try:
+            return self._actors[name]
+        except KeyError:
+            raise SimulationError(f"no actor named {name!r} is registered") from None
+
+    def latency(self, sender_site: int, receiver_site: int) -> float:
+        """Sample the delivery latency for one message between the given sites."""
+        if sender_site == receiver_site:
+            return self._config.local_delay
+        return self._config.fixed_delay + self._rng.exponential(
+            "network-delay", self._config.variable_delay
+        )
+
+    def send(
+        self,
+        sender: Actor,
+        receiver_name: str,
+        kind: str,
+        payload: object = None,
+        extra_delay: float = 0.0,
+    ) -> Message:
+        """Send a message from ``sender`` to the actor named ``receiver_name``.
+
+        The message is charged to the global counters immediately and handed
+        to the receiver's :meth:`~repro.sim.actor.Actor.handle` after the
+        sampled latency plus ``extra_delay`` (used to model local service
+        time before transmission).
+        """
+        receiver = self.actor(receiver_name)
+        delay = self.latency(sender.site, receiver.site) + extra_delay
+        channel = (sender.name, receiver_name)
+        deliver_time = self._simulator.now + delay
+        previous = self._channel_clock.get(channel, float("-inf"))
+        if deliver_time <= previous:
+            deliver_time = previous + 1e-12
+            delay = deliver_time - self._simulator.now
+        self._channel_clock[channel] = deliver_time
+        message = Message(
+            kind=kind,
+            sender=sender.name,
+            receiver=receiver_name,
+            payload=payload,
+            send_time=self._simulator.now,
+            deliver_time=deliver_time,
+        )
+        self._messages_sent += 1
+        self._messages_by_kind[kind] += 1
+        if sender.site == receiver.site:
+            self._local_messages += 1
+        else:
+            self._remote_messages += 1
+        self._simulator.schedule(
+            delay, lambda: receiver.handle(message), label=f"{kind}:{sender.name}->{receiver_name}"
+        )
+        return message
+
+    def broadcast(
+        self,
+        sender: Actor,
+        receiver_names: list,
+        kind: str,
+        payload: object = None,
+    ) -> None:
+        """Send the same payload to every receiver in ``receiver_names``."""
+        for receiver_name in receiver_names:
+            self.send(sender, receiver_name, kind, payload)
+
+    def charge_overhead_messages(self, kind: str, count: int) -> None:
+        """Account for bookkeeping messages that are not modelled individually.
+
+        Used by the deadlock detector to charge the per-scan message cost the
+        paper lists as a parameter without simulating each probe message.
+        """
+        if count < 0:
+            raise SimulationError("overhead message count must be non-negative")
+        self._messages_sent += count
+        self._messages_by_kind[kind] += count
+        self._remote_messages += count

@@ -1,0 +1,142 @@
+"""Per-copy operation logs.
+
+Section 2 of the paper models an execution as "a set of logs.  There is one
+log associated with each physical data item.  The log indicates the order in
+which physical operations are implemented on that data item."  These logs are
+the ground truth the serializability oracle (Theorem 1 / Theorem 2) operates
+on, so the queue managers append to them at the exact instant an operation is
+*implemented* in the paper's sense (lock released, or lock downgraded to a
+semi-lock for T/O operations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from repro.common.ids import CopyId, TransactionId
+from repro.common.operations import OperationType
+from repro.common.protocol_names import Protocol
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One implemented physical operation."""
+
+    copy: CopyId
+    transaction: TransactionId
+    op_type: OperationType
+    protocol: Protocol
+    time: float
+
+    def conflicts_with(self, other: "LogEntry") -> bool:
+        """Entries conflict when they touch the same copy, come from different
+        transactions, and at least one is a write."""
+        return (
+            self.copy == other.copy
+            and self.transaction != other.transaction
+            and self.op_type.conflicts_with(other.op_type)
+        )
+
+
+class CopyLog:
+    """Implementation-order log for one physical copy."""
+
+    def __init__(self, copy: CopyId) -> None:
+        self._copy = copy
+        self._entries: List[LogEntry] = []
+
+    @property
+    def copy(self) -> CopyId:
+        return self._copy
+
+    def append(
+        self,
+        transaction: TransactionId,
+        op_type: OperationType,
+        protocol: Protocol,
+        time: float,
+    ) -> LogEntry:
+        """Record that ``transaction`` implemented an operation on this copy at ``time``."""
+        entry = LogEntry(self._copy, transaction, op_type, protocol, time)
+        self._entries.append(entry)
+        return entry
+
+    def entries(self) -> Tuple[LogEntry, ...]:
+        return tuple(self._entries)
+
+    def remove_transaction(self, transaction: TransactionId) -> int:
+        """Remove every entry of ``transaction`` (used when an attempt aborts).
+
+        Only committed transactions participate in the serializability check;
+        an aborted attempt may already have recorded its reads (reads take
+        effect at lock-grant time), so those tentative entries are withdrawn
+        here.  Returns the number of entries removed.
+        """
+        before = len(self._entries)
+        self._entries = [entry for entry in self._entries if entry.transaction != transaction]
+        return before - len(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[LogEntry]:
+        return iter(self._entries)
+
+    def conflicting_pairs(self) -> Iterator[Tuple[LogEntry, LogEntry]]:
+        """Yield every ordered pair ``(earlier, later)`` of conflicting entries."""
+        for i, earlier in enumerate(self._entries):
+            for later in self._entries[i + 1:]:
+                if earlier.conflicts_with(later):
+                    yield earlier, later
+
+
+class ExecutionLog:
+    """The full execution: one :class:`CopyLog` per physical copy."""
+
+    def __init__(self) -> None:
+        self._logs: Dict[CopyId, CopyLog] = {}
+
+    def log_for(self, copy: CopyId) -> CopyLog:
+        """The log for ``copy``, created on first use."""
+        if copy not in self._logs:
+            self._logs[copy] = CopyLog(copy)
+        return self._logs[copy]
+
+    def record(
+        self,
+        copy: CopyId,
+        transaction: TransactionId,
+        op_type: OperationType,
+        protocol: Protocol,
+        time: float,
+    ) -> LogEntry:
+        """Append an implemented operation to the log of ``copy``."""
+        return self.log_for(copy).append(transaction, op_type, protocol, time)
+
+    def remove_transaction(self, copy: CopyId, transaction: TransactionId) -> int:
+        """Withdraw the tentative entries of ``transaction`` from the log of ``copy``."""
+        if copy not in self._logs:
+            return 0
+        return self._logs[copy].remove_transaction(transaction)
+
+    def copies(self) -> Tuple[CopyId, ...]:
+        return tuple(self._logs)
+
+    def logs(self) -> Iterable[CopyLog]:
+        return self._logs.values()
+
+    def all_entries(self) -> List[LogEntry]:
+        """Every log entry across all copies, in no particular global order."""
+        entries: List[LogEntry] = []
+        for log in self._logs.values():
+            entries.extend(log.entries())
+        return entries
+
+    def transactions(self) -> Tuple[TransactionId, ...]:
+        """Every transaction that implemented at least one operation."""
+        seen = {entry.transaction for entry in self.all_entries()}
+        return tuple(sorted(seen))
+
+    def total_operations(self) -> int:
+        return sum(len(log) for log in self._logs.values())

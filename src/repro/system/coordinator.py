@@ -1,0 +1,516 @@
+"""The request issuer / transaction coordinator actor, one per site.
+
+This actor drives the transaction life cycle described by the paper:
+
+* translate logical operations into physical requests (read-one / write-all)
+  and send them to the queue managers;
+* for **2PL** transactions, wait for every lock, execute, release; restart
+  when chosen as a deadlock victim;
+* for **T/O** transactions, restart with a fresh, larger timestamp whenever a
+  request is rejected; after execution either release directly or — when some
+  lock was granted pre-scheduled — downgrade all locks to semi-locks, keep
+  collecting normal grants, and only then release (the semi-lock protocol of
+  Section 4.2);
+* for **PA** transactions, run the timestamp-agreement loop of Section 3.4:
+  collect grants and back-off proposals, take the maximum, broadcast the
+  agreed timestamp, and wait again; PA transactions never restart.
+
+The coordinator is also where the dynamic selector plugs in: when a
+transaction arrives without a protocol, ``choose_protocol`` is consulted
+(Section 5's STL-based selection, or any other strategy).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+from repro.common.ids import CopyId, RequestId, SiteId, TransactionId
+from repro.common.operations import OperationType, PhysicalOperation
+from repro.common.protocol_names import Protocol
+from repro.common.transactions import TransactionOutcome, TransactionSpec, TransactionStatus
+from repro.core.effects import BackoffIssued, GrantIssued, RequestRejected
+from repro.core.requests import Request
+from repro.sim.actor import Actor, Message
+from repro.sim.network import Network
+from repro.sim.simulator import Simulator
+from repro.storage.catalog import ReplicaCatalog
+from repro.storage.store import ValueStore
+from repro.system.metrics import MetricsCollector
+from repro.system.queue_manager_actor import GrantDelivery, queue_manager_name
+
+#: Hook used for dynamic protocol selection: ``(spec, now) -> Protocol``.
+ProtocolChooser = Callable[[TransactionSpec, float], Protocol]
+
+
+def request_issuer_name(site: SiteId) -> str:
+    """Network name of the request-issuer actor at ``site``."""
+    return f"ri-{site}"
+
+
+class _RequestPhase(enum.Enum):
+    """State of one outstanding physical request within the current attempt."""
+
+    WAITING = "waiting"          # sent, no grant and no back-off yet
+    BACKED_OFF = "backed-off"    # PA: a back-off timestamp was proposed
+    GRANTED = "granted"          # lock held (pre-scheduled or normal)
+
+
+@dataclass
+class _RequestState:
+    """Book-keeping for one physical request of the current attempt."""
+
+    request: Request
+    phase: _RequestPhase = _RequestPhase.WAITING
+    normal_grant: bool = False
+    backoff_timestamp: Optional[float] = None
+    grant_time: Optional[float] = None
+
+
+@dataclass
+class _Execution:
+    """Dynamic state of one transaction at its coordinator."""
+
+    spec: TransactionSpec
+    protocol: Protocol
+    timestamp: float
+    attempt: int = 0
+    status: TransactionStatus = TransactionStatus.PENDING
+    requests: Dict[RequestId, _RequestState] = field(default_factory=dict)
+    physical_operations: Tuple[PhysicalOperation, ...] = ()
+    restarts: int = 0
+    deadlock_aborts: int = 0
+    backoff_rounds: int = 0
+    commit_time: Optional[float] = None
+    awaiting_final_release: bool = False
+    read_values: Dict[int, Any] = field(default_factory=dict)
+
+    @property
+    def tid(self) -> TransactionId:
+        return self.spec.tid
+
+    def copies(self) -> Tuple[CopyId, ...]:
+        """Distinct copies touched by the current attempt."""
+        return tuple(sorted({operation.copy for operation in self.physical_operations}))
+
+    def all_granted(self) -> bool:
+        return all(state.phase is _RequestPhase.GRANTED for state in self.requests.values())
+
+    def all_normal(self) -> bool:
+        return all(state.normal_grant for state in self.requests.values())
+
+    def any_waiting(self) -> bool:
+        return any(state.phase is _RequestPhase.WAITING for state in self.requests.values())
+
+    def backed_off_states(self) -> List[_RequestState]:
+        return [
+            state
+            for state in self.requests.values()
+            if state.phase is _RequestPhase.BACKED_OFF
+        ]
+
+    def any_pre_scheduled(self) -> bool:
+        """True when some granted lock has not (yet) received its normal grant."""
+        return any(
+            state.phase is _RequestPhase.GRANTED and not state.normal_grant
+            for state in self.requests.values()
+        )
+
+
+class RequestIssuerActor(Actor):
+    """Coordinator for all transactions originating at one site."""
+
+    def __init__(
+        self,
+        site: SiteId,
+        simulator: Simulator,
+        network: Network,
+        catalog: ReplicaCatalog,
+        metrics: MetricsCollector,
+        *,
+        io_time: float = 0.0,
+        restart_delay: float = 0.05,
+        pa_backoff_interval: float = 1.0,
+        semi_locks_enabled: bool = True,
+        choose_protocol: Optional[ProtocolChooser] = None,
+        value_store: Optional[ValueStore] = None,
+        protocol_registry: Optional[Dict[TransactionId, Protocol]] = None,
+        protocol_switch_threshold: Optional[int] = None,
+    ) -> None:
+        super().__init__(name=request_issuer_name(site), site=site)
+        self._simulator = simulator
+        self._network = network
+        self._catalog = catalog
+        self._metrics = metrics
+        self._io_time = io_time
+        self._restart_delay = restart_delay
+        self._pa_backoff_interval = pa_backoff_interval
+        self._semi_locks_enabled = semi_locks_enabled
+        self._choose_protocol = choose_protocol
+        self._value_store = value_store
+        self._protocol_registry = protocol_registry if protocol_registry is not None else {}
+        self._protocol_switch_threshold = protocol_switch_threshold
+        self._executions: Dict[TransactionId, _Execution] = {}
+        self._timestamp_counter = 0
+        self._protocol_switches = 0
+
+    # ---------------------------------------------------------------- #
+    # Public API
+    # ---------------------------------------------------------------- #
+
+    def submit_transaction(self, spec: TransactionSpec) -> None:
+        """Accept a newly arrived transaction and start its first attempt."""
+        now = self._simulator.now
+        protocol = spec.protocol
+        if protocol is None:
+            if self._choose_protocol is None:
+                raise SimulationError(
+                    f"transaction {spec.tid} has no protocol and no selector is configured"
+                )
+            protocol = self._choose_protocol(spec, now)
+        execution = _Execution(spec=spec, protocol=protocol, timestamp=self._new_timestamp(now))
+        self._executions[spec.tid] = execution
+        self._protocol_registry[spec.tid] = protocol
+        self._metrics.record_arrival(protocol, spec.arrival_time)
+        self._start_attempt(execution)
+
+    def active_transactions(self) -> Tuple[TransactionId, ...]:
+        """Transactions that have not committed yet."""
+        return tuple(
+            tid
+            for tid, execution in self._executions.items()
+            if execution.status not in (TransactionStatus.COMMITTED, TransactionStatus.FINISHED)
+        )
+
+    def execution_status(self, tid: TransactionId) -> Optional[TransactionStatus]:
+        execution = self._executions.get(tid)
+        return execution.status if execution is not None else None
+
+    def granted_lock_count(self, tid: TransactionId) -> int:
+        """Number of locks the transaction currently holds (victim-selection hint)."""
+        execution = self._executions.get(tid)
+        if execution is None:
+            return 0
+        return sum(
+            1 for state in execution.requests.values() if state.phase is _RequestPhase.GRANTED
+        )
+
+    def abort_victim(self, tid: TransactionId) -> None:
+        """Abort ``tid`` as a deadlock victim (invoked via the detector's message)."""
+        execution = self._executions.get(tid)
+        if execution is None:
+            return
+        if execution.status not in (TransactionStatus.REQUESTING, TransactionStatus.BACKING_OFF):
+            # The transaction acquired its last lock (or committed) after the
+            # detector's snapshot was taken; the cycle no longer exists.
+            return
+        self._abort_attempt(execution, due_to_deadlock=True)
+
+    # ---------------------------------------------------------------- #
+    # Message handling
+    # ---------------------------------------------------------------- #
+
+    def handle(self, message: Message) -> None:
+        if message.kind == "grant":
+            payload = message.payload
+            if isinstance(payload, GrantDelivery):
+                self._on_grant(payload.effect, payload.read_value)
+            else:
+                self._on_grant(payload)
+        elif message.kind == "backoff":
+            self._on_backoff(message.payload)
+        elif message.kind == "reject":
+            self._on_reject(message.payload)
+        elif message.kind == "abort_victim":
+            self.abort_victim(message.payload)
+        elif message.kind == "submit":
+            self.submit_transaction(message.payload)
+        else:
+            raise SimulationError(f"request issuer received unknown message kind {message.kind!r}")
+
+    # ---------------------------------------------------------------- #
+    # Attempt management
+    # ---------------------------------------------------------------- #
+
+    def _new_timestamp(self, now: float) -> float:
+        """A timestamp strictly increasing within this site.
+
+        Timestamps are simulated clock readings; the tiny counter-based offset
+        keeps them distinct when several transactions start at the same
+        instant (ties across sites are resolved by the precedence rules).
+        """
+        self._timestamp_counter += 1
+        return now + self._timestamp_counter * 1e-9
+
+    def _start_attempt(self, execution: _Execution) -> None:
+        now = self._simulator.now
+        execution.status = TransactionStatus.REQUESTING
+        execution.requests = {}
+        execution.physical_operations = tuple(self._translate(execution.spec))
+        self._metrics.record_attempt(execution.protocol)
+        for index, operation in enumerate(execution.physical_operations):
+            request = Request(
+                request_id=RequestId(execution.tid, index, execution.attempt),
+                transaction=execution.tid,
+                protocol=execution.protocol,
+                op_type=operation.op_type,
+                copy=operation.copy,
+                timestamp=execution.timestamp,
+                backoff_interval=self._pa_backoff_interval,
+                issuer=self.name,
+            )
+            execution.requests[request.request_id] = _RequestState(request=request)
+            self._metrics.record_request_issued(execution.protocol, operation.op_type)
+            self._network.send(self, queue_manager_name(operation.copy), "request", request)
+
+    def _translate(self, spec: TransactionSpec) -> List[PhysicalOperation]:
+        """Logical-to-physical translation with per-copy de-duplication.
+
+        When a transaction both reads and writes the same item, the write
+        request subsumes the read at the copy chosen for reading (a write lock
+        covers the read), so only one request per copy is ever issued.
+        """
+        operations = self._catalog.translate(spec.logical_operations(), spec.origin_site)
+        strongest: Dict[CopyId, PhysicalOperation] = {}
+        for operation in operations:
+            existing = strongest.get(operation.copy)
+            if existing is None or (existing.is_read and operation.is_write):
+                strongest[operation.copy] = operation
+        return [strongest[copy] for copy in sorted(strongest)]
+
+    def _abort_attempt(self, execution: _Execution, due_to_deadlock: bool) -> None:
+        now = self._simulator.now
+        for state in execution.requests.values():
+            if state.phase is _RequestPhase.GRANTED and state.grant_time is not None:
+                self._metrics.record_lock_time(
+                    execution.protocol, now - state.grant_time, aborted=True
+                )
+        for copy in execution.copies():
+            self._network.send(self, queue_manager_name(copy), "abort", execution.tid)
+        execution.status = TransactionStatus.ABORTED
+        if due_to_deadlock:
+            execution.deadlock_aborts += 1
+        else:
+            execution.restarts += 1
+        self._metrics.record_restart(execution.protocol, due_to_deadlock)
+        self._simulator.schedule(
+            self._restart_delay,
+            lambda: self._restart(execution),
+            label=f"restart-{execution.tid}",
+        )
+
+    def _restart(self, execution: _Execution) -> None:
+        if execution.status is not TransactionStatus.ABORTED:
+            return
+        execution.attempt += 1
+        execution.timestamp = self._new_timestamp(self._simulator.now)
+        self._maybe_switch_protocol(execution)
+        self._start_attempt(execution)
+
+    def _maybe_switch_protocol(self, execution: _Execution) -> None:
+        """Future-work item 4: switch a repeatedly aborted transaction to PA.
+
+        PA attempts are never rejected and never chosen as deadlock victims,
+        so the switch bounds how often one transaction can be restarted.
+        """
+        if self._protocol_switch_threshold is None:
+            return
+        if execution.protocol.is_precedence_agreement:
+            return
+        aborts = execution.restarts + execution.deadlock_aborts
+        if aborts < self._protocol_switch_threshold:
+            return
+        execution.protocol = Protocol.PRECEDENCE_AGREEMENT
+        self._protocol_registry[execution.tid] = Protocol.PRECEDENCE_AGREEMENT
+        self._protocol_switches += 1
+
+    @property
+    def protocol_switches(self) -> int:
+        """Number of transactions this issuer has switched to PA after repeated aborts."""
+        return self._protocol_switches
+
+    # ---------------------------------------------------------------- #
+    # Responses from queue managers
+    # ---------------------------------------------------------------- #
+
+    def _lookup(self, request: Request) -> Optional[Tuple[_Execution, _RequestState]]:
+        execution = self._executions.get(request.transaction)
+        if execution is None:
+            return None
+        if request.request_id.attempt != execution.attempt:
+            return None            # stale message from a previous attempt
+        state = execution.requests.get(request.request_id)
+        if state is None:
+            return None
+        return execution, state
+
+    def _on_grant(self, effect: GrantIssued, read_value: Any = None) -> None:
+        found = self._lookup(effect.request)
+        if found is None:
+            return
+        execution, state = found
+        if execution.status is TransactionStatus.ABORTED:
+            return
+        if state.phase is not _RequestPhase.GRANTED:
+            state.phase = _RequestPhase.GRANTED
+            state.grant_time = self._simulator.now
+            if effect.request.is_read:
+                # The value attached to the grant is what the read observed;
+                # keep the first copy (later "normal" re-grants carry no data).
+                execution.read_values.setdefault(effect.request.copy.item, read_value)
+        if effect.normal:
+            state.normal_grant = True
+        self._advance(execution)
+
+    def _on_backoff(self, effect: BackoffIssued) -> None:
+        found = self._lookup(effect.request)
+        if found is None:
+            return
+        execution, state = found
+        if execution.status is TransactionStatus.ABORTED:
+            return
+        state.phase = _RequestPhase.BACKED_OFF
+        state.backoff_timestamp = effect.new_timestamp
+        if effect.new_timestamp is not None and effect.new_timestamp > effect.request.timestamp:
+            # Only a proposal above the transaction's own timestamp is a true
+            # back-off; an "acceptable as-is" proposal is just the first phase
+            # of the PA propose/confirm negotiation.
+            self._metrics.record_backoff(execution.protocol, effect.request.op_type)
+        self._advance(execution)
+
+    def _on_reject(self, effect: RequestRejected) -> None:
+        found = self._lookup(effect.request)
+        if found is None:
+            return
+        execution, _state = found
+        if execution.status is TransactionStatus.ABORTED:
+            return
+        self._metrics.record_rejection(execution.protocol, effect.request.op_type)
+        self._abort_attempt(execution, due_to_deadlock=False)
+
+    # ---------------------------------------------------------------- #
+    # Progress rules
+    # ---------------------------------------------------------------- #
+
+    def _advance(self, execution: _Execution) -> None:
+        """Apply the protocol's progress rule after any state change."""
+        if execution.status in (TransactionStatus.REQUESTING, TransactionStatus.BACKING_OFF):
+            if execution.all_granted():
+                self._begin_execution(execution)
+                return
+            if execution.protocol.is_precedence_agreement and not execution.any_waiting():
+                backed_off = execution.backed_off_states()
+                if backed_off:
+                    self._run_backoff_round(execution, backed_off)
+            return
+        if execution.awaiting_final_release and execution.all_normal():
+            self._final_release(execution)
+
+    def _run_backoff_round(self, execution: _Execution, backed_off: List[_RequestState]) -> None:
+        """PA timestamp agreement: adopt the maximum proposal and broadcast the confirmation."""
+        agreed = max(
+            [execution.timestamp]
+            + [state.backoff_timestamp for state in backed_off if state.backoff_timestamp is not None]
+        )
+        if agreed > execution.timestamp:
+            # The agreement moved the timestamp: that is a real back-off round.
+            execution.backoff_rounds += 1
+            self._metrics.record_backoff_round(execution.protocol)
+        execution.timestamp = agreed
+        execution.status = TransactionStatus.BACKING_OFF
+        for state in backed_off:
+            state.phase = _RequestPhase.WAITING
+            state.backoff_timestamp = None
+        for copy in execution.copies():
+            self._network.send(
+                self, queue_manager_name(copy), "update_ts", (execution.tid, agreed)
+            )
+
+    def _begin_execution(self, execution: _Execution) -> None:
+        execution.status = TransactionStatus.EXECUTING
+        self._fill_missing_read_values(execution)
+        duration = execution.spec.compute_time + self._io_time * len(execution.physical_operations)
+        self._simulator.schedule(
+            duration,
+            lambda: self._complete_execution(execution),
+            label=f"execute-{execution.tid}",
+        )
+
+    def _fill_missing_read_values(self, execution: _Execution) -> None:
+        """Complete the read set for items whose grant carried no value.
+
+        Items that the transaction both reads and writes are covered by a
+        write request (whose grant carries no data), and runs without a value
+        store attach ``None``; those are read here, under the protection of
+        the write lock the transaction already holds.
+        """
+        if self._value_store is None:
+            return
+        for item in execution.spec.read_items:
+            if execution.read_values.get(item) is None:
+                copy = self._catalog.read_copy(item, self.site)
+                execution.read_values[item] = self._value_store.read(copy)
+
+    def _write_phase(self, execution: _Execution) -> None:
+        """Install the write set into every copy (write-all) while locks are held."""
+        if self._value_store is None:
+            return
+        now = self._simulator.now
+        if execution.spec.logic is not None:
+            new_values = execution.spec.logic(dict(execution.read_values))
+        else:
+            new_values = {item: f"written-by-{execution.tid}" for item in execution.spec.write_items}
+        for item in execution.spec.write_items:
+            value = new_values.get(item, f"written-by-{execution.tid}")
+            for copy in self._catalog.write_copies(item):
+                self._value_store.write(copy, value, execution.tid, now)
+
+    def _complete_execution(self, execution: _Execution) -> None:
+        """The transaction finished its local computation and write phase."""
+        if execution.status is not TransactionStatus.EXECUTING:
+            return
+        now = self._simulator.now
+        self._write_phase(execution)
+        execution.status = TransactionStatus.COMMITTED
+        execution.commit_time = now
+        self._record_outcome(execution)
+        needs_semi = (
+            execution.protocol.is_timestamp_ordering
+            and self._semi_locks_enabled
+            and execution.any_pre_scheduled()
+        )
+        if needs_semi:
+            # Semi-lock rule 4: convert locks to semi-locks, keep collecting
+            # normal grants, and only then release.
+            execution.awaiting_final_release = True
+            for copy in execution.copies():
+                self._network.send(self, queue_manager_name(copy), "downgrade", execution.tid)
+            self._advance(execution)
+        else:
+            self._final_release(execution)
+
+    def _final_release(self, execution: _Execution) -> None:
+        now = self._simulator.now
+        execution.awaiting_final_release = False
+        for state in execution.requests.values():
+            if state.grant_time is not None:
+                self._metrics.record_lock_time(
+                    execution.protocol, now - state.grant_time, aborted=False
+                )
+        for copy in execution.copies():
+            self._network.send(self, queue_manager_name(copy), "release", execution.tid)
+        execution.status = TransactionStatus.FINISHED
+
+    def _record_outcome(self, execution: _Execution) -> None:
+        outcome = TransactionOutcome(
+            spec=execution.spec,
+            protocol=execution.protocol,
+            arrival_time=execution.spec.arrival_time,
+            commit_time=execution.commit_time if execution.commit_time is not None else 0.0,
+            restarts=execution.restarts,
+            backoffs=execution.backoff_rounds,
+            deadlock_aborts=execution.deadlock_aborts,
+        )
+        self._metrics.record_commit(outcome)

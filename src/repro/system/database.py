@@ -1,0 +1,304 @@
+"""Assembly of the whole simulated distributed database."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.config import SystemConfig, WorkloadConfig
+from repro.common.errors import SimulationError
+from repro.common.ids import CopyId, SiteId, TransactionId
+from repro.common.protocol_names import Protocol
+from repro.common.transactions import TransactionSpec
+from repro.core.queue_manager import QueueManager
+from repro.core.serializability import SerializabilityReport, check_serializable
+from repro.sim.network import Network
+from repro.sim.rng import RandomStreams
+from repro.sim.simulator import Simulator
+from repro.storage.catalog import ReplicaCatalog
+from repro.storage.log import ExecutionLog
+from repro.storage.store import ValueStore
+from repro.system.coordinator import ProtocolChooser, RequestIssuerActor
+from repro.system.detector import DeadlockDetectorActor
+from repro.system.metrics import MetricsCollector
+from repro.system.queue_manager_actor import QueueManagerActor
+
+
+@dataclass
+class RunResult:
+    """Everything a finished simulation run exposes to experiments and tests."""
+
+    system: SystemConfig
+    workload: Optional[WorkloadConfig]
+    metrics: MetricsCollector
+    serializability: SerializabilityReport
+    end_time: float
+    submitted: int
+    committed: int
+    messages_total: int
+    messages_remote: int
+    messages_by_kind: Dict[str, int]
+    detector_scans: int
+    deadlocks_found: int
+    deadlock_victims: Tuple[TransactionId, ...]
+    protocol_switches: int = 0
+    protocol_of: Dict[TransactionId, Protocol] = field(default_factory=dict)
+
+    @property
+    def serializable(self) -> bool:
+        return self.serializability.serializable
+
+    @property
+    def mean_system_time(self) -> float:
+        """The paper's performance measure ``S`` averaged over committed transactions."""
+        return self.metrics.mean_system_time()
+
+    @property
+    def throughput(self) -> float:
+        return self.metrics.throughput()
+
+    @property
+    def restarts(self) -> int:
+        return self.metrics.total_restarts()
+
+    @property
+    def deadlock_aborts(self) -> int:
+        return self.metrics.total_deadlock_aborts()
+
+    @property
+    def backoff_rounds(self) -> int:
+        return self.metrics.total_backoff_rounds()
+
+    @property
+    def messages_per_transaction(self) -> float:
+        if not self.committed:
+            return 0.0
+        return self.messages_total / self.committed
+
+    def summary(self) -> Dict[str, object]:
+        """Flat dictionary used by the result tables in :mod:`repro.analysis`."""
+        return {
+            "committed": self.committed,
+            "submitted": self.submitted,
+            "mean_system_time": self.mean_system_time,
+            "throughput": self.throughput,
+            "restarts": self.restarts,
+            "deadlock_aborts": self.deadlock_aborts,
+            "backoff_rounds": self.backoff_rounds,
+            "protocol_switches": self.protocol_switches,
+            "messages_total": self.messages_total,
+            "messages_per_transaction": self.messages_per_transaction,
+            "serializable": self.serializable,
+            "end_time": self.end_time,
+        }
+
+
+class DistributedDatabase:
+    """Builds and runs the simulated distributed database of the paper.
+
+    Typical use::
+
+        system = SystemConfig(num_sites=4, num_items=64)
+        workload = WorkloadConfig(arrival_rate=20.0, num_transactions=500)
+        database = DistributedDatabase(system)
+        database.load_workload(generate_workload(system, workload))
+        result = database.run()
+        assert result.serializable
+
+    A protocol chooser may be supplied for dynamic (per-transaction)
+    concurrency control; transactions whose spec already names a protocol
+    bypass it.
+    """
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        *,
+        choose_protocol: Optional[ProtocolChooser] = None,
+        value_store: Optional[ValueStore] = None,
+    ) -> None:
+        self._system = system
+        self._simulator = Simulator()
+        self._rng = RandomStreams(system.seed)
+        self._network = Network(self._simulator, system.network, self._rng)
+        self._catalog = ReplicaCatalog.from_config(system)
+        self._execution_log = ExecutionLog()
+        self._value_store = value_store if value_store is not None else ValueStore()
+        self._metrics = MetricsCollector()
+        self._protocol_registry: Dict[TransactionId, Protocol] = {}
+        self._pending_arrivals = 0
+        self._submitted = 0
+        self._workload_config: Optional[WorkloadConfig] = None
+
+        self._queue_managers: Dict[CopyId, QueueManager] = {}
+        self._queue_manager_actors: Dict[CopyId, QueueManagerActor] = {}
+        for site in range(system.num_sites):
+            for copy in self._catalog.copies_at(site):
+                manager = QueueManager(
+                    copy,
+                    self._execution_log,
+                    semi_locks_enabled=system.semi_locks_enabled,
+                )
+                actor = QueueManagerActor(
+                    manager, self._network, self._metrics, self._value_store
+                )
+                self._network.register(actor)
+                self._queue_managers[copy] = manager
+                self._queue_manager_actors[copy] = actor
+
+        self._issuers: Dict[SiteId, RequestIssuerActor] = {}
+        for site in range(system.num_sites):
+            issuer = RequestIssuerActor(
+                site=site,
+                simulator=self._simulator,
+                network=self._network,
+                catalog=self._catalog,
+                metrics=self._metrics,
+                io_time=system.io_time,
+                restart_delay=system.restart_delay,
+                pa_backoff_interval=system.pa_backoff_interval,
+                semi_locks_enabled=system.semi_locks_enabled,
+                choose_protocol=choose_protocol,
+                value_store=self._value_store,
+                protocol_registry=self._protocol_registry,
+                protocol_switch_threshold=system.protocol_switch_threshold,
+            )
+            self._network.register(issuer)
+            self._issuers[site] = issuer
+
+        self._detector = DeadlockDetectorActor(
+            simulator=self._simulator,
+            network=self._network,
+            queue_managers=list(self._queue_managers.values()),
+            issuers=self._issuers,
+            protocol_registry=self._protocol_registry,
+            period=system.deadlock_detection_period,
+            message_cost_per_site=system.deadlock_detection_message_cost,
+            keep_running=lambda: self.remaining_work() > 0,
+        )
+        self._network.register(self._detector)
+
+    # ---------------------------------------------------------------- #
+    # Accessors
+    # ---------------------------------------------------------------- #
+
+    @property
+    def simulator(self) -> Simulator:
+        return self._simulator
+
+    @property
+    def network(self) -> Network:
+        return self._network
+
+    @property
+    def catalog(self) -> ReplicaCatalog:
+        return self._catalog
+
+    @property
+    def metrics(self) -> MetricsCollector:
+        return self._metrics
+
+    @property
+    def execution_log(self) -> ExecutionLog:
+        return self._execution_log
+
+    @property
+    def value_store(self) -> ValueStore:
+        return self._value_store
+
+    @property
+    def detector(self) -> DeadlockDetectorActor:
+        return self._detector
+
+    def queue_manager(self, copy: CopyId) -> QueueManager:
+        return self._queue_managers[copy]
+
+    def issuer(self, site: SiteId) -> RequestIssuerActor:
+        return self._issuers[site]
+
+    def protocol_of(self, tid: TransactionId) -> Optional[Protocol]:
+        return self._protocol_registry.get(tid)
+
+    def remaining_work(self) -> int:
+        """Arrivals not yet submitted plus transactions not yet committed."""
+        active = sum(len(issuer.active_transactions()) for issuer in self._issuers.values())
+        return self._pending_arrivals + active
+
+    # ---------------------------------------------------------------- #
+    # Workload submission
+    # ---------------------------------------------------------------- #
+
+    def load_workload(
+        self,
+        specs: Sequence[TransactionSpec],
+        workload_config: Optional[WorkloadConfig] = None,
+    ) -> None:
+        """Schedule the arrival of every transaction in ``specs``."""
+        self._workload_config = workload_config
+        for spec in specs:
+            self.submit(spec)
+
+    def submit(self, spec: TransactionSpec) -> None:
+        """Schedule one transaction to arrive at its ``arrival_time``."""
+        if spec.origin_site not in self._issuers:
+            raise SimulationError(
+                f"transaction {spec.tid} originates at unknown site {spec.origin_site}"
+            )
+        self._pending_arrivals += 1
+        self._submitted += 1
+        self._simulator.schedule_at(
+            max(spec.arrival_time, self._simulator.now),
+            lambda spec=spec: self._arrive(spec),
+            label=f"arrival-{spec.tid}",
+        )
+
+    def _arrive(self, spec: TransactionSpec) -> None:
+        self._pending_arrivals -= 1
+        self._issuers[spec.origin_site].submit_transaction(spec)
+
+    # ---------------------------------------------------------------- #
+    # Running
+    # ---------------------------------------------------------------- #
+
+    def run(
+        self,
+        max_time: Optional[float] = None,
+        max_events: int = 5_000_000,
+    ) -> RunResult:
+        """Run the simulation until the event queue drains (all work finished).
+
+        ``max_time`` bounds the simulated clock, ``max_events`` guards against
+        runaway runs; hitting the event cap raises :class:`SimulationError`
+        because it indicates a livelock rather than a legitimate long run.
+        """
+        self._detector.start()
+        end_time = self._simulator.run(until=max_time, max_events=max_events)
+        if self._simulator.pending_events and max_time is None:
+            if self._simulator.events_processed >= max_events:
+                raise SimulationError(
+                    f"simulation exceeded {max_events} events with "
+                    f"{self.remaining_work()} transactions still outstanding"
+                )
+        return self._build_result(end_time)
+
+    def _build_result(self, end_time: float) -> RunResult:
+        report = check_serializable(self._execution_log)
+        return RunResult(
+            system=self._system,
+            workload=self._workload_config,
+            metrics=self._metrics,
+            serializability=report,
+            end_time=end_time,
+            submitted=self._submitted,
+            committed=self._metrics.committed_count,
+            messages_total=self._network.messages_sent,
+            messages_remote=self._network.remote_messages,
+            messages_by_kind=self._network.messages_by_kind(),
+            detector_scans=self._detector.scans,
+            deadlocks_found=self._detector.deadlocks_found,
+            deadlock_victims=self._detector.victims,
+            protocol_switches=sum(
+                issuer.protocol_switches for issuer in self._issuers.values()
+            ),
+            protocol_of=dict(self._protocol_registry),
+        )

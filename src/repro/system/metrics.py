@@ -1,0 +1,248 @@
+"""Run-time metrics: per-transaction outcomes and per-protocol statistics.
+
+Besides the headline performance measure — the average transaction system
+time ``S`` — the collector tracks exactly the quantities Section 5.2 of the
+paper says the selector needs: average lock-holding times for aborted and
+non-aborted requests, the 2PL deadlock-abort probability ``P_A``, the T/O
+read/write rejection probabilities ``P_r`` / ``P_r'``, the PA read/write
+back-off probabilities ``P_B`` / ``P_B'``, and the per-queue read/write
+throughputs used in the throughput-loss formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.operations import OperationType
+from repro.common.protocol_names import Protocol
+from repro.common.transactions import TransactionOutcome
+from repro.sim.stats import SummaryStatistics, WelfordAccumulator
+
+
+@dataclass
+class ProtocolStatistics:
+    """Aggregated statistics for the transactions of one protocol."""
+
+    protocol: Protocol
+    committed: int = 0
+    attempts: int = 0
+    restarts: int = 0
+    deadlock_aborts: int = 0
+    backoff_rounds: int = 0
+    system_time: WelfordAccumulator = field(default_factory=WelfordAccumulator)
+    lock_time_committed: WelfordAccumulator = field(default_factory=WelfordAccumulator)
+    lock_time_aborted: WelfordAccumulator = field(default_factory=WelfordAccumulator)
+    read_requests: int = 0
+    write_requests: int = 0
+    read_rejections: int = 0
+    write_rejections: int = 0
+    read_backoffs: int = 0
+    write_backoffs: int = 0
+
+    @property
+    def mean_system_time(self) -> float:
+        return self.system_time.mean
+
+    @property
+    def restart_probability(self) -> float:
+        """Fraction of attempts that ended in an abort (restart or deadlock victim)."""
+        if self.attempts == 0:
+            return 0.0
+        return (self.restarts + self.deadlock_aborts) / self.attempts
+
+    @property
+    def read_rejection_probability(self) -> float:
+        return self.read_rejections / self.read_requests if self.read_requests else 0.0
+
+    @property
+    def write_rejection_probability(self) -> float:
+        return self.write_rejections / self.write_requests if self.write_requests else 0.0
+
+    @property
+    def read_backoff_probability(self) -> float:
+        return self.read_backoffs / self.read_requests if self.read_requests else 0.0
+
+    @property
+    def write_backoff_probability(self) -> float:
+        return self.write_backoffs / self.write_requests if self.write_requests else 0.0
+
+
+class MetricsCollector:
+    """Central sink for everything the request issuers observe."""
+
+    def __init__(self) -> None:
+        self._outcomes: List[TransactionOutcome] = []
+        self._by_protocol: Dict[Protocol, ProtocolStatistics] = {
+            protocol: ProtocolStatistics(protocol) for protocol in Protocol
+        }
+        self._grants_by_copy_read: Dict[object, int] = {}
+        self._grants_by_copy_write: Dict[object, int] = {}
+        self._first_arrival: Optional[float] = None
+        self._last_commit: float = 0.0
+
+    # ---------------------------------------------------------------- #
+    # Recording
+    # ---------------------------------------------------------------- #
+
+    def record_arrival(self, protocol: Protocol, arrival_time: float) -> None:
+        if self._first_arrival is None or arrival_time < self._first_arrival:
+            self._first_arrival = arrival_time
+
+    def record_attempt(self, protocol: Protocol) -> None:
+        self._by_protocol[protocol].attempts += 1
+
+    def record_request_issued(self, protocol: Protocol, op_type: OperationType) -> None:
+        stats = self._by_protocol[protocol]
+        if op_type.is_read:
+            stats.read_requests += 1
+        else:
+            stats.write_requests += 1
+
+    def record_rejection(self, protocol: Protocol, op_type: OperationType) -> None:
+        stats = self._by_protocol[protocol]
+        if op_type.is_read:
+            stats.read_rejections += 1
+        else:
+            stats.write_rejections += 1
+
+    def record_backoff(self, protocol: Protocol, op_type: OperationType) -> None:
+        stats = self._by_protocol[protocol]
+        if op_type.is_read:
+            stats.read_backoffs += 1
+        else:
+            stats.write_backoffs += 1
+
+    def record_backoff_round(self, protocol: Protocol) -> None:
+        self._by_protocol[protocol].backoff_rounds += 1
+
+    def record_restart(self, protocol: Protocol, due_to_deadlock: bool) -> None:
+        stats = self._by_protocol[protocol]
+        if due_to_deadlock:
+            stats.deadlock_aborts += 1
+        else:
+            stats.restarts += 1
+
+    def record_lock_time(self, protocol: Protocol, duration: float, aborted: bool) -> None:
+        stats = self._by_protocol[protocol]
+        if aborted:
+            stats.lock_time_aborted.add(duration)
+        else:
+            stats.lock_time_committed.add(duration)
+
+    def record_grant(self, copy: object, op_type: OperationType) -> None:
+        if op_type.is_read:
+            self._grants_by_copy_read[copy] = self._grants_by_copy_read.get(copy, 0) + 1
+        else:
+            self._grants_by_copy_write[copy] = self._grants_by_copy_write.get(copy, 0) + 1
+
+    def record_commit(self, outcome: TransactionOutcome) -> None:
+        self._outcomes.append(outcome)
+        stats = self._by_protocol[outcome.protocol]
+        stats.committed += 1
+        stats.system_time.add(outcome.system_time)
+        self._last_commit = max(self._last_commit, outcome.commit_time)
+
+    # ---------------------------------------------------------------- #
+    # Reporting
+    # ---------------------------------------------------------------- #
+
+    @property
+    def outcomes(self) -> Tuple[TransactionOutcome, ...]:
+        return tuple(self._outcomes)
+
+    @property
+    def committed_count(self) -> int:
+        return len(self._outcomes)
+
+    @property
+    def elapsed_time(self) -> float:
+        """Span from the first arrival to the last commit."""
+        if self._first_arrival is None:
+            return 0.0
+        return max(0.0, self._last_commit - self._first_arrival)
+
+    def protocol_statistics(self, protocol: Protocol) -> ProtocolStatistics:
+        return self._by_protocol[protocol]
+
+    def all_protocol_statistics(self) -> Dict[Protocol, ProtocolStatistics]:
+        return dict(self._by_protocol)
+
+    def mean_system_time(self, protocol: Optional[Protocol] = None) -> float:
+        """Average transaction system time ``S``, optionally restricted to one protocol."""
+        if protocol is not None:
+            return self._by_protocol[protocol].mean_system_time
+        if not self._outcomes:
+            return 0.0
+        return sum(outcome.system_time for outcome in self._outcomes) / len(self._outcomes)
+
+    def system_time_summary(self, protocol: Optional[Protocol] = None) -> SummaryStatistics:
+        values = [
+            outcome.system_time
+            for outcome in self._outcomes
+            if protocol is None or outcome.protocol == protocol
+        ]
+        return SummaryStatistics.from_values(values)
+
+    def total_restarts(self) -> int:
+        return sum(stats.restarts for stats in self._by_protocol.values())
+
+    def total_deadlock_aborts(self) -> int:
+        return sum(stats.deadlock_aborts for stats in self._by_protocol.values())
+
+    def total_backoff_rounds(self) -> int:
+        return sum(stats.backoff_rounds for stats in self._by_protocol.values())
+
+    def throughput(self) -> float:
+        """Committed transactions per unit of simulated time."""
+        elapsed = self.elapsed_time
+        if elapsed <= 0:
+            return 0.0
+        return self.committed_count / elapsed
+
+    def read_throughput(self, copy: object) -> float:
+        """Granted read locks per unit time at ``copy`` (the paper's ``lambda_r(j)``)."""
+        elapsed = self.elapsed_time
+        if elapsed <= 0:
+            return 0.0
+        return self._grants_by_copy_read.get(copy, 0) / elapsed
+
+    def write_throughput(self, copy: object) -> float:
+        """Granted write locks per unit time at ``copy`` (the paper's ``lambda_w(j)``)."""
+        elapsed = self.elapsed_time
+        if elapsed <= 0:
+            return 0.0
+        return self._grants_by_copy_write.get(copy, 0) / elapsed
+
+    def average_read_throughput(self) -> float:
+        """``lambda_r`` averaged over every copy that saw at least one grant."""
+        elapsed = self.elapsed_time
+        copies = set(self._grants_by_copy_read) | set(self._grants_by_copy_write)
+        if elapsed <= 0 or not copies:
+            return 0.0
+        total = sum(self._grants_by_copy_read.get(copy, 0) for copy in copies)
+        return total / elapsed / len(copies)
+
+    def average_write_throughput(self) -> float:
+        """``lambda_w`` averaged over every copy that saw at least one grant."""
+        elapsed = self.elapsed_time
+        copies = set(self._grants_by_copy_read) | set(self._grants_by_copy_write)
+        if elapsed <= 0 or not copies:
+            return 0.0
+        total = sum(self._grants_by_copy_write.get(copy, 0) for copy in copies)
+        return total / elapsed / len(copies)
+
+    def system_throughput(self) -> float:
+        """``lambda_A``: the sum of all per-copy read and write grant rates."""
+        elapsed = self.elapsed_time
+        if elapsed <= 0:
+            return 0.0
+        total = sum(self._grants_by_copy_read.values()) + sum(self._grants_by_copy_write.values())
+        return total / elapsed
+
+    def read_fraction(self) -> float:
+        """``Q_r``: granted read requests as a fraction of all granted requests."""
+        reads = sum(self._grants_by_copy_read.values())
+        writes = sum(self._grants_by_copy_write.values())
+        total = reads + writes
+        return reads / total if total else 0.5

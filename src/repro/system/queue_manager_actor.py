@@ -1,0 +1,113 @@
+"""Network-facing wrapper around the unified queue manager."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.common.errors import SimulationError
+from repro.common.ids import CopyId, TransactionId
+from repro.core.effects import BackoffIssued, GrantIssued, RequestRejected
+from repro.core.queue_manager import QueueManager
+from repro.core.requests import Request
+from repro.sim.actor import Actor, Message
+from repro.sim.network import Network
+from repro.storage.store import ValueStore
+from repro.system.metrics import MetricsCollector
+
+
+def queue_manager_name(copy: CopyId) -> str:
+    """Network name of the queue-manager actor for ``copy``."""
+    return f"qm-{copy.item}-{copy.site}"
+
+
+@dataclass(frozen=True)
+class GrantDelivery:
+    """Payload of a ``grant`` message.
+
+    For read requests the current value of the copy is attached, mirroring
+    the paper's "the data read are attached to the corresponding lock grant"
+    (Section 3.4, step 1(g)); the value is captured at the instant the lock is
+    granted, which is also the instant the read is ordered against
+    conflicting writes.
+    """
+
+    effect: GrantIssued
+    read_value: Any = None
+
+
+class QueueManagerActor(Actor):
+    """One actor per physical copy: receives requests, emits grants/back-offs/rejections.
+
+    Incoming message kinds (from request issuers):
+
+    ``request``
+        payload :class:`~repro.core.requests.Request` — a new physical
+        operation request.
+    ``update_ts``
+        payload ``(TransactionId, float)`` — the PA-agreed timestamp.
+    ``downgrade`` / ``release`` / ``abort``
+        payload :class:`~repro.common.ids.TransactionId`.
+
+    Outgoing message kinds (to request issuers): ``grant``, ``backoff``,
+    ``reject`` with the corresponding effect dataclass as payload.
+    """
+
+    def __init__(
+        self,
+        manager: QueueManager,
+        network: Network,
+        metrics: Optional[MetricsCollector] = None,
+        value_store: Optional[ValueStore] = None,
+    ) -> None:
+        super().__init__(name=queue_manager_name(manager.copy), site=manager.copy.site)
+        self._manager = manager
+        self._network = network
+        self._metrics = metrics
+        self._value_store = value_store
+
+    @property
+    def manager(self) -> QueueManager:
+        return self._manager
+
+    def handle(self, message: Message) -> None:
+        now = self._network.simulator.now
+        if message.kind == "request":
+            request: Request = message.payload
+            self._manager.submit(request, now)
+        elif message.kind == "update_ts":
+            transaction, new_timestamp = message.payload
+            self._manager.update_timestamp(transaction, new_timestamp, now)
+        elif message.kind == "release":
+            self._manager.release(message.payload, now)
+        elif message.kind == "downgrade":
+            self._manager.downgrade(message.payload, now)
+        elif message.kind == "abort":
+            self._manager.abort(message.payload, now)
+        else:
+            raise SimulationError(f"queue manager received unknown message kind {message.kind!r}")
+        self._dispatch_effects(now)
+
+    def _dispatch_effects(self, now: float) -> None:
+        for effect in self._manager.drain_effects():
+            if isinstance(effect, GrantIssued):
+                # Every granted request eventually produces exactly one normal
+                # grant (immediately, or later via promotion), so counting
+                # normal grants counts each granted request once.
+                if self._metrics is not None and effect.normal:
+                    self._metrics.record_grant(self._manager.copy, effect.request.op_type)
+                read_value = None
+                if effect.request.is_read and self._value_store is not None:
+                    read_value = self._value_store.read(self._manager.copy)
+                self._network.send(
+                    self,
+                    effect.request.issuer,
+                    "grant",
+                    GrantDelivery(effect=effect, read_value=read_value),
+                )
+            elif isinstance(effect, BackoffIssued):
+                self._network.send(self, effect.request.issuer, "backoff", effect)
+            elif isinstance(effect, RequestRejected):
+                self._network.send(self, effect.request.issuer, "reject", effect)
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown queue manager effect {effect!r}")

@@ -1,0 +1,19 @@
+"""Workload generation: open Poisson arrivals of synthetic transactions.
+
+The paper's performance discussion (Sections 1 and 5) is parameterised by the
+transaction arrival rate ``lambda``, the transaction size ``st`` (number of
+data items accessed), the read/write mix ``Q_r`` and the access skew.  The
+generator produces a deterministic (seeded) stream of
+:class:`~repro.common.transactions.TransactionSpec` objects realising those
+parameters, split across the request issuers of the system.
+"""
+
+from repro.workload.access_patterns import HotspotAccessPattern, UniformAccessPattern
+from repro.workload.generator import TransactionGenerator, generate_workload
+
+__all__ = [
+    "HotspotAccessPattern",
+    "TransactionGenerator",
+    "UniformAccessPattern",
+    "generate_workload",
+]

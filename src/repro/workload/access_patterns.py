@@ -1,0 +1,75 @@
+"""Access patterns: how transactions pick the data items they touch."""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import List, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.common.ids import ItemId
+
+
+class AccessPattern(abc.ABC):
+    """Strategy for drawing the set of distinct items a transaction accesses."""
+
+    def __init__(self, num_items: int) -> None:
+        if num_items < 1:
+            raise ConfigurationError("an access pattern needs at least one item")
+        self._num_items = num_items
+
+    @property
+    def num_items(self) -> int:
+        return self._num_items
+
+    @abc.abstractmethod
+    def draw(self, rng: random.Random, count: int) -> List[ItemId]:
+        """Draw ``count`` distinct item ids."""
+
+    def _clamp_count(self, count: int) -> int:
+        return max(1, min(count, self._num_items))
+
+
+class UniformAccessPattern(AccessPattern):
+    """Every data item is equally likely to be accessed."""
+
+    def draw(self, rng: random.Random, count: int) -> List[ItemId]:
+        count = self._clamp_count(count)
+        return sorted(rng.sample(range(self._num_items), count))
+
+
+class HotspotAccessPattern(AccessPattern):
+    """A fraction of accesses concentrates on a small "hot" region of the database.
+
+    With probability ``hot_probability`` an access falls uniformly inside the
+    first ``hot_fraction`` of the item space; otherwise it is uniform over the
+    rest.  This is the classic b-c contention model used by the 1980s
+    concurrency-control simulation studies, and it lets experiments raise data
+    contention without raising the arrival rate.
+    """
+
+    def __init__(self, num_items: int, hot_fraction: float, hot_probability: float) -> None:
+        super().__init__(num_items)
+        if not 0.0 < hot_fraction <= 1.0:
+            raise ConfigurationError("hot fraction must be within (0, 1]")
+        if not 0.0 <= hot_probability <= 1.0:
+            raise ConfigurationError("hot probability must be within [0, 1]")
+        self._hot_size = max(1, int(round(num_items * hot_fraction)))
+        self._hot_probability = hot_probability
+
+    @property
+    def hot_size(self) -> int:
+        return self._hot_size
+
+    def draw(self, rng: random.Random, count: int) -> List[ItemId]:
+        count = self._clamp_count(count)
+        chosen: set = set()
+        # Rejection-sample until we have `count` distinct items; bounded because
+        # count <= num_items.
+        while len(chosen) < count:
+            if rng.random() < self._hot_probability:
+                item = rng.randrange(self._hot_size)
+            else:
+                item = rng.randrange(self._num_items)
+            chosen.add(item)
+        return sorted(chosen)

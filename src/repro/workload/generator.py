@@ -1,0 +1,133 @@
+"""Transaction stream generation."""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Sequence
+
+from repro.common.config import SystemConfig, WorkloadConfig
+from repro.common.ids import ItemId, TransactionId
+from repro.common.protocol_names import Protocol
+from repro.common.transactions import TransactionSpec
+from repro.sim.rng import RandomStreams
+from repro.workload.access_patterns import (
+    AccessPattern,
+    HotspotAccessPattern,
+    UniformAccessPattern,
+)
+
+
+class TransactionGenerator:
+    """Generates a deterministic stream of transaction specifications.
+
+    Arrivals form a Poisson process of total rate ``arrival_rate``; each
+    arrival is assigned uniformly to a site (so each site sees rate
+    ``lambda / num_sites``), draws its size uniformly from
+    ``[min_size, max_size]``, marks each accessed item as read or written
+    according to ``read_fraction``, and draws an exponential local compute
+    time.  When a static protocol mix is in force the protocol is also drawn
+    here; in dynamic-selection runs ``assign_protocols=False`` leaves it to
+    the per-site selector.
+    """
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        workload: WorkloadConfig,
+        *,
+        assign_protocols: bool = True,
+        access_pattern: Optional[AccessPattern] = None,
+    ) -> None:
+        self._system = system
+        self._workload = workload
+        self._assign_protocols = assign_protocols
+        self._streams = RandomStreams(workload.seed)
+        if access_pattern is not None:
+            self._access_pattern = access_pattern
+        elif workload.hotspot_probability > 0.0:
+            self._access_pattern = HotspotAccessPattern(
+                system.num_items, workload.hotspot_fraction, workload.hotspot_probability
+            )
+        else:
+            self._access_pattern = UniformAccessPattern(system.num_items)
+        self._sequence_by_site = {site: 0 for site in range(system.num_sites)}
+
+    @property
+    def access_pattern(self) -> AccessPattern:
+        return self._access_pattern
+
+    def generate(self) -> List[TransactionSpec]:
+        """The full list of transaction specs for the run, in arrival order."""
+        return list(self.iter_transactions())
+
+    def iter_transactions(self) -> Iterator[TransactionSpec]:
+        arrival_stream = self._streams.stream("arrivals")
+        shape_stream = self._streams.stream("shapes")
+        site_stream = self._streams.stream("sites")
+        protocol_stream = self._streams.stream("protocols")
+        clock = 0.0
+        for _ in range(self._workload.num_transactions):
+            clock += arrival_stream.expovariate(self._workload.arrival_rate)
+            site = site_stream.randrange(self._system.num_sites)
+            yield self._make_transaction(clock, site, shape_stream, protocol_stream)
+
+    def _make_transaction(
+        self,
+        arrival_time: float,
+        site: int,
+        shape_stream: random.Random,
+        protocol_stream: random.Random,
+    ) -> TransactionSpec:
+        self._sequence_by_site[site] += 1
+        tid = TransactionId(site=site, seq=self._sequence_by_site[site])
+        size = shape_stream.randint(self._workload.min_size, self._workload.max_size)
+        items = self._access_pattern.draw(shape_stream, size)
+        reads, writes = self._split_reads_writes(items, shape_stream)
+        compute_time = (
+            shape_stream.expovariate(1.0 / self._workload.compute_time)
+            if self._workload.compute_time > 0
+            else 0.0
+        )
+        protocol: Optional[Protocol] = None
+        if self._assign_protocols:
+            protocol = self._workload.protocol_mix.sample(protocol_stream.random())
+        return TransactionSpec(
+            tid=tid,
+            read_items=tuple(reads),
+            write_items=tuple(writes),
+            compute_time=compute_time,
+            protocol=protocol,
+            arrival_time=arrival_time,
+        )
+
+    def _split_reads_writes(
+        self, items: Sequence[ItemId], stream: random.Random
+    ) -> "tuple[List[ItemId], List[ItemId]]":
+        """Mark each accessed item read or written according to the read fraction.
+
+        A transaction that would end up with no operations at all (impossible
+        here since every item is either read or written) is avoided by
+        construction; a transaction may legitimately be read-only or
+        write-only.
+        """
+        reads: List[ItemId] = []
+        writes: List[ItemId] = []
+        for item in items:
+            if stream.random() < self._workload.read_fraction:
+                reads.append(item)
+            else:
+                writes.append(item)
+        if not reads and not writes:  # pragma: no cover - defensive, cannot happen
+            writes.append(items[0])
+        return reads, writes
+
+
+def generate_workload(
+    system: SystemConfig,
+    workload: WorkloadConfig,
+    *,
+    assign_protocols: bool = True,
+) -> List[TransactionSpec]:
+    """Convenience wrapper: build a generator and return the full transaction list."""
+    generator = TransactionGenerator(system, workload, assign_protocols=assign_protocols)
+    return generator.generate()

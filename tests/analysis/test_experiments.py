@@ -1,0 +1,95 @@
+"""Experiment harness functions (small parameterisations to stay fast)."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    correctness_audit,
+    dynamic_vs_static,
+    semilock_ablation,
+    single_item_write_experiment,
+    sweep_arrival_rate,
+    sweep_transaction_size,
+)
+from repro.common.config import SystemConfig, WorkloadConfig
+from repro.common.protocol_names import Protocol
+
+
+@pytest.fixture(scope="module")
+def tiny_system():
+    return SystemConfig(num_sites=2, num_items=16, deadlock_detection_period=0.1,
+                        restart_delay=0.02, seed=3)
+
+
+@pytest.fixture(scope="module")
+def tiny_workload():
+    return WorkloadConfig(arrival_rate=20.0, num_transactions=30, min_size=1, max_size=4,
+                          compute_time=0.002, seed=4)
+
+
+class TestSweeps:
+    def test_arrival_rate_sweep_row_structure(self, tiny_system, tiny_workload):
+        rows = sweep_arrival_rate([10.0, 30.0], system=tiny_system, workload=tiny_workload)
+        assert len(rows) == 2 * 3
+        for row in rows:
+            assert row["serializable"] is True
+            assert row["committed"] == tiny_workload.num_transactions
+            assert row["protocol"] in {"2PL", "T/O", "PA"}
+            assert row["arrival_rate"] in (10.0, 30.0)
+
+    def test_arrival_rate_sweep_with_dynamic_row(self, tiny_system, tiny_workload):
+        rows = sweep_arrival_rate(
+            [15.0], system=tiny_system, workload=tiny_workload, include_dynamic=True
+        )
+        protocols = {row["protocol"] for row in rows}
+        assert protocols == {"2PL", "T/O", "PA", "dynamic"}
+
+    def test_transaction_size_sweep(self, tiny_system, tiny_workload):
+        rows = sweep_transaction_size([1, 3], system=tiny_system, workload=tiny_workload)
+        assert len(rows) == 2 * 3
+        assert {row["transaction_size"] for row in rows} == {1, 3}
+        assert all(row["serializable"] for row in rows)
+
+    def test_restricted_protocol_list(self, tiny_system, tiny_workload):
+        rows = sweep_arrival_rate(
+            [10.0],
+            protocols=[Protocol.PRECEDENCE_AGREEMENT],
+            system=tiny_system,
+            workload=tiny_workload,
+        )
+        assert len(rows) == 1
+        assert rows[0]["protocol"] == "PA"
+
+
+class TestScenarioExperiments:
+    def test_single_item_write_experiment(self, tiny_system):
+        rows = single_item_write_experiment(
+            arrival_rate=20.0, num_transactions=25, system=tiny_system
+        )
+        assert len(rows) == 3
+        by_protocol = {row["protocol"]: row for row in rows}
+        # Single-item write-only transactions cannot deadlock under 2PL.
+        assert by_protocol["2PL"]["deadlock_aborts"] == 0
+        assert all(row["serializable"] for row in rows)
+
+    def test_correctness_audit_upholds_theorems(self, tiny_system, tiny_workload):
+        rows = correctness_audit(
+            arrival_rates=[25.0], num_transactions=25, system=tiny_system, workload=tiny_workload
+        )
+        assert len(rows) == 3
+        for row in rows:
+            assert row["serializable"] is True
+            assert row["pa_restarts"] == 0
+            assert row["to_deadlock_aborts"] == 0
+            assert row["non_2pl_deadlock_victims"] == 0
+
+    def test_dynamic_vs_static_contains_dynamic_rows(self, tiny_system, tiny_workload):
+        rows = dynamic_vs_static([20.0], system=tiny_system, workload=tiny_workload)
+        assert any(row["protocol"] == "dynamic" for row in rows)
+
+    def test_semilock_ablation_reports_both_modes(self, tiny_system, tiny_workload):
+        rows = semilock_ablation(
+            arrival_rate=25.0, num_transactions=25, system=tiny_system, workload=tiny_workload
+        )
+        assert {row["enforcement"] for row in rows} == {"semi-locks", "full locking"}
+        assert all(row["serializable"] for row in rows)
+        assert all("to_mean_system_time" in row for row in rows)

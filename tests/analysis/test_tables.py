@@ -1,0 +1,64 @@
+"""Result-table rendering."""
+
+from repro.analysis.tables import format_table, format_value, rows_to_table
+
+
+class TestFormatValue:
+    def test_floats_are_rounded(self):
+        assert format_value(1.23456789) == "1.2346"
+
+    def test_small_and_large_floats_use_general_format(self):
+        assert format_value(0.000123) == "0.000123"
+        assert format_value(123456.0) == "1.235e+05"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_booleans_render_as_yes_no(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_strings_pass_through(self):
+        assert format_value("2PL") == "2PL"
+
+    def test_integers(self):
+        assert format_value(42) == "42"
+
+
+class TestFormatTable:
+    def test_header_and_rows_aligned(self):
+        table = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_separator_line_present(self):
+        table = format_table(["x"], [[1]])
+        assert "-" in table.splitlines()[1]
+
+    def test_wide_cells_expand_columns(self):
+        table = format_table(["p"], [["a-very-long-protocol-name"]])
+        assert "a-very-long-protocol-name" in table
+
+
+class TestRowsToTable:
+    def test_empty_rows(self):
+        assert rows_to_table([]) == "(no rows)"
+
+    def test_columns_default_to_first_row_keys(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3, "b": 4}]
+        table = rows_to_table(rows)
+        assert table.splitlines()[0].split("|")[0].strip() == "a"
+
+    def test_explicit_column_selection_and_order(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        table = rows_to_table(rows, columns=["c", "a"])
+        header = table.splitlines()[0]
+        assert header.index("c") < header.index("a")
+        assert "b" not in header
+
+    def test_missing_cells_render_empty(self):
+        rows = [{"a": 1}, {"a": 2, "b": 5}]
+        table = rows_to_table(rows, columns=["a", "b"])
+        assert "5" in table

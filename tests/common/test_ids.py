@@ -1,0 +1,51 @@
+"""Identifier value types."""
+
+from repro.common.ids import CopyId, RequestId, TransactionId
+
+
+class TestTransactionId:
+    def test_ordering_is_lexicographic_on_site_then_seq(self):
+        assert TransactionId(0, 5) < TransactionId(1, 1)
+        assert TransactionId(1, 1) < TransactionId(1, 2)
+
+    def test_equality_and_hash(self):
+        assert TransactionId(2, 3) == TransactionId(2, 3)
+        assert hash(TransactionId(2, 3)) == hash(TransactionId(2, 3))
+        assert TransactionId(2, 3) != TransactionId(3, 2)
+
+    def test_str_form(self):
+        assert str(TransactionId(2, 3)) == "T2.3"
+
+    def test_usable_as_dict_key(self):
+        mapping = {TransactionId(0, 1): "a", TransactionId(0, 2): "b"}
+        assert mapping[TransactionId(0, 1)] == "a"
+
+
+class TestCopyId:
+    def test_str_form(self):
+        assert str(CopyId(7, 2)) == "D7@2"
+
+    def test_ordering_by_item_then_site(self):
+        assert CopyId(1, 5) < CopyId(2, 0)
+        assert CopyId(2, 0) < CopyId(2, 1)
+
+    def test_equality(self):
+        assert CopyId(3, 1) == CopyId(3, 1)
+        assert CopyId(3, 1) != CopyId(3, 2)
+
+
+class TestRequestId:
+    def test_str_includes_transaction_index_and_attempt(self):
+        rid = RequestId(TransactionId(1, 4), 2, 1)
+        assert str(rid) == "T1.4.op2#1"
+
+    def test_attempt_distinguishes_reissued_requests(self):
+        first = RequestId(TransactionId(0, 1), 0, 0)
+        second = RequestId(TransactionId(0, 1), 0, 1)
+        assert first != second
+
+    def test_default_attempt_is_zero(self):
+        assert RequestId(TransactionId(0, 1), 3).attempt == 0
+
+    def test_ordering(self):
+        assert RequestId(TransactionId(0, 1), 0, 0) < RequestId(TransactionId(0, 1), 1, 0)

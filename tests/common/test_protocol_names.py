@@ -1,0 +1,47 @@
+"""Protocol enumeration and name parsing."""
+
+import pytest
+
+from repro.common.errors import UnknownProtocolError
+from repro.common.protocol_names import Protocol
+
+
+class TestProtocolFlags:
+    def test_each_protocol_sets_exactly_one_flag(self):
+        for protocol in Protocol:
+            flags = [
+                protocol.is_two_phase_locking,
+                protocol.is_timestamp_ordering,
+                protocol.is_precedence_agreement,
+            ]
+            assert sum(flags) == 1
+
+    def test_str_values(self):
+        assert str(Protocol.TWO_PHASE_LOCKING) == "2PL"
+        assert str(Protocol.TIMESTAMP_ORDERING) == "T/O"
+        assert str(Protocol.PRECEDENCE_AGREEMENT) == "PA"
+
+
+class TestFromName:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("2PL", Protocol.TWO_PHASE_LOCKING),
+            ("2pl", Protocol.TWO_PHASE_LOCKING),
+            ("T/O", Protocol.TIMESTAMP_ORDERING),
+            ("to", Protocol.TIMESTAMP_ORDERING),
+            ("t-o", Protocol.TIMESTAMP_ORDERING),
+            ("PA", Protocol.PRECEDENCE_AGREEMENT),
+            ("pa", Protocol.PRECEDENCE_AGREEMENT),
+            ("precedence_agreement", Protocol.PRECEDENCE_AGREEMENT),
+        ],
+    )
+    def test_parses_aliases(self, name, expected):
+        assert Protocol.from_name(name) is expected
+
+    def test_passes_through_protocol_instances(self):
+        assert Protocol.from_name(Protocol.TIMESTAMP_ORDERING) is Protocol.TIMESTAMP_ORDERING
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnknownProtocolError):
+            Protocol.from_name("optimistic")

@@ -1,0 +1,116 @@
+"""Wait-for graph and deadlock victim selection."""
+
+import pytest
+
+from repro.common.ids import TransactionId
+from repro.common.protocol_names import Protocol
+from repro.core.deadlock import DeadlockDetector, WaitForGraph
+
+
+T1, T2, T3, T4 = (TransactionId(0, i) for i in range(1, 5))
+
+
+class TestWaitForGraph:
+    def test_acyclic_graph_has_no_cycle(self):
+        graph = WaitForGraph()
+        graph.add_edges([(T1, T2), (T2, T3)])
+        assert graph.find_cycle() is None
+
+    def test_self_edges_are_ignored(self):
+        graph = WaitForGraph()
+        graph.add_edge(T1, T1)
+        assert graph.find_cycle() is None
+        assert graph.edge_count() == 0
+
+    def test_two_cycle_detected(self):
+        graph = WaitForGraph()
+        graph.add_edges([(T1, T2), (T2, T1)])
+        cycle = graph.find_cycle()
+        assert cycle is not None
+        assert set(cycle) == {T1, T2}
+
+    def test_long_cycle_detected(self):
+        graph = WaitForGraph()
+        graph.add_edges([(T1, T2), (T2, T3), (T3, T4), (T4, T1)])
+        cycle = graph.find_cycle()
+        assert set(cycle) == {T1, T2, T3, T4}
+
+    def test_cycle_in_disconnected_component(self):
+        graph = WaitForGraph()
+        graph.add_edges([(T1, T2), (T3, T4), (T4, T3)])
+        cycle = graph.find_cycle()
+        assert set(cycle) == {T3, T4}
+
+    def test_remove_node_breaks_cycle(self):
+        graph = WaitForGraph()
+        graph.add_edges([(T1, T2), (T2, T1)])
+        graph.remove_node(T1)
+        assert graph.find_cycle() is None
+
+    def test_successors_sorted(self):
+        graph = WaitForGraph()
+        graph.add_edges([(T1, T3), (T1, T2)])
+        assert graph.successors(T1) == (T2, T3)
+
+    def test_nodes_include_targets(self):
+        graph = WaitForGraph()
+        graph.add_edge(T1, T2)
+        assert set(graph.nodes()) == {T1, T2}
+
+
+class TestDeadlockDetector:
+    def test_no_deadlock_resolution_is_empty(self):
+        detector = DeadlockDetector()
+        resolution = detector.resolve([(T1, T2)], {})
+        assert not resolution.deadlock_found
+        assert resolution.victims == []
+
+    def test_victim_chosen_from_cycle(self):
+        detector = DeadlockDetector()
+        resolution = detector.resolve([(T1, T2), (T2, T1)], {})
+        assert resolution.deadlock_found
+        assert len(resolution.victims) == 1
+        assert resolution.victims[0] in {T1, T2}
+
+    def test_victim_prefers_2pl_members(self):
+        detector = DeadlockDetector()
+        protocols = {T1: Protocol.PRECEDENCE_AGREEMENT, T2: Protocol.TWO_PHASE_LOCKING}
+        resolution = detector.resolve([(T1, T2), (T2, T1)], protocols)
+        assert resolution.victims == [T2]
+
+    def test_victim_prefers_fewest_locks(self):
+        detector = DeadlockDetector(lock_count_of=lambda tid: {T1: 5, T2: 1}[tid])
+        protocols = {T1: Protocol.TWO_PHASE_LOCKING, T2: Protocol.TWO_PHASE_LOCKING}
+        resolution = detector.resolve([(T1, T2), (T2, T1)], protocols)
+        assert resolution.victims == [T2]
+
+    def test_tie_break_prefers_youngest(self):
+        detector = DeadlockDetector()
+        protocols = {T1: Protocol.TWO_PHASE_LOCKING, T2: Protocol.TWO_PHASE_LOCKING}
+        resolution = detector.resolve([(T1, T2), (T2, T1)], protocols)
+        assert resolution.victims == [T2]   # larger seq = younger
+
+    def test_multiple_cycles_all_resolved_in_one_scan(self):
+        detector = DeadlockDetector()
+        edges = [(T1, T2), (T2, T1), (T3, T4), (T4, T3)]
+        resolution = detector.resolve(edges, {})
+        assert len(resolution.cycles) == 2
+        assert len(resolution.victims) == 2
+
+    def test_overlapping_cycles_may_share_a_victim(self):
+        detector = DeadlockDetector()
+        protocols = {tid: Protocol.TWO_PHASE_LOCKING for tid in (T1, T2, T3)}
+        edges = [(T1, T2), (T2, T1), (T2, T3), (T3, T2)]
+        resolution = detector.resolve(edges, protocols)
+        # Removing victims must leave the remaining graph acyclic.
+        remaining = WaitForGraph()
+        remaining.add_edges(edges)
+        for victim in resolution.victims:
+            remaining.remove_node(victim)
+        assert remaining.find_cycle() is None
+
+    def test_unknown_protocol_defaults_to_2pl_candidate(self):
+        detector = DeadlockDetector()
+        resolution = detector.resolve([(T1, T2), (T2, T1)], {T1: Protocol.TIMESTAMP_ORDERING})
+        # T2 has no protocol registered; it is treated as 2PL and chosen.
+        assert resolution.victims == [T2]

@@ -1,0 +1,149 @@
+"""Lock modes, the semi-lock conflict relation, and the lock table."""
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.common.ids import CopyId, RequestId, TransactionId
+from repro.common.operations import OperationType
+from repro.common.protocol_names import Protocol
+from repro.core.locks import GrantedLock, LockMode, LockTable, requested_lock_mode
+
+
+COPY = CopyId(0, 0)
+
+
+def rid(seq=1, index=0):
+    return RequestId(TransactionId(0, seq), index)
+
+
+class TestLockModeConflicts:
+    def test_conflict_matrix_matches_paper(self):
+        # Two locks conflict iff at least one is WL or SWL.
+        RL, WL, SRL, SWL = LockMode.READ, LockMode.WRITE, LockMode.SEMI_READ, LockMode.SEMI_WRITE
+        expected = {
+            (RL, RL): False, (RL, SRL): False, (SRL, SRL): False,
+            (RL, WL): True, (RL, SWL): True,
+            (SRL, WL): True, (SRL, SWL): True,
+            (WL, WL): True, (WL, SWL): True, (SWL, SWL): True,
+        }
+        for (a, b), conflict in expected.items():
+            assert a.conflicts_with(b) is conflict
+            assert b.conflicts_with(a) is conflict
+
+    def test_semi_flags(self):
+        assert LockMode.SEMI_READ.is_semi and LockMode.SEMI_WRITE.is_semi
+        assert not LockMode.READ.is_semi and not LockMode.WRITE.is_semi
+
+    def test_downgrade_mapping(self):
+        assert LockMode.READ.downgraded() is LockMode.SEMI_READ
+        assert LockMode.WRITE.downgraded() is LockMode.SEMI_WRITE
+        assert LockMode.SEMI_READ.downgraded() is LockMode.SEMI_READ
+        assert LockMode.SEMI_WRITE.downgraded() is LockMode.SEMI_WRITE
+
+
+class TestRequestedLockMode:
+    def test_writers_always_take_write_locks(self):
+        for protocol in Protocol:
+            assert requested_lock_mode(protocol, OperationType.WRITE) is LockMode.WRITE
+
+    def test_2pl_and_pa_readers_take_read_locks(self):
+        assert requested_lock_mode(Protocol.TWO_PHASE_LOCKING, OperationType.READ) is LockMode.READ
+        assert requested_lock_mode(Protocol.PRECEDENCE_AGREEMENT, OperationType.READ) is LockMode.READ
+
+    def test_to_readers_take_semi_read_locks(self):
+        assert (
+            requested_lock_mode(Protocol.TIMESTAMP_ORDERING, OperationType.READ)
+            is LockMode.SEMI_READ
+        )
+
+
+class TestLockTable:
+    def test_grant_and_release(self):
+        table = LockTable(COPY)
+        lock = table.grant(rid(1), TransactionId(0, 1), Protocol.TWO_PHASE_LOCKING,
+                           LockMode.WRITE, time=1.0, pre_scheduled=False)
+        assert rid(1) in table
+        assert table.get(rid(1)) is lock
+        released = table.release(rid(1))
+        assert released is lock
+        assert rid(1) not in table
+
+    def test_double_grant_rejected(self):
+        table = LockTable(COPY)
+        table.grant(rid(1), TransactionId(0, 1), Protocol.TWO_PHASE_LOCKING,
+                    LockMode.READ, time=1.0, pre_scheduled=False)
+        with pytest.raises(ProtocolError):
+            table.grant(rid(1), TransactionId(0, 1), Protocol.TWO_PHASE_LOCKING,
+                        LockMode.READ, time=2.0, pre_scheduled=False)
+
+    def test_release_unknown_rejected(self):
+        with pytest.raises(ProtocolError):
+            LockTable(COPY).release(rid(9))
+
+    def test_locks_ordered_by_grant_sequence(self):
+        table = LockTable(COPY)
+        table.grant(rid(2), TransactionId(0, 2), Protocol.TWO_PHASE_LOCKING,
+                    LockMode.READ, time=1.0, pre_scheduled=False)
+        table.grant(rid(1), TransactionId(0, 1), Protocol.TWO_PHASE_LOCKING,
+                    LockMode.READ, time=2.0, pre_scheduled=False)
+        assert [lock.request_id for lock in table.locks()] == [rid(2), rid(1)]
+
+    def test_holders_distinct_in_grant_order(self):
+        table = LockTable(COPY)
+        table.grant(rid(1, 0), TransactionId(0, 1), Protocol.TWO_PHASE_LOCKING,
+                    LockMode.READ, time=1.0, pre_scheduled=False)
+        table.grant(rid(2, 0), TransactionId(0, 2), Protocol.TWO_PHASE_LOCKING,
+                    LockMode.READ, time=2.0, pre_scheduled=False)
+        assert table.holders() == (TransactionId(0, 1), TransactionId(0, 2))
+
+    def test_conflicting_locks_excludes_own_transaction(self):
+        table = LockTable(COPY)
+        table.grant(rid(1), TransactionId(0, 1), Protocol.TWO_PHASE_LOCKING,
+                    LockMode.WRITE, time=1.0, pre_scheduled=False)
+        conflicts = table.conflicting_locks(LockMode.READ, excluding=TransactionId(0, 1))
+        assert conflicts == ()
+        conflicts = table.conflicting_locks(LockMode.READ, excluding=TransactionId(0, 2))
+        assert len(conflicts) == 1
+
+    def test_conflicting_locks_granted_before_filter(self):
+        table = LockTable(COPY)
+        first = table.grant(rid(1), TransactionId(0, 1), Protocol.TIMESTAMP_ORDERING,
+                            LockMode.SEMI_WRITE, time=1.0, pre_scheduled=False)
+        second = table.grant(rid(2), TransactionId(0, 2), Protocol.TIMESTAMP_ORDERING,
+                             LockMode.SEMI_READ, time=2.0, pre_scheduled=True)
+        earlier = table.conflicting_locks(
+            second.mode, excluding=TransactionId(0, 2), granted_before=second.grant_seq
+        )
+        assert earlier == (first,)
+        later = table.conflicting_locks(
+            first.mode, excluding=TransactionId(0, 1), granted_before=first.grant_seq
+        )
+        assert later == ()
+
+    def test_unreleased_with_modes(self):
+        table = LockTable(COPY)
+        table.grant(rid(1), TransactionId(0, 1), Protocol.TWO_PHASE_LOCKING,
+                    LockMode.WRITE, time=1.0, pre_scheduled=False)
+        table.grant(rid(2), TransactionId(0, 2), Protocol.TIMESTAMP_ORDERING,
+                    LockMode.SEMI_READ, time=2.0, pre_scheduled=True)
+        writes = table.unreleased_with_modes([LockMode.WRITE])
+        assert len(writes) == 1
+        semi = table.unreleased_with_modes([LockMode.SEMI_READ], excluding=TransactionId(0, 2))
+        assert semi == ()
+
+    def test_downgrade_changes_mode_in_place(self):
+        table = LockTable(COPY)
+        lock = table.grant(rid(1), TransactionId(0, 1), Protocol.TIMESTAMP_ORDERING,
+                           LockMode.WRITE, time=1.0, pre_scheduled=True)
+        lock.downgrade()
+        assert lock.mode is LockMode.SEMI_WRITE
+
+    def test_locks_of_transaction(self):
+        table = LockTable(COPY)
+        table.grant(rid(1, 0), TransactionId(0, 1), Protocol.TWO_PHASE_LOCKING,
+                    LockMode.READ, time=1.0, pre_scheduled=False)
+        table.grant(rid(2, 0), TransactionId(0, 2), Protocol.TWO_PHASE_LOCKING,
+                    LockMode.READ, time=1.5, pre_scheduled=False)
+        mine = table.locks_of(TransactionId(0, 1))
+        assert len(mine) == 1
+        assert mine[0].transaction == TransactionId(0, 1)

@@ -1,0 +1,198 @@
+"""Mixed-protocol behaviour of the unified queue manager, including the
+worked example of Section 4.2."""
+
+import pytest
+
+from repro.common.ids import CopyId, TransactionId
+from repro.common.protocol_names import Protocol
+from repro.core.effects import BackoffIssued, GrantIssued, RequestRejected
+from repro.core.locks import LockMode
+from repro.core.queue_manager import QueueManager
+from repro.core.serializability import check_serializable
+from repro.storage.log import ExecutionLog
+
+from tests.conftest import make_request
+
+
+def request_for(seq, protocol, op, ts, item=0, site=0, index=0):
+    return make_request(
+        site=site,
+        seq=seq,
+        index=index,
+        protocol=protocol,
+        op=op,
+        timestamp=ts,
+        item=item,
+    )
+
+
+def grants(manager):
+    return [effect for effect in manager.drain_effects() if isinstance(effect, GrantIssued)]
+
+
+class TestUnifiedPrecedenceAssignment:
+    def test_2pl_request_lands_behind_existing_timestamps(self, queue_manager):
+        queue_manager.submit(
+            request_for(1, Protocol.TIMESTAMP_ORDERING, "w", ts=10.0), now=1.0
+        )
+        queue_manager.submit(
+            request_for(2, Protocol.TWO_PHASE_LOCKING, "w", ts=0.5), now=2.0
+        )
+        entries = queue_manager.queue_entries()
+        assert [entry.transaction.seq for entry in entries] == [1, 2]
+        # The 2PL request's precedence timestamp is the biggest seen so far.
+        assert entries[1].precedence.timestamp == pytest.approx(10.0)
+
+    def test_2pl_counts_as_biggest_site_id_on_timestamp_ties(self, queue_manager):
+        queue_manager.submit(
+            request_for(1, Protocol.TWO_PHASE_LOCKING, "w", ts=0.0), now=1.0
+        )
+        queue_manager.submit(
+            request_for(3, Protocol.TIMESTAMP_ORDERING, "w", ts=5.0, site=1), now=2.0
+        )
+        # The next 2PL request is assigned precedence timestamp 5.0 (the biggest
+        # timestamp seen so far); on that tie the 2PL request sorts last.
+        queue_manager.submit(
+            request_for(2, Protocol.TWO_PHASE_LOCKING, "w", ts=0.0), now=3.0
+        )
+        entries = queue_manager.queue_entries()
+        assert [entry.transaction.seq for entry in entries] == [1, 3, 2]
+        assert entries[2].precedence.timestamp == pytest.approx(5.0)
+
+    def test_pa_and_to_share_the_timestamp_space(self, queue_manager):
+        queue_manager.submit(
+            request_for(1, Protocol.PRECEDENCE_AGREEMENT, "w", ts=5.0), now=1.0
+        )
+        queue_manager.submit(
+            request_for(2, Protocol.TIMESTAMP_ORDERING, "w", ts=3.0), now=2.0
+        )
+        entries = queue_manager.queue_entries()
+        assert [entry.transaction.seq for entry in entries] == [2, 1]
+
+
+class TestSemiLockInteraction:
+    def test_2pl_read_blocked_by_semi_write_lock(self, queue_manager):
+        # A T/O writer that downgraded to SWL still blocks 2PL readers.
+        queue_manager.submit(
+            request_for(1, Protocol.TIMESTAMP_ORDERING, "w", ts=1.0), now=1.0
+        )
+        queue_manager.downgrade(TransactionId(0, 1), now=2.0)
+        queue_manager.drain_effects()
+        queue_manager.submit(
+            request_for(2, Protocol.TWO_PHASE_LOCKING, "r", ts=0.0), now=3.0
+        )
+        assert grants(queue_manager) == []
+        queue_manager.release(TransactionId(0, 1), now=4.0)
+        assert len(grants(queue_manager)) == 1
+
+    def test_to_read_not_blocked_by_semi_write_lock(self, queue_manager):
+        queue_manager.submit(
+            request_for(1, Protocol.TIMESTAMP_ORDERING, "w", ts=1.0), now=1.0
+        )
+        queue_manager.downgrade(TransactionId(0, 1), now=2.0)
+        queue_manager.drain_effects()
+        queue_manager.submit(
+            request_for(2, Protocol.TIMESTAMP_ORDERING, "r", ts=2.0), now=3.0
+        )
+        granted = grants(queue_manager)
+        assert len(granted) == 1
+        assert granted[0].mode is LockMode.SEMI_READ
+        assert granted[0].normal is False
+
+    def test_pa_write_blocked_by_semi_read_lock(self, queue_manager):
+        queue_manager.submit(
+            request_for(1, Protocol.TIMESTAMP_ORDERING, "r", ts=1.0), now=1.0
+        )
+        queue_manager.drain_effects()
+        queue_manager.submit(
+            request_for(2, Protocol.PRECEDENCE_AGREEMENT, "w", ts=2.0), now=2.0
+        )
+        queue_manager.update_timestamp(TransactionId(0, 2), 2.0, now=2.5)
+        assert grants(queue_manager) == []
+        queue_manager.release(TransactionId(0, 1), now=3.0)
+        assert len(grants(queue_manager)) == 1
+
+    def test_mixed_protocol_rejection_still_applies_to_to(self, queue_manager):
+        queue_manager.submit(
+            request_for(1, Protocol.PRECEDENCE_AGREEMENT, "w", ts=5.0), now=1.0
+        )
+        queue_manager.update_timestamp(TransactionId(0, 1), 5.0, now=1.5)
+        queue_manager.drain_effects()
+        queue_manager.submit(
+            request_for(2, Protocol.TIMESTAMP_ORDERING, "r", ts=3.0), now=2.0
+        )
+        rejected = [e for e in queue_manager.drain_effects() if isinstance(e, RequestRejected)]
+        assert len(rejected) == 1
+
+
+class TestSection42Example:
+    """The example of Section 4.2: t1, t2 run T/O, t3 runs 2PL on items x, y, z.
+
+    With raw T/O (no locking of T/O reads) the three transactions could all
+    execute and produce a non-serializable execution.  The semi-lock protocol
+    prevents it: we drive the three per-item queue managers through the
+    paper's interleaving and check that the resulting execution (as far as it
+    can proceed) stays conflict serializable.
+    """
+
+    def _build(self):
+        log = ExecutionLog()
+        managers = {
+            name: QueueManager(CopyId(item, 0), log)
+            for item, name in enumerate("xyz")
+        }
+        t1 = TransactionId(0, 1)   # T/O
+        t2 = TransactionId(1, 2)   # T/O
+        t3 = TransactionId(2, 3)   # 2PL
+        return log, managers, t1, t2, t3
+
+    def test_paper_interleaving_remains_serializable(self):
+        log, managers, t1, t2, t3 = self._build()
+        x, y, z = managers["x"], managers["y"], managers["z"]
+
+        # Queue(x): r1 < w3 ; Queue(y): r2 < w1 ; Queue(z): r3 < w2.
+        x.submit(make_request(tid=t1, index=0, protocol=Protocol.TIMESTAMP_ORDERING,
+                              op="r", item=0, timestamp=1.0), now=1.0)
+        x.submit(make_request(tid=t3, index=0, protocol=Protocol.TWO_PHASE_LOCKING,
+                              op="w", item=0, timestamp=0.0), now=1.1)
+        y.submit(make_request(tid=t2, index=0, protocol=Protocol.TIMESTAMP_ORDERING,
+                              op="r", item=1, timestamp=2.0), now=1.2)
+        y.submit(make_request(tid=t1, index=1, protocol=Protocol.TIMESTAMP_ORDERING,
+                              op="w", item=1, timestamp=1.0), now=1.3)
+        z.submit(make_request(tid=t3, index=1, protocol=Protocol.TWO_PHASE_LOCKING,
+                              op="r", item=2, timestamp=0.0), now=1.4)
+        z.submit(make_request(tid=t2, index=1, protocol=Protocol.TIMESTAMP_ORDERING,
+                              op="w", item=2, timestamp=2.0), now=1.5)
+
+        # t1's write at y arrived with timestamp 1.0 < R-TS(y) = 2.0: Basic T/O
+        # rejects it, so t1 restarts rather than completing out of order.
+        rejected = [e for e in y.drain_effects() if isinstance(e, RequestRejected)]
+        assert len(rejected) == 1 and rejected[0].request.transaction == t1
+
+        # t2 executes: its read at y was granted, its write at z waits for t3's
+        # 2PL read lock (a semi-lock is not enough for a T/O writer over an RL).
+        granted_z = [e for e in z.drain_effects() if isinstance(e, GrantIssued)]
+        assert [g.request.transaction for g in granted_z] == [t3]
+
+        # Whatever has been implemented so far is conflict serializable.
+        report = check_serializable(log)
+        assert report.serializable
+
+    def test_all_to_variant_is_serializable_by_timestamp_order(self):
+        log, managers, t1, t2, _t3 = self._build()
+        x, y = managers["x"], managers["y"]
+        x.submit(make_request(tid=t1, index=0, protocol=Protocol.TIMESTAMP_ORDERING,
+                              op="r", item=0, timestamp=1.0), now=1.0)
+        x.submit(make_request(tid=t2, index=0, protocol=Protocol.TIMESTAMP_ORDERING,
+                              op="w", item=0, timestamp=2.0), now=1.1)
+        y.submit(make_request(tid=t2, index=1, protocol=Protocol.TIMESTAMP_ORDERING,
+                              op="r", item=1, timestamp=2.0), now=1.2)
+        y.submit(make_request(tid=t1, index=1, protocol=Protocol.TIMESTAMP_ORDERING,
+                              op="w", item=1, timestamp=1.0), now=1.3)
+        # t1's write at y is rejected (out of timestamp order), preventing the cycle.
+        rejections = [e for e in y.drain_effects() if isinstance(e, RequestRejected)]
+        assert len(rejections) == 1
+        x.downgrade(t2, now=2.0)
+        x.release(t2, now=2.5)
+        y.release(t2, now=2.5)
+        assert check_serializable(log).serializable

@@ -1,0 +1,164 @@
+"""Unified queue manager driven by Basic T/O requests."""
+
+import pytest
+
+from repro.common.ids import CopyId, TransactionId
+from repro.common.protocol_names import Protocol
+from repro.core.effects import GrantIssued, RequestRejected
+from repro.core.locks import LockMode
+from repro.core.queue_manager import QueueManager
+from repro.storage.log import ExecutionLog
+
+from tests.conftest import make_request
+
+
+def to_request(seq, op="w", ts=1.0, site=0):
+    return make_request(site=site, seq=seq, protocol=Protocol.TIMESTAMP_ORDERING, op=op, timestamp=ts)
+
+
+def effects_of(manager, kind):
+    return [effect for effect in manager.drain_effects() if isinstance(effect, kind)]
+
+
+class TestTimestampOrderChecks:
+    def test_in_order_writes_granted_sequentially(self, queue_manager):
+        queue_manager.submit(to_request(1, "w", ts=1.0), now=1.0)
+        granted = effects_of(queue_manager, GrantIssued)
+        assert len(granted) == 1
+        queue_manager.submit(to_request(2, "w", ts=2.0), now=2.0)
+        # The second write conflicts and waits, but is not rejected.
+        assert effects_of(queue_manager, RequestRejected) == []
+
+    def test_out_of_order_read_is_rejected(self, queue_manager):
+        queue_manager.submit(to_request(1, "w", ts=5.0), now=1.0)
+        queue_manager.drain_effects()
+        queue_manager.submit(to_request(2, "r", ts=3.0), now=2.0)
+        rejected = effects_of(queue_manager, RequestRejected)
+        assert len(rejected) == 1
+        assert rejected[0].request.transaction == TransactionId(0, 2)
+        assert queue_manager.rejections == 1
+
+    def test_out_of_order_write_rejected_by_granted_read(self, queue_manager):
+        queue_manager.submit(to_request(1, "r", ts=5.0), now=1.0)
+        queue_manager.drain_effects()
+        queue_manager.submit(to_request(2, "w", ts=3.0), now=2.0)
+        assert len(effects_of(queue_manager, RequestRejected)) == 1
+
+    def test_read_not_rejected_by_granted_read(self, queue_manager):
+        queue_manager.submit(to_request(1, "r", ts=5.0), now=1.0)
+        queue_manager.drain_effects()
+        queue_manager.submit(to_request(2, "r", ts=3.0), now=2.0)
+        assert effects_of(queue_manager, RequestRejected) == []
+
+    def test_rejected_request_is_not_enqueued(self, queue_manager):
+        queue_manager.submit(to_request(1, "w", ts=5.0), now=1.0)
+        queue_manager.submit(to_request(2, "r", ts=3.0), now=2.0)
+        assert queue_manager.queue_length() == 1
+
+
+class TestSemiLockGrants:
+    def test_to_reader_gets_semi_read_lock(self, queue_manager):
+        queue_manager.submit(to_request(1, "r", ts=1.0), now=1.0)
+        granted = effects_of(queue_manager, GrantIssued)
+        assert granted[0].mode is LockMode.SEMI_READ
+
+    def test_to_writer_gets_write_lock(self, queue_manager):
+        queue_manager.submit(to_request(1, "w", ts=1.0), now=1.0)
+        granted = effects_of(queue_manager, GrantIssued)
+        assert granted[0].mode is LockMode.WRITE
+
+    def test_later_writer_granted_pre_scheduled_over_semi_read(self, queue_manager):
+        # Reader (ts 1) holds an SRL; a later writer (ts 2) may be granted a
+        # pre-scheduled WL because only RLs and WLs block T/O writers.
+        queue_manager.submit(to_request(1, "r", ts=1.0), now=1.0)
+        queue_manager.drain_effects()
+        queue_manager.submit(to_request(2, "w", ts=2.0), now=2.0)
+        granted = effects_of(queue_manager, GrantIssued)
+        assert len(granted) == 1
+        assert granted[0].mode is LockMode.WRITE
+        assert granted[0].normal is False          # pre-scheduled
+
+    def test_later_reader_blocked_by_write_lock_until_downgrade(self, queue_manager):
+        queue_manager.submit(to_request(1, "w", ts=1.0), now=1.0)
+        queue_manager.drain_effects()
+        queue_manager.submit(to_request(2, "r", ts=2.0), now=2.0)
+        assert effects_of(queue_manager, GrantIssued) == []
+        queue_manager.downgrade(TransactionId(0, 1), now=3.0)
+        granted = effects_of(queue_manager, GrantIssued)
+        assert len(granted) == 1
+        assert granted[0].mode is LockMode.SEMI_READ
+        assert granted[0].normal is False          # the SWL is still held
+
+    def test_normal_grant_issued_when_earlier_conflict_released(self, queue_manager):
+        queue_manager.submit(to_request(1, "r", ts=1.0), now=1.0)
+        queue_manager.drain_effects()
+        queue_manager.submit(to_request(2, "w", ts=2.0), now=2.0)
+        queue_manager.drain_effects()              # pre-scheduled WL for T2
+        queue_manager.release(TransactionId(0, 1), now=3.0)
+        normal_grants = [
+            effect
+            for effect in effects_of(queue_manager, GrantIssued)
+            if effect.normal and effect.request.transaction == TransactionId(0, 2)
+        ]
+        assert len(normal_grants) == 1
+
+    def test_downgrade_requires_semi_locks_enabled(self):
+        manager = QueueManager(CopyId(0, 0), ExecutionLog(), semi_locks_enabled=False)
+        manager.submit(to_request(1, "w", ts=1.0), now=1.0)
+        with pytest.raises(Exception):
+            manager.downgrade(TransactionId(0, 1), now=2.0)
+
+
+class TestFullLockingFallback:
+    def test_to_reader_gets_plain_read_lock_without_semi_locks(self):
+        manager = QueueManager(CopyId(0, 0), ExecutionLog(), semi_locks_enabled=False)
+        manager.submit(to_request(1, "r", ts=1.0), now=1.0)
+        granted = [e for e in manager.drain_effects() if isinstance(e, GrantIssued)]
+        assert granted[0].mode is LockMode.READ
+
+    def test_later_writer_waits_for_reader_without_semi_locks(self):
+        manager = QueueManager(CopyId(0, 0), ExecutionLog(), semi_locks_enabled=False)
+        manager.submit(to_request(1, "r", ts=1.0), now=1.0)
+        manager.drain_effects()
+        manager.submit(to_request(2, "w", ts=2.0), now=2.0)
+        assert [e for e in manager.drain_effects() if isinstance(e, GrantIssued)] == []
+
+
+class TestImplementationRecording:
+    def test_write_recorded_at_downgrade(self, execution_log):
+        manager = QueueManager(CopyId(0, 0), execution_log)
+        manager.submit(to_request(1, "w", ts=1.0), now=1.0)
+        assert execution_log.total_operations() == 0
+        manager.downgrade(TransactionId(0, 1), now=2.0)
+        assert execution_log.total_operations() == 1
+        manager.release(TransactionId(0, 1), now=3.0)
+        assert execution_log.total_operations() == 1   # recorded once only
+
+    def test_read_recorded_at_grant(self, execution_log):
+        manager = QueueManager(CopyId(0, 0), execution_log)
+        manager.submit(to_request(1, "r", ts=1.0), now=1.5)
+        assert execution_log.total_operations() == 1
+        assert execution_log.all_entries()[0].time == 1.5
+
+    def test_conflicting_to_operations_logged_in_timestamp_order(self, execution_log):
+        manager = QueueManager(CopyId(0, 0), execution_log)
+        manager.submit(to_request(1, "r", ts=1.0), now=1.0)     # read recorded at grant
+        manager.submit(to_request(2, "w", ts=2.0), now=2.0)     # pre-scheduled WL
+        manager.downgrade(TransactionId(0, 2), now=3.0)         # write recorded now
+        manager.release(TransactionId(0, 1), now=4.0)
+        manager.release(TransactionId(0, 2), now=5.0)
+        log = execution_log.log_for(CopyId(0, 0))
+        transactions = [entry.transaction.seq for entry in log.entries()]
+        assert transactions == [1, 2]
+
+    def test_abort_of_to_attempt_withdraws_its_reads(self, execution_log):
+        manager = QueueManager(CopyId(0, 0), execution_log)
+        manager.submit(to_request(1, "r", ts=1.0), now=1.0)
+        manager.abort(TransactionId(0, 1), now=2.0)
+        assert execution_log.total_operations() == 0
+
+    def test_read_write_timestamp_registers(self, queue_manager):
+        queue_manager.submit(to_request(1, "r", ts=4.0), now=1.0)
+        queue_manager.submit(to_request(2, "w", ts=6.0), now=2.0)
+        assert queue_manager.read_ts == pytest.approx(4.0)
+        assert queue_manager.write_ts == pytest.approx(6.0)

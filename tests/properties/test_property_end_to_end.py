@@ -1,0 +1,70 @@
+"""Whole-system property tests: every randomly configured run must commit all
+transactions, stay conflict serializable, and honour the per-protocol
+liveness guarantees (PA never restarts, T/O and PA never deadlock)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import ProtocolMix, SystemConfig, WorkloadConfig
+from repro.common.protocol_names import Protocol
+from repro.system.runner import run_simulation
+
+
+@st.composite
+def run_configurations(draw):
+    num_sites = draw(st.integers(min_value=1, max_value=4))
+    num_items = draw(st.integers(min_value=4, max_value=24))
+    replication = draw(st.integers(min_value=1, max_value=min(2, num_sites)))
+    system = SystemConfig(
+        num_sites=num_sites,
+        num_items=num_items,
+        replication_factor=replication,
+        io_time=draw(st.sampled_from([0.0, 0.002])),
+        deadlock_detection_period=draw(st.sampled_from([0.05, 0.2])),
+        restart_delay=0.01,
+        seed=draw(st.integers(min_value=0, max_value=1000)),
+    )
+    max_size = draw(st.integers(min_value=1, max_value=min(5, num_items)))
+    workload = WorkloadConfig(
+        arrival_rate=draw(st.sampled_from([5.0, 20.0, 60.0])),
+        num_transactions=draw(st.integers(min_value=5, max_value=40)),
+        min_size=1,
+        max_size=max_size,
+        read_fraction=draw(st.sampled_from([0.0, 0.5, 1.0])),
+        compute_time=0.002,
+        hotspot_probability=draw(st.sampled_from([0.0, 0.5])),
+        hotspot_fraction=0.25,
+        seed=draw(st.integers(min_value=0, max_value=1000)),
+    )
+    return system, workload
+
+
+class TestEndToEndProperties:
+    @given(run_configurations(), st.sampled_from(["2PL", "T/O", "PA", None]))
+    @settings(max_examples=25, deadline=None)
+    def test_all_transactions_commit_serializably(self, configuration, protocol):
+        system, workload = configuration
+        result = run_simulation(system, workload, protocol=protocol)
+        assert result.committed == workload.num_transactions
+        assert result.serializable
+
+    @given(run_configurations())
+    @settings(max_examples=10, deadline=None)
+    def test_pa_is_free_of_restarts_and_deadlocks(self, configuration):
+        system, workload = configuration
+        workload = workload.with_overrides(
+            protocol_mix=ProtocolMix.pure(Protocol.PRECEDENCE_AGREEMENT)
+        )
+        result = run_simulation(system, workload)
+        stats = result.metrics.protocol_statistics(Protocol.PRECEDENCE_AGREEMENT)
+        assert stats.restarts == 0
+        assert stats.deadlock_aborts == 0
+        assert result.deadlocks_found == 0
+
+    @given(run_configurations())
+    @settings(max_examples=10, deadline=None)
+    def test_deadlock_victims_are_2pl_transactions(self, configuration):
+        system, workload = configuration
+        result = run_simulation(system, workload)
+        for victim in result.deadlock_victims:
+            assert result.protocol_of[victim].is_two_phase_locking

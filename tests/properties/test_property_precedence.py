@@ -1,0 +1,76 @@
+"""Property-based tests for the unified precedence space."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.ids import TransactionId
+from repro.common.protocol_names import Protocol
+from repro.core.precedence import Precedence
+
+
+protocols = st.sampled_from(list(Protocol))
+
+
+@st.composite
+def precedences(draw):
+    return Precedence(
+        timestamp=draw(st.floats(min_value=0.0, max_value=1e6, allow_nan=False)),
+        protocol=draw(protocols),
+        site=draw(st.integers(min_value=0, max_value=15)),
+        transaction=TransactionId(
+            draw(st.integers(min_value=0, max_value=15)),
+            draw(st.integers(min_value=1, max_value=10_000)),
+        ),
+        arrival_seq=draw(st.integers(min_value=0, max_value=10_000)),
+    )
+
+
+class TestTotalOrderProperties:
+    @given(precedences(), precedences())
+    def test_comparison_is_antisymmetric(self, a, b):
+        if a.sort_key() != b.sort_key():
+            assert (a < b) != (b < a)
+
+    @given(precedences(), precedences(), precedences())
+    @settings(max_examples=200)
+    def test_comparison_is_transitive(self, a, b, c):
+        if a < b and b < c:
+            assert a < c
+
+    @given(precedences())
+    def test_reflexive_less_equal(self, a):
+        assert a <= a and a >= a
+
+    @given(st.lists(precedences(), min_size=2, max_size=20))
+    def test_sorting_is_stable_under_resorting(self, items):
+        once = sorted(items, key=lambda p: p.sort_key())
+        twice = sorted(once, key=lambda p: p.sort_key())
+        assert [p.sort_key() for p in once] == [p.sort_key() for p in twice]
+
+    @given(precedences(), st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    def test_raising_the_timestamp_never_moves_a_request_earlier(self, precedence, delta):
+        moved = precedence.with_timestamp(precedence.timestamp + delta)
+        assert not (moved < precedence)
+
+    @given(precedences(), precedences())
+    def test_smaller_timestamp_always_sorts_first(self, a, b):
+        if a.timestamp < b.timestamp:
+            assert a < b
+
+    @given(precedences())
+    def test_2pl_sorts_after_non_2pl_with_equal_timestamp(self, precedence):
+        non_2pl = Precedence(
+            timestamp=precedence.timestamp,
+            protocol=Protocol.TIMESTAMP_ORDERING,
+            site=precedence.site,
+            transaction=precedence.transaction,
+            arrival_seq=precedence.arrival_seq,
+        )
+        two_pl = Precedence(
+            timestamp=precedence.timestamp,
+            protocol=Protocol.TWO_PHASE_LOCKING,
+            site=precedence.site,
+            transaction=precedence.transaction,
+            arrival_seq=precedence.arrival_seq,
+        )
+        assert non_2pl < two_pl

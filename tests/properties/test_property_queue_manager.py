@@ -1,0 +1,132 @@
+"""Property-based tests of the unified queue manager's locking invariants.
+
+A random sequence of protocol-tagged requests (plus confirm / downgrade /
+release / abort actions for the transactions involved) is driven through one
+queue manager; after every step the granted-lock table must satisfy the
+semi-lock compatibility invariants and the per-copy log must stay conflict
+serializable.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.ids import CopyId, TransactionId
+from repro.common.protocol_names import Protocol
+from repro.core.effects import BackoffIssued, GrantIssued, RequestRejected
+from repro.core.locks import LockMode
+from repro.core.queue_manager import QueueManager
+from repro.core.serializability import check_serializable
+from repro.storage.log import ExecutionLog
+
+from tests.conftest import make_request
+
+#: Lock-mode pairs that must never be held concurrently by two different
+#: transactions on the same copy under the semi-lock protocol.
+FORBIDDEN_PAIRS = {
+    frozenset({LockMode.WRITE, LockMode.WRITE}),
+    frozenset({LockMode.WRITE, LockMode.READ}),
+    frozenset({LockMode.READ, LockMode.SEMI_WRITE}),
+}
+
+
+@st.composite
+def request_scripts(draw):
+    """A script of (protocol, op, transaction seq) request arrivals."""
+    length = draw(st.integers(min_value=1, max_value=25))
+    script = []
+    for _ in range(length):
+        protocol = draw(st.sampled_from(list(Protocol)))
+        is_write = draw(st.booleans())
+        seq = draw(st.integers(min_value=1, max_value=8))
+        script.append((protocol, "w" if is_write else "r", seq))
+    return script
+
+
+def drive(script):
+    """Run the script through a queue manager with a simple issuer model.
+
+    Each transaction issues at most one request here (later requests from a
+    seq already seen are skipped), PA requests are confirmed as soon as their
+    proposal arrives, and granted transactions are released a fixed number of
+    steps later.  The function returns the manager and its execution log.
+    """
+    log = ExecutionLog()
+    manager = QueueManager(CopyId(0, 0), log)
+    seen = {}
+    now = 0.0
+    pending_release = []
+
+    def check_invariants():
+        locks = manager.granted_locks()
+        for i, first in enumerate(locks):
+            for second in locks[i + 1:]:
+                if first.transaction == second.transaction:
+                    continue
+                assert frozenset({first.mode, second.mode}) not in FORBIDDEN_PAIRS, (
+                    f"incompatible locks held together: {first.mode} / {second.mode}"
+                )
+        assert check_serializable(log).serializable
+
+    for index, (protocol, op, seq) in enumerate(script):
+        now += 1.0
+        if seq in seen:
+            continue
+        tid = TransactionId(0, seq)
+        seen[seq] = protocol
+        request = make_request(
+            tid=tid, index=0, protocol=protocol, op=op, timestamp=float(index + 1)
+        )
+        manager.submit(request, now)
+        for effect in manager.drain_effects():
+            if isinstance(effect, BackoffIssued):
+                # Confirm immediately at the proposed timestamp.
+                manager.update_timestamp(tid, effect.new_timestamp, now)
+            elif isinstance(effect, RequestRejected):
+                seen.pop(seq, None)
+        check_invariants()
+        # Release the oldest holder every third step to let the queue drain.
+        if index % 3 == 2:
+            holders = {lock.transaction for lock in manager.granted_locks()}
+            if holders:
+                victim = sorted(holders)[0]
+                protocol_of_victim = seen.get(victim.seq)
+                if protocol_of_victim is Protocol.TIMESTAMP_ORDERING:
+                    manager.downgrade(victim, now)
+                manager.release(victim, now)
+                manager.drain_effects()
+        check_invariants()
+
+    # Drain everything at the end.
+    for seq, protocol in sorted(seen.items()):
+        tid = TransactionId(0, seq)
+        if manager.queue_entries() and any(
+            entry.transaction == tid for entry in manager.queue_entries()
+        ):
+            manager.release(tid, now + 100.0)
+            manager.drain_effects()
+            check_invariants()
+    return manager, log
+
+
+class TestQueueManagerInvariants:
+    @given(request_scripts())
+    @settings(max_examples=100, deadline=None)
+    def test_semi_lock_compatibility_and_serializability(self, script):
+        drive(script)
+
+    @given(request_scripts())
+    @settings(max_examples=50, deadline=None)
+    def test_grant_effects_reference_queued_requests(self, script):
+        log = ExecutionLog()
+        manager = QueueManager(CopyId(0, 0), log)
+        for index, (protocol, op, seq) in enumerate(script):
+            request = make_request(
+                tid=TransactionId(0, index + 1), index=0, protocol=protocol, op=op,
+                timestamp=float(index + 1),
+            )
+            manager.submit(request, float(index + 1))
+            for effect in manager.drain_effects():
+                if isinstance(effect, GrantIssued):
+                    assert manager.queue_entries()
+                    granted_ids = {lock.request_id for lock in manager.granted_locks()}
+                    assert effect.request.request_id in granted_ids

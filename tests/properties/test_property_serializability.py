@@ -1,0 +1,123 @@
+"""Property-based tests for the serializability oracle.
+
+The oracle is itself used as the referee for the whole reproduction, so it is
+checked here against an independent implementation (networkx) and against
+executions that are serializable by construction.
+"""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.ids import CopyId, TransactionId
+from repro.common.operations import OperationType
+from repro.common.protocol_names import Protocol
+from repro.core.serializability import ConflictGraph, check_serializable
+from repro.storage.log import ExecutionLog
+
+
+@st.composite
+def random_executions(draw):
+    """A random multi-copy execution: arbitrary interleaving of operations."""
+    num_transactions = draw(st.integers(min_value=1, max_value=6))
+    num_copies = draw(st.integers(min_value=1, max_value=4))
+    operations = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=num_transactions - 1),
+                st.integers(min_value=0, max_value=num_copies - 1),
+                st.booleans(),
+            ),
+            min_size=0,
+            max_size=30,
+        )
+    )
+    log = ExecutionLog()
+    for time, (transaction, copy, is_write) in enumerate(operations):
+        log.record(
+            CopyId(copy, 0),
+            TransactionId(0, transaction + 1),
+            OperationType.WRITE if is_write else OperationType.READ,
+            Protocol.TWO_PHASE_LOCKING,
+            float(time),
+        )
+    return log
+
+
+@st.composite
+def serial_executions(draw):
+    """An execution in which transactions run one after another (never interleaved)."""
+    num_transactions = draw(st.integers(min_value=1, max_value=6))
+    num_copies = draw(st.integers(min_value=1, max_value=4))
+    log = ExecutionLog()
+    time = 0.0
+    order = draw(st.permutations(list(range(num_transactions))))
+    for transaction in order:
+        ops = draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=num_copies - 1), st.booleans()
+                ),
+                min_size=1,
+                max_size=5,
+            )
+        )
+        for copy, is_write in ops:
+            time += 1.0
+            log.record(
+                CopyId(copy, 0),
+                TransactionId(0, transaction + 1),
+                OperationType.WRITE if is_write else OperationType.READ,
+                Protocol.TWO_PHASE_LOCKING,
+                time,
+            )
+    return log
+
+
+class TestOracleProperties:
+    @given(serial_executions())
+    @settings(max_examples=100)
+    def test_serial_executions_are_always_serializable(self, log):
+        report = check_serializable(log)
+        assert report.serializable
+
+    @given(random_executions())
+    @settings(max_examples=150)
+    def test_oracle_agrees_with_networkx(self, log):
+        graph = ConflictGraph.from_execution_log(log)
+        reference = nx.DiGraph()
+        reference.add_nodes_from(graph.nodes())
+        for node in graph.nodes():
+            for successor in graph.successors(node):
+                reference.add_edge(node, successor)
+        assert check_serializable(log).serializable == nx.is_directed_acyclic_graph(reference)
+
+    @given(random_executions())
+    @settings(max_examples=100)
+    def test_witness_order_respects_every_conflict_edge(self, log):
+        report = check_serializable(log)
+        if not report.serializable:
+            return
+        graph = ConflictGraph.from_execution_log(log)
+        position = {tid: index for index, tid in enumerate(report.serialization_order)}
+        for source in graph.nodes():
+            for target in graph.successors(source):
+                assert position[source] < position[target]
+
+    @given(random_executions())
+    @settings(max_examples=100)
+    def test_reported_cycle_is_a_real_cycle(self, log):
+        report = check_serializable(log)
+        if report.serializable:
+            return
+        graph = ConflictGraph.from_execution_log(log)
+        cycle = list(report.cycle)
+        for index, node in enumerate(cycle):
+            successor = cycle[(index + 1) % len(cycle)]
+            assert graph.has_edge(node, successor)
+
+    @given(random_executions())
+    @settings(max_examples=100)
+    def test_single_transaction_is_always_serializable(self, log):
+        if len(log.transactions()) <= 1:
+            assert check_serializable(log).serializable

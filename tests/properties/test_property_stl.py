@@ -1,0 +1,119 @@
+"""Property-based tests of the STL model and the PA back-off arithmetic."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.common.ids import TransactionId
+from repro.common.protocol_names import Protocol
+from repro.common.transactions import TransactionSpec
+from repro.core.protocols.precedence_agreement import PrecedenceAgreementPolicy
+from repro.selection.parameters import ProtocolCostParameters, SystemLoadParameters
+from repro.selection.stl import ThroughputLossModel
+
+
+@st.composite
+def loads(draw):
+    throughput = draw(st.floats(min_value=0.1, max_value=500.0))
+    read_fraction = draw(st.floats(min_value=0.0, max_value=1.0))
+    return SystemLoadParameters(
+        system_throughput=throughput,
+        read_throughput=draw(st.floats(min_value=0.0, max_value=20.0)),
+        write_throughput=draw(st.floats(min_value=0.0, max_value=20.0)),
+        read_fraction=read_fraction,
+        requests_per_transaction=draw(st.floats(min_value=1.0, max_value=16.0)),
+    )
+
+
+positive_times = st.floats(min_value=0.0, max_value=5.0)
+losses = st.floats(min_value=0.0, max_value=600.0)
+
+
+class TestSTLPrimeProperties:
+    @given(loads(), losses, positive_times)
+    @settings(max_examples=150, deadline=None)
+    def test_loss_is_non_negative_and_bounded_by_capacity(self, load, loss, duration):
+        model = ThroughputLossModel(load, time_steps=16)
+        value = model.stl_prime(loss, duration)
+        assert value >= 0.0
+        assert value <= load.system_throughput * duration + 1e-6
+
+    @given(loads(), losses, positive_times, positive_times)
+    @settings(max_examples=100, deadline=None)
+    def test_loss_is_monotone_in_duration(self, load, loss, first, second):
+        model = ThroughputLossModel(load, time_steps=16)
+        short, long = sorted((first, second))
+        assert model.stl_prime(loss, short) <= model.stl_prime(loss, long) + 1e-9
+
+    @given(loads(), losses, losses, positive_times)
+    @settings(max_examples=100, deadline=None)
+    def test_loss_is_monotone_in_initial_loss(self, load, a, b, duration):
+        model = ThroughputLossModel(load, time_steps=16)
+        small, large = sorted((a, b))
+        assert model.stl_prime(small, duration) <= model.stl_prime(large, duration) + 1e-9
+
+    @given(loads(), positive_times)
+    @settings(max_examples=100, deadline=None)
+    def test_zero_loss_zero_result_when_nothing_escalates(self, load, duration):
+        model = ThroughputLossModel(load, time_steps=16)
+        assert model.stl_prime(0.0, duration) >= 0.0
+
+    @given(loads(), st.integers(min_value=0, max_value=8), st.integers(min_value=0, max_value=8))
+    @settings(max_examples=100, deadline=None)
+    def test_transaction_loss_is_additive_and_non_negative(self, load, reads, writes):
+        model = ThroughputLossModel(load)
+        value = model.transaction_loss(reads, writes)
+        assert value >= 0.0
+        assert value == (
+            model.transaction_loss(reads, 0) + model.transaction_loss(0, writes)
+        )
+
+
+class TestProtocolFormulaProperties:
+    @given(
+        loads(),
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=5),
+        st.floats(min_value=0.0, max_value=0.9),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_higher_failure_probability_never_reduces_cost(self, load, reads, writes, probability):
+        assume(reads + writes > 0)
+        model = ThroughputLossModel(load, time_steps=16)
+        spec = TransactionSpec(
+            tid=TransactionId(0, 1),
+            read_items=tuple(range(reads)),
+            write_items=tuple(range(100, 100 + writes)),
+        )
+        cheap = ProtocolCostParameters(
+            protocol=Protocol.TIMESTAMP_ORDERING, lock_time=0.1, lock_time_aborted=0.2
+        )
+        pricey = ProtocolCostParameters(
+            protocol=Protocol.TIMESTAMP_ORDERING,
+            lock_time=0.1,
+            lock_time_aborted=0.2,
+            read_failure_probability=probability,
+            write_failure_probability=probability,
+        )
+        assert model.stl_timestamp_ordering(spec, cheap) <= (
+            model.stl_timestamp_ordering(spec, pricey) + 1e-9
+        )
+
+
+class TestBackoffArithmetic:
+    @given(
+        st.floats(min_value=0.0, max_value=1e5),
+        st.floats(min_value=1e-3, max_value=1e3),
+        st.floats(min_value=0.0, max_value=1e5),
+    )
+    @settings(max_examples=300)
+    def test_backoff_exceeds_threshold_and_is_a_whole_number_of_steps(
+        self, timestamp, interval, threshold
+    ):
+        result = PrecedenceAgreementPolicy.backoff_timestamp(timestamp, interval, threshold)
+        assert result > threshold
+        assert result > timestamp
+        steps = (result - timestamp) / interval
+        assert steps == round(steps) or math.isclose(steps, round(steps), rel_tol=1e-6)
+        assert round(steps) >= 1

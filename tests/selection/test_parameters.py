@@ -1,0 +1,143 @@
+"""Parameter estimation for the STL selector."""
+
+import pytest
+
+from repro.common.config import SystemConfig, WorkloadConfig
+from repro.common.ids import TransactionId
+from repro.common.operations import OperationType
+from repro.common.protocol_names import Protocol
+from repro.common.transactions import TransactionOutcome, TransactionSpec
+from repro.selection.parameters import (
+    ParameterEstimator,
+    ProtocolCostParameters,
+    SystemLoadParameters,
+)
+from repro.system.metrics import MetricsCollector
+
+
+def make_estimator(min_observations=3):
+    return ParameterEstimator(
+        SystemConfig(num_sites=2, num_items=16),
+        WorkloadConfig(arrival_rate=10.0, num_transactions=50),
+        min_observations=min_observations,
+    )
+
+
+class TestValidation:
+    def test_load_parameters_reject_bad_read_fraction(self):
+        with pytest.raises(ValueError):
+            SystemLoadParameters(
+                system_throughput=1.0,
+                read_throughput=0.5,
+                write_throughput=0.5,
+                read_fraction=1.5,
+                requests_per_transaction=2.0,
+            )
+
+    def test_load_parameters_reject_small_transaction_size(self):
+        with pytest.raises(ValueError):
+            SystemLoadParameters(
+                system_throughput=1.0,
+                read_throughput=0.5,
+                write_throughput=0.5,
+                read_fraction=0.5,
+                requests_per_transaction=0.5,
+            )
+
+    def test_cost_parameters_reject_bad_probability(self):
+        with pytest.raises(ValueError):
+            ProtocolCostParameters(
+                protocol=Protocol.TWO_PHASE_LOCKING,
+                lock_time=0.1,
+                lock_time_aborted=0.2,
+                abort_probability=1.5,
+            )
+
+    def test_cost_parameters_reject_negative_lock_time(self):
+        with pytest.raises(ValueError):
+            ProtocolCostParameters(
+                protocol=Protocol.TWO_PHASE_LOCKING,
+                lock_time=-0.1,
+                lock_time_aborted=0.2,
+            )
+
+
+class TestPriors:
+    def test_priors_available_without_metrics(self):
+        estimator = make_estimator()
+        load = estimator.system_parameters()
+        assert load.system_throughput > 0
+        for protocol in Protocol:
+            costs = estimator.protocol_parameters(protocol)
+            assert costs.lock_time > 0
+            assert 0.0 <= costs.abort_probability <= 1.0
+
+    def test_priors_scale_with_arrival_rate(self):
+        low = ParameterEstimator(
+            SystemConfig(), WorkloadConfig(arrival_rate=1.0, num_transactions=10)
+        ).system_parameters()
+        high = ParameterEstimator(
+            SystemConfig(), WorkloadConfig(arrival_rate=100.0, num_transactions=10)
+        ).system_parameters()
+        assert high.system_throughput > low.system_throughput
+
+    def test_prior_contention_grows_with_load(self):
+        low = ParameterEstimator(
+            SystemConfig(), WorkloadConfig(arrival_rate=1.0, num_transactions=10)
+        ).protocol_parameters(Protocol.TIMESTAMP_ORDERING)
+        high = ParameterEstimator(
+            SystemConfig(), WorkloadConfig(arrival_rate=200.0, num_transactions=10)
+        ).protocol_parameters(Protocol.TIMESTAMP_ORDERING)
+        assert high.write_failure_probability >= low.write_failure_probability
+
+
+class TestMeasuredValues:
+    def _metrics_with_history(self, committed=10):
+        metrics = MetricsCollector()
+        spec = TransactionSpec(
+            tid=TransactionId(0, 1), read_items=(0,), write_items=(1,), arrival_time=0.0
+        )
+        for index in range(committed):
+            metrics.record_attempt(Protocol.TIMESTAMP_ORDERING)
+            metrics.record_request_issued(Protocol.TIMESTAMP_ORDERING, OperationType.READ)
+            metrics.record_request_issued(Protocol.TIMESTAMP_ORDERING, OperationType.WRITE)
+            metrics.record_lock_time(Protocol.TIMESTAMP_ORDERING, 0.25, aborted=False)
+            metrics.record_commit(
+                TransactionOutcome(
+                    spec=spec,
+                    protocol=Protocol.TIMESTAMP_ORDERING,
+                    arrival_time=float(index),
+                    commit_time=float(index) + 0.5,
+                )
+            )
+        metrics.record_rejection(Protocol.TIMESTAMP_ORDERING, OperationType.READ)
+        return metrics
+
+    def test_measured_lock_time_replaces_prior(self):
+        estimator = make_estimator(min_observations=3)
+        metrics = self._metrics_with_history(committed=10)
+        estimator.bind_metrics(metrics)
+        costs = estimator.protocol_parameters(Protocol.TIMESTAMP_ORDERING)
+        assert costs.lock_time == pytest.approx(0.25)
+
+    def test_measured_rejection_probability_used(self):
+        estimator = make_estimator(min_observations=3)
+        metrics = self._metrics_with_history(committed=10)
+        estimator.bind_metrics(metrics)
+        costs = estimator.protocol_parameters(Protocol.TIMESTAMP_ORDERING)
+        assert costs.read_failure_probability == pytest.approx(0.1)
+
+    def test_prior_used_below_observation_threshold(self):
+        estimator = make_estimator(min_observations=50)
+        metrics = self._metrics_with_history(committed=10)
+        estimator.bind_metrics(metrics)
+        prior = make_estimator(min_observations=50).protocol_parameters(Protocol.TIMESTAMP_ORDERING)
+        measured = estimator.protocol_parameters(Protocol.TIMESTAMP_ORDERING)
+        assert measured.lock_time == pytest.approx(prior.lock_time)
+
+    def test_protocols_without_data_keep_priors(self):
+        estimator = make_estimator(min_observations=3)
+        estimator.bind_metrics(self._metrics_with_history(committed=10))
+        pa_costs = estimator.protocol_parameters(Protocol.PRECEDENCE_AGREEMENT)
+        prior = make_estimator().protocol_parameters(Protocol.PRECEDENCE_AGREEMENT)
+        assert pa_costs.lock_time == pytest.approx(prior.lock_time)

@@ -1,0 +1,128 @@
+"""Simulated network: latency, FIFO channels and message accounting."""
+
+import pytest
+
+from repro.common.config import NetworkConfig
+from repro.common.errors import SimulationError
+from repro.sim.actor import Actor, Message
+from repro.sim.network import Network
+from repro.sim.rng import RandomStreams
+from repro.sim.simulator import Simulator
+
+
+class Recorder(Actor):
+    """Actor that records every delivered message."""
+
+    def __init__(self, name, site):
+        super().__init__(name, site)
+        self.received = []
+
+    def handle(self, message: Message) -> None:
+        self.received.append(message)
+
+
+def build_network(fixed=0.01, variable=0.0, local=0.001):
+    simulator = Simulator()
+    network = Network(
+        simulator,
+        NetworkConfig(fixed_delay=fixed, variable_delay=variable, local_delay=local),
+        RandomStreams(1),
+    )
+    return simulator, network
+
+
+class TestRegistration:
+    def test_duplicate_names_rejected(self):
+        _, network = build_network()
+        network.register(Recorder("a", 0))
+        with pytest.raises(SimulationError):
+            network.register(Recorder("a", 1))
+
+    def test_unknown_actor_lookup_raises(self):
+        _, network = build_network()
+        with pytest.raises(SimulationError):
+            network.actor("missing")
+
+
+class TestDelivery:
+    def test_remote_message_arrives_after_fixed_delay(self):
+        simulator, network = build_network(fixed=0.05, variable=0.0)
+        sender, receiver = Recorder("s", 0), Recorder("r", 1)
+        network.register(sender)
+        network.register(receiver)
+        network.send(sender, "r", "ping", payload=123)
+        simulator.run()
+        assert len(receiver.received) == 1
+        assert receiver.received[0].payload == 123
+        assert simulator.now == pytest.approx(0.05)
+
+    def test_local_message_uses_local_delay(self):
+        simulator, network = build_network(fixed=0.05, local=0.001)
+        sender, receiver = Recorder("s", 0), Recorder("r", 0)
+        network.register(sender)
+        network.register(receiver)
+        network.send(sender, "r", "ping")
+        simulator.run()
+        assert simulator.now == pytest.approx(0.001)
+
+    def test_channel_is_fifo_even_with_random_latency(self):
+        simulator, network = build_network(fixed=0.01, variable=0.05)
+        sender, receiver = Recorder("s", 0), Recorder("r", 1)
+        network.register(sender)
+        network.register(receiver)
+        for index in range(20):
+            network.send(sender, "r", "msg", payload=index)
+        simulator.run()
+        payloads = [message.payload for message in receiver.received]
+        assert payloads == list(range(20))
+
+    def test_broadcast_reaches_every_receiver(self):
+        simulator, network = build_network()
+        sender = Recorder("s", 0)
+        receivers = [Recorder(f"r{i}", i % 2) for i in range(3)]
+        network.register(sender)
+        for receiver in receivers:
+            network.register(receiver)
+        network.broadcast(sender, [r.name for r in receivers], "hello")
+        simulator.run()
+        assert all(len(r.received) == 1 for r in receivers)
+
+
+class TestAccounting:
+    def test_message_counters(self):
+        simulator, network = build_network()
+        sender, remote, local = Recorder("s", 0), Recorder("remote", 1), Recorder("local", 0)
+        for actor in (sender, remote, local):
+            network.register(actor)
+        network.send(sender, "remote", "a")
+        network.send(sender, "local", "b")
+        assert network.messages_sent == 2
+        assert network.remote_messages == 1
+        assert network.local_messages == 1
+        assert network.messages_by_kind() == {"a": 1, "b": 1}
+
+    def test_overhead_messages_are_counted(self):
+        _, network = build_network()
+        network.charge_overhead_messages("probe", 5)
+        assert network.messages_sent == 5
+        assert network.messages_by_kind()["probe"] == 5
+
+    def test_negative_overhead_rejected(self):
+        _, network = build_network()
+        with pytest.raises(SimulationError):
+            network.charge_overhead_messages("probe", -1)
+
+    def test_latency_is_deterministic_per_seed(self):
+        def sample(seed):
+            simulator = Simulator()
+            network = Network(simulator, NetworkConfig(variable_delay=0.05), RandomStreams(seed))
+            return [network.latency(0, 1) for _ in range(5)]
+
+        assert sample(3) == sample(3)
+        assert sample(3) != sample(4)
+
+
+class TestBaseActor:
+    def test_base_actor_handle_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Actor("x", 0).handle(Message(kind="k", sender="a", receiver="x"))

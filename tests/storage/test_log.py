@@ -1,0 +1,86 @@
+"""Per-copy execution logs."""
+
+from repro.common.ids import CopyId, TransactionId
+from repro.common.operations import OperationType
+from repro.common.protocol_names import Protocol
+from repro.storage.log import CopyLog, ExecutionLog
+
+
+COPY = CopyId(0, 0)
+T1 = TransactionId(0, 1)
+T2 = TransactionId(0, 2)
+
+
+class TestCopyLog:
+    def test_append_preserves_order(self):
+        log = CopyLog(COPY)
+        log.append(T1, OperationType.READ, Protocol.TWO_PHASE_LOCKING, 1.0)
+        log.append(T2, OperationType.WRITE, Protocol.TIMESTAMP_ORDERING, 2.0)
+        entries = log.entries()
+        assert [entry.transaction for entry in entries] == [T1, T2]
+        assert len(log) == 2
+
+    def test_conflicting_pairs_require_a_write_and_distinct_transactions(self):
+        log = CopyLog(COPY)
+        log.append(T1, OperationType.READ, Protocol.TWO_PHASE_LOCKING, 1.0)
+        log.append(T2, OperationType.READ, Protocol.TWO_PHASE_LOCKING, 2.0)
+        log.append(T2, OperationType.WRITE, Protocol.TWO_PHASE_LOCKING, 3.0)
+        log.append(T1, OperationType.WRITE, Protocol.TWO_PHASE_LOCKING, 4.0)
+        pairs = [(earlier.transaction, later.transaction) for earlier, later in log.conflicting_pairs()]
+        assert (T1, T2) in pairs         # T1 read before T2 write
+        assert (T2, T1) in pairs         # T2 write before T1 write
+        assert (T2, T2) not in pairs     # same transaction never conflicts with itself
+
+    def test_remove_transaction(self):
+        log = CopyLog(COPY)
+        log.append(T1, OperationType.READ, Protocol.TIMESTAMP_ORDERING, 1.0)
+        log.append(T2, OperationType.WRITE, Protocol.TIMESTAMP_ORDERING, 2.0)
+        removed = log.remove_transaction(T1)
+        assert removed == 1
+        assert [entry.transaction for entry in log.entries()] == [T2]
+
+    def test_remove_absent_transaction_is_noop(self):
+        log = CopyLog(COPY)
+        assert log.remove_transaction(T1) == 0
+
+
+class TestExecutionLog:
+    def test_record_creates_logs_on_demand(self):
+        log = ExecutionLog()
+        log.record(COPY, T1, OperationType.WRITE, Protocol.PRECEDENCE_AGREEMENT, 1.0)
+        assert log.copies() == (COPY,)
+        assert log.total_operations() == 1
+
+    def test_transactions_lists_distinct_sorted(self):
+        log = ExecutionLog()
+        other = CopyId(1, 1)
+        log.record(COPY, T2, OperationType.WRITE, Protocol.TWO_PHASE_LOCKING, 1.0)
+        log.record(other, T1, OperationType.READ, Protocol.TWO_PHASE_LOCKING, 2.0)
+        log.record(other, T1, OperationType.WRITE, Protocol.TWO_PHASE_LOCKING, 3.0)
+        assert log.transactions() == (T1, T2)
+
+    def test_all_entries_spans_all_copies(self):
+        log = ExecutionLog()
+        log.record(COPY, T1, OperationType.READ, Protocol.TWO_PHASE_LOCKING, 1.0)
+        log.record(CopyId(1, 0), T2, OperationType.WRITE, Protocol.TWO_PHASE_LOCKING, 2.0)
+        assert len(log.all_entries()) == 2
+
+    def test_remove_transaction_scoped_to_copy(self):
+        log = ExecutionLog()
+        other = CopyId(1, 0)
+        log.record(COPY, T1, OperationType.READ, Protocol.TIMESTAMP_ORDERING, 1.0)
+        log.record(other, T1, OperationType.READ, Protocol.TIMESTAMP_ORDERING, 1.0)
+        assert log.remove_transaction(COPY, T1) == 1
+        assert log.total_operations() == 1
+
+    def test_remove_from_unknown_copy_is_noop(self):
+        log = ExecutionLog()
+        assert log.remove_transaction(COPY, T1) == 0
+
+    def test_entry_conflict_helper(self):
+        log = ExecutionLog()
+        first = log.record(COPY, T1, OperationType.WRITE, Protocol.TWO_PHASE_LOCKING, 1.0)
+        second = log.record(COPY, T2, OperationType.READ, Protocol.TWO_PHASE_LOCKING, 2.0)
+        third = log.record(CopyId(9, 0), T2, OperationType.WRITE, Protocol.TWO_PHASE_LOCKING, 3.0)
+        assert first.conflicts_with(second)
+        assert not first.conflicts_with(third)

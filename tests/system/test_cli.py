@@ -1,0 +1,110 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.command == "run"
+        assert args.protocol == "mixed"
+        assert args.sites == 4
+
+    def test_sweep_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep"])
+
+    def test_sweep_arguments(self):
+        args = build_parser().parse_args(["sweep", "--experiment", "e2", "--sizes", "1", "3"])
+        assert args.experiment == "e2"
+        assert args.sizes == [1, 3]
+
+
+class TestRunCommand:
+    @pytest.mark.parametrize("protocol", ["2PL", "T/O", "PA", "mixed", "dynamic"])
+    def test_run_each_method(self, protocol, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--protocol", protocol,
+                "--sites", "2",
+                "--items", "16",
+                "--transactions", "30",
+                "--arrival-rate", "20",
+                "--seed", "5",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "mean_system_time" in captured.out
+        assert "serializable" in captured.out
+
+    def test_run_with_switching_and_no_semi_locks(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--protocol", "mixed",
+                "--sites", "2",
+                "--items", "12",
+                "--transactions", "30",
+                "--switch-after", "2",
+                "--no-semi-locks",
+                "--seed", "6",
+            ]
+        )
+        assert exit_code == 0
+        assert "committed" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_e1_sweep(self, capsys):
+        exit_code = main(
+            [
+                "sweep",
+                "--experiment", "e1",
+                "--rates", "10", "30",
+                "--sites", "2",
+                "--items", "16",
+                "--transactions", "25",
+                "--seed", "7",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "2PL" in out and "PA" in out
+        assert "mean_system_time" in out
+
+    def test_e3_sweep(self, capsys):
+        exit_code = main(
+            [
+                "sweep",
+                "--experiment", "e3",
+                "--sites", "2",
+                "--items", "16",
+                "--transactions", "25",
+                "--arrival-rate", "30",
+                "--seed", "8",
+            ]
+        )
+        assert exit_code == 0
+        assert "protocol" in capsys.readouterr().out
+
+    def test_e6_sweep(self, capsys):
+        exit_code = main(
+            [
+                "sweep",
+                "--experiment", "e6",
+                "--sites", "2",
+                "--items", "16",
+                "--transactions", "25",
+                "--seed", "9",
+            ]
+        )
+        assert exit_code == 0
+        assert "enforcement" in capsys.readouterr().out

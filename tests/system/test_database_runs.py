@@ -1,0 +1,174 @@
+"""End-to-end simulation runs of the full distributed database."""
+
+import pytest
+
+from repro.common.config import ProtocolMix, SystemConfig, WorkloadConfig
+from repro.common.ids import TransactionId
+from repro.common.protocol_names import Protocol
+from repro.common.transactions import TransactionSpec
+from repro.storage.store import ValueStore
+from repro.system.database import DistributedDatabase
+from repro.system.runner import run_simulation
+from repro.workload.generator import generate_workload
+
+
+def run(protocol, small_system, small_workload, **workload_overrides):
+    workload = small_workload.with_overrides(**workload_overrides) if workload_overrides else small_workload
+    return run_simulation(small_system, workload, protocol=protocol)
+
+
+class TestStaticProtocolRuns:
+    @pytest.mark.parametrize("protocol", ["2PL", "T/O", "PA"])
+    def test_every_transaction_commits(self, protocol, small_system, small_workload):
+        result = run(protocol, small_system, small_workload)
+        assert result.committed == small_workload.num_transactions
+        assert result.submitted == small_workload.num_transactions
+
+    @pytest.mark.parametrize("protocol", ["2PL", "T/O", "PA"])
+    def test_execution_is_conflict_serializable(self, protocol, small_system, small_workload):
+        result = run(protocol, small_system, small_workload)
+        assert result.serializable
+
+    def test_pa_never_restarts(self, small_system, small_workload):
+        result = run("PA", small_system, small_workload)
+        stats = result.metrics.protocol_statistics(Protocol.PRECEDENCE_AGREEMENT)
+        assert stats.restarts == 0
+        assert stats.deadlock_aborts == 0
+
+    def test_to_never_deadlocks(self, small_system, small_workload):
+        result = run("T/O", small_system, small_workload)
+        stats = result.metrics.protocol_statistics(Protocol.TIMESTAMP_ORDERING)
+        assert stats.deadlock_aborts == 0
+
+    def test_mean_system_time_positive(self, small_system, small_workload):
+        result = run("2PL", small_system, small_workload)
+        assert result.mean_system_time > 0.0
+        assert result.throughput > 0.0
+
+    def test_messages_are_accounted(self, small_system, small_workload):
+        result = run("2PL", small_system, small_workload)
+        assert result.messages_total > result.committed
+        assert result.messages_per_transaction > 0
+        assert "request" in result.messages_by_kind
+
+    def test_pa_uses_more_messages_than_2pl(self, small_system, small_workload):
+        # The propose/confirm negotiation costs PA extra messages per request.
+        two_pl = run("2PL", small_system, small_workload)
+        pa = run("PA", small_system, small_workload)
+        assert pa.messages_per_transaction > two_pl.messages_per_transaction
+
+    def test_summary_contains_key_figures(self, small_system, small_workload):
+        summary = run("PA", small_system, small_workload).summary()
+        for key in ("committed", "mean_system_time", "throughput", "serializable"):
+            assert key in summary
+
+
+class TestMixedAndDynamicRuns:
+    def test_mixed_run_commits_everything_serializably(self, small_system, small_workload):
+        result = run_simulation(small_system, small_workload)
+        assert result.committed == small_workload.num_transactions
+        assert result.serializable
+
+    def test_mixed_run_uses_all_three_protocols(self, small_system, small_workload):
+        result = run_simulation(small_system, small_workload)
+        used = set(result.protocol_of.values())
+        assert used == set(Protocol)
+
+    def test_dynamic_selection_runs_to_completion(self, small_system, small_workload):
+        result = run_simulation(small_system, small_workload, dynamic_selection=True)
+        assert result.committed == small_workload.num_transactions
+        assert result.serializable
+
+    def test_dynamic_and_fixed_protocol_are_mutually_exclusive(self, small_system, small_workload):
+        with pytest.raises(ValueError):
+            run_simulation(small_system, small_workload, protocol="PA", dynamic_selection=True)
+
+    def test_deadlock_victims_are_always_2pl(self, small_system, small_workload):
+        # Corollary 2: every deadlock cycle contains a 2PL transaction, and the
+        # detector only ever aborts 2PL members.
+        workload = small_workload.with_overrides(
+            arrival_rate=60.0, hotspot_probability=0.6, hotspot_fraction=0.1
+        )
+        result = run_simulation(small_system, workload)
+        for victim in result.deadlock_victims:
+            assert result.protocol_of[victim].is_two_phase_locking
+
+    def test_determinism_same_seed_same_result(self, small_system, small_workload):
+        first = run_simulation(small_system, small_workload, protocol="2PL")
+        second = run_simulation(small_system, small_workload, protocol="2PL")
+        assert first.mean_system_time == pytest.approx(second.mean_system_time)
+        assert first.messages_total == second.messages_total
+        assert first.deadlock_aborts == second.deadlock_aborts
+
+    def test_different_seed_changes_the_run(self, small_system, small_workload):
+        first = run_simulation(small_system, small_workload, protocol="2PL")
+        second = run_simulation(
+            small_system, small_workload.with_overrides(seed=99), protocol="2PL"
+        )
+        assert first.mean_system_time != pytest.approx(second.mean_system_time)
+
+
+class TestReplication:
+    def test_replicated_run_is_serializable(self, small_workload):
+        system = SystemConfig(num_sites=3, num_items=18, replication_factor=2, seed=5)
+        result = run_simulation(system, small_workload, protocol="2PL")
+        assert result.serializable
+        assert result.committed == small_workload.num_transactions
+
+    def test_replicated_run_with_mixed_protocols(self, small_workload):
+        system = SystemConfig(num_sites=3, num_items=18, replication_factor=3, seed=5)
+        result = run_simulation(system, small_workload)
+        assert result.serializable
+
+
+class TestManualSubmission:
+    def test_submit_individual_transactions(self, small_system):
+        database = DistributedDatabase(small_system)
+        specs = [
+            TransactionSpec(
+                tid=TransactionId(site, 1),
+                read_items=(0,),
+                write_items=(site + 1,),
+                protocol=Protocol.TWO_PHASE_LOCKING,
+                arrival_time=0.01 * (site + 1),
+            )
+            for site in range(small_system.num_sites)
+        ]
+        for spec in specs:
+            database.submit(spec)
+        result = database.run()
+        assert result.committed == len(specs)
+
+    def test_unknown_origin_site_rejected(self, small_system):
+        database = DistributedDatabase(small_system)
+        bad = TransactionSpec(
+            tid=TransactionId(99, 1), read_items=(0,), write_items=(), protocol=Protocol.TWO_PHASE_LOCKING
+        )
+        with pytest.raises(Exception):
+            database.submit(bad)
+
+    def test_transaction_logic_applied_under_locks(self, small_system):
+        store = ValueStore(default_value=0)
+        database = DistributedDatabase(small_system, value_store=store)
+        catalog = database.catalog
+        increments = 20
+        specs = []
+        for index in range(increments):
+            tid = TransactionId(index % small_system.num_sites, index + 1)
+            specs.append(
+                TransactionSpec(
+                    tid=tid,
+                    read_items=(0,),
+                    write_items=(0,),
+                    protocol=Protocol.TWO_PHASE_LOCKING,
+                    arrival_time=0.001 * index,
+                    logic=lambda reads: {0: reads[0] + 1},
+                )
+            )
+        for spec in specs:
+            database.submit(spec)
+        result = database.run()
+        assert result.committed == increments
+        assert result.serializable
+        for copy in catalog.copies_of(0):
+            assert store.read(copy) == increments

@@ -1,0 +1,125 @@
+"""Deadlock detector actor behaviour inside full runs."""
+
+import pytest
+
+from repro.common.config import ProtocolMix, SystemConfig, WorkloadConfig
+from repro.common.ids import TransactionId
+from repro.common.protocol_names import Protocol
+from repro.common.transactions import TransactionSpec
+from repro.system.database import DistributedDatabase
+from repro.system.runner import run_simulation
+
+
+def crossing_transactions():
+    """Two 2PL transactions that lock items 0 and 1 in opposite orders.
+
+    With write-all replication disabled (single copies at sites 0 and 1) and
+    both transactions arriving at the same instant, each acquires its first
+    lock and then waits for the other: a guaranteed deadlock that only the
+    detector can break.
+    """
+    t_a = TransactionSpec(
+        tid=TransactionId(0, 1),
+        read_items=(),
+        write_items=(0, 1),
+        protocol=Protocol.TWO_PHASE_LOCKING,
+        arrival_time=0.001,
+        compute_time=0.001,
+    )
+    t_b = TransactionSpec(
+        tid=TransactionId(1, 1),
+        read_items=(),
+        write_items=(1, 0),
+        protocol=Protocol.TWO_PHASE_LOCKING,
+        arrival_time=0.001,
+        compute_time=0.001,
+    )
+    return [t_a, t_b]
+
+
+class TestDeadlockResolution:
+    def test_crossing_2pl_transactions_eventually_commit(self):
+        system = SystemConfig(
+            num_sites=2, num_items=2, deadlock_detection_period=0.05, restart_delay=0.01, seed=3
+        )
+        database = DistributedDatabase(system)
+        for spec in crossing_transactions():
+            database.submit(spec)
+        result = database.run()
+        assert result.committed == 2
+        assert result.serializable
+        assert result.deadlocks_found >= 1
+        assert result.deadlock_aborts >= 1
+
+    def test_victims_recorded(self):
+        system = SystemConfig(
+            num_sites=2, num_items=2, deadlock_detection_period=0.05, restart_delay=0.01, seed=3
+        )
+        database = DistributedDatabase(system)
+        for spec in crossing_transactions():
+            database.submit(spec)
+        result = database.run()
+        assert len(result.deadlock_victims) >= 1
+        for victim in result.deadlock_victims:
+            assert victim in (TransactionId(0, 1), TransactionId(1, 1))
+
+    def test_detection_period_trades_latency(self):
+        # A slower detector leaves the deadlocked transactions blocked longer,
+        # so their mean system time cannot be smaller than with a fast detector.
+        def run_with_period(period):
+            system = SystemConfig(
+                num_sites=2, num_items=2, deadlock_detection_period=period,
+                restart_delay=0.01, seed=3,
+            )
+            database = DistributedDatabase(system)
+            for spec in crossing_transactions():
+                database.submit(spec)
+            return database.run()
+
+        fast = run_with_period(0.02)
+        slow = run_with_period(1.0)
+        assert slow.mean_system_time >= fast.mean_system_time
+
+    def test_detector_scans_are_counted_and_charged(self):
+        system = SystemConfig(
+            num_sites=2, num_items=2, deadlock_detection_period=0.05,
+            deadlock_detection_message_cost=3, restart_delay=0.01, seed=3,
+        )
+        database = DistributedDatabase(system)
+        for spec in crossing_transactions():
+            database.submit(spec)
+        result = database.run()
+        assert result.detector_scans >= 1
+        assert result.messages_by_kind.get("deadlock-probe", 0) >= 3
+
+    def test_zero_message_cost_supported(self):
+        system = SystemConfig(
+            num_sites=2, num_items=2, deadlock_detection_period=0.05,
+            deadlock_detection_message_cost=0, restart_delay=0.01, seed=3,
+        )
+        database = DistributedDatabase(system)
+        for spec in crossing_transactions():
+            database.submit(spec)
+        result = database.run()
+        assert result.committed == 2
+        assert result.messages_by_kind.get("deadlock-probe", 0) == 0
+
+
+class TestNoFalseVictims:
+    def test_pure_pa_run_has_no_deadlock_victims(self, small_system, small_workload):
+        workload = small_workload.with_overrides(
+            arrival_rate=50.0,
+            protocol_mix=ProtocolMix.pure(Protocol.PRECEDENCE_AGREEMENT),
+        )
+        result = run_simulation(small_system, workload)
+        assert result.deadlock_aborts == 0
+        assert len(result.deadlock_victims) == 0
+
+    def test_pure_to_run_has_no_deadlock_victims(self, small_system, small_workload):
+        workload = small_workload.with_overrides(
+            arrival_rate=50.0,
+            protocol_mix=ProtocolMix.pure(Protocol.TIMESTAMP_ORDERING),
+        )
+        result = run_simulation(small_system, workload)
+        assert result.deadlock_aborts == 0
+        assert len(result.deadlock_victims) == 0

@@ -1,0 +1,111 @@
+"""Robustness: degenerate and extreme configurations must stay correct."""
+
+import pytest
+
+from repro.common.config import NetworkConfig, ProtocolMix, SystemConfig, WorkloadConfig
+from repro.common.protocol_names import Protocol
+from repro.system.runner import run_simulation
+
+
+def run(system, workload, protocol=None):
+    result = run_simulation(system, workload, protocol=protocol)
+    assert result.committed == workload.num_transactions
+    assert result.serializable
+    return result
+
+
+class TestDegenerateTopologies:
+    def test_single_site_system(self):
+        system = SystemConfig(num_sites=1, num_items=8, seed=1,
+                              deadlock_detection_period=0.05, restart_delay=0.01)
+        workload = WorkloadConfig(arrival_rate=30.0, num_transactions=40, min_size=1, max_size=3, seed=2)
+        for protocol in ("2PL", "T/O", "PA", None):
+            run(system, workload, protocol)
+
+    def test_single_item_database(self):
+        system = SystemConfig(num_sites=2, num_items=1, seed=3,
+                              deadlock_detection_period=0.05, restart_delay=0.01)
+        workload = WorkloadConfig(arrival_rate=20.0, num_transactions=30, min_size=1, max_size=1, seed=4)
+        for protocol in ("2PL", "T/O", "PA"):
+            run(system, workload, protocol)
+
+    def test_full_replication(self):
+        system = SystemConfig(num_sites=4, num_items=8, replication_factor=4, seed=5,
+                              deadlock_detection_period=0.1, restart_delay=0.01)
+        workload = WorkloadConfig(arrival_rate=15.0, num_transactions=30, min_size=1, max_size=3, seed=6)
+        run(system, workload)
+
+    def test_many_sites_few_items(self):
+        system = SystemConfig(num_sites=8, num_items=8, seed=7,
+                              deadlock_detection_period=0.1, restart_delay=0.01)
+        workload = WorkloadConfig(arrival_rate=40.0, num_transactions=40, min_size=1, max_size=3, seed=8)
+        run(system, workload)
+
+
+class TestDegenerateTimings:
+    def test_zero_network_delay(self):
+        system = SystemConfig(
+            num_sites=3, num_items=16, seed=9,
+            network=NetworkConfig(fixed_delay=0.0, variable_delay=0.0, local_delay=0.0),
+            deadlock_detection_period=0.05, restart_delay=0.01, io_time=0.0,
+        )
+        workload = WorkloadConfig(arrival_rate=50.0, num_transactions=50, min_size=1, max_size=4,
+                                  compute_time=0.0, seed=10)
+        for protocol in ("2PL", "T/O", "PA", None):
+            run(system, workload, protocol)
+
+    def test_large_network_variance(self):
+        system = SystemConfig(
+            num_sites=3, num_items=16, seed=11,
+            network=NetworkConfig(fixed_delay=0.02, variable_delay=0.1),
+            deadlock_detection_period=0.2, restart_delay=0.02,
+        )
+        workload = WorkloadConfig(arrival_rate=20.0, num_transactions=40, min_size=1, max_size=4, seed=12)
+        for protocol in ("T/O", "PA"):
+            result = run(system, workload, protocol)
+            if protocol == "PA":
+                stats = result.metrics.protocol_statistics(Protocol.PRECEDENCE_AGREEMENT)
+                assert stats.restarts == 0
+
+    def test_zero_compute_and_io_time(self):
+        system = SystemConfig(num_sites=2, num_items=12, io_time=0.0, seed=13,
+                              deadlock_detection_period=0.05, restart_delay=0.005)
+        workload = WorkloadConfig(arrival_rate=100.0, num_transactions=60, min_size=1, max_size=4,
+                                  compute_time=0.0, seed=14)
+        run(system, workload)
+
+
+class TestDegenerateWorkloads:
+    def test_read_only_workload_has_no_conflicts(self):
+        system = SystemConfig(num_sites=3, num_items=16, seed=15,
+                              deadlock_detection_period=0.1, restart_delay=0.01)
+        workload = WorkloadConfig(arrival_rate=40.0, num_transactions=50, min_size=1, max_size=5,
+                                  read_fraction=1.0, seed=16)
+        result = run(system, workload)
+        assert result.restarts == 0
+        assert result.deadlock_aborts == 0
+
+    def test_write_only_hotspot_workload(self):
+        system = SystemConfig(num_sites=3, num_items=16, seed=17,
+                              deadlock_detection_period=0.1, restart_delay=0.01)
+        workload = WorkloadConfig(arrival_rate=40.0, num_transactions=50, min_size=1, max_size=4,
+                                  read_fraction=0.0, hotspot_probability=0.8, hotspot_fraction=0.1,
+                                  seed=18)
+        run(system, workload)
+
+    def test_transactions_spanning_the_whole_database(self):
+        system = SystemConfig(num_sites=2, num_items=6, seed=19,
+                              deadlock_detection_period=0.05, restart_delay=0.01)
+        workload = WorkloadConfig(arrival_rate=10.0, num_transactions=25, min_size=6, max_size=6, seed=20)
+        for protocol in ("2PL", "PA"):
+            run(system, workload, protocol)
+
+    def test_pure_mix_behaves_like_fixed_protocol(self):
+        system = SystemConfig(num_sites=2, num_items=16, seed=21,
+                              deadlock_detection_period=0.1, restart_delay=0.01)
+        workload = WorkloadConfig(arrival_rate=20.0, num_transactions=30, seed=22,
+                                  protocol_mix=ProtocolMix.pure(Protocol.TIMESTAMP_ORDERING))
+        via_mix = run_simulation(system, workload)
+        via_protocol = run_simulation(system, workload, protocol="T/O")
+        assert via_mix.mean_system_time == pytest.approx(via_protocol.mean_system_time)
+        assert via_mix.messages_total == via_protocol.messages_total

@@ -1,0 +1,85 @@
+"""Future-work item 4: transactions switching protocol after repeated aborts."""
+
+import pytest
+
+from repro.common.config import ProtocolMix, SystemConfig, WorkloadConfig
+from repro.common.ids import TransactionId
+from repro.common.protocol_names import Protocol
+from repro.common.transactions import TransactionSpec
+from repro.system.database import DistributedDatabase
+from repro.system.runner import run_simulation
+
+
+def crossing_2pl_specs():
+    """Two 2PL transactions guaranteed to deadlock (opposite lock order)."""
+    return [
+        TransactionSpec(
+            tid=TransactionId(0, 1), read_items=(), write_items=(0, 1),
+            protocol=Protocol.TWO_PHASE_LOCKING, arrival_time=0.001, compute_time=0.001,
+        ),
+        TransactionSpec(
+            tid=TransactionId(1, 1), read_items=(), write_items=(1, 0),
+            protocol=Protocol.TWO_PHASE_LOCKING, arrival_time=0.001, compute_time=0.001,
+        ),
+    ]
+
+
+def run_crossing(threshold):
+    system = SystemConfig(
+        num_sites=2, num_items=2, deadlock_detection_period=0.05, restart_delay=0.01,
+        protocol_switch_threshold=threshold, seed=3,
+    )
+    database = DistributedDatabase(system)
+    for spec in crossing_2pl_specs():
+        database.submit(spec)
+    return database.run()
+
+
+class TestSwitching:
+    def test_disabled_by_default(self):
+        result = run_crossing(threshold=None)
+        assert result.protocol_switches == 0
+        assert result.committed == 2
+
+    def test_victim_switches_to_pa_after_threshold(self):
+        result = run_crossing(threshold=1)
+        assert result.committed == 2
+        assert result.serializable
+        assert result.protocol_switches >= 1
+        switched = [tid for tid, protocol in result.protocol_of.items()
+                    if protocol.is_precedence_agreement]
+        assert switched          # the deadlock victim ended its life as a PA transaction
+
+    def test_summary_reports_switches(self):
+        result = run_crossing(threshold=1)
+        assert result.summary()["protocol_switches"] == result.protocol_switches
+
+    def test_invalid_threshold_rejected(self):
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            SystemConfig(protocol_switch_threshold=0)
+
+    def test_high_contention_run_with_switching_stays_correct(self, small_workload):
+        system = SystemConfig(
+            num_sites=3, num_items=12, deadlock_detection_period=0.1, restart_delay=0.02,
+            protocol_switch_threshold=2, seed=9,
+        )
+        workload = small_workload.with_overrides(
+            arrival_rate=60.0, hotspot_probability=0.6, hotspot_fraction=0.15,
+            protocol_mix=ProtocolMix.uniform(),
+        )
+        result = run_simulation(system, workload)
+        assert result.committed == workload.num_transactions
+        assert result.serializable
+
+    def test_switching_never_triggers_for_pa_transactions(self, small_workload):
+        system = SystemConfig(
+            num_sites=3, num_items=24, protocol_switch_threshold=1, seed=4,
+            deadlock_detection_period=0.1, restart_delay=0.02,
+        )
+        workload = small_workload.with_overrides(
+            protocol_mix=ProtocolMix.pure(Protocol.PRECEDENCE_AGREEMENT)
+        )
+        result = run_simulation(system, workload)
+        assert result.protocol_switches == 0

@@ -1,0 +1,72 @@
+"""Workload access patterns."""
+
+import random
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.workload.access_patterns import HotspotAccessPattern, UniformAccessPattern
+
+
+class TestUniformAccessPattern:
+    def test_draw_returns_distinct_sorted_items(self):
+        pattern = UniformAccessPattern(100)
+        rng = random.Random(1)
+        items = pattern.draw(rng, 10)
+        assert len(items) == 10
+        assert len(set(items)) == 10
+        assert items == sorted(items)
+
+    def test_draw_clamped_to_database_size(self):
+        pattern = UniformAccessPattern(5)
+        items = pattern.draw(random.Random(1), 50)
+        assert len(items) == 5
+
+    def test_draw_at_least_one_item(self):
+        pattern = UniformAccessPattern(5)
+        assert len(pattern.draw(random.Random(1), 0)) == 1
+
+    def test_items_within_range(self):
+        pattern = UniformAccessPattern(20)
+        for _ in range(20):
+            assert all(0 <= item < 20 for item in pattern.draw(random.Random(), 5))
+
+    def test_requires_positive_size(self):
+        with pytest.raises(ConfigurationError):
+            UniformAccessPattern(0)
+
+
+class TestHotspotAccessPattern:
+    def test_hot_region_receives_disproportionate_accesses(self):
+        pattern = HotspotAccessPattern(100, hot_fraction=0.1, hot_probability=0.8)
+        rng = random.Random(7)
+        hot_hits = 0
+        total = 0
+        for _ in range(500):
+            for item in pattern.draw(rng, 2):
+                total += 1
+                if item < pattern.hot_size:
+                    hot_hits += 1
+        assert hot_hits / total > 0.5        # far above the uniform 10%
+
+    def test_zero_probability_behaves_like_uniform_range(self):
+        pattern = HotspotAccessPattern(50, hot_fraction=0.1, hot_probability=0.0)
+        items = pattern.draw(random.Random(3), 10)
+        assert all(0 <= item < 50 for item in items)
+
+    def test_hot_size_at_least_one(self):
+        pattern = HotspotAccessPattern(5, hot_fraction=0.01, hot_probability=0.5)
+        assert pattern.hot_size == 1
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HotspotAccessPattern(10, hot_fraction=0.0, hot_probability=0.5)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HotspotAccessPattern(10, hot_fraction=0.5, hot_probability=2.0)
+
+    def test_distinct_items_even_under_heavy_skew(self):
+        pattern = HotspotAccessPattern(20, hot_fraction=0.5, hot_probability=1.0)
+        items = pattern.draw(random.Random(5), 8)
+        assert len(set(items)) == 8

@@ -1,0 +1,120 @@
+"""Transaction stream generation."""
+
+import pytest
+
+from repro.common.config import ProtocolMix, SystemConfig, WorkloadConfig
+from repro.common.protocol_names import Protocol
+from repro.workload.generator import TransactionGenerator, generate_workload
+
+
+def configs(**overrides):
+    system = SystemConfig(num_sites=4, num_items=50)
+    defaults = dict(arrival_rate=20.0, num_transactions=200, min_size=2, max_size=6, seed=3)
+    defaults.update(overrides)
+    return system, WorkloadConfig(**defaults)
+
+
+class TestDeterminism:
+    def test_same_seed_gives_identical_workloads(self):
+        system, workload = configs()
+        first = generate_workload(system, workload)
+        second = generate_workload(system, workload)
+        assert [spec.tid for spec in first] == [spec.tid for spec in second]
+        assert [spec.arrival_time for spec in first] == [spec.arrival_time for spec in second]
+        assert [spec.read_items for spec in first] == [spec.read_items for spec in second]
+
+    def test_different_seeds_differ(self):
+        system, workload = configs(seed=1)
+        _, other = configs(seed=2)
+        assert generate_workload(system, workload) != generate_workload(system, other)
+
+
+class TestShape:
+    def test_generates_requested_number_of_transactions(self):
+        system, workload = configs(num_transactions=77)
+        assert len(generate_workload(system, workload)) == 77
+
+    def test_arrival_times_are_increasing(self):
+        system, workload = configs()
+        specs = generate_workload(system, workload)
+        times = [spec.arrival_time for spec in specs]
+        assert times == sorted(times)
+        assert times[0] > 0.0
+
+    def test_mean_interarrival_matches_rate(self):
+        system, workload = configs(arrival_rate=50.0, num_transactions=2000)
+        specs = generate_workload(system, workload)
+        span = specs[-1].arrival_time - specs[0].arrival_time
+        mean_gap = span / (len(specs) - 1)
+        assert mean_gap == pytest.approx(1.0 / 50.0, rel=0.15)
+
+    def test_sizes_within_configured_bounds(self):
+        system, workload = configs(min_size=3, max_size=5)
+        for spec in generate_workload(system, workload):
+            assert 3 <= spec.size <= 5
+
+    def test_transaction_ids_unique(self):
+        system, workload = configs()
+        specs = generate_workload(system, workload)
+        tids = [spec.tid for spec in specs]
+        assert len(set(tids)) == len(tids)
+
+    def test_sites_within_range_and_spread(self):
+        system, workload = configs(num_transactions=400)
+        sites = {spec.origin_site for spec in generate_workload(system, workload)}
+        assert sites == set(range(system.num_sites))
+
+    def test_read_fraction_respected_on_average(self):
+        system, workload = configs(read_fraction=0.8, num_transactions=500)
+        specs = generate_workload(system, workload)
+        reads = sum(spec.num_reads for spec in specs)
+        writes = sum(spec.num_writes for spec in specs)
+        assert reads / (reads + writes) == pytest.approx(0.8, abs=0.05)
+
+    def test_write_only_workload(self):
+        system, workload = configs(read_fraction=0.0)
+        for spec in generate_workload(system, workload):
+            assert spec.num_reads == 0
+            assert spec.num_writes >= 1
+
+    def test_items_within_database(self):
+        system, workload = configs()
+        for spec in generate_workload(system, workload):
+            assert all(0 <= item < system.num_items for item in spec.accessed_items())
+
+
+class TestProtocolAssignment:
+    def test_pure_mix_assigns_single_protocol(self):
+        system, workload = configs(protocol_mix=ProtocolMix.pure(Protocol.PRECEDENCE_AGREEMENT))
+        for spec in generate_workload(system, workload):
+            assert spec.protocol is Protocol.PRECEDENCE_AGREEMENT
+
+    def test_uniform_mix_assigns_all_protocols(self):
+        system, workload = configs(num_transactions=300, protocol_mix=ProtocolMix.uniform())
+        protocols = {spec.protocol for spec in generate_workload(system, workload)}
+        assert protocols == set(Protocol)
+
+    def test_unassigned_mode_leaves_protocol_none(self):
+        system, workload = configs()
+        specs = generate_workload(system, workload, assign_protocols=False)
+        assert all(spec.protocol is None for spec in specs)
+
+    def test_hotspot_configuration_concentrates_accesses(self):
+        system, workload = configs(
+            num_transactions=400, hotspot_probability=0.9, hotspot_fraction=0.1
+        )
+        specs = generate_workload(system, workload)
+        hot_limit = int(system.num_items * 0.1)
+        hot_accesses = sum(
+            1 for spec in specs for item in spec.accessed_items() if item < hot_limit
+        )
+        total = sum(spec.size for spec in specs)
+        assert hot_accesses / total > 0.5
+
+    def test_compute_times_non_negative(self):
+        system, workload = configs(compute_time=0.01)
+        assert all(spec.compute_time >= 0 for spec in generate_workload(system, workload))
+
+    def test_zero_compute_time_supported(self):
+        system, workload = configs(compute_time=0.0)
+        assert all(spec.compute_time == 0.0 for spec in generate_workload(system, workload))
