@@ -1,0 +1,20 @@
+PY ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-smoke bench-baseline
+
+## tier-1 verification gate
+test:
+	$(PY) -m pytest -x -q
+
+## hot-path micros as plain tests (no timing) — fast sanity check
+bench-smoke:
+	$(PY) -m pytest benchmarks/bench_micro_hotpaths.py -q --benchmark-disable
+
+## full pytest-benchmark run of the hot-path micros
+bench:
+	$(PY) -m pytest benchmarks/bench_micro_hotpaths.py -q
+
+## refresh BENCH_BASELINE.json (seed vs optimised A/B; exits non-zero on drift)
+bench-baseline:
+	$(PY) benchmarks/baseline.py

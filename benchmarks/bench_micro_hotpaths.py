@@ -1,0 +1,57 @@
+"""Micro-benchmarks for the hot-path data structures.
+
+Times the optimised structures themselves (pytest-benchmark), and smoke-checks
+the A/B determinism contract against the seed implementations at a reduced
+scale.  The recorded before/after trajectory lives in ``BENCH_BASELINE.json``;
+refresh it with ``make bench-baseline`` (see README, "Performance notes").
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_micro_hotpaths.py -q
+"""
+
+from benchmarks.baseline import (
+    _AB_KEYS,
+    _event_churn_script,
+    _queue_churn_script,
+    e2_scale_configs,
+    make_synthetic_log,
+    run_e2_scale,
+    seed_structures,
+)
+from repro.core.data_queue import DataQueue
+from repro.core.serializability import check_serializable
+from repro.sim.events import EventQueue
+
+
+def test_oracle_10k_entries(benchmark):
+    """Serializability audit of a 10k-entry synthetic execution log."""
+    log = make_synthetic_log(
+        num_entries=10_000,
+        num_transactions=150,
+        num_copies=16,
+        read_fraction=0.6,
+        seed=97,
+    )
+    report = benchmark(check_serializable, log)
+    assert report.transactions_checked == len(log.transactions())
+
+
+def test_data_queue_churn(benchmark):
+    """Insert / find / head / remove_transaction churn at depth ~128."""
+    benchmark(_queue_churn_script, DataQueue, 2_000)
+
+
+def test_event_list_churn(benchmark):
+    """Push / cancel / pop churn with a pending-count monitor."""
+    benchmark(_event_churn_script, EventQueue, 20_000)
+
+
+def test_ab_determinism_smoke():
+    """Seed and optimised structures must produce identical simulations."""
+    configs = e2_scale_configs(80)
+    with seed_structures():
+        before = run_e2_scale(configs["system"], configs["workload"])
+    after = run_e2_scale(configs["system"], configs["workload"])
+    for key in _AB_KEYS:
+        assert before[key] == after[key], f"A/B mismatch on {key}"

@@ -26,10 +26,20 @@ class TransactionId:
     Ordering is lexicographic on ``(site, seq)``; the unified precedence rules
     only ever compare transaction ids as a final tie-break, so any total order
     works as long as it is consistent across sites.
+
+    Identifiers are hashed millions of times per run (queue indices, wait-for
+    graphs, the conflict graph), so the hash is computed once at construction
+    instead of building a field tuple on every lookup.
     """
 
     site: SiteId
     seq: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.site, self.seq)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:
         return f"T{self.site}.{self.seq}"
@@ -41,6 +51,12 @@ class CopyId:
 
     item: ItemId
     site: SiteId
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.item, self.site)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:
         return f"D{self.item}@{self.site}"
@@ -59,6 +75,14 @@ class RequestId:
     transaction: TransactionId
     index: int
     attempt: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "_hash", hash((self.transaction, self.index, self.attempt))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:
         return f"{self.transaction}.op{self.index}#{self.attempt}"

@@ -6,13 +6,37 @@ precedence has already been granted, which is exactly the paper's definition
 (Section 3.4, step 2(e)ii).  Granted entries stay in the queue until their
 locks are released (or the transaction aborts), because later entries must
 still order themselves behind them.
+
+Representation
+--------------
+The queue keeps three synchronised structures:
+
+* ``_entries`` — the precedence-ordered list itself, maintained by binary
+  insertion (``bisect``) instead of a full re-sort on every arrival;
+* ``_keys`` — a parallel list of *filed keys*, one per entry.  A filed key is
+  ``(precedence.sort_key(), insertion_seq)``: unique, strictly increasing for
+  equal precedences in arrival order, so binary search pinpoints any entry in
+  O(log n) even among precedence ties.  Filed keys are recorded at insert (and
+  at :meth:`resort`) time, so callers may mutate ``entry.precedence`` freely
+  between a batch of updates and the closing :meth:`resort` — lookups stay
+  consistent because they use the key an entry was *filed* under;
+* ``_by_request`` / ``_by_transaction`` — hash indices making ``find`` O(1)
+  and ``entries_of`` / ``remove_transaction`` O(k) in the number of the
+  transaction's own entries.
+
+``_head_hint`` caches a lower bound on the index of the first ungranted entry
+so ``head()`` / ``ungranted()`` do not rescan the granted prefix on every
+grant-loop iteration.  The hint only ever needs to move *backwards* on an
+insert or removal before it; it is safe because a granted entry never becomes
+ungranted again.
 """
 
 from __future__ import annotations
 
+import bisect
 import enum
-from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.common.errors import ProtocolError
 from repro.common.ids import RequestId, TransactionId
@@ -57,6 +81,12 @@ class DataQueue:
 
     def __init__(self) -> None:
         self._entries: List[QueuedRequest] = []
+        self._keys: List[Tuple] = []
+        self._filed: Dict[RequestId, Tuple] = {}
+        self._by_request: Dict[RequestId, QueuedRequest] = {}
+        self._by_transaction: Dict[TransactionId, List[QueuedRequest]] = {}
+        self._insert_seq = 0
+        self._head_hint = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -70,50 +100,86 @@ class DataQueue:
 
     def insert(self, entry: QueuedRequest) -> None:
         """Insert an entry keeping the queue sorted by precedence."""
-        if self.find(entry.request_id) is not None:
-            raise ProtocolError(f"request {entry.request_id} is already queued")
-        self._entries.append(entry)
-        self._sort()
+        request_id = entry.request_id
+        if request_id in self._by_request:
+            raise ProtocolError(f"request {request_id} is already queued")
+        key = (entry.precedence.sort_key(), self._insert_seq)
+        self._insert_seq += 1
+        position = bisect.bisect_left(self._keys, key)
+        self._entries.insert(position, entry)
+        self._keys.insert(position, key)
+        self._filed[request_id] = key
+        self._by_request[request_id] = entry
+        self._by_transaction.setdefault(entry.transaction, []).append(entry)
+        if position < self._head_hint:
+            self._head_hint = position
 
     def find(self, request_id: RequestId) -> Optional[QueuedRequest]:
         """The entry for ``request_id`` or ``None``."""
-        for entry in self._entries:
-            if entry.request_id == request_id:
-                return entry
-        return None
+        return self._by_request.get(request_id)
 
     def entries_of(self, transaction: TransactionId) -> Tuple[QueuedRequest, ...]:
-        """All entries belonging to ``transaction``."""
-        return tuple(entry for entry in self._entries if entry.transaction == transaction)
+        """All entries belonging to ``transaction``, in precedence order."""
+        bucket = self._by_transaction.get(transaction)
+        if not bucket:
+            return ()
+        return tuple(sorted(bucket, key=lambda entry: self._filed[entry.request_id]))
 
     def remove(self, request_id: RequestId) -> QueuedRequest:
         """Remove and return the entry for ``request_id``."""
-        entry = self.find(request_id)
+        entry = self._by_request.get(request_id)
         if entry is None:
             raise ProtocolError(f"request {request_id} is not queued")
-        self._entries.remove(entry)
+        position = self._index_of(entry)
+        del self._entries[position]
+        del self._keys[position]
+        del self._filed[request_id]
+        del self._by_request[request_id]
+        bucket = self._by_transaction[entry.transaction]
+        bucket.remove(entry)
+        if not bucket:
+            del self._by_transaction[entry.transaction]
+        if position < self._head_hint:
+            self._head_hint -= 1
         return entry
 
     def remove_transaction(self, transaction: TransactionId) -> Tuple[QueuedRequest, ...]:
         """Remove every entry of ``transaction`` and return them."""
         removed = self.entries_of(transaction)
-        self._entries = [entry for entry in self._entries if entry.transaction != transaction]
+        for entry in removed:
+            self.remove(entry.request_id)
         return removed
 
     def resort(self) -> None:
-        """Re-establish precedence order after an entry's precedence changed."""
-        self._sort()
+        """Re-establish precedence order after an entry's precedence changed.
+
+        The sort is stable, so entries whose precedences still tie keep their
+        relative order; every entry is then re-filed under its current key.
+        """
+        self._entries.sort(key=lambda entry: entry.precedence.sort_key())
+        self._keys = [
+            (entry.precedence.sort_key(), index)
+            for index, entry in enumerate(self._entries)
+        ]
+        self._filed = {
+            entry.request_id: key for entry, key in zip(self._entries, self._keys)
+        }
+        self._insert_seq = len(self._entries)
+        self._head_hint = 0
 
     def head(self) -> Optional[QueuedRequest]:
         """``HD(j)``: the first not-yet-granted entry in precedence order, or ``None``."""
-        for entry in self._entries:
-            if not entry.granted:
-                return entry
+        position = self._first_ungranted_index()
+        if position < len(self._entries):
+            return self._entries[position]
         return None
 
     def ungranted(self) -> Tuple[QueuedRequest, ...]:
         """All not-yet-granted entries in precedence order."""
-        return tuple(entry for entry in self._entries if not entry.granted)
+        start = self._first_ungranted_index()
+        return tuple(
+            entry for entry in self._entries[start:] if not entry.granted
+        )
 
     def granted(self) -> Tuple[QueuedRequest, ...]:
         """All granted entries in precedence order."""
@@ -121,12 +187,25 @@ class DataQueue:
 
     def entries_before(self, entry: QueuedRequest) -> Tuple[QueuedRequest, ...]:
         """Entries strictly ahead of ``entry`` in precedence order."""
-        result = []
-        for candidate in self._entries:
-            if candidate is entry:
-                break
-            result.append(candidate)
-        return tuple(result)
+        if entry.request_id not in self._filed:
+            return ()
+        return tuple(self._entries[: self._index_of(entry)])
 
-    def _sort(self) -> None:
-        self._entries.sort(key=lambda entry: entry.precedence.sort_key())
+    def _index_of(self, entry: QueuedRequest) -> int:
+        """Position of ``entry`` via binary search on its filed key."""
+        key = self._filed[entry.request_id]
+        position = bisect.bisect_left(self._keys, key)
+        if position >= len(self._entries) or self._entries[position] is not entry:
+            raise ProtocolError(
+                f"queue index out of sync for request {entry.request_id}"
+            )  # pragma: no cover - guarded by the class invariants
+        return position
+
+    def _first_ungranted_index(self) -> int:
+        """Advance and return the cached first-ungranted cursor."""
+        position = self._head_hint
+        entries = self._entries
+        while position < len(entries) and entries[position].granted:
+            position += 1
+        self._head_hint = position
+        return position

@@ -21,6 +21,27 @@ from repro.common.ids import TransactionId
 from repro.common.protocol_names import Protocol
 
 
+#: Sequence numbers must fit in the low 48 bits of a packed key.
+_PACK_SEQ_LIMIT = 1 << 48
+
+
+def pack_transaction(tid: TransactionId) -> int:
+    """Pack a transaction id into one int key for the detector's hot loops.
+
+    Python-level ``__hash__`` calls on the id dataclasses dominate wait-for
+    graph construction at scale; plain ints hash in C.  The packing is
+    monotone — ``pack(a) < pack(b)`` iff ``(a.site, a.seq) < (b.site, b.seq)``
+    for sequence numbers in ``[0, 2**48)`` — so sorting keys visits
+    transactions in exactly the same order as sorting the ids themselves.
+    Out-of-range sequence numbers would silently collide two distinct
+    transactions into one node, so they are rejected loudly instead.
+    """
+    seq = tid.seq
+    if not 0 <= seq < _PACK_SEQ_LIMIT:
+        raise ValueError(f"transaction seq {seq} outside packable range [0, 2**48)")
+    return (tid.site << 48) | seq
+
+
 class WaitForGraph:
     """Directed graph whose edge ``a -> b`` means transaction ``a`` waits for ``b``."""
 
@@ -55,36 +76,13 @@ class WaitForGraph:
         """One cycle as a tuple of transactions, or ``None`` when the graph is acyclic.
 
         Iterative DFS with a three-colour marking; deterministic because
-        nodes and successors are visited in sorted order.
+        nodes and successors are visited in sorted order.  Delegates to the
+        same traversal the deadlock detector's fast path uses.
         """
-        WHITE, GREY, BLACK = 0, 1, 2
-        colour: Dict[TransactionId, int] = {node: WHITE for node in self._successors}
-        parent: Dict[TransactionId, Optional[TransactionId]] = {}
-
-        for start in sorted(self._successors):
-            if colour[start] != WHITE:
-                continue
-            stack: List[Tuple[TransactionId, Iterable[TransactionId]]] = [
-                (start, iter(self.successors(start)))
-            ]
-            colour[start] = GREY
-            parent[start] = None
-            while stack:
-                node, successors = stack[-1]
-                advanced = False
-                for successor in successors:
-                    if colour.get(successor, WHITE) == WHITE:
-                        colour[successor] = GREY
-                        parent[successor] = node
-                        stack.append((successor, iter(self.successors(successor))))
-                        advanced = True
-                        break
-                    if colour.get(successor) == GREY:
-                        return self._extract_cycle(node, successor, parent)
-                if not advanced:
-                    colour[node] = BLACK
-                    stack.pop()
-        return None
+        adjacency = {
+            node: sorted(successors) for node, successors in self._successors.items()
+        }
+        return _find_cycle_masked(sorted(adjacency), adjacency, set())
 
     @staticmethod
     def _extract_cycle(
@@ -99,6 +97,49 @@ class WaitForGraph:
             current = parent.get(current)
         cycle.reverse()
         return tuple(cycle)
+
+
+def _find_cycle_masked(sorted_nodes, adjacency, removed):
+    """One cycle among the non-``removed`` nodes, or ``None`` when acyclic.
+
+    The single three-colour DFS behind both :meth:`WaitForGraph.find_cycle`
+    and :meth:`DeadlockDetector.resolve_packed`: a pre-sorted adjacency with
+    removed nodes skipped at visit time, so the detector can mask victims
+    without rebuilding (or re-sorting) the graph.  Generic over the node key
+    type — transaction ids for the public graph, packed int keys (see
+    :func:`pack_transaction`, whose packing is monotone so the visit order is
+    the same) on the detector's hot path.
+    """
+    WHITE, GREY = 0, 1
+    BLACK = 2
+    colour: Dict = {}
+    parent: Dict = {}
+
+    for start in sorted_nodes:
+        if start in removed or colour.get(start, WHITE) != WHITE:
+            continue
+        stack: List = [(start, iter(adjacency[start]))]
+        colour[start] = GREY
+        parent[start] = None
+        while stack:
+            node, successors = stack[-1]
+            advanced = False
+            for successor in successors:
+                if successor in removed:
+                    continue
+                state = colour.get(successor, WHITE)
+                if state == WHITE:
+                    colour[successor] = GREY
+                    parent[successor] = node
+                    stack.append((successor, iter(adjacency[successor])))
+                    advanced = True
+                    break
+                if state == GREY:
+                    return WaitForGraph._extract_cycle(node, successor, parent)
+            if not advanced:
+                colour[node] = BLACK
+                stack.pop()
+    return None
 
 
 @dataclass
@@ -137,17 +178,56 @@ class DeadlockDetector:
         Victims are removed from the working graph as they are chosen, so one
         scan resolves every cycle present at scan time.
         """
-        graph = WaitForGraph()
-        graph.add_edges(edges)
+        adjacency: Dict[int, Set[int]] = {}
+        transaction_of: Dict[int, TransactionId] = {}
+        for waiter, holder in edges:
+            if waiter == holder:
+                continue
+            waiter_key = pack_transaction(waiter)
+            holder_key = pack_transaction(holder)
+            bucket = adjacency.get(waiter_key)
+            if bucket is None:
+                bucket = adjacency[waiter_key] = set()
+                transaction_of[waiter_key] = waiter
+            bucket.add(holder_key)
+            if holder_key not in adjacency:
+                adjacency[holder_key] = set()
+                transaction_of[holder_key] = holder
+        return self.resolve_packed(adjacency, transaction_of, protocol_of)
+
+    def resolve_packed(
+        self,
+        adjacency: Dict[int, Set[int]],
+        transaction_of: Mapping[int, TransactionId],
+        protocol_of: Mapping[TransactionId, Protocol],
+    ) -> DeadlockResolution:
+        """:meth:`resolve` over a pre-built packed-key adjacency.
+
+        This is the detector actor's fast path: queue managers accumulate
+        their wait edges straight into ``adjacency`` (keys produced by
+        :func:`pack_transaction`), skipping per-edge tuple materialisation.
+
+        The adjacency is sorted exactly once per scan; chosen victims are
+        masked with a ``removed`` set rather than rewriting every successor
+        list, so each cycle hunt after the first costs only the DFS itself.
+        The traversal visits nodes and successors in sorted (= sorted
+        transaction id) order, which makes the cycles found — and therefore
+        the victims — identical to a scan that physically deleted the victims
+        from an id-keyed graph.
+        """
+        sorted_nodes = sorted(adjacency)
+        sorted_adjacency = {node: sorted(bucket) for node, bucket in adjacency.items()}
+        removed: Set[int] = set()
         resolution = DeadlockResolution()
         while True:
-            cycle = graph.find_cycle()
-            if cycle is None:
+            cycle_keys = _find_cycle_masked(sorted_nodes, sorted_adjacency, removed)
+            if cycle_keys is None:
                 return resolution
+            cycle = tuple(transaction_of[key] for key in cycle_keys)
             resolution.cycles.append(cycle)
             victim = self._choose_victim(cycle, protocol_of)
             resolution.victims.append(victim)
-            graph.remove_node(victim)
+            removed.add(pack_transaction(victim))
 
     def _choose_victim(
         self,

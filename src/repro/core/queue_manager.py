@@ -44,6 +44,7 @@ from repro.common.errors import ProtocolError
 from repro.common.ids import CopyId, TransactionId
 from repro.common.protocol_names import Protocol
 from repro.core.data_queue import DataQueue, EntryStatus, QueuedRequest
+from repro.core.deadlock import pack_transaction
 from repro.core.effects import BackoffIssued, Effect, GrantIssued, RequestRejected
 from repro.core.locks import GrantedLock, LockMode, LockTable
 from repro.core.protocols.base import DecisionKind, ProtocolPolicy, QueueStateView
@@ -280,31 +281,62 @@ class QueueManager:
         those are granted).  Blocked PA entries wait only for their own
         issuer's timestamp agreement, so they contribute no outgoing edges.
         """
-        edges: List[Tuple[TransactionId, TransactionId]] = []
-        for entry in self._queue.ungranted():
-            if entry.is_blocked:
+        adjacency: Dict[int, set] = {}
+        transaction_of: Dict[int, TransactionId] = {}
+        self.collect_wait_edges(adjacency, transaction_of)
+        return [
+            (transaction_of[waiter_key], transaction_of[holder_key])
+            for waiter_key, holders in adjacency.items()
+            for holder_key in sorted(holders)
+        ]
+
+    def collect_wait_edges(
+        self,
+        adjacency: Dict[int, set],
+        transaction_of: Dict[int, TransactionId],
+    ) -> None:
+        """Accumulate this queue's wait-for edges into a packed-key adjacency.
+
+        Fast path for :class:`~repro.system.detector.DeadlockDetectorActor`
+        (and the single source of truth for the edge rules — :meth:`wait_edges`
+        unpacks this adjacency): one edge per conflicting lock holder plus one
+        per distinct earlier ungranted waiter, written straight into
+        ``adjacency`` keyed by :func:`pack_transaction` ints, using one bulk
+        ``set.update`` per waiter instead of a tuple per edge.
+
+        Blocked (negotiation-pending) PA entries resolve on their own —
+        waiting behind one is not a wait on another transaction's progress, so
+        they are neither waiters nor waited-on here.
+        """
+        prior_keys: set = set()
+        for entry in self._queue:
+            if entry.granted or entry.is_blocked:
                 continue
             waiter = entry.transaction
+            waiter_key = pack_transaction(waiter)
+            bucket = adjacency.get(waiter_key)
+            if bucket is None:
+                bucket = adjacency[waiter_key] = set()
+                transaction_of[waiter_key] = waiter
             mode = self._lock_mode_for(entry)
             for lock in self._locks.conflicting_locks(mode, excluding=waiter):
-                edges.append((waiter, lock.transaction))
-            for earlier in self._queue.entries_before(entry):
-                if earlier.granted or earlier.transaction == waiter:
-                    continue
-                if earlier.is_blocked:
-                    # A blocked (negotiation-pending) PA entry resolves on its
-                    # own — waiting behind it is not a wait on another
-                    # transaction's progress, so it contributes no edge.
-                    continue
-                edges.append((waiter, earlier.transaction))
-        return edges
+                holder = lock.transaction
+                holder_key = pack_transaction(holder)
+                if holder_key not in adjacency:
+                    adjacency[holder_key] = set()
+                    transaction_of[holder_key] = holder
+                bucket.add(holder_key)
+            if prior_keys:
+                bucket.update(prior_keys)
+                bucket.discard(waiter_key)
+            prior_keys.add(waiter_key)
 
     def blocked_transactions(self) -> Tuple[TransactionId, ...]:
         """Transactions with at least one ungranted, non-blocked entry here."""
-        seen = []
+        seen: Dict[TransactionId, None] = {}  # insertion-ordered set
         for entry in self._queue.ungranted():
-            if not entry.is_blocked and entry.transaction not in seen:
-                seen.append(entry.transaction)
+            if not entry.is_blocked:
+                seen.setdefault(entry.transaction, None)
         return tuple(seen)
 
     # ------------------------------------------------------------------ #

@@ -13,6 +13,7 @@ log through :func:`check_serializable`.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -35,8 +36,8 @@ class ConflictGraph:
         for transaction in log.transactions():
             graph.add_node(transaction)
         for copy_log in log.logs():
-            for earlier, later in copy_log.conflicting_pairs():
-                graph.add_edge(earlier.transaction, later.transaction)
+            for earlier, later in copy_log.conflict_edges():
+                graph.add_edge(earlier, later)
         return graph
 
     def add_node(self, node: TransactionId) -> None:
@@ -63,23 +64,26 @@ class ConflictGraph:
     def topological_order(self) -> Optional[List[TransactionId]]:
         """A topological order of the nodes, or ``None`` when the graph has a cycle.
 
-        Kahn's algorithm with sorted tie-breaking so the witness order is
-        deterministic.
+        Kahn's algorithm with a min-heap ready set, so the smallest ready
+        transaction id is always released next: the witness order is the
+        lexicographically smallest topological order, exactly as the previous
+        sorted-list implementation produced, at O((V + E) log V) instead of a
+        re-sort per step.
         """
         in_degree: Dict[TransactionId, int] = {node: 0 for node in self._successors}
         for successors in self._successors.values():
             for successor in successors:
                 in_degree[successor] += 1
-        ready = sorted(node for node, degree in in_degree.items() if degree == 0)
+        ready = [node for node, degree in in_degree.items() if degree == 0]
+        heapq.heapify(ready)
         order: List[TransactionId] = []
         while ready:
-            node = ready.pop(0)
+            node = heapq.heappop(ready)
             order.append(node)
-            for successor in self.successors(node):
+            for successor in self._successors[node]:
                 in_degree[successor] -= 1
                 if in_degree[successor] == 0:
-                    ready.append(successor)
-            ready.sort()
+                    heapq.heappush(ready, successor)
         if len(order) != len(self._successors):
             return None
         return order

@@ -1,4 +1,23 @@
-"""Event records and the time-ordered event queue."""
+"""Event records and the time-ordered event queue.
+
+Cancellation invariant
+----------------------
+Cancellation is *lazy*: a cancelled event stays in the heap until it is
+reclaimed.  Reclamation happens in three places, and only these three:
+
+* :meth:`EventQueue.pop` discards cancelled events it encounters at the head
+  while searching for the next live event;
+* :meth:`EventQueue.peek_time` purges cancelled events from the head so the
+  reported time is that of a live event (callers treat it as a read-only
+  probe, but head purging is idempotent and never reorders live events);
+* when more than half of the heap is cancelled debris, the queue compacts
+  itself in one O(n) pass so heap operations stop paying ``log`` of the
+  inflated size.
+
+The queue tracks a live-event counter maintained by :meth:`push`,
+:meth:`pop` and :meth:`Event.cancel`, so ``len(queue)`` and ``bool(queue)``
+are O(1) instead of a scan of the heap.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +27,9 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.common.errors import SimulationError
+
+#: Compaction only kicks in past this heap size; below it the debris is cheap.
+_COMPACT_MIN_SIZE = 64
 
 
 @dataclass(order=True)
@@ -25,24 +47,31 @@ class Event:
     callback: Callable[[], None] = field(compare=False)
     label: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    _queue: Optional["EventQueue"] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the simulator skips it when it reaches the head."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._queue is not None:
+            self._queue._note_cancelled()
 
 
 class EventQueue:
-    """Binary-heap event list with lazy cancellation."""
+    """Binary-heap event list with lazy cancellation and O(1) length."""
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
+        self._live = 0        # non-cancelled events still in the heap
+        self._cancelled = 0   # cancelled events awaiting reclamation
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return self._live
 
     def __bool__(self) -> bool:
-        return any(not event.cancelled for event in self._heap)
+        return self._live > 0
 
     def push(
         self,
@@ -58,26 +87,56 @@ class EventQueue:
             seq=next(self._counter),
             callback=callback,
             label=label,
+            _queue=self,
         )
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def pop(self) -> Event:
-        """Remove and return the earliest non-cancelled event."""
+        """Remove and return the earliest non-cancelled event.
+
+        Cancelled events encountered at the head are reclaimed on the way.
+        """
         while self._heap:
             event = heapq.heappop(self._heap)
-            if not event.cancelled:
-                return event
+            if event.cancelled:
+                self._cancelled -= 1
+                continue
+            self._live -= 1
+            event._queue = None
+            return event
         raise SimulationError("pop from an empty event queue")
 
     def peek_time(self) -> Optional[float]:
         """Time of the next non-cancelled event, or ``None`` when the queue is empty."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._cancelled -= 1
         if not self._heap:
             return None
         return self._heap[0].time
 
     def clear(self) -> None:
         """Drop every pending event."""
+        for event in self._heap:
+            event._queue = None
         self._heap.clear()
+        self._live = 0
+        self._cancelled = 0
+
+    def _note_cancelled(self) -> None:
+        """Bookkeeping hook called exactly once per cancelled in-heap event."""
+        self._live -= 1
+        self._cancelled += 1
+        if (
+            len(self._heap) >= _COMPACT_MIN_SIZE
+            and self._cancelled * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled debris in one O(n) pass."""
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0

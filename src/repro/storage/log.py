@@ -12,7 +12,7 @@ semi-lock for T/O operations).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Tuple
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
 
 from repro.common.ids import CopyId, TransactionId
 from repro.common.operations import OperationType
@@ -83,12 +83,50 @@ class CopyLog:
     def __iter__(self) -> Iterator[LogEntry]:
         return iter(self._entries)
 
-    def conflicting_pairs(self) -> Iterator[Tuple[LogEntry, LogEntry]]:
-        """Yield every ordered pair ``(earlier, later)`` of conflicting entries."""
-        for i, earlier in enumerate(self._entries):
-            for later in self._entries[i + 1:]:
-                if earlier.conflicts_with(later):
-                    yield earlier, later
+    def conflict_edges(self) -> Iterator[Tuple[TransactionId, TransactionId]]:
+        """Yield ``(earlier, later)`` transaction pairs with conflicting operations.
+
+        Produces exactly the set of transaction pairs the naive all-pairs scan
+        over the log would (an edge for every conflicting operation pair), but
+        in a single pass.  The sweep keeps the distinct writers and readers
+        seen so far, in first-appearance order, plus a per-transaction
+        watermark into each list recording how much of it has already been
+        emitted towards that transaction — so each (source, target) pair costs
+        O(1) amortised and the whole sweep is O(entries + emitted edges)
+        instead of O(entries^2).
+
+        A pair may be yielded more than once when a source transaction both
+        read and wrote before the target's write; callers deduplicate (the
+        conflict graph stores successor *sets*).
+        """
+        writer_order: List[TransactionId] = []
+        reader_order: List[TransactionId] = []
+        writers_seen: Set[TransactionId] = set()
+        readers_seen: Set[TransactionId] = set()
+        # How far into writer_order / reader_order edges towards a given
+        # transaction have already been emitted.
+        writer_mark: Dict[TransactionId, int] = {}
+        reader_mark: Dict[TransactionId, int] = {}
+        for entry in self._entries:
+            transaction = entry.transaction
+            # Every operation conflicts with all earlier writes by others.
+            for writer in writer_order[writer_mark.get(transaction, 0):]:
+                if writer != transaction:
+                    yield writer, transaction
+            writer_mark[transaction] = len(writer_order)
+            if entry.op_type.is_write:
+                # A write additionally conflicts with all earlier reads.
+                for reader in reader_order[reader_mark.get(transaction, 0):]:
+                    if reader != transaction:
+                        yield reader, transaction
+                reader_mark[transaction] = len(reader_order)
+                if transaction not in writers_seen:
+                    writers_seen.add(transaction)
+                    writer_order.append(transaction)
+            else:
+                if transaction not in readers_seen:
+                    readers_seen.add(transaction)
+                    reader_order.append(transaction)
 
 
 class ExecutionLog:

@@ -88,11 +88,17 @@ class DeadlockDetectorActor(Actor):
             self._network.charge_overhead_messages(
                 "deadlock-probe", self._message_cost_per_site * len(self._issuers)
             )
-        edges: List[Tuple[TransactionId, TransactionId]] = []
+        # Queue managers write their wait edges straight into one shared
+        # packed-key adjacency (see QueueManager.collect_wait_edges) instead
+        # of materialising per-edge tuples for the detector to re-ingest.
+        adjacency: Dict[int, set] = {}
+        transaction_of: Dict[int, TransactionId] = {}
         for manager in self._queue_managers:
-            edges.extend(manager.wait_edges())
-        if edges:
-            resolution = self._detector.resolve(edges, self._protocol_registry)
+            manager.collect_wait_edges(adjacency, transaction_of)
+        if any(adjacency.values()):
+            resolution = self._detector.resolve_packed(
+                adjacency, transaction_of, self._protocol_registry
+            )
             if resolution.deadlock_found:
                 self._deadlocks_found += len(resolution.cycles)
                 for victim in resolution.victims:

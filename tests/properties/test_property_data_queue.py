@@ -1,0 +1,178 @@
+"""Property tests for the indexed :class:`DataQueue`.
+
+The queue keeps hash indices (request id, transaction), a parallel filed-key
+list for binary search, and a cached first-ungranted cursor.  These tests
+drive it with random operation sequences and, after every step, compare every
+observable against a naive list model that re-implements the original
+unindexed behaviour (append + stable sort, linear scans).  Both containers
+hold the *same* entry objects, so mutations (grants, precedence changes) are
+seen by both and only the bookkeeping differs.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.ids import TransactionId
+from repro.common.protocol_names import Protocol
+from repro.core.data_queue import DataQueue, QueuedRequest
+from repro.core.precedence import Precedence
+
+from tests.conftest import make_request
+
+
+class NaiveDataQueue:
+    """The original list-only implementation, kept as the reference model."""
+
+    def __init__(self):
+        self.entries = []
+
+    def insert(self, entry):
+        self.entries.append(entry)
+        self.entries.sort(key=lambda e: e.precedence.sort_key())
+
+    def find(self, request_id):
+        for entry in self.entries:
+            if entry.request_id == request_id:
+                return entry
+        return None
+
+    def entries_of(self, transaction):
+        return tuple(e for e in self.entries if e.transaction == transaction)
+
+    def remove(self, request_id):
+        entry = self.find(request_id)
+        self.entries.remove(entry)
+        return entry
+
+    def remove_transaction(self, transaction):
+        removed = self.entries_of(transaction)
+        self.entries = [e for e in self.entries if e.transaction != transaction]
+        return removed
+
+    def resort(self):
+        self.entries.sort(key=lambda e: e.precedence.sort_key())
+
+    def head(self):
+        for entry in self.entries:
+            if not entry.granted:
+                return entry
+        return None
+
+    def ungranted(self):
+        return tuple(e for e in self.entries if not e.granted)
+
+    def granted(self):
+        return tuple(e for e in self.entries if e.granted)
+
+    def entries_before(self, entry):
+        result = []
+        for candidate in self.entries:
+            if candidate is entry:
+                break
+            result.append(candidate)
+        return tuple(result)
+
+
+PROTOCOLS = (
+    Protocol.TWO_PHASE_LOCKING,
+    Protocol.TIMESTAMP_ORDERING,
+    Protocol.PRECEDENCE_AGREEMENT,
+)
+
+
+@st.composite
+def operation_sequences(draw):
+    """A list of (op, args) tuples driving both queue implementations."""
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(
+                    [
+                        "insert",
+                        "remove",
+                        "remove_transaction",
+                        "grant_head",
+                        "retime_and_resort",
+                        "find_missing",
+                    ]
+                ),
+                st.integers(min_value=0, max_value=5),    # transaction picker
+                st.floats(min_value=0.0, max_value=8.0),  # timestamp
+                st.integers(min_value=0, max_value=2),    # protocol picker
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    return ops
+
+
+def check_agreement(queue: DataQueue, model: NaiveDataQueue):
+    assert list(queue) == model.entries
+    assert queue.entries() == tuple(model.entries)
+    assert len(queue) == len(model.entries)
+    assert queue.head() is model.head()
+    assert queue.ungranted() == model.ungranted()
+    assert queue.granted() == model.granted()
+    for entry in model.entries:
+        assert queue.find(entry.request_id) is entry
+        assert queue.entries_before(entry) == model.entries_before(entry)
+    for txn_seq in range(1, 7):
+        transaction = TransactionId(0, txn_seq)
+        assert queue.entries_of(transaction) == model.entries_of(transaction)
+
+
+class TestDataQueueMatchesNaiveModel:
+    @given(operation_sequences())
+    @settings(max_examples=200, deadline=None)
+    def test_random_operations(self, ops):
+        queue = DataQueue()
+        model = NaiveDataQueue()
+        next_index = 0
+        for op, txn_pick, timestamp, proto_pick in ops:
+            transaction = TransactionId(0, txn_pick + 1)
+            if op == "insert":
+                protocol = PROTOCOLS[proto_pick]
+                request = make_request(
+                    tid=transaction,
+                    index=next_index,
+                    protocol=protocol,
+                    timestamp=timestamp,
+                    item=0,
+                )
+                next_index += 1
+                entry = QueuedRequest(
+                    request=request,
+                    precedence=Precedence(
+                        timestamp=timestamp,
+                        protocol=protocol,
+                        site=0,
+                        transaction=transaction,
+                        arrival_seq=next_index,
+                    ),
+                )
+                queue.insert(entry)
+                model.insert(entry)
+            elif op == "remove":
+                if model.entries:
+                    victim = model.entries[txn_pick % len(model.entries)]
+                    removed = queue.remove(victim.request_id)
+                    assert removed is model.remove(victim.request_id)
+            elif op == "remove_transaction":
+                removed = queue.remove_transaction(transaction)
+                assert removed == model.remove_transaction(transaction)
+            elif op == "grant_head":
+                head = model.head()
+                if head is not None:
+                    assert queue.head() is head
+                    head.granted = True
+            elif op == "retime_and_resort":
+                if model.entries:
+                    target = model.entries[txn_pick % len(model.entries)]
+                    target.precedence = target.precedence.with_timestamp(timestamp)
+                    queue.resort()
+                    model.resort()
+            elif op == "find_missing":
+                missing = make_request(tid=transaction, index=10_000 + txn_pick)
+                assert queue.find(missing.request_id) is None
+            check_agreement(queue, model)

@@ -1,0 +1,100 @@
+"""Property tests for the counting :class:`EventQueue`.
+
+``len``/``bool`` are maintained by counters (push / pop / cancel) and the heap
+periodically compacts cancelled debris.  These tests compare the queue under
+random push / cancel / pop / peek / clear sequences against a plain
+filtered-list model, including the awkward cases: double cancellation,
+cancelling an event that was already popped, and cancel storms that trigger
+compaction.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import SimulationError
+from repro.sim.events import EventQueue
+
+
+@st.composite
+def event_scripts(draw):
+    return draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["push", "cancel", "pop", "peek", "clear"]),
+                st.floats(min_value=0.0, max_value=100.0),  # event time
+                st.integers(min_value=0, max_value=3),      # priority
+                st.integers(min_value=0, max_value=200),    # handle picker
+            ),
+            min_size=1,
+            max_size=80,
+        )
+    )
+
+
+class TestEventQueueMatchesFilteredListModel:
+    @given(event_scripts())
+    @settings(max_examples=200, deadline=None)
+    def test_random_operations(self, script):
+        queue = EventQueue()
+        handles = []   # every event ever pushed, popped or not
+        live = []      # events currently in the queue and not cancelled
+        for op, time, priority, pick in script:
+            if op == "push":
+                event = queue.push(time, lambda: None, priority=priority)
+                handles.append(event)
+                live.append(event)
+            elif op == "cancel" and handles:
+                event = handles[pick % len(handles)]
+                # Cancelling twice, or cancelling an already-popped event,
+                # must be a harmless no-op for the counters.
+                event.cancel()
+                event.cancel()
+                if event in live:
+                    live.remove(event)
+            elif op == "pop":
+                if live:
+                    expected = min(live, key=lambda e: (e.time, e.priority, e.seq))
+                    popped = queue.pop()
+                    assert popped is expected
+                    live.remove(popped)
+                else:
+                    try:
+                        queue.pop()
+                        raise AssertionError("pop on an empty queue must raise")
+                    except SimulationError:
+                        pass
+            elif op == "peek":
+                expected = min((e.time for e in live), default=None)
+                assert queue.peek_time() == expected
+            elif op == "clear":
+                queue.clear()
+                live = []
+            assert len(queue) == len(live)
+            assert bool(queue) == bool(live)
+
+    @given(st.integers(min_value=65, max_value=300))
+    @settings(max_examples=25, deadline=None)
+    def test_cancel_storm_compacts_without_losing_events(self, count):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(count)]
+        # Cancel everything except every fifth event: compaction triggers as
+        # soon as cancelled debris outnumbers live events.
+        survivors = []
+        for index, event in enumerate(events):
+            if index % 5 == 0:
+                survivors.append(event)
+            else:
+                event.cancel()
+        assert len(queue) == len(survivors)
+        # Debris stays bounded: either the heap is majority-live, or it has
+        # shrunk below the compaction threshold where debris is cheap anyway.
+        from repro.sim.events import _COMPACT_MIN_SIZE
+
+        assert (
+            queue._cancelled * 2 <= len(queue._heap)
+            or len(queue._heap) < _COMPACT_MIN_SIZE
+        )
+        popped = []
+        while queue:
+            popped.append(queue.pop())
+        assert popped == survivors

@@ -1,0 +1,91 @@
+"""Equivalence of the rewritten serializability oracle with the original.
+
+The seed implementation compared every pair of log entries
+(``O(n^2)`` per copy log) and ran Kahn's algorithm on a sorted Python list.
+Both were replaced: the conflict edges now come from a single-pass per-item
+sweep (:meth:`CopyLog.conflict_edges`) and the ready set is a binary heap.
+These tests keep the original all-pairs scan and list-based Kahn as reference
+oracles and check, on randomized logs, that the new code produces the exact
+same edge set and the exact same serialization witness order.
+"""
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from hypothesis import given, settings
+
+from repro.common.ids import TransactionId
+from repro.core.serializability import ConflictGraph, check_serializable
+from repro.storage.log import CopyLog, ExecutionLog
+
+from tests.properties.test_property_serializability import random_executions
+
+
+def allpairs_conflict_edges(log: CopyLog) -> Set[Tuple[TransactionId, TransactionId]]:
+    """The seed's all-pairs scan, kept as the reference conflict oracle."""
+    entries = log.entries()
+    edges = set()
+    for i, earlier in enumerate(entries):
+        for later in entries[i + 1:]:
+            if earlier.conflicts_with(later):
+                edges.add((earlier.transaction, later.transaction))
+    return edges
+
+
+def reference_conflict_graph(execution: ExecutionLog) -> ConflictGraph:
+    graph = ConflictGraph()
+    for transaction in execution.transactions():
+        graph.add_node(transaction)
+    for copy_log in execution.logs():
+        for earlier, later in allpairs_conflict_edges(copy_log):
+            graph.add_edge(earlier, later)
+    return graph
+
+
+def list_kahn_topological_order(graph: ConflictGraph) -> Optional[List[TransactionId]]:
+    """The seed's sorted-list Kahn, kept as the reference witness oracle."""
+    in_degree: Dict[TransactionId, int] = {node: 0 for node in graph.nodes()}
+    for node in graph.nodes():
+        for successor in graph.successors(node):
+            in_degree[successor] += 1
+    ready = sorted(node for node, degree in in_degree.items() if degree == 0)
+    order: List[TransactionId] = []
+    while ready:
+        node = ready.pop(0)
+        order.append(node)
+        for successor in graph.successors(node):
+            in_degree[successor] -= 1
+            if in_degree[successor] == 0:
+                ready.append(successor)
+        ready.sort()
+    if len(order) != len(graph.nodes()):
+        return None
+    return order
+
+
+class TestSweepMatchesAllPairsReference:
+    @given(random_executions())
+    @settings(max_examples=200, deadline=None)
+    def test_edge_sets_identical_per_copy(self, execution):
+        for copy_log in execution.logs():
+            assert set(copy_log.conflict_edges()) == allpairs_conflict_edges(copy_log)
+
+    @given(random_executions())
+    @settings(max_examples=150, deadline=None)
+    def test_conflict_graphs_identical(self, execution):
+        new_graph = ConflictGraph.from_execution_log(execution)
+        old_graph = reference_conflict_graph(execution)
+        assert new_graph.nodes() == old_graph.nodes()
+        for node in new_graph.nodes():
+            assert new_graph.successors(node) == old_graph.successors(node)
+        assert new_graph.edge_count() == old_graph.edge_count()
+
+    @given(random_executions())
+    @settings(max_examples=150, deadline=None)
+    def test_witness_order_identical(self, execution):
+        report = check_serializable(execution)
+        reference = list_kahn_topological_order(reference_conflict_graph(execution))
+        if reference is None:
+            assert not report.serializable
+        else:
+            assert report.serializable
+            assert report.serialization_order == reference

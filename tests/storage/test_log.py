@@ -20,16 +20,31 @@ class TestCopyLog:
         assert [entry.transaction for entry in entries] == [T1, T2]
         assert len(log) == 2
 
-    def test_conflicting_pairs_require_a_write_and_distinct_transactions(self):
+    def test_conflict_edges_require_a_write_and_distinct_transactions(self):
         log = CopyLog(COPY)
         log.append(T1, OperationType.READ, Protocol.TWO_PHASE_LOCKING, 1.0)
         log.append(T2, OperationType.READ, Protocol.TWO_PHASE_LOCKING, 2.0)
         log.append(T2, OperationType.WRITE, Protocol.TWO_PHASE_LOCKING, 3.0)
         log.append(T1, OperationType.WRITE, Protocol.TWO_PHASE_LOCKING, 4.0)
-        pairs = [(earlier.transaction, later.transaction) for earlier, later in log.conflicting_pairs()]
+        pairs = list(log.conflict_edges())
         assert (T1, T2) in pairs         # T1 read before T2 write
         assert (T2, T1) in pairs         # T2 write before T1 write
         assert (T2, T2) not in pairs     # same transaction never conflicts with itself
+
+    def test_conflict_edges_read_read_never_conflicts(self):
+        log = CopyLog(COPY)
+        log.append(T1, OperationType.READ, Protocol.TWO_PHASE_LOCKING, 1.0)
+        log.append(T2, OperationType.READ, Protocol.TWO_PHASE_LOCKING, 2.0)
+        assert list(log.conflict_edges()) == []
+
+    def test_conflict_edges_span_non_adjacent_writers(self):
+        t3 = TransactionId(0, 3)
+        log = CopyLog(COPY)
+        log.append(T1, OperationType.WRITE, Protocol.TWO_PHASE_LOCKING, 1.0)
+        log.append(T2, OperationType.WRITE, Protocol.TWO_PHASE_LOCKING, 2.0)
+        log.append(t3, OperationType.WRITE, Protocol.TWO_PHASE_LOCKING, 3.0)
+        # The sweep must still report T1 -> T3 even though T2 wrote in between.
+        assert set(log.conflict_edges()) == {(T1, T2), (T1, t3), (T2, t3)}
 
     def test_remove_transaction(self):
         log = CopyLog(COPY)
