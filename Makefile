@@ -1,11 +1,15 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke bench-baseline
+.PHONY: test check-docs bench bench-smoke bench-baseline
 
 ## tier-1 verification gate
 test:
 	$(PY) -m pytest -x -q
+
+## documentation cross-reference gate (DESIGN.md / README.md / experiment ids)
+check-docs:
+	$(PY) tools/check_docs.py
 
 ## hot-path micros as plain tests (no timing) — fast sanity check
 bench-smoke:

@@ -6,11 +6,13 @@ when ``protocol_switch_threshold`` is set, a transaction that has been
 aborted that many times (T/O rejections or 2PL deadlock victimisations)
 switches to PA, which can neither be rejected nor chosen as a victim, so its
 number of restarts is bounded.  The ablation compares a contended mixed
-workload with the feature off and on.
+workload with the feature off and on; the rows come from
+``repro.analysis.experiments.protocol_switching_ablation`` so the benchmark,
+the CLI (``sweep --experiment e8``) and the tests share the same driver.
 """
 
 from benchmarks.conftest import save_table
-from repro.system.runner import run_simulation
+from repro.analysis.experiments import protocol_switching_ablation
 
 COLUMNS = (
     "switching",
@@ -23,24 +25,10 @@ COLUMNS = (
 
 
 def run_ablation(system, workload):
-    contended = workload.with_overrides(
-        arrival_rate=60.0, hotspot_probability=0.5, hotspot_fraction=0.1
+    # The driver applies the contended overrides (rate 60, hot-spot 0.5/0.1).
+    return protocol_switching_ablation(
+        arrival_rate=60.0, thresholds=(None, 2), system=system, workload=workload
     )
-    rows = []
-    for threshold in (None, 2):
-        configured = system.with_overrides(protocol_switch_threshold=threshold)
-        result = run_simulation(configured, contended)
-        rows.append(
-            {
-                "switching": "off" if threshold is None else f"after {threshold} aborts",
-                "mean_system_time": result.mean_system_time,
-                "restarts": result.restarts,
-                "deadlock_aborts": result.deadlock_aborts,
-                "protocol_switches": result.protocol_switches,
-                "serializable": result.serializable,
-            }
-        )
-    return rows
 
 
 def test_e8_protocol_switching(benchmark, bench_system, bench_workload, results_dir):

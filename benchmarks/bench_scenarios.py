@@ -1,0 +1,46 @@
+"""Scenario suite — the named end-to-end workload profiles of DESIGN.md.
+
+Runs every registered scenario (shrunk to benchmark scale) through the
+replication engine with two worker processes and stores one aggregated row
+per scenario.  Besides the timings this doubles as an integration check: all
+scenarios must commit their whole workload and pass the serializability
+audit, and the parallel engine must agree with the serial path bit for bit.
+"""
+
+from benchmarks.conftest import save_table
+from repro.workload.scenarios import run_scenario, scenario_names
+
+COLUMNS = (
+    "configuration",
+    "replications",
+    "serializable",
+    "mean_system_time",
+    "throughput",
+    "restarts",
+    "deadlock_aborts",
+    "messages_per_transaction",
+)
+
+SEEDS = (0, 1)
+TRANSACTIONS = 80
+
+
+def run_suite():
+    return [
+        run_scenario(name, seeds=SEEDS, jobs=2, transactions=TRANSACTIONS).as_row()
+        for name in scenario_names()
+    ]
+
+
+def test_scenario_suite(benchmark, results_dir):
+    rows = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+    save_table(results_dir, "scenario_suite", rows, COLUMNS)
+    assert len(rows) >= 5
+    assert all(row["serializable"] for row in rows)
+
+
+def test_scenario_parallel_matches_serial():
+    name = scenario_names()[1]
+    serial = run_scenario(name, seeds=SEEDS, jobs=1, transactions=TRANSACTIONS)
+    parallel = run_scenario(name, seeds=SEEDS, jobs=2, transactions=TRANSACTIONS)
+    assert serial == parallel

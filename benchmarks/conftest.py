@@ -1,10 +1,10 @@
 """Shared configuration and helpers for the benchmark harness.
 
-Every benchmark regenerates one experiment from DESIGN.md's index (E1-E7).
+Every benchmark regenerates one experiment from DESIGN.md's index (E1-E8).
 Besides the timing numbers collected by pytest-benchmark, each benchmark
 renders the experiment's result table and stores it under
 ``benchmarks/results/`` so the rows can be compared with the paper's claims
-(see EXPERIMENTS.md).  The workload sizes here are intentionally small — the
+(see DESIGN.md).  The workload sizes here are intentionally small — the
 goal is the qualitative shape (who wins, where the crossover lies), not long
 simulation campaigns; the analysis functions accept larger parameters for
 full-scale runs.

@@ -1,20 +1,28 @@
-"""Experiment definitions E1-E7 (see DESIGN.md for the index).
+"""Experiment definitions E1-E8 (see DESIGN.md for the index).
 
 Each function runs one of the paper's evaluation scenarios and returns a list
-of flat row dictionaries so that benchmarks, examples and EXPERIMENTS.md all
-share the same numbers.  Parameters default to laptop-scale values; the
-benchmark scripts shrink them further to keep the suite fast.
+of flat row dictionaries so that benchmarks, examples and the tables under
+``benchmarks/results/`` all share the same numbers.  Parameters default to
+laptop-scale values; the benchmark scripts shrink them further to keep the
+suite fast.
+
+Every simulation-backed experiment accepts ``jobs``: the runs are described
+as :class:`~repro.analysis.replications.SimulationTask` values and fanned
+across worker processes by :func:`~repro.analysis.replications.run_tasks`,
+with rows assembled in sweep order so the tables are bit-identical to a
+serial run.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.replications import SimulationTask, run_tasks
 from repro.common.config import ProtocolMix, SystemConfig, WorkloadConfig
 from repro.common.protocol_names import Protocol
-from repro.system.database import DistributedDatabase, RunResult
-from repro.system.runner import run_simulation
-from repro.workload.generator import TransactionGenerator
+from repro.selection.parameters import SystemLoadParameters
+from repro.selection.stl import ThroughputLossModel
 
 _ALL_PROTOCOLS = (
     Protocol.TWO_PHASE_LOCKING,
@@ -22,21 +30,23 @@ _ALL_PROTOCOLS = (
     Protocol.PRECEDENCE_AGREEMENT,
 )
 
+#: Summary keys copied into every standard result row, in column order.
+_ROW_METRICS: Tuple[Tuple[str, str], ...] = (
+    ("mean_system_time", "mean_system_time"),
+    ("throughput", "throughput"),
+    ("restarts", "restarts"),
+    ("deadlock_aborts", "deadlock_aborts"),
+    ("backoff_rounds", "backoff_rounds"),
+    ("messages_per_txn", "messages_per_transaction"),
+    ("committed", "committed"),
+    ("serializable", "serializable"),
+)
 
-def _result_row(result: RunResult, **extra: object) -> Dict[str, object]:
+
+def _row_from_summary(summary: Dict[str, object], **extra: object) -> Dict[str, object]:
     row: Dict[str, object] = dict(extra)
-    row.update(
-        {
-            "mean_system_time": result.mean_system_time,
-            "throughput": result.throughput,
-            "restarts": result.restarts,
-            "deadlock_aborts": result.deadlock_aborts,
-            "backoff_rounds": result.backoff_rounds,
-            "messages_per_txn": result.messages_per_transaction,
-            "committed": result.committed,
-            "serializable": result.serializable,
-        }
-    )
+    for column, key in _ROW_METRICS:
+        row[column] = summary[key]
     return row
 
 
@@ -47,20 +57,26 @@ def sweep_arrival_rate(
     system: Optional[SystemConfig] = None,
     workload: Optional[WorkloadConfig] = None,
     include_dynamic: bool = False,
+    jobs: int = 1,
 ) -> List[Dict[str, object]]:
     """E1: mean system time ``S`` versus arrival rate ``lambda`` per protocol."""
     system = system if system is not None else SystemConfig()
     workload = workload if workload is not None else WorkloadConfig()
-    rows: List[Dict[str, object]] = []
+    tasks: List[SimulationTask] = []
+    labels: List[Tuple[float, str]] = []
     for rate in arrival_rates:
         swept = workload.with_overrides(arrival_rate=rate)
         for protocol in protocols:
-            result = run_simulation(system, swept, protocol=protocol)
-            rows.append(_result_row(result, arrival_rate=rate, protocol=str(protocol)))
+            tasks.append(SimulationTask(system=system, workload=swept, protocol=protocol))
+            labels.append((rate, str(protocol)))
         if include_dynamic:
-            result = run_simulation(system, swept, dynamic_selection=True)
-            rows.append(_result_row(result, arrival_rate=rate, protocol="dynamic"))
-    return rows
+            tasks.append(SimulationTask(system=system, workload=swept, dynamic_selection=True))
+            labels.append((rate, "dynamic"))
+    summaries = run_tasks(tasks, jobs=jobs)
+    return [
+        _row_from_summary(summary, arrival_rate=rate, protocol=label)
+        for summary, (rate, label) in zip(summaries, labels)
+    ]
 
 
 def sweep_transaction_size(
@@ -69,17 +85,23 @@ def sweep_transaction_size(
     protocols: Sequence[Protocol] = _ALL_PROTOCOLS,
     system: Optional[SystemConfig] = None,
     workload: Optional[WorkloadConfig] = None,
+    jobs: int = 1,
 ) -> List[Dict[str, object]]:
     """E2: mean system time versus transaction size ``st`` per protocol."""
     system = system if system is not None else SystemConfig()
     workload = workload if workload is not None else WorkloadConfig()
-    rows: List[Dict[str, object]] = []
+    tasks: List[SimulationTask] = []
+    labels: List[Tuple[int, str]] = []
     for size in sizes:
         swept = workload.with_overrides(min_size=size, max_size=size)
         for protocol in protocols:
-            result = run_simulation(system, swept, protocol=protocol)
-            rows.append(_result_row(result, transaction_size=size, protocol=str(protocol)))
-    return rows
+            tasks.append(SimulationTask(system=system, workload=swept, protocol=protocol))
+            labels.append((size, str(protocol)))
+    summaries = run_tasks(tasks, jobs=jobs)
+    return [
+        _row_from_summary(summary, transaction_size=size, protocol=label)
+        for summary, (size, label) in zip(summaries, labels)
+    ]
 
 
 def single_item_write_experiment(
@@ -88,6 +110,7 @@ def single_item_write_experiment(
     num_transactions: int = 300,
     system: Optional[SystemConfig] = None,
     protocols: Sequence[Protocol] = _ALL_PROTOCOLS,
+    jobs: int = 1,
 ) -> List[Dict[str, object]]:
     """E3: single-item write-only transactions — 2PL cannot deadlock, T/O restarts.
 
@@ -105,11 +128,15 @@ def single_item_write_experiment(
         hotspot_probability=0.6,
         hotspot_fraction=0.05,
     )
-    rows: List[Dict[str, object]] = []
-    for protocol in protocols:
-        result = run_simulation(system, workload, protocol=protocol)
-        rows.append(_result_row(result, protocol=str(protocol)))
-    return rows
+    tasks = [
+        SimulationTask(system=system, workload=workload, protocol=protocol)
+        for protocol in protocols
+    ]
+    summaries = run_tasks(tasks, jobs=jobs)
+    return [
+        _row_from_summary(summary, protocol=str(protocol))
+        for summary, protocol in zip(summaries, protocols)
+    ]
 
 
 def correctness_audit(
@@ -118,6 +145,7 @@ def correctness_audit(
     num_transactions: int = 300,
     system: Optional[SystemConfig] = None,
     workload: Optional[WorkloadConfig] = None,
+    jobs: int = 1,
 ) -> List[Dict[str, object]]:
     """E4: mixed-protocol runs audited for Theorems 2-3 and the corollaries.
 
@@ -127,38 +155,36 @@ def correctness_audit(
     """
     system = system if system is not None else SystemConfig()
     base = workload if workload is not None else WorkloadConfig(num_transactions=num_transactions)
-    rows: List[Dict[str, object]] = []
     mixes = {
         "mixed": ProtocolMix.uniform(),
         "pure-PA": ProtocolMix.pure(Protocol.PRECEDENCE_AGREEMENT),
         "pure-T/O": ProtocolMix.pure(Protocol.TIMESTAMP_ORDERING),
     }
+    tasks: List[SimulationTask] = []
+    labels: List[Tuple[float, str]] = []
     for rate in arrival_rates:
         for label, mix in mixes.items():
             swept = base.with_overrides(arrival_rate=rate, protocol_mix=mix)
-            result = run_simulation(system, swept)
-            pa_stats = result.metrics.protocol_statistics(Protocol.PRECEDENCE_AGREEMENT)
-            to_stats = result.metrics.protocol_statistics(Protocol.TIMESTAMP_ORDERING)
-            victims_by_protocol = [
-                result.protocol_of.get(victim) for victim in result.deadlock_victims
-            ]
-            non_2pl_victims = sum(
-                1
-                for protocol in victims_by_protocol
-                if protocol is not None and not protocol.is_two_phase_locking
-            )
-            rows.append(
-                {
-                    "arrival_rate": rate,
-                    "mix": label,
-                    "serializable": result.serializable,
-                    "pa_restarts": pa_stats.restarts + pa_stats.deadlock_aborts,
-                    "to_deadlock_aborts": to_stats.deadlock_aborts,
-                    "non_2pl_deadlock_victims": non_2pl_victims,
-                    "deadlocks_found": result.deadlocks_found,
-                    "committed": result.committed,
-                }
-            )
+            tasks.append(SimulationTask(system=system, workload=swept))
+            labels.append((rate, label))
+    summaries = run_tasks(tasks, jobs=jobs)
+    rows: List[Dict[str, object]] = []
+    for summary, (rate, label) in zip(summaries, labels):
+        protocol_stats = summary["protocol_stats"]
+        pa_stats = protocol_stats[str(Protocol.PRECEDENCE_AGREEMENT)]
+        to_stats = protocol_stats[str(Protocol.TIMESTAMP_ORDERING)]
+        rows.append(
+            {
+                "arrival_rate": rate,
+                "mix": label,
+                "serializable": summary["serializable"],
+                "pa_restarts": pa_stats["restarts"] + pa_stats["deadlock_aborts"],
+                "to_deadlock_aborts": to_stats["deadlock_aborts"],
+                "non_2pl_deadlock_victims": summary["non_2pl_deadlock_victims"],
+                "deadlocks_found": summary["deadlocks_found"],
+                "committed": summary["committed"],
+            }
+        )
     return rows
 
 
@@ -167,6 +193,7 @@ def dynamic_vs_static(
     *,
     system: Optional[SystemConfig] = None,
     workload: Optional[WorkloadConfig] = None,
+    jobs: int = 1,
 ) -> List[Dict[str, object]]:
     """E5: STL-based dynamic selection against each static protocol."""
     return sweep_arrival_rate(
@@ -174,6 +201,7 @@ def dynamic_vs_static(
         system=system,
         workload=workload,
         include_dynamic=True,
+        jobs=jobs,
     )
 
 
@@ -183,6 +211,7 @@ def semilock_ablation(
     num_transactions: int = 300,
     system: Optional[SystemConfig] = None,
     workload: Optional[WorkloadConfig] = None,
+    jobs: int = 1,
 ) -> List[Dict[str, object]]:
     """E6: unified enforcement with semi-locks vs. the naive lock-everything rule.
 
@@ -199,16 +228,128 @@ def semilock_ablation(
         }
     )
     swept = base.with_overrides(arrival_rate=arrival_rate, protocol_mix=mix)
+    modes = (True, False)
+    tasks = [
+        SimulationTask(
+            system=system.with_overrides(semi_locks_enabled=semi_locks), workload=swept
+        )
+        for semi_locks in modes
+    ]
+    summaries = run_tasks(tasks, jobs=jobs)
     rows: List[Dict[str, object]] = []
-    for semi_locks in (True, False):
-        configured = system.with_overrides(semi_locks_enabled=semi_locks)
-        result = run_simulation(configured, swept)
-        to_stats = result.metrics.protocol_statistics(Protocol.TIMESTAMP_ORDERING)
+    for summary, semi_locks in zip(summaries, modes):
+        to_stats = summary["protocol_stats"][str(Protocol.TIMESTAMP_ORDERING)]
         rows.append(
-            _result_row(
-                result,
+            _row_from_summary(
+                summary,
                 enforcement="semi-locks" if semi_locks else "full locking",
-                to_mean_system_time=to_stats.mean_system_time,
+                to_mean_system_time=to_stats["mean_system_time"],
             )
+        )
+    return rows
+
+
+class _CountingThroughputLossModel(ThroughputLossModel):
+    """STL model that counts recursion steps for the E7 cost comparison."""
+
+    def __init__(self, *args: object, **kwargs: object) -> None:
+        super().__init__(*args, **kwargs)
+        self.naive_calls = 0
+
+    def _naive_recursion(self, loss: float, steps_left: int, dt: float) -> float:
+        self.naive_calls += 1
+        return super()._naive_recursion(loss, steps_left, dt)
+
+
+def stl_cost_experiment(
+    *,
+    time_steps: Sequence[int] = (8, 12, 16),
+    initial_loss: float = 10.0,
+    duration: float = 0.5,
+    load: Optional[SystemLoadParameters] = None,
+) -> List[Dict[str, object]]:
+    """E7: cost of evaluating ``STL'`` — dynamic program vs. naive recursion.
+
+    Section 5.1 claims STL' "can be evaluated efficiently through Dynamic
+    Programming".  For each discretisation the row reports both values (they
+    must agree), the deterministic work counts (DP cells vs. recursion
+    calls), and the measured wall-clock times (informational only — the
+    counts, not the timings, carry the claim).
+    """
+    if load is None:
+        load = SystemLoadParameters(
+            system_throughput=120.0,
+            read_throughput=3.0,
+            write_throughput=2.0,
+            read_fraction=0.6,
+            requests_per_transaction=6.0,
+        )
+    rows: List[Dict[str, object]] = []
+    for steps in time_steps:
+        model = _CountingThroughputLossModel(load, time_steps=steps)
+        started = time.perf_counter()
+        dp_value = model.stl_prime(initial_loss, duration)
+        dp_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        naive_value = model.naive_stl_prime(initial_loss, duration)
+        naive_seconds = time.perf_counter() - started
+        agreement = abs(dp_value - naive_value) <= 1e-6 * max(1.0, abs(dp_value))
+        rows.append(
+            {
+                "time_steps": steps,
+                "stl_prime_dp": dp_value,
+                "stl_prime_naive": naive_value,
+                "values_agree": agreement,
+                "dp_cells": steps * model.level_count(initial_loss),
+                "naive_calls": model.naive_calls,
+                "dp_seconds": dp_seconds,
+                "naive_seconds": naive_seconds,
+            }
+        )
+    return rows
+
+
+def protocol_switching_ablation(
+    *,
+    arrival_rate: float = 60.0,
+    num_transactions: int = 300,
+    thresholds: Sequence[Optional[int]] = (None, 2),
+    system: Optional[SystemConfig] = None,
+    workload: Optional[WorkloadConfig] = None,
+    jobs: int = 1,
+) -> List[Dict[str, object]]:
+    """E8 (extension): protocol switching to PA after repeated aborts.
+
+    The paper lists "allowing transactions to change their concurrency
+    control methods" as future work (Section 6, item 4); the reproduction
+    bounds starvation by switching a transaction to PA once it has been
+    aborted ``protocol_switch_threshold`` times.  The ablation contrasts a
+    contended mixed workload with the feature off and on.
+    """
+    system = system if system is not None else SystemConfig()
+    base = workload if workload is not None else WorkloadConfig(num_transactions=num_transactions)
+    contended = base.with_overrides(
+        arrival_rate=arrival_rate, hotspot_probability=0.5, hotspot_fraction=0.1
+    )
+    tasks = [
+        SimulationTask(
+            system=system.with_overrides(protocol_switch_threshold=threshold),
+            workload=contended,
+        )
+        for threshold in thresholds
+    ]
+    summaries = run_tasks(tasks, jobs=jobs)
+    rows: List[Dict[str, object]] = []
+    for summary, threshold in zip(summaries, thresholds):
+        rows.append(
+            {
+                "switching": "off" if threshold is None else f"after {threshold} aborts",
+                "mean_system_time": summary["mean_system_time"],
+                "restarts": summary["restarts"],
+                "deadlock_aborts": summary["deadlock_aborts"],
+                "protocol_switches": summary["protocol_switches"],
+                "committed": summary["committed"],
+                "serializable": summary["serializable"],
+            }
         )
     return rows

@@ -1,20 +1,31 @@
-"""Replicated runs and confidence intervals.
+"""Replicated runs, the parallel execution engine, and confidence intervals.
 
 The paper's performance statements are about expected behaviour, so a single
 seeded run is only one sample.  This module runs the same configuration under
 several seeds and aggregates the headline metrics with normal-approximation
 confidence intervals, which is what the experiment tables should quote when
 more than a smoke test is wanted.
+
+It also hosts the **parallel replication engine**: simulations are described
+as picklable :class:`SimulationTask` values and executed by
+:func:`run_tasks`, serially or across a ``multiprocessing`` pool.  Each task
+carries its own seeds and every worker returns a plain summary dictionary, so
+results are *bit-identical* to the serial path and are always merged back in
+task (i.e. seed/sweep) order — ``jobs`` changes wall-clock time, never a
+number (see DESIGN.md, "Key design decisions").
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import sys
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.common.config import SystemConfig, WorkloadConfig
 from repro.common.protocol_names import Protocol
 from repro.sim.stats import WelfordAccumulator
+from repro.system.database import RunResult
 from repro.system.runner import run_simulation
 
 #: Metrics aggregated across replications (taken from ``RunResult.summary()``).
@@ -26,6 +37,96 @@ AGGREGATED_METRICS = (
     "backoff_rounds",
     "messages_per_transaction",
 )
+
+
+# --------------------------------------------------------------------------- #
+# The parallel execution engine
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class SimulationTask:
+    """One self-contained simulation: configuration plus protocol mode.
+
+    Tasks are immutable and picklable, so they can cross process boundaries;
+    the seeds live inside the configs, making each task independent of
+    execution order and worker identity.
+    """
+
+    system: SystemConfig
+    workload: WorkloadConfig
+    protocol: Optional[Union[str, Protocol]] = None
+    dynamic_selection: bool = False
+
+
+def summarize_run(result: RunResult) -> Dict[str, object]:
+    """A plain, picklable summary carrying everything the experiments consume.
+
+    Extends ``RunResult.summary()`` with the per-protocol statistics and the
+    deadlock-victim breakdown so that audit-style experiments (E4, E6) can be
+    shaped from worker output without shipping the full ``RunResult`` between
+    processes.
+    """
+    row = result.summary()
+    row["deadlocks_found"] = result.deadlocks_found
+    per_protocol: Dict[str, Dict[str, float]] = {}
+    for protocol in Protocol:
+        stats = result.metrics.protocol_statistics(protocol)
+        per_protocol[str(protocol)] = {
+            "mean_system_time": stats.mean_system_time,
+            "restarts": stats.restarts,
+            "deadlock_aborts": stats.deadlock_aborts,
+            "committed": stats.committed,
+        }
+    row["protocol_stats"] = per_protocol
+    victims_by_protocol = [result.protocol_of.get(victim) for victim in result.deadlock_victims]
+    row["non_2pl_deadlock_victims"] = sum(
+        1
+        for protocol in victims_by_protocol
+        if protocol is not None and not protocol.is_two_phase_locking
+    )
+    return row
+
+
+def execute_task(task: SimulationTask) -> Dict[str, object]:
+    """Run one task to completion and summarise it (the worker entry point)."""
+    result = run_simulation(
+        task.system,
+        task.workload,
+        protocol=task.protocol,
+        dynamic_selection=task.dynamic_selection,
+    )
+    return summarize_run(result)
+
+
+def run_tasks(
+    tasks: Sequence[SimulationTask], *, jobs: int = 1
+) -> List[Dict[str, object]]:
+    """Execute ``tasks`` and return their summaries **in task order**.
+
+    With ``jobs <= 1`` (or a single task) everything runs in-process; larger
+    values fan the tasks across a ``multiprocessing`` pool.  Each task is
+    fully seeded, workers perform the identical computation the serial path
+    would, and ``Pool.map`` preserves input order — so the output is
+    bit-identical regardless of ``jobs``.
+    """
+    tasks = list(tasks)
+    jobs = max(1, int(jobs))
+    if len(tasks) <= 1 or jobs == 1:
+        return [execute_task(task) for task in tasks]
+    # Fork keeps worker start-up cheap, but only Linux forks safely (macOS
+    # system frameworks can crash in forked children, which is why CPython
+    # moved the macOS default to spawn).  The platform default works
+    # everywhere because tasks and summaries are picklable.
+    method = "fork" if sys.platform == "linux" else None
+    context = multiprocessing.get_context(method)
+    with context.Pool(processes=min(jobs, len(tasks))) as pool:
+        return pool.map(execute_task, tasks)
+
+
+# --------------------------------------------------------------------------- #
+# Replicated runs and aggregation
+# --------------------------------------------------------------------------- #
 
 
 @dataclass(frozen=True)
@@ -73,51 +174,42 @@ class ReplicatedResult:
         return row
 
 
-def run_replicated(
+def replication_tasks(
     system: SystemConfig,
     workload: WorkloadConfig,
     *,
     protocol: Optional[Union[str, Protocol]] = None,
     dynamic_selection: bool = False,
     seeds: Sequence[int] = (0, 1, 2, 3, 4),
-    label: Optional[str] = None,
-    confidence_z: float = 1.96,
-) -> ReplicatedResult:
-    """Run the same configuration once per seed and aggregate the results.
-
-    Each replication re-seeds both the system (network delays) and the
-    workload (arrivals, shapes) so the samples are independent.
-    """
-    if not seeds:
-        raise ValueError("at least one seed is required")
-    accumulators = {name: WelfordAccumulator() for name in AGGREGATED_METRICS}
-    all_serializable = True
-    all_committed = True
-    for seed in seeds:
-        seeded_system = system.with_overrides(seed=system.seed + seed)
-        seeded_workload = workload.with_overrides(seed=workload.seed + seed)
-        result = run_simulation(
-            seeded_system,
-            seeded_workload,
+) -> List[SimulationTask]:
+    """One task per replication seed; each re-seeds both configurations."""
+    return [
+        SimulationTask(
+            system=system.with_overrides(seed=system.seed + seed),
+            workload=workload.with_overrides(seed=workload.seed + seed),
             protocol=protocol,
             dynamic_selection=dynamic_selection,
         )
-        all_serializable = all_serializable and result.serializable
-        all_committed = all_committed and result.committed == seeded_workload.num_transactions
-        accumulators["mean_system_time"].add(result.mean_system_time)
-        accumulators["throughput"].add(result.throughput)
-        accumulators["restarts"].add(float(result.restarts))
-        accumulators["deadlock_aborts"].add(float(result.deadlock_aborts))
-        accumulators["backoff_rounds"].add(float(result.backoff_rounds))
-        accumulators["messages_per_transaction"].add(result.messages_per_transaction)
+        for seed in seeds
+    ]
 
-    if label is None:
-        if dynamic_selection:
-            label = "dynamic"
-        elif protocol is not None:
-            label = str(Protocol.from_name(protocol))
-        else:
-            label = "mixed"
+
+def aggregate_replications(
+    label: str,
+    summaries: Sequence[Dict[str, object]],
+    expected_transactions: Sequence[int],
+    *,
+    confidence_z: float = 1.96,
+) -> ReplicatedResult:
+    """Fold per-replication summaries (in seed order) into one result."""
+    accumulators = {name: WelfordAccumulator() for name in AGGREGATED_METRICS}
+    all_serializable = True
+    all_committed = True
+    for summary, expected in zip(summaries, expected_transactions):
+        all_serializable = all_serializable and bool(summary["serializable"])
+        all_committed = all_committed and summary["committed"] == expected
+        for name in AGGREGATED_METRICS:
+            accumulators[name].add(float(summary[name]))
     metrics = {
         name: AggregatedMetric(
             name=name,
@@ -130,10 +222,58 @@ def run_replicated(
     }
     return ReplicatedResult(
         label=label,
-        replications=len(seeds),
+        replications=len(summaries),
         metrics=metrics,
         all_serializable=all_serializable,
         all_committed=all_committed,
+    )
+
+
+def _default_label(
+    protocol: Optional[Union[str, Protocol]], dynamic_selection: bool
+) -> str:
+    if dynamic_selection:
+        return "dynamic"
+    if protocol is not None:
+        return str(Protocol.from_name(protocol))
+    return "mixed"
+
+
+def run_replicated(
+    system: SystemConfig,
+    workload: WorkloadConfig,
+    *,
+    protocol: Optional[Union[str, Protocol]] = None,
+    dynamic_selection: bool = False,
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    label: Optional[str] = None,
+    confidence_z: float = 1.96,
+    jobs: int = 1,
+) -> ReplicatedResult:
+    """Run the same configuration once per seed and aggregate the results.
+
+    Each replication re-seeds both the system (network delays) and the
+    workload (arrivals, shapes) so the samples are independent.  ``jobs``
+    fans the replications across worker processes; the aggregates are
+    bit-identical to ``jobs=1`` because summaries are merged in seed order.
+    """
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    tasks = replication_tasks(
+        system,
+        workload,
+        protocol=protocol,
+        dynamic_selection=dynamic_selection,
+        seeds=seeds,
+    )
+    summaries = run_tasks(tasks, jobs=jobs)
+    if label is None:
+        label = _default_label(protocol, dynamic_selection)
+    return aggregate_replications(
+        label,
+        summaries,
+        [task.workload.num_transactions for task in tasks],
+        confidence_z=confidence_z,
     )
 
 
@@ -144,14 +284,41 @@ def compare_protocols_replicated(
     protocols: Iterable[Union[str, Protocol]] = ("2PL", "T/O", "PA"),
     include_dynamic: bool = False,
     seeds: Sequence[int] = (0, 1, 2),
+    jobs: int = 1,
 ) -> List[Dict[str, object]]:
-    """Replicated comparison of the static protocols (and optionally the selector)."""
-    rows = [
-        run_replicated(system, workload, protocol=protocol, seeds=seeds).as_row()
+    """Replicated comparison of the static protocols (and optionally the selector).
+
+    All (protocol, seed) combinations are flattened into one task list, so a
+    parallel run overlaps protocols as well as replications.
+    """
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    groups: List[Tuple[str, List[SimulationTask]]] = [
+        (
+            _default_label(protocol, False),
+            replication_tasks(system, workload, protocol=protocol, seeds=seeds),
+        )
         for protocol in protocols
     ]
     if include_dynamic:
+        groups.append(
+            (
+                _default_label(None, True),
+                replication_tasks(system, workload, dynamic_selection=True, seeds=seeds),
+            )
+        )
+    flat_tasks = [task for _, tasks in groups for task in tasks]
+    summaries = run_tasks(flat_tasks, jobs=jobs)
+    rows: List[Dict[str, object]] = []
+    cursor = 0
+    for label, tasks in groups:
+        group_summaries = summaries[cursor : cursor + len(tasks)]
+        cursor += len(tasks)
         rows.append(
-            run_replicated(system, workload, dynamic_selection=True, seeds=seeds).as_row()
+            aggregate_replications(
+                label,
+                group_summaries,
+                [task.workload.num_transactions for task in tasks],
+            ).as_row()
         )
     return rows

@@ -1,14 +1,18 @@
-"""Command-line interface for running simulations and experiment sweeps.
+"""Command-line interface for running simulations, sweeps and scenarios.
 
-Two subcommands are provided::
+Three subcommands are provided::
 
-    python -m repro.cli run   --protocol PA --arrival-rate 30 --transactions 300
-    python -m repro.cli sweep --experiment e1 --rates 5 20 60
+    python -m repro.cli run      --protocol PA --arrival-rate 30 --transactions 300
+    python -m repro.cli sweep    --experiment e1 --rates 5 20 60 --jobs 4
+    python -m repro.cli scenario zipf-hotspot --replications 5 --jobs 4
 
 ``run`` executes a single workload under one protocol (or the dynamic
 selector) and prints the result summary; ``sweep`` regenerates one of the
-experiments of DESIGN.md's index (E1, E2, E3, E4, E5 or E6) with configurable
-parameters and prints the result table.
+experiments of DESIGN.md's index (E1-E8) with configurable parameters and
+prints the result table; ``scenario`` runs a named end-to-end workload
+profile from the registry in :mod:`repro.workload.scenarios` (``--list``
+shows them all).  ``--jobs N`` fans simulation runs across N worker
+processes; results are bit-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -20,14 +24,21 @@ from typing import List, Optional, Sequence
 from repro.analysis.experiments import (
     correctness_audit,
     dynamic_vs_static,
+    protocol_switching_ablation,
     semilock_ablation,
     single_item_write_experiment,
+    stl_cost_experiment,
     sweep_arrival_rate,
     sweep_transaction_size,
 )
 from repro.analysis.tables import rows_to_table
 from repro.common.config import SystemConfig, WorkloadConfig
+from repro.common.errors import ConfigurationError
 from repro.system.runner import run_simulation
+from repro.workload.scenarios import all_scenarios, get_scenario, scenario_names
+
+#: Experiment ids accepted by ``sweep``; must match DESIGN.md's index.
+EXPERIMENT_IDS = ("e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -56,9 +67,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_arguments(sweep_parser)
     sweep_parser.add_argument(
         "--experiment",
-        choices=["e1", "e2", "e3", "e4", "e5", "e6"],
+        choices=list(EXPERIMENT_IDS),
         required=True,
-        help="experiment id from the DESIGN.md index",
+        help="experiment id from the DESIGN.md index (E1-E8)",
     )
     sweep_parser.add_argument(
         "--rates",
@@ -74,7 +85,50 @@ def build_parser() -> argparse.ArgumentParser:
         default=[1, 4, 8],
         help="transaction sizes for e2",
     )
+    _add_jobs_argument(sweep_parser)
+
+    scenario_parser = subparsers.add_parser(
+        "scenario",
+        help="run a named workload scenario from the registry (see DESIGN.md)",
+    )
+    scenario_parser.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        help="scenario name (omit with --list to enumerate)",
+    )
+    scenario_parser.add_argument(
+        "--list", action="store_true", help="list the registered scenarios and exit"
+    )
+    scenario_parser.add_argument(
+        "--replications",
+        type=int,
+        default=3,
+        help="number of independent replications (seeds 0..R-1)",
+    )
+    scenario_parser.add_argument(
+        "--transactions",
+        type=int,
+        default=None,
+        help="override the scenario's transaction count",
+    )
+    scenario_parser.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=None,
+        help="override the scenario's arrival rate",
+    )
+    _add_jobs_argument(scenario_parser)
     return parser
+
+
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the simulation runs (results are identical to --jobs 1)",
+    )
 
 
 def _add_system_arguments(parser: argparse.ArgumentParser) -> None:
@@ -108,6 +162,18 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--hotspot", type=float, default=0.0, help="probability an access hits the hot region"
     )
+    parser.add_argument(
+        "--access-pattern",
+        choices=list(WorkloadConfig.ACCESS_PATTERNS),
+        default="uniform",
+        help="item-selection skew (uniform, hotspot, zipfian, site-skewed)",
+    )
+    parser.add_argument(
+        "--arrival-process",
+        choices=list(WorkloadConfig.ARRIVAL_PROCESSES),
+        default="poisson",
+        help="arrival process shape at the configured mean rate",
+    )
 
 
 def _system_from_args(args: argparse.Namespace) -> SystemConfig:
@@ -131,6 +197,8 @@ def _workload_from_args(args: argparse.Namespace) -> WorkloadConfig:
         max_size=args.max_size,
         read_fraction=args.read_fraction,
         hotspot_probability=args.hotspot,
+        access_pattern=args.access_pattern,
+        arrival_process=args.arrival_process,
         seed=args.seed + 1,
     )
 
@@ -153,13 +221,17 @@ def _command_run(args: argparse.Namespace) -> int:
 def _command_sweep(args: argparse.Namespace) -> int:
     system = _system_from_args(args)
     workload = _workload_from_args(args)
+    jobs = args.jobs
     if args.experiment == "e1":
-        rows = sweep_arrival_rate(args.rates, system=system, workload=workload)
+        rows = sweep_arrival_rate(args.rates, system=system, workload=workload, jobs=jobs)
     elif args.experiment == "e2":
-        rows = sweep_transaction_size(args.sizes, system=system, workload=workload)
+        rows = sweep_transaction_size(args.sizes, system=system, workload=workload, jobs=jobs)
     elif args.experiment == "e3":
         rows = single_item_write_experiment(
-            arrival_rate=args.arrival_rate, num_transactions=args.transactions, system=system
+            arrival_rate=args.arrival_rate,
+            num_transactions=args.transactions,
+            system=system,
+            jobs=jobs,
         )
     elif args.experiment == "e4":
         rows = correctness_audit(
@@ -167,28 +239,78 @@ def _command_sweep(args: argparse.Namespace) -> int:
             num_transactions=args.transactions,
             system=system,
             workload=workload,
+            jobs=jobs,
         )
     elif args.experiment == "e5":
-        rows = dynamic_vs_static(args.rates, system=system, workload=workload)
-    else:
+        rows = dynamic_vs_static(args.rates, system=system, workload=workload, jobs=jobs)
+    elif args.experiment == "e6":
         rows = semilock_ablation(
             arrival_rate=args.arrival_rate,
             num_transactions=args.transactions,
             system=system,
             workload=workload,
+            jobs=jobs,
+        )
+    elif args.experiment == "e7":
+        # E7 measures the STL' evaluator itself, not a simulation run; the
+        # system/workload/--jobs flags do not apply to it.
+        print(
+            "note: e7 evaluates the STL' model directly; "
+            "system/workload/--jobs flags are ignored",
+            file=sys.stderr,
+        )
+        rows = stl_cost_experiment()
+    else:
+        rows = protocol_switching_ablation(
+            arrival_rate=args.arrival_rate,
+            num_transactions=args.transactions,
+            system=system,
+            workload=workload,
+            jobs=jobs,
         )
     print(rows_to_table(rows))
     all_serializable = all(row.get("serializable", True) for row in rows)
     return 0 if all_serializable else 1
 
 
+def _command_scenario(args: argparse.Namespace) -> int:
+    if args.list or args.name is None:
+        rows = [
+            {"scenario": scenario.name, "description": scenario.description}
+            for scenario in all_scenarios()
+        ]
+        print(rows_to_table(rows))
+        # A bare `scenario` without a name is a usage error; `--list` is not.
+        return 0 if args.list else 2
+    try:
+        scenario = get_scenario(args.name)
+    except ConfigurationError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.replications < 1:
+        print("at least one replication is required", file=sys.stderr)
+        return 2
+    configured = scenario.configured(
+        transactions=args.transactions, arrival_rate=args.arrival_rate
+    )
+    result = configured.run(seeds=tuple(range(args.replications)), jobs=args.jobs)
+    print(rows_to_table([result.as_row()]))
+    return 0 if result.all_serializable else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
-    if args.command == "run":
-        return _command_run(args)
-    return _command_sweep(args)
+    try:
+        if args.command == "run":
+            return _command_run(args)
+        if args.command == "scenario":
+            return _command_scenario(args)
+        return _command_sweep(args)
+    except ConfigurationError as error:
+        print(f"configuration error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()

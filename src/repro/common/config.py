@@ -184,6 +184,33 @@ class WorkloadConfig:
         When ``hotspot_probability > 0`` each access falls inside the first
         ``hotspot_fraction`` of the database with that probability, producing
         contention skew; otherwise accesses are uniform.
+    access_pattern:
+        Which access-shape strategy draws the items a transaction touches:
+        ``"uniform"``, ``"hotspot"``, ``"zipfian"`` or ``"site-skewed"``
+        (see :mod:`repro.workload.access_patterns`).  The default
+        ``"uniform"`` keeps the legacy shortcut: a positive
+        ``hotspot_probability`` still selects the hot-spot pattern, so
+        pre-existing configurations reproduce bit-identical streams.
+    zipf_theta:
+        Skew exponent of the Zipfian pattern (larger = more skewed).
+    site_locality:
+        For the site-skewed pattern: probability that an access falls inside
+        the contiguous item partition owned by the issuing site.
+    arrival_process:
+        ``"poisson"`` (the paper's open arrivals) or ``"bursty"``, a
+        two-state Markov-modulated Poisson process whose long-run rate still
+        equals ``arrival_rate``.
+    burst_multiplier / burst_fraction / burst_duration:
+        Bursty-arrival shape: during a burst the instantaneous rate is
+        ``burst_multiplier`` times the calm rate; bursts cover
+        ``burst_fraction`` of simulated time and last ``burst_duration``
+        time units on average.
+    size_distribution:
+        ``"uniform"`` draws the size from ``[min_size, max_size]``;
+        ``"bimodal"`` draws exactly ``min_size`` (short) or ``max_size``
+        (long), modelling point-update vs. scan workloads.
+    bimodal_long_fraction:
+        Probability of the long mode under the bimodal size distribution.
     protocol_mix:
         Static protocol assignment (ignored when the dynamic selector is on).
     """
@@ -196,8 +223,22 @@ class WorkloadConfig:
     compute_time: float = 0.005
     hotspot_fraction: float = 0.1
     hotspot_probability: float = 0.0
+    access_pattern: str = "uniform"
+    zipf_theta: float = 0.8
+    site_locality: float = 0.85
+    arrival_process: str = "poisson"
+    burst_multiplier: float = 8.0
+    burst_fraction: float = 0.15
+    burst_duration: float = 0.5
+    size_distribution: str = "uniform"
+    bimodal_long_fraction: float = 0.1
     protocol_mix: ProtocolMix = field(default_factory=ProtocolMix.uniform)
     seed: int = 1
+
+    #: Valid values for the shape-selection fields.
+    ACCESS_PATTERNS = ("uniform", "hotspot", "zipfian", "site-skewed")
+    ARRIVAL_PROCESSES = ("poisson", "bursty")
+    SIZE_DISTRIBUTIONS = ("uniform", "bimodal")
 
     def __post_init__(self) -> None:
         if self.arrival_rate <= 0:
@@ -214,6 +255,38 @@ class WorkloadConfig:
             raise ConfigurationError("hotspot fraction must be within (0, 1]")
         if not 0.0 <= self.hotspot_probability <= 1.0:
             raise ConfigurationError("hotspot probability must be within [0, 1]")
+        if self.access_pattern not in self.ACCESS_PATTERNS:
+            raise ConfigurationError(
+                f"unknown access pattern {self.access_pattern!r}; "
+                f"choose one of {', '.join(self.ACCESS_PATTERNS)}"
+            )
+        if self.access_pattern == "hotspot" and self.hotspot_probability <= 0.0:
+            raise ConfigurationError(
+                "the hotspot access pattern needs hotspot_probability > 0 "
+                "(with the CLI, pass --hotspot)"
+            )
+        if self.zipf_theta <= 0:
+            raise ConfigurationError("zipf theta must be positive")
+        if not 0.0 <= self.site_locality <= 1.0:
+            raise ConfigurationError("site locality must be within [0, 1]")
+        if self.arrival_process not in self.ARRIVAL_PROCESSES:
+            raise ConfigurationError(
+                f"unknown arrival process {self.arrival_process!r}; "
+                f"choose one of {', '.join(self.ARRIVAL_PROCESSES)}"
+            )
+        if self.burst_multiplier < 1.0:
+            raise ConfigurationError("burst multiplier must be at least 1")
+        if not 0.0 < self.burst_fraction < 1.0:
+            raise ConfigurationError("burst fraction must be within (0, 1)")
+        if self.burst_duration <= 0:
+            raise ConfigurationError("burst duration must be positive")
+        if self.size_distribution not in self.SIZE_DISTRIBUTIONS:
+            raise ConfigurationError(
+                f"unknown size distribution {self.size_distribution!r}; "
+                f"choose one of {', '.join(self.SIZE_DISTRIBUTIONS)}"
+            )
+        if not 0.0 <= self.bimodal_long_fraction <= 1.0:
+            raise ConfigurationError("bimodal long fraction must be within [0, 1]")
 
     def with_overrides(self, **changes: object) -> "WorkloadConfig":
         """Return a copy with the given fields replaced (sweep helper)."""

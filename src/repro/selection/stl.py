@@ -104,11 +104,7 @@ class ThroughputLossModel:
         if step_gain <= 0:
             return initial_loss * duration
 
-        # Loss levels reachable from the initial loss, capped at lambda_A.
-        levels = [initial_loss]
-        while levels[-1] < lambda_a and len(levels) < self._max_levels:
-            levels.append(min(lambda_a, levels[-1] + step_gain))
-
+        levels = self._levels(initial_loss)
         dt = duration / self._time_steps
         # current[i] holds STL'(levels[i], t) for the current horizon t.
         current = [0.0] * len(levels)
@@ -125,6 +121,35 @@ class ThroughputLossModel:
                     + (1.0 - p_block) * previous[index]
                 )
         return current[0]
+
+    def _levels(self, initial_loss: float) -> "list[float]":
+        """Loss levels reachable from ``initial_loss``, capped at ``lambda_A``.
+
+        Shared by :meth:`stl_prime` (the DP rows) and :meth:`level_count`
+        (the E7 work measure) so the reported cell count can never drift
+        from the actual DP size.
+        """
+        lambda_a = self._load.system_throughput
+        step_gain = self._loss_increment()
+        levels = [initial_loss]
+        while levels[-1] < lambda_a and len(levels) < self._max_levels:
+            levels.append(min(lambda_a, levels[-1] + step_gain))
+        return levels
+
+    def level_count(self, initial_loss: float) -> int:
+        """Number of loss levels the dynamic program tracks from ``initial_loss``.
+
+        The DP of :meth:`stl_prime` fills ``time_steps * level_count`` cells,
+        which is the deterministic work measure the E7 experiment contrasts
+        with the naive recursion's call count.
+        """
+        lambda_a = self._load.system_throughput
+        initial_loss = max(0.0, initial_loss)
+        if lambda_a <= 0 or initial_loss >= lambda_a:
+            return 1
+        if self._loss_increment() <= 0:
+            return 1
+        return len(self._levels(initial_loss))
 
     def naive_stl_prime(self, initial_loss: float, duration: float) -> float:
         """Direct top-down evaluation of the recursion (no memoisation).

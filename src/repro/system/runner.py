@@ -7,7 +7,7 @@ examples, tests and benchmarks all share the same entry point.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.common.config import ProtocolMix, SystemConfig, WorkloadConfig
 from repro.common.protocol_names import Protocol
@@ -68,3 +68,31 @@ def run_simulation(
     )
     database.load_workload(generator.generate(), workload)
     return database.run(max_time=max_time, max_events=max_events)
+
+
+def run_many(
+    configurations: Sequence[Tuple[SystemConfig, WorkloadConfig]],
+    *,
+    protocol: Optional[Union[str, Protocol]] = None,
+    dynamic_selection: bool = False,
+    jobs: int = 1,
+) -> List[Dict[str, object]]:
+    """Run several configurations, optionally across worker processes.
+
+    Returns one summary dictionary per configuration, in input order
+    (``summarize_run`` of :mod:`repro.analysis.replications`); results are
+    bit-identical regardless of ``jobs``.
+    """
+    # Imported lazily: repro.analysis imports this module at load time.
+    from repro.analysis.replications import SimulationTask, run_tasks
+
+    tasks = [
+        SimulationTask(
+            system=system,
+            workload=workload,
+            protocol=protocol,
+            dynamic_selection=dynamic_selection,
+        )
+        for system, workload in configurations
+    ]
+    return run_tasks(tasks, jobs=jobs)

@@ -1,4 +1,4 @@
-"""Workload generation: open Poisson arrivals of synthetic transactions.
+"""Workload generation: open arrivals of synthetic transactions.
 
 The paper's performance discussion (Sections 1 and 5) is parameterised by the
 transaction arrival rate ``lambda``, the transaction size ``st`` (number of
@@ -6,14 +6,54 @@ data items accessed), the read/write mix ``Q_r`` and the access skew.  The
 generator produces a deterministic (seeded) stream of
 :class:`~repro.common.transactions.TransactionSpec` objects realising those
 parameters, split across the request issuers of the system.
+
+Beyond the paper's uniform/hot-spot shapes, :mod:`repro.workload.scenarios`
+registers named end-to-end profiles (Zipfian skew, bursty arrivals,
+site-local access, bimodal sizes) documented in DESIGN.md.
 """
 
-from repro.workload.access_patterns import HotspotAccessPattern, UniformAccessPattern
-from repro.workload.generator import TransactionGenerator, generate_workload
+from repro.workload.access_patterns import (
+    AccessPattern,
+    HotspotAccessPattern,
+    SiteSkewedAccessPattern,
+    UniformAccessPattern,
+    ZipfianAccessPattern,
+    build_access_pattern,
+)
+from repro.workload.generator import (
+    ArrivalProcess,
+    BurstyArrivalProcess,
+    PoissonArrivalProcess,
+    TransactionGenerator,
+    build_arrival_process,
+    generate_workload,
+)
+from repro.workload.scenarios import (
+    Scenario,
+    all_scenarios,
+    get_scenario,
+    register_scenario,
+    run_scenario,
+    scenario_names,
+)
 
 __all__ = [
+    "AccessPattern",
+    "ArrivalProcess",
+    "BurstyArrivalProcess",
     "HotspotAccessPattern",
+    "PoissonArrivalProcess",
+    "Scenario",
+    "SiteSkewedAccessPattern",
     "TransactionGenerator",
     "UniformAccessPattern",
+    "ZipfianAccessPattern",
+    "all_scenarios",
+    "build_access_pattern",
+    "build_arrival_process",
     "generate_workload",
+    "get_scenario",
+    "register_scenario",
+    "run_scenario",
+    "scenario_names",
 ]

@@ -1,33 +1,127 @@
-"""Transaction stream generation."""
+"""Transaction stream generation: arrival processes and shape sampling."""
 
 from __future__ import annotations
 
+import abc
 import random
 from typing import Iterator, List, Optional, Sequence
 
 from repro.common.config import SystemConfig, WorkloadConfig
+from repro.common.errors import ConfigurationError
 from repro.common.ids import ItemId, TransactionId
 from repro.common.protocol_names import Protocol
 from repro.common.transactions import TransactionSpec
 from repro.sim.rng import RandomStreams
-from repro.workload.access_patterns import (
-    AccessPattern,
-    HotspotAccessPattern,
-    UniformAccessPattern,
-)
+from repro.workload.access_patterns import AccessPattern, build_access_pattern
+
+
+class ArrivalProcess(abc.ABC):
+    """Strategy producing successive inter-arrival times.
+
+    A process may carry state (e.g. the burst phase), so one instance drives
+    exactly one pass over a workload; :class:`TransactionGenerator` builds a
+    fresh instance per iteration.  All randomness flows through the caller's
+    stream, keeping runs deterministic under a fixed seed.
+    """
+
+    @abc.abstractmethod
+    def next_interarrival(self, rng: random.Random) -> float:
+        """Time until the next arrival."""
+
+
+class PoissonArrivalProcess(ArrivalProcess):
+    """The paper's open arrivals: exponential inter-arrival times at rate ``lambda``."""
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise ConfigurationError("arrival rate must be positive")
+        self._rate = rate
+
+    def next_interarrival(self, rng: random.Random) -> float:
+        return rng.expovariate(self._rate)
+
+
+class BurstyArrivalProcess(ArrivalProcess):
+    """Two-state Markov-modulated Poisson process (calm / burst).
+
+    The process alternates between a *calm* state with rate ``r`` and a
+    *burst* state with rate ``multiplier * r``; sojourn times are exponential
+    with mean ``burst_duration`` in the burst state and whatever calm-state
+    mean makes bursts cover ``burst_fraction`` of the timeline.  ``r`` is
+    chosen so the long-run average rate equals the configured
+    ``arrival_rate`` — a bursty workload stresses queueing behaviour without
+    changing the mean load, which Poisson sweeps cannot do.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        *,
+        multiplier: float = 8.0,
+        burst_fraction: float = 0.15,
+        burst_duration: float = 0.5,
+    ) -> None:
+        if rate <= 0:
+            raise ConfigurationError("arrival rate must be positive")
+        if multiplier < 1.0:
+            raise ConfigurationError("burst multiplier must be at least 1")
+        if not 0.0 < burst_fraction < 1.0:
+            raise ConfigurationError("burst fraction must be within (0, 1)")
+        if burst_duration <= 0:
+            raise ConfigurationError("burst duration must be positive")
+        calm_rate = rate / (1.0 - burst_fraction + burst_fraction * multiplier)
+        self._rates = {"calm": calm_rate, "burst": calm_rate * multiplier}
+        self._mean_sojourn = {
+            "burst": burst_duration,
+            "calm": burst_duration * (1.0 - burst_fraction) / burst_fraction,
+        }
+        self._state = "calm"
+        self._remaining: Optional[float] = None
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def next_interarrival(self, rng: random.Random) -> float:
+        if self._remaining is None:
+            self._remaining = rng.expovariate(1.0 / self._mean_sojourn[self._state])
+        elapsed = 0.0
+        while True:
+            gap = rng.expovariate(self._rates[self._state])
+            if gap <= self._remaining:
+                self._remaining -= gap
+                return elapsed + gap
+            # No arrival before the phase flips: advance to the switch point
+            # and continue drawing at the other state's rate.
+            elapsed += self._remaining
+            self._state = "burst" if self._state == "calm" else "calm"
+            self._remaining = rng.expovariate(1.0 / self._mean_sojourn[self._state])
+
+
+def build_arrival_process(workload: WorkloadConfig) -> ArrivalProcess:
+    """A fresh arrival process realising ``workload.arrival_process``."""
+    if workload.arrival_process == "bursty":
+        return BurstyArrivalProcess(
+            workload.arrival_rate,
+            multiplier=workload.burst_multiplier,
+            burst_fraction=workload.burst_fraction,
+            burst_duration=workload.burst_duration,
+        )
+    return PoissonArrivalProcess(workload.arrival_rate)
 
 
 class TransactionGenerator:
     """Generates a deterministic stream of transaction specifications.
 
-    Arrivals form a Poisson process of total rate ``arrival_rate``; each
-    arrival is assigned uniformly to a site (so each site sees rate
-    ``lambda / num_sites``), draws its size uniformly from
-    ``[min_size, max_size]``, marks each accessed item as read or written
-    according to ``read_fraction``, and draws an exponential local compute
-    time.  When a static protocol mix is in force the protocol is also drawn
-    here; in dynamic-selection runs ``assign_protocols=False`` leaves it to
-    the per-site selector.
+    Arrivals follow the configured arrival process (Poisson by default,
+    averaging the total rate ``arrival_rate``); each arrival is assigned
+    uniformly to a site (so each site sees rate ``lambda / num_sites``),
+    draws its size from the configured size distribution, picks its items
+    through the configured access pattern, marks each accessed item as read
+    or written according to ``read_fraction``, and draws an exponential
+    local compute time.  When a static protocol mix is in force the protocol
+    is also drawn here; in dynamic-selection runs ``assign_protocols=False``
+    leaves it to the per-site selector.
     """
 
     def __init__(
@@ -44,12 +138,8 @@ class TransactionGenerator:
         self._streams = RandomStreams(workload.seed)
         if access_pattern is not None:
             self._access_pattern = access_pattern
-        elif workload.hotspot_probability > 0.0:
-            self._access_pattern = HotspotAccessPattern(
-                system.num_items, workload.hotspot_fraction, workload.hotspot_probability
-            )
         else:
-            self._access_pattern = UniformAccessPattern(system.num_items)
+            self._access_pattern = build_access_pattern(system, workload)
         self._sequence_by_site = {site: 0 for site in range(system.num_sites)}
 
     @property
@@ -65,9 +155,10 @@ class TransactionGenerator:
         shape_stream = self._streams.stream("shapes")
         site_stream = self._streams.stream("sites")
         protocol_stream = self._streams.stream("protocols")
+        arrivals = build_arrival_process(self._workload)
         clock = 0.0
         for _ in range(self._workload.num_transactions):
-            clock += arrival_stream.expovariate(self._workload.arrival_rate)
+            clock += arrivals.next_interarrival(arrival_stream)
             site = site_stream.randrange(self._system.num_sites)
             yield self._make_transaction(clock, site, shape_stream, protocol_stream)
 
@@ -80,8 +171,8 @@ class TransactionGenerator:
     ) -> TransactionSpec:
         self._sequence_by_site[site] += 1
         tid = TransactionId(site=site, seq=self._sequence_by_site[site])
-        size = shape_stream.randint(self._workload.min_size, self._workload.max_size)
-        items = self._access_pattern.draw(shape_stream, size)
+        size = self._draw_size(shape_stream)
+        items = self._access_pattern.draw(shape_stream, size, site=site)
         reads, writes = self._split_reads_writes(items, shape_stream)
         compute_time = (
             shape_stream.expovariate(1.0 / self._workload.compute_time)
@@ -99,6 +190,15 @@ class TransactionGenerator:
             protocol=protocol,
             arrival_time=arrival_time,
         )
+
+    def _draw_size(self, shape_stream: random.Random) -> int:
+        """Transaction size under the configured distribution."""
+        workload = self._workload
+        if workload.size_distribution == "bimodal":
+            if shape_stream.random() < workload.bimodal_long_fraction:
+                return workload.max_size
+            return workload.min_size
+        return shape_stream.randint(workload.min_size, workload.max_size)
 
     def _split_reads_writes(
         self, items: Sequence[ItemId], stream: random.Random

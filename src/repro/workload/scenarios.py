@@ -1,0 +1,247 @@
+"""Named end-to-end workload scenarios.
+
+A :class:`Scenario` bundles a system configuration, a workload configuration
+and a protocol-selection mode into one named, runnable profile.  The registry
+is the single source of truth for the CLI (``python -m repro.cli scenario``),
+the scenario benchmarks and the tests; DESIGN.md documents how the scenarios
+relate to the experiment index.
+
+Scenarios deliberately realise *structured* pattern sets — Zipfian skew,
+bursty (non-Poisson) arrivals, site-local access, bimodal transaction sizes —
+rather than one more uniform sweep: small structured workload families expose
+protocol behaviour that uniform sampling never reaches (queue build-up during
+bursts, cross-site conflicts under locality, scan-vs-point mixes).
+
+Every scenario runs through the ordinary replication engine, so ``--jobs``
+parallelism and per-seed determinism apply unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
+
+from repro.common.config import ProtocolMix, SystemConfig, WorkloadConfig
+from repro.common.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.analysis.replications import ReplicatedResult
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named, end-to-end workload profile.
+
+    ``protocol`` forces a single static protocol for every transaction;
+    ``dynamic_selection`` turns on the STL selector; with neither, the
+    workload's protocol mix applies.
+    """
+
+    name: str
+    description: str
+    system: SystemConfig = field(default_factory=SystemConfig)
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    protocol: Optional[str] = None
+    dynamic_selection: bool = False
+
+    def __post_init__(self) -> None:
+        if self.protocol is not None and self.dynamic_selection:
+            raise ConfigurationError(
+                "a scenario uses either a fixed protocol or dynamic selection, not both"
+            )
+
+    def configured(
+        self,
+        *,
+        transactions: Optional[int] = None,
+        arrival_rate: Optional[float] = None,
+    ) -> "Scenario":
+        """A copy with the common size/load overrides applied."""
+        overrides: Dict[str, object] = {}
+        if transactions is not None:
+            overrides["num_transactions"] = transactions
+        if arrival_rate is not None:
+            overrides["arrival_rate"] = arrival_rate
+        if not overrides:
+            return self
+        return replace(self, workload=self.workload.with_overrides(**overrides))
+
+    def run(
+        self,
+        *,
+        seeds: Sequence[int] = (0, 1, 2),
+        jobs: int = 1,
+        confidence_z: float = 1.96,
+    ) -> "ReplicatedResult":
+        """Replicated runs of this scenario, aggregated with confidence intervals."""
+        # Imported lazily: repro.analysis depends on repro.system which
+        # imports this package's generator at load time.
+        from repro.analysis.replications import run_replicated
+
+        return run_replicated(
+            self.system,
+            self.workload,
+            protocol=self.protocol,
+            dynamic_selection=self.dynamic_selection,
+            seeds=seeds,
+            jobs=jobs,
+            label=self.name,
+            confidence_z=confidence_z,
+        )
+
+
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Add ``scenario`` to the registry (names must be unique)."""
+    if scenario.name in _REGISTRY:
+        raise ConfigurationError(f"scenario {scenario.name!r} is already registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def scenario_names() -> Tuple[str, ...]:
+    """All registered scenario names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def all_scenarios() -> Tuple[Scenario, ...]:
+    return tuple(_REGISTRY.values())
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise ConfigurationError(f"unknown scenario {name!r}; known scenarios: {known}") from None
+
+
+def run_scenario(
+    name: str,
+    *,
+    seeds: Sequence[int] = (0, 1, 2),
+    jobs: int = 1,
+    transactions: Optional[int] = None,
+    arrival_rate: Optional[float] = None,
+) -> "ReplicatedResult":
+    """Look up ``name``, apply the overrides and run it replicated."""
+    scenario = get_scenario(name).configured(
+        transactions=transactions, arrival_rate=arrival_rate
+    )
+    return scenario.run(seeds=seeds, jobs=jobs)
+
+
+# --------------------------------------------------------------------------- #
+# The built-in scenario suite
+# --------------------------------------------------------------------------- #
+
+register_scenario(
+    Scenario(
+        name="uniform-baseline",
+        description="Paper-style uniform access under Poisson arrivals (the control).",
+        system=SystemConfig(num_sites=4, num_items=64, seed=11),
+        workload=WorkloadConfig(
+            arrival_rate=20.0,
+            num_transactions=300,
+            min_size=2,
+            max_size=6,
+            read_fraction=0.7,
+            seed=13,
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="zipf-hotspot",
+        description="Zipfian item skew (theta=0.9): a few hot items absorb most conflicts.",
+        system=SystemConfig(num_sites=4, num_items=64, restart_delay=0.02, seed=11),
+        workload=WorkloadConfig(
+            arrival_rate=30.0,
+            num_transactions=300,
+            min_size=2,
+            max_size=6,
+            read_fraction=0.6,
+            access_pattern="zipfian",
+            zipf_theta=0.9,
+            seed=13,
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="read-mostly-analytics",
+        description="95% reads with bimodal sizes: long scans among short point reads.",
+        system=SystemConfig(num_sites=4, num_items=96, seed=11),
+        workload=WorkloadConfig(
+            arrival_rate=25.0,
+            num_transactions=300,
+            min_size=2,
+            max_size=12,
+            read_fraction=0.95,
+            size_distribution="bimodal",
+            bimodal_long_fraction=0.2,
+            seed=13,
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="bursty-arrivals",
+        description="Markov-modulated arrivals: 10x rate bursts at unchanged mean load.",
+        system=SystemConfig(num_sites=4, num_items=64, seed=11),
+        workload=WorkloadConfig(
+            arrival_rate=20.0,
+            num_transactions=300,
+            min_size=2,
+            max_size=6,
+            read_fraction=0.7,
+            arrival_process="bursty",
+            burst_multiplier=10.0,
+            burst_fraction=0.1,
+            burst_duration=0.5,
+            seed=13,
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="site-skewed",
+        description="85% site-local access over partitioned items; conflicts cross sites rarely.",
+        system=SystemConfig(num_sites=4, num_items=64, seed=11),
+        workload=WorkloadConfig(
+            arrival_rate=25.0,
+            num_transactions=300,
+            min_size=2,
+            max_size=6,
+            read_fraction=0.6,
+            access_pattern="site-skewed",
+            site_locality=0.85,
+            seed=13,
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="bimodal-churn",
+        description="Write-heavy point updates with occasional long transactions (PA-friendly).",
+        system=SystemConfig(num_sites=4, num_items=64, restart_delay=0.02, seed=11),
+        workload=WorkloadConfig(
+            arrival_rate=40.0,
+            num_transactions=300,
+            min_size=1,
+            max_size=10,
+            read_fraction=0.3,
+            size_distribution="bimodal",
+            bimodal_long_fraction=0.1,
+            protocol_mix=ProtocolMix.uniform(),
+            seed=13,
+        ),
+    )
+)

@@ -108,3 +108,95 @@ class TestSweepCommand:
         )
         assert exit_code == 0
         assert "enforcement" in capsys.readouterr().out
+
+    def test_e7_sweep(self, capsys):
+        exit_code = main(["sweep", "--experiment", "e7"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "stl_prime_dp" in out and "naive_calls" in out
+
+    def test_e8_sweep(self, capsys):
+        exit_code = main(
+            [
+                "sweep",
+                "--experiment", "e8",
+                "--sites", "2",
+                "--items", "16",
+                "--transactions", "25",
+                "--seed", "9",
+            ]
+        )
+        assert exit_code == 0
+        assert "switching" in capsys.readouterr().out
+
+    def test_sweep_with_jobs_matches_serial_output(self, capsys):
+        argv = [
+            "sweep",
+            "--experiment", "e1",
+            "--rates", "10", "30",
+            "--sites", "2",
+            "--items", "16",
+            "--transactions", "25",
+            "--seed", "7",
+        ]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--jobs", "3"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
+
+    def test_sweep_accepts_access_pattern_and_arrival_process(self, capsys):
+        exit_code = main(
+            [
+                "sweep",
+                "--experiment", "e1",
+                "--rates", "20",
+                "--sites", "2",
+                "--items", "16",
+                "--transactions", "25",
+                "--access-pattern", "zipfian",
+                "--arrival-process", "bursty",
+                "--seed", "4",
+            ]
+        )
+        assert exit_code == 0
+        assert "mean_system_time" in capsys.readouterr().out
+
+
+class TestScenarioCommand:
+    def test_list_scenarios(self, capsys):
+        assert main(["scenario", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "zipf-hotspot" in out
+        assert "bursty-arrivals" in out
+
+    def test_missing_name_is_a_usage_error(self, capsys):
+        assert main(["scenario"]) == 2
+        assert "scenario" in capsys.readouterr().out
+
+    def test_unknown_name_is_a_usage_error(self, capsys):
+        assert main(["scenario", "no-such-profile"]) == 2
+        assert "known scenarios" in capsys.readouterr().err
+
+    # The acceptance criterion: at least four of the new named scenarios run
+    # end-to-end through the CLI and pass the serializability audit.
+    @pytest.mark.parametrize(
+        "name",
+        ["zipf-hotspot", "read-mostly-analytics", "bursty-arrivals", "site-skewed",
+         "bimodal-churn"],
+    )
+    def test_named_scenarios_run_serializable(self, name, capsys):
+        exit_code = main(
+            ["scenario", name, "--transactions", "30", "--replications", "2"]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert name in out
+        assert "yes" in out  # the serializable column
+
+    def test_scenario_jobs_output_byte_identical(self, capsys):
+        argv = ["scenario", "site-skewed", "--transactions", "30", "--replications", "2"]
+        assert main(argv + ["--jobs", "1"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial_out

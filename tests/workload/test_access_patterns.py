@@ -4,8 +4,15 @@ import random
 
 import pytest
 
+from repro.common.config import SystemConfig, WorkloadConfig
 from repro.common.errors import ConfigurationError
-from repro.workload.access_patterns import HotspotAccessPattern, UniformAccessPattern
+from repro.workload.access_patterns import (
+    HotspotAccessPattern,
+    SiteSkewedAccessPattern,
+    UniformAccessPattern,
+    ZipfianAccessPattern,
+    build_access_pattern,
+)
 
 
 class TestUniformAccessPattern:
@@ -70,3 +77,153 @@ class TestHotspotAccessPattern:
         pattern = HotspotAccessPattern(20, hot_fraction=0.5, hot_probability=1.0)
         items = pattern.draw(random.Random(5), 8)
         assert len(set(items)) == 8
+
+    def test_draw_larger_than_hot_region_terminates_at_full_probability(self):
+        # With hot_probability=1.0 only the hot region is reachable by
+        # rejection sampling; a draw wider than the region must still return.
+        pattern = HotspotAccessPattern(40, hot_fraction=0.1, hot_probability=1.0)
+        items = pattern.draw(random.Random(2), 12)
+        assert len(set(items)) == 12
+        assert set(range(pattern.hot_size)) <= set(items)
+
+
+class TestZipfianAccessPattern:
+    def test_low_ids_dominate(self):
+        pattern = ZipfianAccessPattern(100, theta=1.0)
+        rng = random.Random(11)
+        head_hits = 0
+        total = 0
+        for _ in range(600):
+            for item in pattern.draw(rng, 2):
+                total += 1
+                if item < 10:
+                    head_hits += 1
+        # Under uniform access the first 10 of 100 items would absorb ~10%.
+        assert head_hits / total > 0.4
+
+    def test_higher_theta_is_more_skewed(self):
+        mild = ZipfianAccessPattern(100, theta=0.5)
+        steep = ZipfianAccessPattern(100, theta=1.5)
+        assert steep.probability(0) > mild.probability(0)
+        assert steep.probability(99) < mild.probability(99)
+
+    def test_probabilities_sum_to_one(self):
+        pattern = ZipfianAccessPattern(64, theta=0.8)
+        assert sum(pattern.probability(item) for item in range(64)) == pytest.approx(1.0)
+
+    def test_deterministic_under_fixed_seed(self):
+        pattern = ZipfianAccessPattern(80, theta=0.9)
+        first = [pattern.draw(random.Random(42), 5) for _ in range(10)]
+        second = [pattern.draw(random.Random(42), 5) for _ in range(10)]
+        assert first == second
+
+    def test_draws_are_distinct_sorted_and_in_range(self):
+        pattern = ZipfianAccessPattern(30, theta=1.2)
+        rng = random.Random(3)
+        for _ in range(50):
+            items = pattern.draw(rng, 6)
+            assert items == sorted(set(items))
+            assert all(0 <= item < 30 for item in items)
+
+    def test_full_database_draw_terminates_under_extreme_skew(self):
+        pattern = ZipfianAccessPattern(16, theta=4.0)
+        items = pattern.draw(random.Random(1), 16)
+        assert items == list(range(16))
+
+    def test_invalid_theta_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ZipfianAccessPattern(10, theta=0.0)
+
+
+class TestSiteSkewedAccessPattern:
+    def test_partitions_cover_item_space(self):
+        pattern = SiteSkewedAccessPattern(50, num_sites=4, locality=0.8)
+        bounds = [pattern.partition(site) for site in range(4)]
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == 50
+        for (_, end), (start, _) in zip(bounds, bounds[1:]):
+            assert end == start
+
+    def test_local_partition_receives_most_accesses(self):
+        pattern = SiteSkewedAccessPattern(100, num_sites=4, locality=0.9)
+        rng = random.Random(7)
+        start, end = pattern.partition(2)
+        local = 0
+        total = 0
+        for _ in range(500):
+            for item in pattern.draw(rng, 2, site=2):
+                total += 1
+                if start <= item < end:
+                    local += 1
+        # A site's partition holds 25% of the items; locality should push far above.
+        assert local / total > 0.7
+
+    def test_zero_locality_behaves_uniformly(self):
+        pattern = SiteSkewedAccessPattern(40, num_sites=4, locality=0.0)
+        items = pattern.draw(random.Random(5), 10, site=1)
+        assert all(0 <= item < 40 for item in items)
+        assert len(set(items)) == 10
+
+    def test_site_none_falls_back_to_uniform(self):
+        pattern = SiteSkewedAccessPattern(40, num_sites=4, locality=1.0)
+        items = pattern.draw(random.Random(5), 10)
+        assert len(set(items)) == 10
+
+    def test_draw_larger_than_partition_terminates_at_full_locality(self):
+        # With locality=1.0 only the 10-item partition is reachable by
+        # rejection sampling; a wider draw must still return.
+        pattern = SiteSkewedAccessPattern(40, num_sites=4, locality=1.0)
+        start, end = pattern.partition(1)
+        items = pattern.draw(random.Random(3), 15, site=1)
+        assert len(set(items)) == 15
+        assert set(range(start, end)) <= set(items)
+
+    def test_deterministic_under_fixed_seed(self):
+        pattern = SiteSkewedAccessPattern(64, num_sites=4, locality=0.85)
+        first = [pattern.draw(random.Random(9), 4, site=s % 4) for s in range(12)]
+        second = [pattern.draw(random.Random(9), 4, site=s % 4) for s in range(12)]
+        assert first == second
+
+    def test_invalid_locality_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SiteSkewedAccessPattern(10, num_sites=2, locality=1.5)
+
+    def test_invalid_site_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SiteSkewedAccessPattern(10, num_sites=0, locality=0.5)
+
+
+class TestBuildAccessPattern:
+    def test_default_is_uniform(self):
+        pattern = build_access_pattern(SystemConfig(), WorkloadConfig())
+        assert isinstance(pattern, UniformAccessPattern)
+
+    def test_legacy_hotspot_shortcut_preserved(self):
+        pattern = build_access_pattern(
+            SystemConfig(), WorkloadConfig(hotspot_probability=0.5)
+        )
+        assert isinstance(pattern, HotspotAccessPattern)
+
+    def test_explicit_names_select_the_right_pattern(self):
+        system = SystemConfig()
+        cases = {
+            "hotspot": HotspotAccessPattern,
+            "zipfian": ZipfianAccessPattern,
+            "site-skewed": SiteSkewedAccessPattern,
+        }
+        for name, expected in cases.items():
+            workload = WorkloadConfig(
+                access_pattern=name,
+                hotspot_probability=0.5 if name == "hotspot" else 0.0,
+            )
+            assert isinstance(build_access_pattern(system, workload), expected)
+
+    def test_unknown_name_rejected_by_config(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(access_pattern="nope")
+
+    def test_hotspot_pattern_without_probability_rejected_by_config(self):
+        # Explicitly asking for hot-spot skew with a zero hot probability
+        # would silently measure a uniform workload.
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(access_pattern="hotspot")

@@ -1,10 +1,19 @@
 """Transaction stream generation."""
 
+import random
+
 import pytest
 
 from repro.common.config import ProtocolMix, SystemConfig, WorkloadConfig
+from repro.common.errors import ConfigurationError
 from repro.common.protocol_names import Protocol
-from repro.workload.generator import TransactionGenerator, generate_workload
+from repro.workload.generator import (
+    BurstyArrivalProcess,
+    PoissonArrivalProcess,
+    TransactionGenerator,
+    build_arrival_process,
+    generate_workload,
+)
 
 
 def configs(**overrides):
@@ -118,3 +127,101 @@ class TestProtocolAssignment:
     def test_zero_compute_time_supported(self):
         system, workload = configs(compute_time=0.0)
         assert all(spec.compute_time == 0.0 for spec in generate_workload(system, workload))
+
+
+class TestArrivalProcesses:
+    def test_factory_selects_the_configured_process(self):
+        _, poisson = configs()
+        _, bursty = configs(arrival_process="bursty")
+        assert isinstance(build_arrival_process(poisson), PoissonArrivalProcess)
+        assert isinstance(build_arrival_process(bursty), BurstyArrivalProcess)
+
+    def test_bursty_long_run_rate_matches_configured_rate(self):
+        process = BurstyArrivalProcess(
+            20.0, multiplier=10.0, burst_fraction=0.1, burst_duration=0.5
+        )
+        rng = random.Random(17)
+        total = sum(process.next_interarrival(rng) for _ in range(20000))
+        assert 20000 / total == pytest.approx(20.0, rel=0.1)
+
+    def test_bursty_is_deterministic_under_fixed_seed(self):
+        def gaps():
+            process = BurstyArrivalProcess(
+                15.0, multiplier=8.0, burst_fraction=0.2, burst_duration=0.4
+            )
+            rng = random.Random(23)
+            return [process.next_interarrival(rng) for _ in range(200)]
+
+        assert gaps() == gaps()
+
+    def test_bursty_has_heavier_gap_tail_than_poisson(self):
+        # Same mean rate, but bursts concentrate arrivals: the calm phase's
+        # gaps are longer than the Poisson mean, so gap variance grows.
+        rng_a, rng_b = random.Random(5), random.Random(5)
+        poisson = PoissonArrivalProcess(20.0)
+        bursty = BurstyArrivalProcess(
+            20.0, multiplier=10.0, burst_fraction=0.1, burst_duration=0.5
+        )
+        p_gaps = [poisson.next_interarrival(rng_a) for _ in range(8000)]
+        b_gaps = [bursty.next_interarrival(rng_b) for _ in range(8000)]
+
+        def variance(values):
+            mean = sum(values) / len(values)
+            return sum((value - mean) ** 2 for value in values) / len(values)
+
+        assert variance(b_gaps) > 1.5 * variance(p_gaps)
+
+    def test_bursty_workload_generates_end_to_end(self):
+        system, workload = configs(
+            arrival_process="bursty", burst_multiplier=10.0, num_transactions=100
+        )
+        specs = generate_workload(system, workload)
+        times = [spec.arrival_time for spec in specs]
+        assert len(specs) == 100
+        assert times == sorted(times)
+
+    def test_invalid_burst_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(arrival_process="bursty", burst_multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(arrival_process="bursty", burst_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(arrival_process="marching-band")
+
+
+class TestSizeDistributions:
+    def test_bimodal_sizes_are_exactly_short_or_long(self):
+        system, workload = configs(
+            size_distribution="bimodal",
+            min_size=2,
+            max_size=9,
+            bimodal_long_fraction=0.3,
+            num_transactions=300,
+        )
+        sizes = {spec.size for spec in generate_workload(system, workload)}
+        assert sizes <= {2, 9}
+        assert sizes == {2, 9}
+
+    def test_bimodal_long_fraction_respected_on_average(self):
+        system, workload = configs(
+            size_distribution="bimodal",
+            min_size=1,
+            max_size=8,
+            bimodal_long_fraction=0.25,
+            num_transactions=1000,
+        )
+        specs = generate_workload(system, workload)
+        long_share = sum(1 for spec in specs if spec.size == 8) / len(specs)
+        assert long_share == pytest.approx(0.25, abs=0.05)
+
+    def test_bimodal_deterministic_under_fixed_seed(self):
+        system, workload = configs(
+            size_distribution="bimodal", min_size=1, max_size=6, seed=7
+        )
+        first = [spec.size for spec in generate_workload(system, workload)]
+        second = [spec.size for spec in generate_workload(system, workload)]
+        assert first == second
+
+    def test_invalid_size_distribution_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(size_distribution="trimodal")

@@ -1,0 +1,202 @@
+#!/usr/bin/env python
+"""Cross-reference checker for the documentation (``make check-docs``).
+
+Fails (exit 1) when the source tree's documentation references drift:
+
+1. **Markdown files** — every ``*.md`` file name mentioned in ``src/``,
+   ``tests/``, ``benchmarks/``, ``tools/``, the ``Makefile``, ``README.md``
+   or ``DESIGN.md`` must exist in the repository.
+2. **Experiment ids** — every ``E<n>`` id cited in an experiment context
+   (a line that also mentions ``experiment``/``DESIGN``, or a
+   ``bench_e<n>_*.py`` file name) must be defined in DESIGN.md's index.
+   Ranges like ``E1-E8`` / ``E1–E8`` are expanded.  Ids such as the
+   paper's *condition* (E1)/(E2) are out of scope and ignored.
+3. **CLI experiment choices** — the ids accepted by
+   ``python -m repro.cli sweep --experiment`` must match DESIGN.md's index
+   exactly (no drift in either direction).
+4. **Scenario examples** — every ``repro.cli scenario <name>`` example in
+   the Markdown docs must name a registered scenario.
+
+Run from anywhere; the repository root is derived from this file.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Set, Tuple
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Directories whose Python files are scanned for references.
+SOURCE_DIRS = ("src", "tests", "benchmarks", "tools")
+#: Top-level documentation that is scanned (and must itself exist).
+DOC_FILES = ("README.md", "DESIGN.md", "ROADMAP.md", "Makefile")
+
+MD_REFERENCE = re.compile(r"\b([A-Za-z0-9_.-]+\.md)\b")
+EXPERIMENT_RANGE = re.compile(r"\bE(\d+)\s*[-–]\s*E(\d+)\b")
+EXPERIMENT_ID = re.compile(r"\bE(\d+)\b")
+EXPERIMENT_CONTEXT = re.compile(r"experiment|DESIGN", re.IGNORECASE)
+DESIGN_INDEX_ROW = re.compile(r"^\|\s*E(\d+)\s*\|")
+DESIGN_HEADING = re.compile(r"^###\s+E(\d+)\b")
+BENCH_FILE = re.compile(r"^bench_e(\d+)_.*\.py$")
+SCENARIO_EXAMPLE = re.compile(r"repro\.cli\s+scenario\s+([a-z0-9][a-z0-9-]*)")
+CLI_EXPERIMENT_IDS = re.compile(r"EXPERIMENT_IDS\s*=\s*\(([^)]*)\)")
+
+#: Markdown names that are allowed to be referenced without existing here
+#: (none at present; extend when citing external documents).
+EXTERNAL_MD: Set[str] = set()
+
+
+def iter_scanned_files() -> Iterable[Path]:
+    for name in DOC_FILES:
+        path = ROOT / name
+        if path.exists():
+            yield path
+    for directory in SOURCE_DIRS:
+        base = ROOT / directory
+        if base.is_dir():
+            yield from sorted(base.rglob("*.py"))
+
+
+def defined_experiment_ids() -> Set[int]:
+    """Ids DESIGN.md defines, via its index table rows and ``### E<n>`` headings."""
+    design = ROOT / "DESIGN.md"
+    ids: Set[int] = set()
+    if not design.exists():
+        return ids
+    for line in design.read_text(encoding="utf-8").splitlines():
+        for pattern in (DESIGN_INDEX_ROW, DESIGN_HEADING):
+            match = pattern.match(line.strip() if pattern is DESIGN_INDEX_ROW else line)
+            if match:
+                ids.add(int(match.group(1)))
+    return ids
+
+
+def cited_experiment_ids(path: Path) -> Iterable[Tuple[int, str]]:
+    """(id, line) pairs for experiment-context citations in ``path``."""
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if not EXPERIMENT_CONTEXT.search(line):
+            continue
+        covered: Set[int] = set()
+        for match in EXPERIMENT_RANGE.finditer(line):
+            low, high = int(match.group(1)), int(match.group(2))
+            for identifier in range(low, high + 1):
+                covered.add(identifier)
+                yield identifier, line.strip()
+        for match in EXPERIMENT_ID.finditer(line):
+            identifier = int(match.group(1))
+            if identifier not in covered:
+                yield identifier, line.strip()
+
+
+def check_markdown_references(errors: List[str]) -> None:
+    known_md = {path.name for path in ROOT.rglob("*.md")}
+    for path in iter_scanned_files():
+        for line_number, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            for match in MD_REFERENCE.finditer(line):
+                name = match.group(1)
+                if name in EXTERNAL_MD:
+                    continue
+                if name not in known_md:
+                    errors.append(
+                        f"{path.relative_to(ROOT)}:{line_number}: reference to "
+                        f"missing document {name!r}"
+                    )
+
+
+def check_experiment_ids(errors: List[str]) -> None:
+    defined = defined_experiment_ids()
+    if not defined:
+        errors.append("DESIGN.md: no experiment ids defined (index table missing?)")
+        return
+    for path in iter_scanned_files():
+        if path.suffix == ".py" and path.name == "check_docs.py":
+            continue
+        for identifier, line in cited_experiment_ids(path):
+            if identifier not in defined:
+                errors.append(
+                    f"{path.relative_to(ROOT)}: cites experiment E{identifier} "
+                    f"not defined in DESIGN.md ({line[:80]})"
+                )
+    benchmarks = ROOT / "benchmarks"
+    if benchmarks.is_dir():
+        for path in sorted(benchmarks.iterdir()):
+            match = BENCH_FILE.match(path.name)
+            if match and int(match.group(1)) not in defined:
+                errors.append(
+                    f"benchmarks/{path.name}: experiment id not defined in DESIGN.md"
+                )
+
+
+def check_cli_choices(errors: List[str]) -> None:
+    cli = ROOT / "src" / "repro" / "cli.py"
+    if not cli.exists():
+        errors.append("src/repro/cli.py: missing")
+        return
+    match = CLI_EXPERIMENT_IDS.search(cli.read_text(encoding="utf-8"))
+    if not match:
+        errors.append("src/repro/cli.py: EXPERIMENT_IDS tuple not found")
+        return
+    cli_ids = {
+        int(token.strip().strip("'\"").lstrip("e"))
+        for token in match.group(1).split(",")
+        if token.strip()
+    }
+    defined = defined_experiment_ids()
+    for missing in sorted(defined - cli_ids):
+        errors.append(f"src/repro/cli.py: DESIGN.md defines E{missing} but the CLI lacks it")
+    for extra in sorted(cli_ids - defined):
+        errors.append(f"src/repro/cli.py: CLI offers e{extra} but DESIGN.md does not define it")
+
+
+def check_scenario_examples(errors: List[str]) -> None:
+    sys.path.insert(0, str(ROOT / "src"))
+    try:
+        from repro.workload.scenarios import scenario_names
+    except Exception as error:  # pragma: no cover - import environment problem
+        errors.append(f"could not import the scenario registry: {error}")
+        return
+    finally:
+        sys.path.pop(0)
+    known = set(scenario_names())
+    for name in ("README.md", "DESIGN.md"):
+        path = ROOT / name
+        if not path.exists():
+            continue
+        for line_number, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            # The capture group cannot match flags like --list, so every hit
+            # is a scenario name that must resolve.
+            for match in SCENARIO_EXAMPLE.finditer(line):
+                if match.group(1) not in known:
+                    errors.append(
+                        f"{name}:{line_number}: scenario example "
+                        f"{match.group(1)!r} is not registered"
+                    )
+
+
+def main() -> int:
+    errors: List[str] = []
+    for required in ("README.md", "DESIGN.md"):
+        if not (ROOT / required).exists():
+            errors.append(f"{required}: missing")
+    check_markdown_references(errors)
+    check_experiment_ids(errors)
+    check_cli_choices(errors)
+    check_scenario_examples(errors)
+    if errors:
+        print("check-docs: FAILED")
+        for error in errors:
+            print(f"  - {error}")
+        return 1
+    print("check-docs: all documentation cross-references resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
