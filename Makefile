@@ -1,7 +1,7 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test check-docs bench bench-smoke bench-baseline
+.PHONY: test check-docs bench bench-smoke bench-baseline bench-gate
 
 ## tier-1 verification gate
 test:
@@ -11,9 +11,13 @@ test:
 check-docs:
 	$(PY) tools/check_docs.py
 
-## hot-path micros as plain tests (no timing) — fast sanity check
+## perf-regression gate: current hot paths vs BENCH_BASELINE.json (>2.5x fails)
+bench-gate:
+	$(PY) tools/check_bench.py
+
+## hot-path + store micros as plain tests (no timing) — fast sanity check
 bench-smoke:
-	$(PY) -m pytest benchmarks/bench_micro_hotpaths.py -q --benchmark-disable
+	$(PY) -m pytest benchmarks/bench_micro_hotpaths.py benchmarks/bench_store.py -q --benchmark-disable
 
 ## full pytest-benchmark run of the hot-path micros
 bench:

@@ -1,0 +1,111 @@
+"""Micro-benchmarks for the result store and run cache.
+
+The cache only pays for itself if a hit is orders of magnitude cheaper than
+the simulation it replaces; these benchmarks pin down the store's own costs —
+appends, loads, key derivation, warm-cache serving — and smoke-check that a
+warm store serves a sweep without running a single simulation task.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_store.py -q
+"""
+
+import json
+
+from repro.analysis.replications import SimulationTask, run_tasks
+from repro.common.config import SystemConfig, WorkloadConfig
+from repro.store import ResultStore, task_key, task_payload
+
+_SUMMARY = {
+    "committed": 200,
+    "mean_system_time": 0.1234,
+    "throughput": 19.5,
+    "restarts": 3,
+    "deadlock_aborts": 1,
+    "serializable": True,
+    "protocol_stats": {
+        name: {"mean_system_time": 0.1, "restarts": 0.0, "committed": 66.0}
+        for name in ("2PL", "T/O", "PA")
+    },
+}
+
+
+def _make_tasks(count: int):
+    system = SystemConfig(num_sites=2, num_items=16, seed=1)
+    workload = WorkloadConfig(arrival_rate=25.0, num_transactions=6, min_size=1, max_size=2)
+    return [
+        SimulationTask(system=system, workload=workload.with_overrides(seed=seed))
+        for seed in range(1, count + 1)
+    ]
+
+
+def test_task_key_derivation(benchmark):
+    """SHA-256 content key of one task (canonicalise + hash)."""
+    (task,) = _make_tasks(1)
+    key = benchmark(task_key, task)
+    assert len(key) == 64
+
+
+def test_store_append_throughput(benchmark, tmp_path):
+    """Atomic JSONL appends of realistic summaries (500 per round)."""
+    counter = [0]
+
+    def append_batch():
+        store = ResultStore(tmp_path / f"append-{counter[0]}.jsonl")
+        counter[0] += 1
+        for index in range(500):
+            store.put(f"key-{index:05d}", {"protocol": "2PL"}, _SUMMARY)
+
+    benchmark(append_batch)
+
+
+def test_store_load_1k_entries(benchmark, tmp_path):
+    """Parsing a 1000-entry store file into the in-memory index."""
+    path = tmp_path / "big.jsonl"
+    with path.open("w", encoding="utf-8") as handle:
+        for index in range(1_000):
+            entry = {"schema": 1, "key": f"key-{index:05d}", "task": {}, "summary": _SUMMARY}
+            handle.write(json.dumps(entry) + "\n")
+    store = benchmark(ResultStore, path)
+    assert len(store) == 1_000
+
+
+def test_warm_cache_serving(benchmark, tmp_path):
+    """Serving a 32-task sweep entirely from a warm store (zero simulations)."""
+    tasks = _make_tasks(32)
+    store = ResultStore(tmp_path / "warm.jsonl")
+    for task in tasks:
+        store.put(task_key(task), task_payload(task), _SUMMARY)
+
+    def serve():
+        warm = ResultStore(store.path)
+        summaries = run_tasks(tasks, store=warm)
+        assert warm.hits == len(tasks) and warm.appended == 0
+        return summaries
+
+    summaries = benchmark(serve)
+    assert len(summaries) == len(tasks)
+
+
+def test_cache_hit_beats_simulation_smoke(tmp_path):
+    """One real simulation, then a warm hit — the hit must serve many times faster.
+
+    A smoke assertion rather than a strict benchmark: the point of the store
+    is that a hit costs file parsing, not simulated time.
+    """
+    import time
+
+    tasks = _make_tasks(1)
+    store = ResultStore(tmp_path / "ab.jsonl")
+    started = time.perf_counter()
+    cold = run_tasks(tasks, store=store)
+    cold_seconds = time.perf_counter() - started
+
+    warm_store = ResultStore(store.path)
+    started = time.perf_counter()
+    warm = run_tasks(tasks, store=warm_store)
+    warm_seconds = time.perf_counter() - started
+
+    assert warm == cold
+    assert warm_store.hits == 1
+    assert warm_seconds < cold_seconds  # parsing one line beats simulating

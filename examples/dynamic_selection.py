@@ -13,7 +13,14 @@ Run with::
     python examples/dynamic_selection.py
 """
 
-from repro import Protocol, SystemConfig, TransactionId, TransactionSpec, WorkloadConfig, run_simulation
+from repro import (
+    Protocol,
+    SystemConfig,
+    TransactionId,
+    TransactionSpec,
+    WorkloadConfig,
+    run_simulation,
+)
 from repro.analysis.tables import rows_to_table
 from repro.selection.selector import STLProtocolSelector
 

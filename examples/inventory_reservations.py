@@ -149,7 +149,9 @@ def main() -> None:
 
     selector = STLProtocolSelector.from_configs(
         system,
-        WorkloadConfig(arrival_rate=60.0, num_transactions=NUM_TRANSACTIONS, min_size=1, max_size=4),
+        WorkloadConfig(
+            arrival_rate=60.0, num_transactions=NUM_TRANSACTIONS, min_size=1, max_size=4
+        ),
     )
     rows.append(
         run_configuration("dynamic (STL)", transactions, system, selector=selector)

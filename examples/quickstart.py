@@ -11,7 +11,7 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import Protocol, SystemConfig, WorkloadConfig, run_simulation
+from repro import SystemConfig, WorkloadConfig, run_simulation
 from repro.analysis.tables import rows_to_table
 
 

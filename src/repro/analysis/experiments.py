@@ -10,7 +10,11 @@ Every simulation-backed experiment accepts ``jobs``: the runs are described
 as :class:`~repro.analysis.replications.SimulationTask` values and fanned
 across worker processes by :func:`~repro.analysis.replications.run_tasks`,
 with rows assembled in sweep order so the tables are bit-identical to a
-serial run.
+serial run.  They likewise accept ``store``/``force`` to attach a
+:class:`~repro.store.ResultStore`: cached sweep points are reused instead of
+re-simulated and fresh points are persisted as they finish, so an
+interrupted sweep resumes losslessly and a warm re-run executes nothing
+(E7 measures the STL' evaluator directly and takes neither knob).
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.replications import SimulationTask, run_tasks
+from repro.store import ResultStore
 from repro.common.config import ProtocolMix, SystemConfig, WorkloadConfig
 from repro.common.protocol_names import Protocol
 from repro.selection.parameters import SystemLoadParameters
@@ -58,6 +63,8 @@ def sweep_arrival_rate(
     workload: Optional[WorkloadConfig] = None,
     include_dynamic: bool = False,
     jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    force: bool = False,
 ) -> List[Dict[str, object]]:
     """E1: mean system time ``S`` versus arrival rate ``lambda`` per protocol."""
     system = system if system is not None else SystemConfig()
@@ -72,7 +79,7 @@ def sweep_arrival_rate(
         if include_dynamic:
             tasks.append(SimulationTask(system=system, workload=swept, dynamic_selection=True))
             labels.append((rate, "dynamic"))
-    summaries = run_tasks(tasks, jobs=jobs)
+    summaries = run_tasks(tasks, jobs=jobs, store=store, force=force)
     return [
         _row_from_summary(summary, arrival_rate=rate, protocol=label)
         for summary, (rate, label) in zip(summaries, labels)
@@ -86,6 +93,8 @@ def sweep_transaction_size(
     system: Optional[SystemConfig] = None,
     workload: Optional[WorkloadConfig] = None,
     jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    force: bool = False,
 ) -> List[Dict[str, object]]:
     """E2: mean system time versus transaction size ``st`` per protocol."""
     system = system if system is not None else SystemConfig()
@@ -97,7 +106,7 @@ def sweep_transaction_size(
         for protocol in protocols:
             tasks.append(SimulationTask(system=system, workload=swept, protocol=protocol))
             labels.append((size, str(protocol)))
-    summaries = run_tasks(tasks, jobs=jobs)
+    summaries = run_tasks(tasks, jobs=jobs, store=store, force=force)
     return [
         _row_from_summary(summary, transaction_size=size, protocol=label)
         for summary, (size, label) in zip(summaries, labels)
@@ -111,6 +120,8 @@ def single_item_write_experiment(
     system: Optional[SystemConfig] = None,
     protocols: Sequence[Protocol] = _ALL_PROTOCOLS,
     jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    force: bool = False,
 ) -> List[Dict[str, object]]:
     """E3: single-item write-only transactions — 2PL cannot deadlock, T/O restarts.
 
@@ -132,7 +143,7 @@ def single_item_write_experiment(
         SimulationTask(system=system, workload=workload, protocol=protocol)
         for protocol in protocols
     ]
-    summaries = run_tasks(tasks, jobs=jobs)
+    summaries = run_tasks(tasks, jobs=jobs, store=store, force=force)
     return [
         _row_from_summary(summary, protocol=str(protocol))
         for summary, protocol in zip(summaries, protocols)
@@ -146,6 +157,8 @@ def correctness_audit(
     system: Optional[SystemConfig] = None,
     workload: Optional[WorkloadConfig] = None,
     jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    force: bool = False,
 ) -> List[Dict[str, object]]:
     """E4: mixed-protocol runs audited for Theorems 2-3 and the corollaries.
 
@@ -167,7 +180,7 @@ def correctness_audit(
             swept = base.with_overrides(arrival_rate=rate, protocol_mix=mix)
             tasks.append(SimulationTask(system=system, workload=swept))
             labels.append((rate, label))
-    summaries = run_tasks(tasks, jobs=jobs)
+    summaries = run_tasks(tasks, jobs=jobs, store=store, force=force)
     rows: List[Dict[str, object]] = []
     for summary, (rate, label) in zip(summaries, labels):
         protocol_stats = summary["protocol_stats"]
@@ -194,6 +207,8 @@ def dynamic_vs_static(
     system: Optional[SystemConfig] = None,
     workload: Optional[WorkloadConfig] = None,
     jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    force: bool = False,
 ) -> List[Dict[str, object]]:
     """E5: STL-based dynamic selection against each static protocol."""
     return sweep_arrival_rate(
@@ -202,6 +217,8 @@ def dynamic_vs_static(
         workload=workload,
         include_dynamic=True,
         jobs=jobs,
+        store=store,
+        force=force,
     )
 
 
@@ -212,6 +229,8 @@ def semilock_ablation(
     system: Optional[SystemConfig] = None,
     workload: Optional[WorkloadConfig] = None,
     jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    force: bool = False,
 ) -> List[Dict[str, object]]:
     """E6: unified enforcement with semi-locks vs. the naive lock-everything rule.
 
@@ -235,7 +254,7 @@ def semilock_ablation(
         )
         for semi_locks in modes
     ]
-    summaries = run_tasks(tasks, jobs=jobs)
+    summaries = run_tasks(tasks, jobs=jobs, store=store, force=force)
     rows: List[Dict[str, object]] = []
     for summary, semi_locks in zip(summaries, modes):
         to_stats = summary["protocol_stats"][str(Protocol.TIMESTAMP_ORDERING)]
@@ -317,6 +336,8 @@ def protocol_switching_ablation(
     system: Optional[SystemConfig] = None,
     workload: Optional[WorkloadConfig] = None,
     jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    force: bool = False,
 ) -> List[Dict[str, object]]:
     """E8 (extension): protocol switching to PA after repeated aborts.
 
@@ -338,7 +359,7 @@ def protocol_switching_ablation(
         )
         for threshold in thresholds
     ]
-    summaries = run_tasks(tasks, jobs=jobs)
+    summaries = run_tasks(tasks, jobs=jobs, store=store, force=force)
     rows: List[Dict[str, object]] = []
     for summary, threshold in zip(summaries, thresholds):
         rows.append(

@@ -13,6 +13,13 @@ carries its own seeds and every worker returns a plain summary dictionary, so
 results are *bit-identical* to the serial path and are always merged back in
 task (i.e. seed/sweep) order — ``jobs`` changes wall-clock time, never a
 number (see DESIGN.md, "Key design decisions").
+
+With a :class:`~repro.store.ResultStore` attached, :func:`run_tasks` becomes
+**resumable**: each task's content-addressed key is looked up before
+dispatch, cached summaries are reused verbatim, and freshly computed
+summaries are appended to the store *as workers finish* (not at the end), so
+a killed ``jobs=N`` run keeps every completed replication and a re-run only
+executes the missing points.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from repro.common.config import SystemConfig, WorkloadConfig
 from repro.common.protocol_names import Protocol
 from repro.sim.stats import WelfordAccumulator
+from repro.store import ResultStore, task_key, task_payload
 from repro.system.database import RunResult
 from repro.system.runner import run_simulation
 
@@ -99,29 +107,85 @@ def execute_task(task: SimulationTask) -> Dict[str, object]:
     return summarize_run(result)
 
 
+def _execute_indexed(item: Tuple[int, SimulationTask]) -> Tuple[int, Dict[str, object]]:
+    """Worker entry point that keeps the task's position through a pool."""
+    index, task = item
+    return index, execute_task(task)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # Fork keeps worker start-up cheap, but only Linux forks safely (macOS
+    # system frameworks can crash in forked children, which is why CPython
+    # moved the macOS default to spawn).  The platform default works
+    # everywhere because tasks and summaries are picklable.
+    return multiprocessing.get_context("fork" if sys.platform == "linux" else None)
+
+
 def run_tasks(
-    tasks: Sequence[SimulationTask], *, jobs: int = 1
+    tasks: Sequence[SimulationTask],
+    *,
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    force: bool = False,
 ) -> List[Dict[str, object]]:
     """Execute ``tasks`` and return their summaries **in task order**.
 
     With ``jobs <= 1`` (or a single task) everything runs in-process; larger
     values fan the tasks across a ``multiprocessing`` pool.  Each task is
     fully seeded, workers perform the identical computation the serial path
-    would, and ``Pool.map`` preserves input order — so the output is
+    would, and results are merged back in input order — so the output is
     bit-identical regardless of ``jobs``.
+
+    ``store`` attaches a :class:`~repro.store.ResultStore`: tasks whose
+    content key is already recorded are served from the store without
+    running, and every freshly computed summary is appended the moment its
+    worker finishes, so an interrupted run resumes losslessly.  ``force``
+    re-executes every task even when cached (the fresh summaries are
+    appended and supersede the old entries on the next load).  Because
+    cached summaries are the JSON round-trip of what the worker returned,
+    store-backed output is byte-identical to a cache-cold run.
     """
     tasks = list(tasks)
     jobs = max(1, int(jobs))
-    if len(tasks) <= 1 or jobs == 1:
-        return [execute_task(task) for task in tasks]
-    # Fork keeps worker start-up cheap, but only Linux forks safely (macOS
-    # system frameworks can crash in forked children, which is why CPython
-    # moved the macOS default to spawn).  The platform default works
-    # everywhere because tasks and summaries are picklable.
-    method = "fork" if sys.platform == "linux" else None
-    context = multiprocessing.get_context(method)
-    with context.Pool(processes=min(jobs, len(tasks))) as pool:
-        return pool.map(execute_task, tasks)
+    if store is None:
+        if len(tasks) <= 1 or jobs == 1:
+            return [execute_task(task) for task in tasks]
+        with _pool_context().Pool(processes=min(jobs, len(tasks))) as pool:
+            return pool.map(execute_task, tasks)
+
+    results: List[Optional[Dict[str, object]]] = [None] * len(tasks)
+    pending: List[Tuple[int, SimulationTask, str]] = []
+    for index, task in enumerate(tasks):
+        key = task_key(task)
+        summary = None
+        if force:
+            if key in store:
+                store.forced += 1
+        else:
+            summary = store.lookup(key)
+        if summary is None:
+            pending.append((index, task, key))
+        else:
+            results[index] = summary
+    if pending:
+        if jobs == 1 or len(pending) == 1:
+            for index, task, key in pending:
+                summary = execute_task(task)
+                store.put(key, task_payload(task), summary)
+                # Serve the JSON round-trip so the output cannot depend on
+                # whether this run was cache-cold or resumed.
+                results[index] = store.get(key)
+        else:
+            keys = {index: (task, key) for index, task, key in pending}
+            with _pool_context().Pool(processes=min(jobs, len(pending))) as pool:
+                iterator = pool.imap_unordered(
+                    _execute_indexed, [(index, task) for index, task, _ in pending]
+                )
+                for index, summary in iterator:
+                    task, key = keys[index]
+                    store.put(key, task_payload(task), summary)
+                    results[index] = store.get(key)
+    return results  # type: ignore[return-value]  # every slot is filled above
 
 
 # --------------------------------------------------------------------------- #
@@ -249,6 +313,8 @@ def run_replicated(
     label: Optional[str] = None,
     confidence_z: float = 1.96,
     jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    force: bool = False,
 ) -> ReplicatedResult:
     """Run the same configuration once per seed and aggregate the results.
 
@@ -256,6 +322,7 @@ def run_replicated(
     workload (arrivals, shapes) so the samples are independent.  ``jobs``
     fans the replications across worker processes; the aggregates are
     bit-identical to ``jobs=1`` because summaries are merged in seed order.
+    ``store``/``force`` attach a result store exactly as in :func:`run_tasks`.
     """
     if not seeds:
         raise ValueError("at least one seed is required")
@@ -266,7 +333,7 @@ def run_replicated(
         dynamic_selection=dynamic_selection,
         seeds=seeds,
     )
-    summaries = run_tasks(tasks, jobs=jobs)
+    summaries = run_tasks(tasks, jobs=jobs, store=store, force=force)
     if label is None:
         label = _default_label(protocol, dynamic_selection)
     return aggregate_replications(
@@ -285,6 +352,8 @@ def compare_protocols_replicated(
     include_dynamic: bool = False,
     seeds: Sequence[int] = (0, 1, 2),
     jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    force: bool = False,
 ) -> List[Dict[str, object]]:
     """Replicated comparison of the static protocols (and optionally the selector).
 
@@ -308,7 +377,7 @@ def compare_protocols_replicated(
             )
         )
     flat_tasks = [task for _, tasks in groups for task in tasks]
-    summaries = run_tasks(flat_tasks, jobs=jobs)
+    summaries = run_tasks(flat_tasks, jobs=jobs, store=store, force=force)
     rows: List[Dict[str, object]] = []
     cursor = 0
     for label, tasks in groups:

@@ -1,8 +1,18 @@
-"""Plain-text table rendering for experiment results."""
+"""Plain-text table rendering for experiment results.
+
+Tables are rendered from flat row dictionaries wherever they come from — a
+live sweep, replicated aggregates, or the summaries persisted in a
+:class:`~repro.store.ResultStore` (see :func:`store_rows`).  Because stored
+summaries are the exact JSON round-trip of what the simulation returned,
+a table regenerated from the store is byte-identical to a fresh run's.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+from typing import TYPE_CHECKING, List, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store import ResultStore
 
 
 def format_value(value: object, precision: int = 4) -> str:
@@ -46,3 +56,43 @@ def rows_to_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str] =
     selected: List[str] = list(columns) if columns else list(rows[0].keys())
     body = [[row.get(column, "") for column in selected] for row in rows]
     return format_table(selected, body)
+
+
+def kv_table(mapping: Mapping[str, object]) -> str:
+    """Render a flat mapping as a two-column ``metric | value`` table."""
+    return rows_to_table([{"metric": key, "value": value} for key, value in mapping.items()])
+
+
+#: Headline summary columns shown when rendering a result store.
+STORE_COLUMNS = (
+    "key",
+    "label",
+    "committed",
+    "mean_system_time",
+    "throughput",
+    "restarts",
+    "deadlock_aborts",
+    "serializable",
+)
+
+
+def store_rows(store: "ResultStore") -> List[Mapping[str, object]]:
+    """Flat rows for every entry of a result store, in insertion order.
+
+    Each row carries the abbreviated content key, a human-readable label
+    derived from the stored task description (protocol / dynamic / mixed),
+    and the headline summary metrics; render with
+    ``rows_to_table(store_rows(store), STORE_COLUMNS)``.
+    """
+    rows: List[Mapping[str, object]] = []
+    for entry in store.entries():
+        task = entry.get("task") or {}
+        summary = entry["summary"]
+        if task.get("dynamic_selection"):
+            label = "dynamic"
+        else:
+            label = task.get("protocol") or "mixed"
+        row = {"key": str(entry["key"])[:12], "label": label}
+        row.update(summary)
+        rows.append(row)
+    return rows

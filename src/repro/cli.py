@@ -1,25 +1,36 @@
 """Command-line interface for running simulations, sweeps and scenarios.
 
-Three subcommands are provided::
+Four subcommands are provided::
 
     python -m repro.cli run      --protocol PA --arrival-rate 30 --transactions 300
     python -m repro.cli sweep    --experiment e1 --rates 5 20 60 --jobs 4
     python -m repro.cli scenario zipf-hotspot --replications 5 --jobs 4
+    python -m repro.cli store    table runs.jsonl
 
 ``run`` executes a single workload under one protocol (or the dynamic
 selector) and prints the result summary; ``sweep`` regenerates one of the
 experiments of DESIGN.md's index (E1-E8) with configurable parameters and
 prints the result table; ``scenario`` runs a named end-to-end workload
 profile from the registry in :mod:`repro.workload.scenarios` (``--list``
-shows them all).  ``--jobs N`` fans simulation runs across N worker
-processes; results are bit-identical to a serial run.
+shows them all); ``store`` inspects a result store without running anything.
+``--jobs N`` fans simulation runs across N worker processes; results are
+bit-identical to a serial run.
+
+``sweep`` and ``scenario`` accept ``--store PATH`` to persist every
+completed run in a content-addressed result store and to reuse cached runs
+instead of re-simulating them — an interrupted ``--jobs N`` sweep resumed
+against the same store loses nothing, and a warm re-run executes zero
+simulation tasks.  ``--resume`` insists the store file already exists
+(fail-fast against path typos); ``--force`` re-executes even cached points
+and appends the fresh results.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from pathlib import Path
+from typing import Optional, Sequence
 
 from repro.analysis.experiments import (
     correctness_audit,
@@ -31,11 +42,12 @@ from repro.analysis.experiments import (
     sweep_arrival_rate,
     sweep_transaction_size,
 )
-from repro.analysis.tables import rows_to_table
+from repro.analysis.tables import STORE_COLUMNS, kv_table, rows_to_table, store_rows
 from repro.common.config import SystemConfig, WorkloadConfig
 from repro.common.errors import ConfigurationError
+from repro.store import ResultStore
 from repro.system.runner import run_simulation
-from repro.workload.scenarios import all_scenarios, get_scenario, scenario_names
+from repro.workload.scenarios import all_scenarios, get_scenario
 
 #: Experiment ids accepted by ``sweep``; must match DESIGN.md's index.
 EXPERIMENT_IDS = ("e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8")
@@ -86,6 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="transaction sizes for e2",
     )
     _add_jobs_argument(sweep_parser)
+    _add_store_arguments(sweep_parser)
 
     scenario_parser = subparsers.add_parser(
         "scenario",
@@ -119,7 +132,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the scenario's arrival rate",
     )
     _add_jobs_argument(scenario_parser)
+    _add_store_arguments(scenario_parser)
+
+    store_parser = subparsers.add_parser(
+        "store", help="inspect a result store without running any simulation"
+    )
+    store_parser.add_argument(
+        "action",
+        choices=["stats", "table"],
+        help="stats: accounting summary; table: render the stored summaries",
+    )
+    store_parser.add_argument("path", help="path to the result store (JSONL)")
     return parser
+
+
+def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help=(
+            "persist completed runs in this content-addressed result store "
+            "and reuse cached runs instead of re-simulating them"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="require the --store file to exist (fail fast on a mistyped path)",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="with --store: re-execute every run even when cached, appending fresh results",
+    )
+
+
+def _open_store(args: argparse.Namespace) -> Optional[ResultStore]:
+    """Validate the store flags and open the store (or return ``None``)."""
+    if args.store is None:
+        if args.resume or args.force:
+            raise ConfigurationError("--resume/--force make sense only together with --store")
+        return None
+    if args.resume and args.force:
+        raise ConfigurationError("--resume (reuse cached runs) contradicts --force (recompute)")
+    path = Path(args.store)
+    if args.resume and not path.exists():
+        raise ConfigurationError(f"--resume: store {path} does not exist")
+    return ResultStore(path)
 
 
 def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
@@ -213,25 +273,38 @@ def _command_run(args: argparse.Namespace) -> int:
         protocol=protocol,
         dynamic_selection=args.protocol == "dynamic",
     )
-    rows = [{"metric": key, "value": value} for key, value in result.summary().items()]
-    print(rows_to_table(rows))
+    print(kv_table(result.summary()))
     return 0 if result.serializable else 1
+
+
+def _report_store(store: Optional[ResultStore]) -> None:
+    """Cache accounting on stderr so tables on stdout stay byte-identical."""
+    if store is not None:
+        print(store.report(), file=sys.stderr)
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
     system = _system_from_args(args)
     workload = _workload_from_args(args)
     jobs = args.jobs
+    store = _open_store(args)
+    force = args.force
     if args.experiment == "e1":
-        rows = sweep_arrival_rate(args.rates, system=system, workload=workload, jobs=jobs)
+        rows = sweep_arrival_rate(
+            args.rates, system=system, workload=workload, jobs=jobs, store=store, force=force
+        )
     elif args.experiment == "e2":
-        rows = sweep_transaction_size(args.sizes, system=system, workload=workload, jobs=jobs)
+        rows = sweep_transaction_size(
+            args.sizes, system=system, workload=workload, jobs=jobs, store=store, force=force
+        )
     elif args.experiment == "e3":
         rows = single_item_write_experiment(
             arrival_rate=args.arrival_rate,
             num_transactions=args.transactions,
             system=system,
             jobs=jobs,
+            store=store,
+            force=force,
         )
     elif args.experiment == "e4":
         rows = correctness_audit(
@@ -240,9 +313,13 @@ def _command_sweep(args: argparse.Namespace) -> int:
             system=system,
             workload=workload,
             jobs=jobs,
+            store=store,
+            force=force,
         )
     elif args.experiment == "e5":
-        rows = dynamic_vs_static(args.rates, system=system, workload=workload, jobs=jobs)
+        rows = dynamic_vs_static(
+            args.rates, system=system, workload=workload, jobs=jobs, store=store, force=force
+        )
     elif args.experiment == "e6":
         rows = semilock_ablation(
             arrival_rate=args.arrival_rate,
@@ -250,13 +327,15 @@ def _command_sweep(args: argparse.Namespace) -> int:
             system=system,
             workload=workload,
             jobs=jobs,
+            store=store,
+            force=force,
         )
     elif args.experiment == "e7":
         # E7 measures the STL' evaluator itself, not a simulation run; the
-        # system/workload/--jobs flags do not apply to it.
+        # system/workload/--jobs/--store flags do not apply to it.
         print(
             "note: e7 evaluates the STL' model directly; "
-            "system/workload/--jobs flags are ignored",
+            "system/workload/--jobs/--store flags are ignored",
             file=sys.stderr,
         )
         rows = stl_cost_experiment()
@@ -267,8 +346,11 @@ def _command_sweep(args: argparse.Namespace) -> int:
             system=system,
             workload=workload,
             jobs=jobs,
+            store=store,
+            force=force,
         )
     print(rows_to_table(rows))
+    _report_store(store)
     all_serializable = all(row.get("serializable", True) for row in rows)
     return 0 if all_serializable else 1
 
@@ -293,9 +375,38 @@ def _command_scenario(args: argparse.Namespace) -> int:
     configured = scenario.configured(
         transactions=args.transactions, arrival_rate=args.arrival_rate
     )
-    result = configured.run(seeds=tuple(range(args.replications)), jobs=args.jobs)
+    store = _open_store(args)
+    result = configured.run(
+        seeds=tuple(range(args.replications)),
+        jobs=args.jobs,
+        store=store,
+        force=args.force,
+    )
     print(rows_to_table([result.as_row()]))
+    _report_store(store)
     return 0 if result.all_serializable else 1
+
+
+def _command_store(args: argparse.Namespace) -> int:
+    path = Path(args.path)
+    if not path.exists():
+        print(f"store {path} does not exist", file=sys.stderr)
+        return 2
+    store = ResultStore(path)
+    if args.action == "stats":
+        print(
+            kv_table(
+                {
+                    "path": str(store.path),
+                    "entries": len(store),
+                    "corrupt_lines_skipped": store.corrupt_lines,
+                    "file_bytes": path.stat().st_size,
+                }
+            )
+        )
+        return 0
+    print(rows_to_table(store_rows(store), STORE_COLUMNS))
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -307,6 +418,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_run(args)
         if args.command == "scenario":
             return _command_scenario(args)
+        if args.command == "store":
+            return _command_store(args)
         return _command_sweep(args)
     except ConfigurationError as error:
         print(f"configuration error: {error}", file=sys.stderr)

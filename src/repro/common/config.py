@@ -10,7 +10,7 @@ objects below so that the experiment harness can sweep them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional
 
 from repro.common.errors import ConfigurationError
 from repro.common.protocol_names import Protocol

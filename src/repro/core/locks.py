@@ -20,7 +20,7 @@ conflicting lock granted earlier has not yet been released; it becomes
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.common.errors import ProtocolError

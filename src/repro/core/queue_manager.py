@@ -38,7 +38,7 @@ DESIGN.md, "Key design decisions"):
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.common.errors import ProtocolError
 from repro.common.ids import CopyId, TransactionId
@@ -163,7 +163,8 @@ class QueueManager:
             return
 
         if decision.kind is DecisionKind.BLOCK:
-            if decision.backoff_timestamp is not None and decision.backoff_timestamp > request.timestamp:
+            backoff_timestamp = decision.backoff_timestamp
+            if backoff_timestamp is not None and backoff_timestamp > request.timestamp:
                 self._backoffs += 1
             entry = QueuedRequest(
                 request=request,
@@ -193,7 +194,9 @@ class QueueManager:
             self._note_timestamp(request.timestamp)
         self._try_grant(now)
 
-    def update_timestamp(self, transaction: TransactionId, new_timestamp: float, now: float) -> None:
+    def update_timestamp(
+        self, transaction: TransactionId, new_timestamp: float, now: float
+    ) -> None:
         """Apply a PA transaction's agreed timestamp (the paper's QM step 2(d)).
 
         Blocked and not-yet-granted entries of the transaction move to the new
@@ -453,7 +456,9 @@ class QueueManager:
         )
         lock.implemented = True
 
-    def _bump_granted_timestamp(self, entry: QueuedRequest, new_timestamp: float, now: float) -> None:
+    def _bump_granted_timestamp(
+        self, entry: QueuedRequest, new_timestamp: float, now: float
+    ) -> None:
         """Raise a granted entry's timestamp to the PA-agreed value and repair the queue."""
         old_timestamp = entry.precedence.timestamp
         if new_timestamp <= old_timestamp:

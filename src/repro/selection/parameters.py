@@ -143,7 +143,9 @@ class ParameterEstimator:
 
         if protocol.is_two_phase_locking:
             abort_probability = (
-                stats.deadlock_aborts / stats.attempts if stats.attempts else prior.abort_probability
+                stats.deadlock_aborts / stats.attempts
+                if stats.attempts
+                else prior.abort_probability
             )
             return ProtocolCostParameters(
                 protocol=protocol,

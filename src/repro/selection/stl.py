@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict
 
 from repro.common.transactions import TransactionSpec
 from repro.selection.parameters import ProtocolCostParameters, SystemLoadParameters
@@ -195,7 +195,8 @@ class ThroughputLossModel:
 
     def _loss_increment(self) -> float:
         """``lambda_new - lambda_loss``: the average extra loss of one more blocked queue."""
-        return self._load.write_throughput + (1.0 - self._load.read_fraction) * self._load.read_throughput
+        load = self._load
+        return load.write_throughput + (1.0 - load.read_fraction) * load.read_throughput
 
     # ---------------------------------------------------------------- #
     # Per-transaction initial loss

@@ -103,7 +103,9 @@ class ReplicaCatalog:
         for operation in operations:
             if operation.is_read:
                 physical.append(
-                    PhysicalOperation(OperationType.READ, self.read_copy(operation.item, origin_site))
+                    PhysicalOperation(
+                        OperationType.READ, self.read_copy(operation.item, origin_site)
+                    )
                 )
             else:
                 physical.extend(

@@ -1,0 +1,28 @@
+"""Persistent result store and run cache for the experiment harness.
+
+The subsystem has two halves:
+
+- :mod:`repro.store.keys` derives a **content-addressed key** for a
+  simulation task: the SHA-256 digest of a canonical encoding of everything
+  that determines the run's outcome (system config, workload config including
+  seeds, forced protocol, dynamic-selection flag).
+- :mod:`repro.store.result_store` persists completed run summaries in an
+  append-only JSONL file keyed by those digests, with crash-safe atomic
+  appends and hit/miss accounting.
+
+``run_tasks`` (:mod:`repro.analysis.replications`) consults an attached store
+before dispatching, so re-running a sweep only executes the missing points
+and an interrupted ``--jobs N`` run resumes losslessly.
+"""
+
+from repro.store.keys import KEY_SCHEMA, canonical_value, task_key, task_payload
+from repro.store.result_store import ResultStore, StoreError
+
+__all__ = [
+    "KEY_SCHEMA",
+    "ResultStore",
+    "StoreError",
+    "canonical_value",
+    "task_key",
+    "task_payload",
+]

@@ -1,0 +1,84 @@
+"""Content-addressed keys for simulation tasks.
+
+A task's key is the SHA-256 digest of a canonical JSON encoding of every
+input that determines the simulation's outcome: the system configuration,
+the workload configuration (seeds included), the forced protocol, and the
+dynamic-selection flag.  Equal keys therefore mean *the identical
+simulation*, so a stored summary can stand in for a re-run.
+
+The encoding is canonical in the JSON sense — enum members collapse to
+their string values, mappings are emitted with string keys and serialised
+with sorted keys, and the digest input uses compact separators — so the key
+is independent of dict insertion order, of whether a protocol was given as
+``"2PL"`` or :class:`~repro.common.protocol_names.Protocol`, and of the
+process that computes it.  ``KEY_SCHEMA`` is folded into the digest; bump it
+whenever the meaning of a configuration field changes so stale stores
+invalidate themselves instead of serving wrong results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import TYPE_CHECKING, Dict
+
+from repro.common.protocol_names import Protocol
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.analysis.replications import SimulationTask
+
+#: Version of the key encoding; part of every digest.
+KEY_SCHEMA = 1
+
+
+def canonical_value(value: object) -> object:
+    """Reduce ``value`` to plain JSON-serialisable data, deterministically.
+
+    Dataclasses become field dictionaries, enums their ``str()`` value,
+    mappings get stringified keys, and tuples become lists.  Raises
+    ``TypeError`` for values with no canonical form (better a loud failure
+    than a digest that silently depends on ``repr`` addresses).
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: canonical_value(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return str(value)
+    if isinstance(value, dict):
+        return {str(canonical_value(key)): canonical_value(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [canonical_value(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    # Non-dataclass mappings (e.g. ProtocolMix.weights may be any Mapping).
+    if hasattr(value, "items"):
+        return {str(canonical_value(key)): canonical_value(item) for key, item in value.items()}
+    raise TypeError(f"cannot canonicalise {type(value).__name__!r} for a task key")
+
+
+def task_payload(task: "SimulationTask") -> Dict[str, object]:
+    """The canonical, JSON-pure description of ``task`` that gets hashed.
+
+    Also stored verbatim next to each result so a store file is
+    self-describing (a human can read which run produced which row).
+    """
+    protocol = task.protocol
+    if protocol is not None:
+        protocol = str(Protocol.from_name(protocol))
+    return {
+        "schema": KEY_SCHEMA,
+        "system": canonical_value(task.system),
+        "workload": canonical_value(task.workload),
+        "protocol": protocol,
+        "dynamic_selection": bool(task.dynamic_selection),
+    }
+
+
+def task_key(task: "SimulationTask") -> str:
+    """Hex SHA-256 content key of ``task`` (see module docstring)."""
+    payload = json.dumps(task_payload(task), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -1,0 +1,187 @@
+"""Append-only, crash-safe JSONL store of completed simulation summaries.
+
+One line per completed run::
+
+    {"schema": 1, "key": "<sha256>", "task": {...}, "summary": {...}}
+
+Design properties (see DESIGN.md, "Result store & caching"):
+
+- **Atomic appends.**  Every entry is serialised to a single line and
+  written with one ``os.write`` to a file opened ``O_APPEND``, so a line is
+  either fully present or missing — concurrent readers never observe an
+  interleaved record, and a killed process loses at most the line it was
+  writing.
+- **Crash-safe loads.**  A process killed mid-append leaves a truncated
+  final line.  Loading tolerates (and counts) undecodable lines; the first
+  append after such a crash starts on a fresh line, so the file heals
+  itself without losing any completed entry.
+- **Last write wins.**  Re-recording a key (``--force``) appends a new line
+  rather than rewriting the file; loads keep the latest entry per key.
+- **JSON-pure summaries.**  ``put`` verifies that the summary survives a
+  JSON round-trip unchanged (e.g. no tuples that would come back as
+  lists), which is what makes store-backed tables byte-identical to a
+  fresh run.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+#: Version of the entry format; entries with other schemas are ignored.
+STORE_SCHEMA = 1
+
+
+class StoreError(RuntimeError):
+    """A result-store entry could not be recorded faithfully."""
+
+
+class ResultStore:
+    """Content-addressed cache of run summaries backed by one JSONL file.
+
+    The store is orchestrator-side only: worker processes return summaries
+    to the parent, which appends them — no cross-process locking is needed.
+    Accounting counters (``hits``, ``misses``, ``forced``, ``appended``)
+    track how the current process used the cache.
+    """
+
+    def __init__(self, path: "Path | str") -> None:
+        self._path = Path(path)
+        self._entries: Dict[str, Dict[str, object]] = {}
+        #: Undecodable lines skipped during load (a crashed append leaves one).
+        self.corrupt_lines = 0
+        #: Cache lookups that were served from the store.
+        self.hits = 0
+        #: Cache lookups that found nothing and led to a simulation run.
+        self.misses = 0
+        #: Runs re-executed despite a cached entry (``force``).
+        self.forced = 0
+        #: Entries appended by this process.
+        self.appended = 0
+        self._needs_leading_newline = False
+        self._load()
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def keys(self) -> Tuple[str, ...]:
+        """Stored keys in load/insertion order (latest entry per key)."""
+        return tuple(self._entries)
+
+    def entries(self) -> Iterator[Dict[str, object]]:
+        """The latest full entry per key, in insertion order (read-only)."""
+        return iter(copy.deepcopy(list(self._entries.values())))
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """The stored summary for ``key``, or ``None`` — without accounting."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        return copy.deepcopy(entry["summary"])  # callers may mutate freely
+
+    def lookup(self, key: str) -> Optional[Dict[str, object]]:
+        """Like :meth:`get`, but counts the access as a cache hit or miss."""
+        summary = self.get(key)
+        if summary is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return summary
+
+    def put(
+        self,
+        key: str,
+        task: Mapping[str, object],
+        summary: Mapping[str, object],
+    ) -> None:
+        """Record ``summary`` for ``key`` with one atomic append."""
+        entry = {
+            "schema": STORE_SCHEMA,
+            "key": key,
+            "task": dict(task),
+            "summary": dict(summary),
+        }
+        try:
+            line = json.dumps(entry, allow_nan=False)
+        except (TypeError, ValueError) as error:
+            raise StoreError(f"summary for {key[:12]} is not JSON-serialisable: {error}") from None
+        if json.loads(line)["summary"] != entry["summary"]:
+            raise StoreError(
+                f"summary for {key[:12]} does not survive a JSON round-trip; "
+                "store entries must be JSON-pure (no tuples, no non-string keys)"
+            )
+        payload = line.encode("utf-8") + b"\n"
+        if self._needs_leading_newline:
+            # A previous process died mid-append; start on a fresh line so the
+            # truncated tail cannot swallow this entry.
+            payload = b"\n" + payload
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor = os.open(self._path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        # The first os.write almost always lands whole (one atomic O_APPEND
+        # write); the loop only continues after a short write — e.g. ENOSPC —
+        # in which case the file already holds a torn line and the entry must
+        # NOT be recorded as persisted.
+        view = memoryview(payload)
+        written = 0
+        try:
+            while written < len(view):
+                count = os.write(descriptor, view[written:])
+                if count <= 0:
+                    raise OSError("zero-length write")
+                written += count
+        except OSError as error:
+            if written:
+                self._needs_leading_newline = True
+            raise StoreError(
+                f"short append for {key[:12]} ({written}/{len(view)} bytes): {error}"
+            ) from error
+        finally:
+            os.close(descriptor)
+        self._needs_leading_newline = False
+        self._entries[key] = entry
+        self.appended += 1
+
+    def _load(self) -> None:
+        if not self._path.exists():
+            return
+        raw = self._path.read_bytes()
+        if not raw:
+            return
+        self._needs_leading_newline = not raw.endswith(b"\n")
+        for line in raw.split(b"\n"):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                self.corrupt_lines += 1
+                continue
+            if (
+                not isinstance(entry, dict)
+                or entry.get("schema") != STORE_SCHEMA
+                or not isinstance(entry.get("key"), str)
+                or not isinstance(entry.get("summary"), dict)
+            ):
+                self.corrupt_lines += 1
+                continue
+            self._entries[entry["key"]] = entry
+
+    def report(self) -> str:
+        """One-line human accounting summary (printed by the CLI)."""
+        parts = [f"{self.hits} reused", f"{self.appended} executed"]
+        if self.forced:
+            parts.append(f"{self.forced} forced")
+        if self.corrupt_lines:
+            parts.append(f"{self.corrupt_lines} corrupt line(s) skipped")
+        noun = "entry" if len(self) == 1 else "entries"
+        return f"store: {', '.join(parts)}, {len(self)} {noun} -> {self._path}"

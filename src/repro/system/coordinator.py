@@ -28,7 +28,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import SimulationError
 from repro.common.ids import CopyId, RequestId, SiteId, TransactionId
-from repro.common.operations import OperationType, PhysicalOperation
+from repro.common.operations import PhysicalOperation
 from repro.common.protocol_names import Protocol
 from repro.common.transactions import TransactionOutcome, TransactionSpec, TransactionStatus
 from repro.core.effects import BackoffIssued, GrantIssued, RequestRejected
@@ -412,7 +412,11 @@ class RequestIssuerActor(Actor):
         """PA timestamp agreement: adopt the maximum proposal and broadcast the confirmation."""
         agreed = max(
             [execution.timestamp]
-            + [state.backoff_timestamp for state in backed_off if state.backoff_timestamp is not None]
+            + [
+                state.backoff_timestamp
+                for state in backed_off
+                if state.backoff_timestamp is not None
+            ]
         )
         if agreed > execution.timestamp:
             # The agreement moved the timestamp: that is a real back-off round.
@@ -461,7 +465,9 @@ class RequestIssuerActor(Actor):
         if execution.spec.logic is not None:
             new_values = execution.spec.logic(dict(execution.read_values))
         else:
-            new_values = {item: f"written-by-{execution.tid}" for item in execution.spec.write_items}
+            new_values = {
+                item: f"written-by-{execution.tid}" for item in execution.spec.write_items
+            }
         for item in execution.spec.write_items:
             value = new_values.get(item, f"written-by-{execution.tid}")
             for copy in self._catalog.write_copies(item):

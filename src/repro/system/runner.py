@@ -11,6 +11,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.common.config import ProtocolMix, SystemConfig, WorkloadConfig
 from repro.common.protocol_names import Protocol
+from repro.store import ResultStore
 from repro.system.database import DistributedDatabase, RunResult
 from repro.workload.generator import TransactionGenerator
 
@@ -76,12 +77,17 @@ def run_many(
     protocol: Optional[Union[str, Protocol]] = None,
     dynamic_selection: bool = False,
     jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    force: bool = False,
 ) -> List[Dict[str, object]]:
     """Run several configurations, optionally across worker processes.
 
     Returns one summary dictionary per configuration, in input order
     (``summarize_run`` of :mod:`repro.analysis.replications`); results are
-    bit-identical regardless of ``jobs``.
+    bit-identical regardless of ``jobs``.  ``store`` attaches a
+    :class:`~repro.store.ResultStore` so cached configurations are served
+    without running and fresh ones are persisted as they finish; ``force``
+    re-executes even cached ones.
     """
     # Imported lazily: repro.analysis imports this module at load time.
     from repro.analysis.replications import SimulationTask, run_tasks
@@ -95,4 +101,4 @@ def run_many(
         )
         for system, workload in configurations
     ]
-    return run_tasks(tasks, jobs=jobs)
+    return run_tasks(tasks, jobs=jobs, store=store, force=force)

@@ -26,6 +26,7 @@ from repro.common.errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.analysis.replications import ReplicatedResult
+    from repro.store import ResultStore
 
 
 @dataclass(frozen=True)
@@ -72,8 +73,15 @@ class Scenario:
         seeds: Sequence[int] = (0, 1, 2),
         jobs: int = 1,
         confidence_z: float = 1.96,
+        store: Optional["ResultStore"] = None,
+        force: bool = False,
     ) -> "ReplicatedResult":
-        """Replicated runs of this scenario, aggregated with confidence intervals."""
+        """Replicated runs of this scenario, aggregated with confidence intervals.
+
+        ``store``/``force`` attach a result store exactly as in
+        :func:`repro.analysis.replications.run_tasks`: cached replications
+        are reused, fresh ones are persisted as they finish.
+        """
         # Imported lazily: repro.analysis depends on repro.system which
         # imports this package's generator at load time.
         from repro.analysis.replications import run_replicated
@@ -87,6 +95,8 @@ class Scenario:
             jobs=jobs,
             label=self.name,
             confidence_z=confidence_z,
+            store=store,
+            force=force,
         )
 
 
@@ -125,12 +135,14 @@ def run_scenario(
     jobs: int = 1,
     transactions: Optional[int] = None,
     arrival_rate: Optional[float] = None,
+    store: Optional["ResultStore"] = None,
+    force: bool = False,
 ) -> "ReplicatedResult":
     """Look up ``name``, apply the overrides and run it replicated."""
     scenario = get_scenario(name).configured(
         transactions=transactions, arrival_rate=arrival_rate
     )
-    return scenario.run(seeds=seeds, jobs=jobs)
+    return scenario.run(seeds=seeds, jobs=jobs, store=store, force=force)
 
 
 # --------------------------------------------------------------------------- #

@@ -38,7 +38,8 @@ class TestRunReplicated:
         assert metric.mean > 0
 
     def test_label_defaults(self, tiny_system, tiny_workload):
-        assert run_replicated(tiny_system, tiny_workload, protocol="t/o", seeds=(0,)).label == "T/O"
+        replicated = run_replicated(tiny_system, tiny_workload, protocol="t/o", seeds=(0,))
+        assert replicated.label == "T/O"
         assert run_replicated(tiny_system, tiny_workload, seeds=(0,)).label == "mixed"
         assert (
             run_replicated(tiny_system, tiny_workload, dynamic_selection=True, seeds=(0,)).label

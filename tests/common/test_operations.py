@@ -1,7 +1,5 @@
 """Logical and physical operations and their conflict relation."""
 
-import pytest
-
 from repro.common.ids import CopyId
 from repro.common.operations import (
     LogicalOperation,

@@ -1,7 +1,5 @@
 """Wait-for graph and deadlock victim selection."""
 
-import pytest
-
 from repro.common.ids import TransactionId
 from repro.common.protocol_names import Protocol
 from repro.core.deadlock import DeadlockDetector, WaitForGraph

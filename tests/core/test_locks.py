@@ -6,7 +6,7 @@ from repro.common.errors import ProtocolError
 from repro.common.ids import CopyId, RequestId, TransactionId
 from repro.common.operations import OperationType
 from repro.common.protocol_names import Protocol
-from repro.core.locks import GrantedLock, LockMode, LockTable, requested_lock_mode
+from repro.core.locks import LockMode, LockTable, requested_lock_mode
 
 
 COPY = CopyId(0, 0)
@@ -48,7 +48,8 @@ class TestRequestedLockMode:
 
     def test_2pl_and_pa_readers_take_read_locks(self):
         assert requested_lock_mode(Protocol.TWO_PHASE_LOCKING, OperationType.READ) is LockMode.READ
-        assert requested_lock_mode(Protocol.PRECEDENCE_AGREEMENT, OperationType.READ) is LockMode.READ
+        mode = requested_lock_mode(Protocol.PRECEDENCE_AGREEMENT, OperationType.READ)
+        assert mode is LockMode.READ
 
     def test_to_readers_take_semi_read_locks(self):
         assert (

@@ -7,7 +7,6 @@ from repro.common.protocol_names import Protocol
 from repro.core.effects import GrantIssued
 from repro.core.locks import LockMode
 from repro.core.queue_manager import QueueManager
-from repro.storage.log import ExecutionLog
 
 from tests.conftest import make_request
 

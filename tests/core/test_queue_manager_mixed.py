@@ -5,7 +5,7 @@ import pytest
 
 from repro.common.ids import CopyId, TransactionId
 from repro.common.protocol_names import Protocol
-from repro.core.effects import BackoffIssued, GrantIssued, RequestRejected
+from repro.core.effects import GrantIssued, RequestRejected
 from repro.core.locks import LockMode
 from repro.core.queue_manager import QueueManager
 from repro.core.serializability import check_serializable

@@ -7,7 +7,6 @@ from repro.common.protocol_names import Protocol
 from repro.core.effects import BackoffIssued, GrantIssued, RequestRejected
 from repro.core.locks import LockMode
 from repro.core.queue_manager import QueueManager
-from repro.storage.log import ExecutionLog
 
 from tests.conftest import make_request
 
@@ -152,7 +151,9 @@ class TestGrantedTimestampBumpRepair:
         queue_manager.submit(pa_request(1, "r", ts=2.0), now=1.0)
         queue_manager.update_timestamp(TransactionId(0, 1), 2.0, now=1.5)
         queue_manager.drain_effects()
-        other_read = make_request(seq=2, protocol=Protocol.TIMESTAMP_ORDERING, op="r", timestamp=3.0)
+        other_read = make_request(
+            seq=2, protocol=Protocol.TIMESTAMP_ORDERING, op="r", timestamp=3.0
+        )
         queue_manager.submit(other_read, now=2.0)
         queue_manager.drain_effects()
         queue_manager.update_timestamp(TransactionId(0, 1), 5.0, now=3.0)

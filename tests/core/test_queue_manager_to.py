@@ -13,7 +13,9 @@ from tests.conftest import make_request
 
 
 def to_request(seq, op="w", ts=1.0, site=0):
-    return make_request(site=site, seq=seq, protocol=Protocol.TIMESTAMP_ORDERING, op=op, timestamp=ts)
+    return make_request(
+        site=site, seq=seq, protocol=Protocol.TIMESTAMP_ORDERING, op=op, timestamp=ts
+    )
 
 
 def effects_of(manager, kind):

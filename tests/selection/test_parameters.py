@@ -131,7 +131,8 @@ class TestMeasuredValues:
         estimator = make_estimator(min_observations=50)
         metrics = self._metrics_with_history(committed=10)
         estimator.bind_metrics(metrics)
-        prior = make_estimator(min_observations=50).protocol_parameters(Protocol.TIMESTAMP_ORDERING)
+        unbound = make_estimator(min_observations=50)
+        prior = unbound.protocol_parameters(Protocol.TIMESTAMP_ORDERING)
         measured = estimator.protocol_parameters(Protocol.TIMESTAMP_ORDERING)
         assert measured.lock_time == pytest.approx(prior.lock_time)
 

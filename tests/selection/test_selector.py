@@ -1,7 +1,5 @@
 """The STL-based per-transaction protocol selector."""
 
-import pytest
-
 from repro.common.config import SystemConfig, WorkloadConfig
 from repro.common.ids import TransactionId
 from repro.common.protocol_names import Protocol

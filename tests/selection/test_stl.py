@@ -114,7 +114,8 @@ class TestProtocolFormulas:
     def test_2pl_abort_probability_increases_cost(self):
         model = ThroughputLossModel(load())
         cheap = model.stl_two_phase_locking(spec(), costs(Protocol.TWO_PHASE_LOCKING, abort_p=0.0))
-        pricey = model.stl_two_phase_locking(spec(), costs(Protocol.TWO_PHASE_LOCKING, abort_p=0.4))
+        expensive_costs = costs(Protocol.TWO_PHASE_LOCKING, abort_p=0.4)
+        pricey = model.stl_two_phase_locking(spec(), expensive_costs)
         assert pricey > cheap
 
     def test_to_rejection_probability_increases_cost(self):

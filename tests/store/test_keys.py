@@ -1,0 +1,119 @@
+"""Content-addressed task keys: determinism and sensitivity."""
+
+import pytest
+
+from repro.analysis.replications import SimulationTask
+from repro.common.config import ProtocolMix, SystemConfig, WorkloadConfig
+from repro.common.protocol_names import Protocol
+from repro.store import canonical_value, task_key, task_payload
+
+
+@pytest.fixture(scope="module")
+def base_task():
+    return SimulationTask(
+        system=SystemConfig(num_sites=2, num_items=16, seed=3),
+        workload=WorkloadConfig(arrival_rate=20.0, num_transactions=10, seed=4),
+        protocol="2PL",
+    )
+
+
+class TestTaskKey:
+    def test_deterministic_across_calls(self, base_task):
+        assert task_key(base_task) == task_key(base_task)
+
+    def test_equal_tasks_share_a_key(self, base_task):
+        clone = SimulationTask(
+            system=SystemConfig(num_sites=2, num_items=16, seed=3),
+            workload=WorkloadConfig(arrival_rate=20.0, num_transactions=10, seed=4),
+            protocol="2PL",
+        )
+        assert task_key(clone) == task_key(base_task)
+
+    def test_protocol_spelling_does_not_matter(self, base_task):
+        spelled = SimulationTask(
+            system=base_task.system,
+            workload=base_task.workload,
+            protocol=Protocol.TWO_PHASE_LOCKING,
+        )
+        assert task_key(spelled) == task_key(base_task)
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"seed": 99},
+            {"num_items": 17},
+            {"restart_delay": 0.5},
+            {"protocol_switch_threshold": 2},
+        ],
+    )
+    def test_system_changes_change_the_key(self, base_task, override):
+        changed = SimulationTask(
+            system=base_task.system.with_overrides(**override),
+            workload=base_task.workload,
+            protocol=base_task.protocol,
+        )
+        assert task_key(changed) != task_key(base_task)
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"seed": 99},
+            {"arrival_rate": 21.0},
+            {"num_transactions": 11},
+            {"protocol_mix": ProtocolMix.pure(Protocol.PRECEDENCE_AGREEMENT)},
+        ],
+    )
+    def test_workload_changes_change_the_key(self, base_task, override):
+        changed = SimulationTask(
+            system=base_task.system,
+            workload=base_task.workload.with_overrides(**override),
+            protocol=base_task.protocol,
+        )
+        assert task_key(changed) != task_key(base_task)
+
+    def test_mode_changes_change_the_key(self, base_task):
+        mixed = SimulationTask(system=base_task.system, workload=base_task.workload)
+        dynamic = SimulationTask(
+            system=base_task.system, workload=base_task.workload, dynamic_selection=True
+        )
+        keys = {task_key(base_task), task_key(mixed), task_key(dynamic)}
+        assert len(keys) == 3
+
+    def test_protocol_mix_weight_order_does_not_matter(self, base_task):
+        forward = ProtocolMix(
+            {Protocol.TWO_PHASE_LOCKING: 1.0, Protocol.TIMESTAMP_ORDERING: 2.0}
+        )
+        backward = ProtocolMix(
+            {Protocol.TIMESTAMP_ORDERING: 2.0, Protocol.TWO_PHASE_LOCKING: 1.0}
+        )
+        first = SimulationTask(
+            system=base_task.system,
+            workload=base_task.workload.with_overrides(protocol_mix=forward),
+        )
+        second = SimulationTask(
+            system=base_task.system,
+            workload=base_task.workload.with_overrides(protocol_mix=backward),
+        )
+        assert task_key(first) == task_key(second)
+
+
+class TestCanonicalValue:
+    def test_enums_collapse_to_strings(self):
+        assert canonical_value(Protocol.TIMESTAMP_ORDERING) == "T/O"
+
+    def test_mappings_get_string_keys(self):
+        value = canonical_value({Protocol.PRECEDENCE_AGREEMENT: 1.0})
+        assert value == {"PA": 1.0}
+
+    def test_tuples_become_lists(self):
+        assert canonical_value((1, 2, 3)) == [1, 2, 3]
+
+    def test_unknown_types_are_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_value(object())
+
+    def test_payload_is_json_pure(self, base_task):
+        import json
+
+        payload = task_payload(base_task)
+        assert json.loads(json.dumps(payload)) == payload

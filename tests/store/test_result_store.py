@@ -1,0 +1,190 @@
+"""Result store: round-trip fidelity, crash tolerance and cache accounting."""
+
+import json
+
+import pytest
+
+from repro.analysis.replications import SimulationTask, run_tasks
+from repro.common.config import SystemConfig, WorkloadConfig
+from repro.store import ResultStore, StoreError, task_key, task_payload
+
+SUMMARY = {
+    "committed": 10,
+    "mean_system_time": 0.123456789,
+    "throughput": 9.87,
+    "serializable": True,
+    "protocol_stats": {"2PL": {"restarts": 0.0}},
+}
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "runs.jsonl")
+
+
+@pytest.fixture(scope="module")
+def tiny_tasks():
+    system = SystemConfig(num_sites=2, num_items=16, seed=1)
+    workload = WorkloadConfig(
+        arrival_rate=25.0, num_transactions=8, min_size=1, max_size=3, seed=2
+    )
+    return [
+        SimulationTask(system=system, workload=workload, protocol=protocol)
+        for protocol in ("2PL", "T/O", "PA")
+    ]
+
+
+class TestRoundTrip:
+    def test_put_then_get(self, store):
+        store.put("k1", {"protocol": "2PL"}, SUMMARY)
+        assert store.get("k1") == SUMMARY
+        assert "k1" in store
+        assert len(store) == 1
+
+    def test_survives_reopen(self, store):
+        store.put("k1", {"protocol": "2PL"}, SUMMARY)
+        reopened = ResultStore(store.path)
+        assert reopened.get("k1") == SUMMARY
+        assert reopened.keys() == ("k1",)
+
+    def test_floats_round_trip_exactly(self, store):
+        summary = {"value": 0.1 + 0.2, "tiny": 5e-324, "big": 1.7976931348623157e308}
+        store.put("k1", {}, summary)
+        assert ResultStore(store.path).get("k1") == summary
+
+    def test_last_write_wins(self, store):
+        store.put("k1", {}, {"committed": 1})
+        store.put("k1", {}, {"committed": 2})
+        assert store.get("k1") == {"committed": 2}
+        reopened = ResultStore(store.path)
+        assert reopened.get("k1") == {"committed": 2}
+        assert len(reopened) == 1
+
+    def test_returned_summaries_are_isolated_copies(self, store):
+        store.put("k1", {}, SUMMARY)
+        first = store.get("k1")
+        first["committed"] = -1
+        first["protocol_stats"]["2PL"]["restarts"] = -1
+        assert store.get("k1") == SUMMARY
+
+    def test_non_json_summaries_are_rejected(self, store):
+        with pytest.raises(StoreError):
+            store.put("k1", {}, {"bad": object()})
+        with pytest.raises(StoreError):
+            store.put("k1", {}, {"bad": float("nan")})
+
+    def test_tuples_are_rejected_not_silently_mangled(self, store):
+        with pytest.raises(StoreError):
+            store.put("k1", {}, {"witness": (1, 2, 3)})
+
+
+class TestCrashTolerance:
+    def test_truncated_final_line_is_skipped(self, store):
+        store.put("k1", {}, {"committed": 1})
+        store.put("k2", {}, {"committed": 2})
+        raw = store.path.read_bytes()
+        # Simulate a SIGKILL mid-append: half of the second record survives.
+        cut = raw.rfind(b'{"schema"') + 25
+        store.path.write_bytes(raw[:cut])
+        survivor = ResultStore(store.path)
+        assert survivor.get("k1") == {"committed": 1}
+        assert "k2" not in survivor
+        assert survivor.corrupt_lines == 1
+
+    def test_append_after_truncation_heals_the_file(self, store):
+        store.put("k1", {}, {"committed": 1})
+        store.path.write_bytes(store.path.read_bytes()[:-9])  # drop the tail
+        healed = ResultStore(store.path)
+        healed.put("k2", {}, {"committed": 2})
+        final = ResultStore(healed.path)
+        assert final.get("k2") == {"committed": 2}
+        assert final.corrupt_lines == 1  # the truncated k1 stays unparseable
+
+    def test_foreign_garbage_lines_are_counted_and_ignored(self, store):
+        store.put("k1", {}, {"committed": 1})
+        with store.path.open("a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+            handle.write(json.dumps({"schema": 999, "key": "x", "summary": {}}) + "\n")
+        reopened = ResultStore(store.path)
+        assert reopened.get("k1") == {"committed": 1}
+        assert reopened.corrupt_lines == 2
+
+    def test_missing_and_empty_files_load_clean(self, tmp_path):
+        assert len(ResultStore(tmp_path / "absent.jsonl")) == 0
+        (tmp_path / "empty.jsonl").touch()
+        assert len(ResultStore(tmp_path / "empty.jsonl")) == 0
+
+
+class TestRunTasksAccounting:
+    def test_cold_store_counts_all_misses(self, store, tiny_tasks):
+        summaries = run_tasks(tiny_tasks, store=store)
+        assert store.misses == len(tiny_tasks)
+        assert store.hits == 0
+        assert store.appended == len(tiny_tasks)
+        assert len(store) == len(tiny_tasks)
+        assert [s["committed"] for s in summaries] == [8, 8, 8]
+
+    def test_warm_store_counts_all_hits_and_runs_nothing(self, store, tiny_tasks, monkeypatch):
+        run_tasks(tiny_tasks, store=store)
+        warm = ResultStore(store.path)
+
+        def explode(task):
+            raise AssertionError("warm store must not execute any simulation task")
+
+        monkeypatch.setattr("repro.analysis.replications.execute_task", explode)
+        summaries = run_tasks(tiny_tasks, store=warm, jobs=2)
+        assert warm.hits == len(tiny_tasks)
+        assert warm.misses == 0
+        assert warm.appended == 0
+        assert [s["committed"] for s in summaries] == [8, 8, 8]
+
+    def test_partial_store_only_runs_the_missing_tasks(self, store, tiny_tasks):
+        run_tasks(tiny_tasks[:1], store=store)
+        executed = []
+        resumed = ResultStore(store.path)
+        summaries = run_tasks(tiny_tasks, store=resumed)
+        executed = resumed.appended
+        assert resumed.hits == 1
+        assert resumed.misses == 2
+        assert executed == 2
+        assert summaries == run_tasks(tiny_tasks)
+
+    def test_force_reexecutes_and_appends(self, store, tiny_tasks):
+        run_tasks(tiny_tasks, store=store)
+        forced = ResultStore(store.path)
+        summaries = run_tasks(tiny_tasks, store=forced, force=True)
+        assert forced.forced == len(tiny_tasks)
+        assert forced.hits == 0
+        assert forced.appended == len(tiny_tasks)
+        assert summaries == run_tasks(tiny_tasks)
+        # The file now holds two records per key but still one entry each.
+        assert len(ResultStore(store.path)) == len(tiny_tasks)
+
+    def test_store_backed_summaries_equal_fresh_ones(self, store, tiny_tasks):
+        fresh = run_tasks(tiny_tasks)
+        cached_cold = run_tasks(tiny_tasks, store=store)
+        cached_warm = run_tasks(tiny_tasks, store=ResultStore(store.path))
+        assert cached_cold == fresh
+        assert cached_warm == fresh
+
+    def test_parallel_store_backed_run_matches_serial(self, store, tiny_tasks):
+        serial = run_tasks(tiny_tasks)
+        parallel = run_tasks(tiny_tasks, store=store, jobs=3)
+        assert parallel == serial
+
+    def test_report_mentions_counts_and_path(self, store, tiny_tasks):
+        run_tasks(tiny_tasks, store=store)
+        report = store.report()
+        assert "0 reused" in report
+        assert "3 executed" in report
+        assert str(store.path) in report
+
+
+class TestStoredEntries:
+    def test_entries_carry_the_task_payload(self, store, tiny_tasks):
+        run_tasks(tiny_tasks[:1], store=store)
+        (entry,) = list(store.entries())
+        assert entry["key"] == task_key(tiny_tasks[0])
+        assert entry["task"] == task_payload(tiny_tasks[0])
+        assert entry["task"]["protocol"] == "2PL"
+        assert entry["summary"]["committed"] == 8

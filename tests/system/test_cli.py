@@ -200,3 +200,101 @@ class TestScenarioCommand:
         serial_out = capsys.readouterr().out
         assert main(argv + ["--jobs", "2"]) == 0
         assert capsys.readouterr().out == serial_out
+
+
+class TestStoreFlags:
+    def test_resume_without_store_is_a_usage_error(self, capsys):
+        argv = ["sweep", "--experiment", "e3", "--transactions", "10", "--resume"]
+        assert main(argv) == 2
+        assert "--store" in capsys.readouterr().err
+
+    def test_force_without_store_is_a_usage_error(self, capsys):
+        argv = ["sweep", "--experiment", "e3", "--transactions", "10", "--force"]
+        assert main(argv) == 2
+        assert "--store" in capsys.readouterr().err
+
+    def test_resume_with_missing_store_file_fails_fast(self, tmp_path, capsys):
+        argv = [
+            "sweep", "--experiment", "e3", "--transactions", "10",
+            "--store", str(tmp_path / "absent.jsonl"), "--resume",
+        ]
+        assert main(argv) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_resume_contradicts_force(self, tmp_path, capsys):
+        argv = [
+            "sweep", "--experiment", "e3", "--transactions", "10",
+            "--store", str(tmp_path / "runs.jsonl"), "--resume", "--force",
+        ]
+        assert main(argv) == 2
+        assert "contradicts" in capsys.readouterr().err
+
+    def test_sweep_store_roundtrip_and_accounting(self, tmp_path, capsys):
+        store_path = tmp_path / "runs.jsonl"
+        argv = [
+            "sweep", "--experiment", "e3", "--transactions", "20",
+            "--sites", "2", "--items", "16", "--store", str(store_path),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+        assert store_path.exists()
+        assert "3 executed" in cold.err
+        assert main(argv + ["--resume"]) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out  # byte-identical table
+        assert "3 reused" in warm.err
+        assert "0 executed" in warm.err
+
+    def test_force_reexecutes_cached_points(self, tmp_path, capsys):
+        store_path = tmp_path / "runs.jsonl"
+        argv = [
+            "sweep", "--experiment", "e3", "--transactions", "20",
+            "--sites", "2", "--items", "16", "--store", str(store_path),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert main(argv + ["--force"]) == 0
+        forced = capsys.readouterr()
+        assert forced.out == first.out
+        assert "3 executed" in forced.err
+        assert "3 forced" in forced.err
+
+    def test_scenario_store_roundtrip(self, tmp_path, capsys):
+        store_path = tmp_path / "runs.jsonl"
+        argv = [
+            "scenario", "site-skewed", "--transactions", "30",
+            "--replications", "2", "--store", str(store_path),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+        assert "2 executed" in cold.err
+        assert main(argv + ["--jobs", "2"]) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out
+        assert "2 reused" in warm.err
+
+
+class TestStoreCommand:
+    def test_stats_and_table(self, tmp_path, capsys):
+        store_path = tmp_path / "runs.jsonl"
+        assert main(
+            [
+                "sweep", "--experiment", "e3", "--transactions", "20",
+                "--sites", "2", "--items", "16", "--store", str(store_path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["store", "stats", str(store_path)]) == 0
+        stats_out = capsys.readouterr().out
+        assert "entries" in stats_out
+        assert "3" in stats_out
+        assert main(["store", "table", str(store_path)]) == 0
+        table_out = capsys.readouterr().out
+        assert "2PL" in table_out
+        assert "T/O" in table_out
+        assert "PA" in table_out
+        assert "committed" in table_out
+
+    def test_missing_store_file_is_an_error(self, tmp_path, capsys):
+        assert main(["store", "stats", str(tmp_path / "absent.jsonl")]) == 2
+        assert "does not exist" in capsys.readouterr().err

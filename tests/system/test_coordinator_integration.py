@@ -97,10 +97,14 @@ class TestConflictHandling:
         database, _ = build_database()
         # Two T/O writers on the same item arriving close together: the one
         # whose request lands second at the queue may be rejected and restart.
-        database.submit(spec(TransactionId(0, 1), writes=(0,), protocol=Protocol.TIMESTAMP_ORDERING,
-                             arrival=0.001))
-        database.submit(spec(TransactionId(1, 1), writes=(0,), protocol=Protocol.TIMESTAMP_ORDERING,
-                             arrival=0.0012))
+        database.submit(
+            spec(TransactionId(0, 1), writes=(0,), protocol=Protocol.TIMESTAMP_ORDERING,
+                 arrival=0.001)
+        )
+        database.submit(
+            spec(TransactionId(1, 1), writes=(0,), protocol=Protocol.TIMESTAMP_ORDERING,
+                 arrival=0.0012)
+        )
         result = database.run()
         assert result.committed == 2
         assert result.serializable

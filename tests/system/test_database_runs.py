@@ -2,18 +2,19 @@
 
 import pytest
 
-from repro.common.config import ProtocolMix, SystemConfig, WorkloadConfig
+from repro.common.config import SystemConfig
 from repro.common.ids import TransactionId
 from repro.common.protocol_names import Protocol
 from repro.common.transactions import TransactionSpec
 from repro.storage.store import ValueStore
 from repro.system.database import DistributedDatabase
 from repro.system.runner import run_simulation
-from repro.workload.generator import generate_workload
 
 
 def run(protocol, small_system, small_workload, **workload_overrides):
-    workload = small_workload.with_overrides(**workload_overrides) if workload_overrides else small_workload
+    workload = small_workload
+    if workload_overrides:
+        workload = small_workload.with_overrides(**workload_overrides)
     return run_simulation(small_system, workload, protocol=protocol)
 
 
@@ -142,7 +143,10 @@ class TestManualSubmission:
     def test_unknown_origin_site_rejected(self, small_system):
         database = DistributedDatabase(small_system)
         bad = TransactionSpec(
-            tid=TransactionId(99, 1), read_items=(0,), write_items=(), protocol=Protocol.TWO_PHASE_LOCKING
+            tid=TransactionId(99, 1),
+            read_items=(0,),
+            write_items=(),
+            protocol=Protocol.TWO_PHASE_LOCKING,
         )
         with pytest.raises(Exception):
             database.submit(bad)

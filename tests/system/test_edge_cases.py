@@ -18,27 +18,35 @@ class TestDegenerateTopologies:
     def test_single_site_system(self):
         system = SystemConfig(num_sites=1, num_items=8, seed=1,
                               deadlock_detection_period=0.05, restart_delay=0.01)
-        workload = WorkloadConfig(arrival_rate=30.0, num_transactions=40, min_size=1, max_size=3, seed=2)
+        workload = WorkloadConfig(
+            arrival_rate=30.0, num_transactions=40, min_size=1, max_size=3, seed=2
+        )
         for protocol in ("2PL", "T/O", "PA", None):
             run(system, workload, protocol)
 
     def test_single_item_database(self):
         system = SystemConfig(num_sites=2, num_items=1, seed=3,
                               deadlock_detection_period=0.05, restart_delay=0.01)
-        workload = WorkloadConfig(arrival_rate=20.0, num_transactions=30, min_size=1, max_size=1, seed=4)
+        workload = WorkloadConfig(
+            arrival_rate=20.0, num_transactions=30, min_size=1, max_size=1, seed=4
+        )
         for protocol in ("2PL", "T/O", "PA"):
             run(system, workload, protocol)
 
     def test_full_replication(self):
         system = SystemConfig(num_sites=4, num_items=8, replication_factor=4, seed=5,
                               deadlock_detection_period=0.1, restart_delay=0.01)
-        workload = WorkloadConfig(arrival_rate=15.0, num_transactions=30, min_size=1, max_size=3, seed=6)
+        workload = WorkloadConfig(
+            arrival_rate=15.0, num_transactions=30, min_size=1, max_size=3, seed=6
+        )
         run(system, workload)
 
     def test_many_sites_few_items(self):
         system = SystemConfig(num_sites=8, num_items=8, seed=7,
                               deadlock_detection_period=0.1, restart_delay=0.01)
-        workload = WorkloadConfig(arrival_rate=40.0, num_transactions=40, min_size=1, max_size=3, seed=8)
+        workload = WorkloadConfig(
+            arrival_rate=40.0, num_transactions=40, min_size=1, max_size=3, seed=8
+        )
         run(system, workload)
 
 
@@ -60,7 +68,9 @@ class TestDegenerateTimings:
             network=NetworkConfig(fixed_delay=0.02, variable_delay=0.1),
             deadlock_detection_period=0.2, restart_delay=0.02,
         )
-        workload = WorkloadConfig(arrival_rate=20.0, num_transactions=40, min_size=1, max_size=4, seed=12)
+        workload = WorkloadConfig(
+            arrival_rate=20.0, num_transactions=40, min_size=1, max_size=4, seed=12
+        )
         for protocol in ("T/O", "PA"):
             result = run(system, workload, protocol)
             if protocol == "PA":
@@ -96,7 +106,9 @@ class TestDegenerateWorkloads:
     def test_transactions_spanning_the_whole_database(self):
         system = SystemConfig(num_sites=2, num_items=6, seed=19,
                               deadlock_detection_period=0.05, restart_delay=0.01)
-        workload = WorkloadConfig(arrival_rate=10.0, num_transactions=25, min_size=6, max_size=6, seed=20)
+        workload = WorkloadConfig(
+            arrival_rate=10.0, num_transactions=25, min_size=6, max_size=6, seed=20
+        )
         for protocol in ("2PL", "PA"):
             run(system, workload, protocol)
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common.config import ProtocolMix, SystemConfig, WorkloadConfig
+from repro.common.config import ProtocolMix, SystemConfig
 from repro.common.ids import TransactionId
 from repro.common.protocol_names import Protocol
 from repro.common.transactions import TransactionSpec

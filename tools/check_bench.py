@@ -1,0 +1,228 @@
+#!/usr/bin/env python
+"""Perf-regression gate against ``BENCH_BASELINE.json`` (``make bench-gate``).
+
+Re-measures every hot path the baseline records — the three data-structure
+micros and the E2-scale end-to-end run, at the exact workload sizes the
+baseline was recorded with — and fails (exit 1) when any path has slowed
+down by more than ``--threshold`` (default 2.5x) relative to the baseline.
+
+Absolute wall-clock numbers are not comparable across machines (the baseline
+was recorded on a developer box; CI runners are slower and noisier), so the
+gate compares **speedup ratios** instead: each path is timed A/B against the
+seed reference implementation shipped in ``benchmarks/reference_impls.py``,
+in the same process on the same machine, and the measured speedup is
+compared with the speedup the baseline recorded.  A hot path that regressed
+2.5x shows a 2.5x smaller speedup on any hardware; a slow runner slows both
+legs equally and cancels out.
+
+The threshold is deliberately loose: CI timing jitters 2-3x on sub-second
+runs, but the pathological regressions this gate exists for (an accidentally
+quadratic loop, a dropped index) overshoot it by an order of magnitude.  The
+end-to-end leg additionally cross-checks the run's deterministic observables
+(commits, grants, simulated end time) against the baseline; drift there
+means the comparison is meaningless and the baseline needs a refresh
+(``make bench-baseline``), which is reported as its own failure.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_bench.py [--threshold 2.5]
+        [--baseline BENCH_BASELINE.json] [--json OUT.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, List
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT))
+
+from benchmarks.baseline import (  # noqa: E402  (sys.path set up above)
+    _event_churn_script,
+    _queue_churn_script,
+    e2_scale_configs,
+    make_synthetic_log,
+    run_e2_scale,
+    seed_structures,
+    timed,
+)
+from benchmarks.reference_impls import (  # noqa: E402
+    ReferenceDataQueue,
+    ReferenceEventQueue,
+    reference_check_serializable,
+)
+from repro.core.data_queue import DataQueue  # noqa: E402
+from repro.core.serializability import check_serializable  # noqa: E402
+from repro.sim.events import EventQueue  # noqa: E402
+
+DEFAULT_BASELINE = ROOT / "BENCH_BASELINE.json"
+
+#: End-to-end observables that must match the baseline for the comparison to
+#: be meaningful (deterministic given the fixed seeds).
+E2E_OBSERVABLES = ("events_processed", "grants", "committed", "deadlock_aborts", "end_time")
+
+
+def measure_oracle(baseline: Dict[str, object], repeats: int) -> Dict[str, float]:
+    entries = int(baseline["entries"])
+    log = make_synthetic_log(
+        num_entries=entries,
+        num_transactions=max(entries // 66, 10),
+        num_copies=16,
+        read_fraction=0.6,
+        seed=97,
+    )
+    return {
+        # The reference oracle is O(n^2); one repeat keeps the gate quick,
+        # exactly as the baseline recorder does.
+        "reference_s": timed(lambda: reference_check_serializable(log), repeats=1),
+        "current_s": timed(lambda: check_serializable(log), repeats=repeats),
+    }
+
+
+def measure_data_queue(baseline: Dict[str, object], repeats: int) -> Dict[str, float]:
+    steps = int(baseline["steps"])
+    return {
+        "reference_s": timed(lambda: _queue_churn_script(ReferenceDataQueue, steps), repeats),
+        "current_s": timed(lambda: _queue_churn_script(DataQueue, steps), repeats),
+    }
+
+
+def measure_event_queue(baseline: Dict[str, object], repeats: int) -> Dict[str, float]:
+    events = int(baseline["events"])
+    return {
+        "reference_s": timed(lambda: _event_churn_script(ReferenceEventQueue, events), repeats),
+        "current_s": timed(lambda: _event_churn_script(EventQueue, events), repeats),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=pathlib.Path, default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.5,
+        help="fail when a hot path is this many times slower, relative to the "
+        "reference implementation, than the baseline recorded (default: 2.5)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N timing repeats for the micros"
+    )
+    parser.add_argument("--json", type=pathlib.Path, default=None, help="write results here")
+    args = parser.parse_args(argv)
+
+    if not args.baseline.exists():
+        print(f"check-bench: baseline {args.baseline} not found", file=sys.stderr)
+        return 2
+    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    if baseline.get("quick"):
+        print(
+            "check-bench: refusing to gate against a --quick baseline "
+            "(regenerate with `make bench-baseline`)",
+            file=sys.stderr,
+        )
+        return 2
+
+    micro = baseline["micro"]
+    checks: List[Dict[str, object]] = []
+
+    def record(name: str, baseline_speedup: float, reference_s: float, current_s: float) -> None:
+        speedup = reference_s / current_s if current_s > 0 else float("inf")
+        # slowdown > 1 means the current code lost ground vs the recorded ratio.
+        slowdown = baseline_speedup / speedup if speedup > 0 else float("inf")
+        status = "ok" if slowdown <= args.threshold else "SLOW"
+        checks.append(
+            {
+                "hot_path": name,
+                "baseline_speedup": round(baseline_speedup, 2),
+                "reference_s": round(reference_s, 4),
+                "current_s": round(current_s, 4),
+                "current_speedup": round(speedup, 2),
+                "relative_slowdown": round(slowdown, 2),
+                "status": status,
+            }
+        )
+        print(
+            f"  {name}: {speedup:.2f}x vs reference (baseline {baseline_speedup:.2f}x, "
+            f"relative slowdown {slowdown:.2f}x, limit {args.threshold}x) {status}"
+        )
+
+    print(
+        f"check-bench: gating against {args.baseline.name} "
+        "(speedup vs in-tree reference implementations, machine-independent)"
+    )
+    timings = measure_oracle(micro["serializability_oracle"], args.repeats)
+    record(
+        "serializability_oracle",
+        float(micro["serializability_oracle"]["speedup"]),
+        timings["reference_s"],
+        timings["current_s"],
+    )
+    timings = measure_data_queue(micro["data_queue_churn"], args.repeats)
+    record(
+        "data_queue_churn",
+        float(micro["data_queue_churn"]["speedup"]),
+        timings["reference_s"],
+        timings["current_s"],
+    )
+    timings = measure_event_queue(micro["event_list_churn"], args.repeats)
+    record(
+        "event_list_churn",
+        float(micro["event_list_churn"]["speedup"]),
+        timings["reference_s"],
+        timings["current_s"],
+    )
+
+    e2e_baseline = baseline["end_to_end"]["e2_scale_mixed_run"]
+    configs = e2_scale_configs(int(e2e_baseline["num_transactions"]))
+    with seed_structures():
+        reference = run_e2_scale(configs["system"], configs["workload"])
+    current = run_e2_scale(configs["system"], configs["workload"])
+    record(
+        "e2_scale_mixed_run",
+        float(e2e_baseline["wall_speedup"]),
+        reference["wall_s"],
+        current["wall_s"],
+    )
+
+    drift = [
+        f"{key}: baseline {e2e_baseline['after'][key]!r} != current {current[key]!r}"
+        for key in E2E_OBSERVABLES
+        if e2e_baseline["after"][key] != current[key]
+    ]
+
+    if args.json is not None:
+        args.json.write_text(
+            json.dumps({"threshold": args.threshold, "checks": checks, "drift": drift}, indent=2)
+            + "\n",
+            encoding="utf-8",
+        )
+
+    failed = [check["hot_path"] for check in checks if check["status"] != "ok"]
+    if drift:
+        print(
+            "check-bench: FAILED — end-to-end observables drifted from the baseline;\n"
+            "  the perf comparison is not meaningful. If the behaviour change is\n"
+            "  intentional, refresh the baseline with `make bench-baseline`.",
+            file=sys.stderr,
+        )
+        for line in drift:
+            print(f"  - {line}", file=sys.stderr)
+        return 1
+    if failed:
+        print(
+            f"check-bench: FAILED — hot path(s) regressed more than {args.threshold}x "
+            f"relative to the baseline speedups: {', '.join(failed)}",
+            file=sys.stderr,
+        )
+        return 1
+    print("check-bench: all hot paths within the regression budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

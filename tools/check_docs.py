@@ -16,6 +16,10 @@ Fails (exit 1) when the source tree's documentation references drift:
    exactly (no drift in either direction).
 4. **Scenario examples** — every ``repro.cli scenario <name>`` example in
    the Markdown docs must name a registered scenario.
+5. **Module references** — every dotted ``repro.*`` path mentioned in
+   ``README.md`` or ``DESIGN.md`` must resolve to a module under ``src/``
+   (a trailing attribute such as ``repro.store.task_key`` is allowed, but
+   the module part must exist).
 
 Run from anywhere; the repository root is derived from this file.
 """
@@ -43,6 +47,7 @@ DESIGN_HEADING = re.compile(r"^###\s+E(\d+)\b")
 BENCH_FILE = re.compile(r"^bench_e(\d+)_.*\.py$")
 SCENARIO_EXAMPLE = re.compile(r"repro\.cli\s+scenario\s+([a-z0-9][a-z0-9-]*)")
 CLI_EXPERIMENT_IDS = re.compile(r"EXPERIMENT_IDS\s*=\s*\(([^)]*)\)")
+MODULE_REFERENCE = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
 
 #: Markdown names that are allowed to be referenced without existing here
 #: (none at present; extend when citing external documents).
@@ -180,6 +185,37 @@ def check_scenario_examples(errors: List[str]) -> None:
                     )
 
 
+def _module_exists(parts: List[str]) -> bool:
+    """True when ``src/<parts>`` is a module file or a package directory."""
+    base = ROOT / "src"
+    return (base.joinpath(*parts).with_suffix(".py")).exists() or (
+        base.joinpath(*parts) / "__init__.py"
+    ).exists()
+
+
+def check_module_references(errors: List[str]) -> None:
+    """Dotted ``repro.*`` references in the docs must resolve under ``src/``.
+
+    A reference may carry one trailing attribute (``repro.store.task_key``);
+    everything before it must be an importable module or package.
+    """
+    for name in ("README.md", "DESIGN.md"):
+        path = ROOT / name
+        if not path.exists():
+            continue
+        for line_number, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            for match in MODULE_REFERENCE.finditer(line):
+                parts = match.group(0).split(".")
+                if _module_exists(parts) or _module_exists(parts[:-1]):
+                    continue
+                errors.append(
+                    f"{name}:{line_number}: module reference {match.group(0)!r} "
+                    "does not resolve under src/"
+                )
+
+
 def main() -> int:
     errors: List[str] = []
     for required in ("README.md", "DESIGN.md"):
@@ -189,6 +225,7 @@ def main() -> int:
     check_experiment_ids(errors)
     check_cli_choices(errors)
     check_scenario_examples(errors)
+    check_module_references(errors)
     if errors:
         print("check-docs: FAILED")
         for error in errors:
