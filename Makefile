@@ -1,15 +1,23 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test check-docs bench bench-smoke bench-baseline bench-gate
+.PHONY: test check-docs api-docs check-api-docs bench bench-smoke bench-baseline bench-gate
 
 ## tier-1 verification gate
 test:
 	$(PY) -m pytest -x -q
 
-## documentation cross-reference gate (DESIGN.md / README.md / experiment ids)
+## documentation cross-reference + docstring-coverage gate
 check-docs:
 	$(PY) tools/check_docs.py
+
+## regenerate the Markdown API reference under docs/api/ from docstrings
+api-docs:
+	$(PY) tools/gen_api_docs.py
+
+## fail if docs/api/ is stale relative to the source docstrings
+check-api-docs:
+	$(PY) tools/gen_api_docs.py --check
 
 ## perf-regression gate: current hot paths vs BENCH_BASELINE.json (>2.5x fails)
 bench-gate:

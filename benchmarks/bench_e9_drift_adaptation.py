@@ -1,0 +1,57 @@
+"""E9 — online adaptive selection under drifting workloads.
+
+The paper's premise is that no single protocol wins everywhere; E9 makes the
+converse explicit: when the workload *drifts*, a selector that keeps
+estimating wins over one that froze its estimates on the warm-up regime.
+The driver (``repro.analysis.experiments.drift_adaptation_experiment``)
+races the adaptive selector (sliding-window estimates with exponential
+decay), the frozen-estimate selector and the three static protocols across
+the registered drift scenarios; the headline column is the **post-drift**
+mean system time — transactions arriving after the last drift segment
+settled.  The benchmark, the CLI (``sweep --experiment e9``) and the tests
+share the same driver.
+"""
+
+from benchmarks.conftest import save_table
+from repro.analysis.experiments import drift_adaptation_experiment
+
+COLUMNS = (
+    "scenario",
+    "policy",
+    "mean_system_time",
+    "post_drift_mean_system_time",
+    "restarts",
+    "deadlock_aborts",
+    "serializable",
+)
+
+def run_experiment():
+    # Unlike the other benchmarks this one runs at the scenarios' canonical
+    # scale (400 transactions, seeds 0-2): the adaptive-vs-frozen comparison
+    # is about how estimates age over the drift timeline, and shrinking the
+    # stream shortens the post-drift phase the claim is made on.  The runs
+    # are fully seeded, so the table — and the assertion below — are
+    # deterministic; ``jobs`` only changes wall-clock time.
+    return drift_adaptation_experiment(jobs=4)
+
+
+def test_e9_drift_adaptation(benchmark, results_dir):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    save_table(results_dir, "e9_drift_adaptation", rows, COLUMNS)
+
+    assert all(row["serializable"] for row in rows)
+    by_key = {(row["scenario"], row["policy"]): row for row in rows}
+    # The acceptance claim: on the migrating hot spot, adapting the
+    # estimates beats freezing them once the drift has settled.
+    adaptive = by_key[("hotspot-migration", "adaptive")]
+    frozen = by_key[("hotspot-migration", "frozen")]
+    assert (
+        adaptive["post_drift_mean_system_time"] < frozen["post_drift_mean_system_time"]
+    )
+    # Sanity on the racers: the adaptive selector must land between the
+    # post-drift oracle (pure T/O here) and the worst static choice.
+    static_posts = [
+        by_key[("hotspot-migration", name)]["post_drift_mean_system_time"]
+        for name in ("2PL", "T/O", "PA")
+    ]
+    assert min(static_posts) < adaptive["post_drift_mean_system_time"] < max(static_posts)

@@ -1,6 +1,6 @@
 """Shared configuration and helpers for the benchmark harness.
 
-Every benchmark regenerates one experiment from DESIGN.md's index (E1-E8).
+Every benchmark regenerates one experiment from DESIGN.md's index (E1-E9).
 Besides the timing numbers collected by pytest-benchmark, each benchmark
 renders the experiment's result table and stores it under
 ``benchmarks/results/`` so the rows can be compared with the paper's claims

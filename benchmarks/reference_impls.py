@@ -185,8 +185,17 @@ class ReferenceDeadlockDetector(DeadlockDetector):
             cycle = graph.find_cycle()
             if cycle is None:
                 return resolution
-            resolution.cycles.append(cycle)
             victim = self._choose_victim(cycle, protocol_of)
+            if victim is None:
+                # Phantom (no-2PL) cycle: abort nobody and mask its nodes,
+                # mirroring DeadlockDetector.resolve_packed — the A/B legs
+                # must make identical decisions, only the data structures
+                # differ.
+                resolution.phantom_cycles.append(cycle)
+                for node in cycle:
+                    graph.remove_node(node)
+                continue
+            resolution.cycles.append(cycle)
             resolution.victims.append(victim)
             graph.remove_node(victim)
 

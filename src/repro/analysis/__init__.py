@@ -1,6 +1,6 @@
 """Experiment harness: parameter sweeps, replication, result-table rendering.
 
-Each experiment of DESIGN.md's index (E1-E8) has a function here that runs
+Each experiment of DESIGN.md's index (E1-E9) has a function here that runs
 the corresponding sweep and returns plain rows (lists of dictionaries); the
 benchmark scripts under ``benchmarks/`` call these functions with small
 parameter grids and store the rendered tables under ``benchmarks/results/``
@@ -14,6 +14,7 @@ seed-ordered results.
 
 from repro.analysis.experiments import (
     correctness_audit,
+    drift_adaptation_experiment,
     dynamic_vs_static,
     protocol_switching_ablation,
     semilock_ablation,
@@ -36,6 +37,7 @@ __all__ = [
     "SimulationTask",
     "compare_protocols_replicated",
     "correctness_audit",
+    "drift_adaptation_experiment",
     "dynamic_vs_static",
     "format_table",
     "protocol_switching_ablation",

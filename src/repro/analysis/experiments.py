@@ -1,4 +1,4 @@
-"""Experiment definitions E1-E8 (see DESIGN.md for the index).
+"""Experiment definitions E1-E9 (see DESIGN.md for the index).
 
 Each function runs one of the paper's evaluation scenarios and returns a list
 of flat row dictionaries so that benchmarks, examples and the tables under
@@ -28,6 +28,11 @@ from repro.common.config import ProtocolMix, SystemConfig, WorkloadConfig
 from repro.common.protocol_names import Protocol
 from repro.selection.parameters import SystemLoadParameters
 from repro.selection.stl import ThroughputLossModel
+from repro.workload.scenarios import get_scenario
+
+#: Drift scenarios E9 runs by default (all registered in
+#: :mod:`repro.workload.scenarios`).
+DRIFT_SCENARIOS = ("hotspot-migration", "mix-flip", "load-ramp")
 
 _ALL_PROTOCOLS = (
     Protocol.TWO_PHASE_LOCKING,
@@ -371,6 +376,78 @@ def protocol_switching_ablation(
                 "protocol_switches": summary["protocol_switches"],
                 "committed": summary["committed"],
                 "serializable": summary["serializable"],
+            }
+        )
+    return rows
+
+
+def drift_adaptation_experiment(
+    scenarios: Sequence[str] = DRIFT_SCENARIOS,
+    *,
+    modes: Sequence[str] = ("adaptive", "frozen"),
+    protocols: Sequence[Protocol] = _ALL_PROTOCOLS,
+    transactions: Optional[int] = None,
+    seeds: Sequence[int] = (0, 1, 2),
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    force: bool = False,
+) -> List[Dict[str, object]]:
+    """E9: online adaptation under drifting workloads.
+
+    For every registered drift scenario the driver races the *adaptive*
+    selector (sliding-window estimates with exponential decay), the
+    *frozen-estimate* selector (parameters pinned as soon as the warm-up
+    measurements exist — the stationary-workload assumption made explicit) and each static
+    protocol.  Beyond the overall mean system time, each row quotes the
+    **post-drift** mean system time — transactions arriving after the last
+    drift segment settled — which is where stale estimates hurt: on
+    ``hotspot-migration`` the adaptive selector must beat the frozen one
+    there.  Values are averaged over ``seeds`` replications; every
+    (scenario, policy, seed) combination is one task, so ``jobs``
+    parallelism and the result store apply per point.
+    """
+    policies: List[Tuple[str, Optional[Protocol], Optional[str]]] = [
+        (str(protocol), protocol, None) for protocol in protocols
+    ]
+    policies.extend((mode, None, mode) for mode in modes)
+
+    tasks: List[SimulationTask] = []
+    labels: List[Tuple[str, str]] = []
+    for name in scenarios:
+        scenario = get_scenario(name).configured(transactions=transactions)
+        for policy, protocol, mode in policies:
+            for seed in seeds:
+                tasks.append(
+                    SimulationTask(
+                        system=scenario.system.with_overrides(seed=scenario.system.seed + seed),
+                        workload=scenario.workload.with_overrides(
+                            seed=scenario.workload.seed + seed
+                        ),
+                        protocol=protocol,
+                        dynamic_selection=protocol is None,
+                        selection_mode=mode,
+                    )
+                )
+            labels.append((name, policy))
+    summaries = run_tasks(tasks, jobs=jobs, store=store, force=force)
+
+    def seed_mean(group: Sequence[Dict[str, object]], key: str) -> float:
+        return sum(float(summary[key]) for summary in group) / len(group)
+
+    rows: List[Dict[str, object]] = []
+    per_policy = len(seeds)
+    for index, (name, policy) in enumerate(labels):
+        group = summaries[index * per_policy : (index + 1) * per_policy]
+        rows.append(
+            {
+                "scenario": name,
+                "policy": policy,
+                "mean_system_time": seed_mean(group, "mean_system_time"),
+                "post_drift_mean_system_time": seed_mean(group, "post_drift_mean_system_time"),
+                "restarts": seed_mean(group, "restarts"),
+                "deadlock_aborts": seed_mean(group, "deadlock_aborts"),
+                "committed": sum(int(summary["committed"]) for summary in group),
+                "serializable": all(bool(summary["serializable"]) for summary in group),
             }
         )
     return rows

@@ -58,25 +58,34 @@ class SimulationTask:
 
     Tasks are immutable and picklable, so they can cross process boundaries;
     the seeds live inside the configs, making each task independent of
-    execution order and worker identity.
+    execution order and worker identity.  ``selection_mode`` picks the
+    dynamic selector's estimation mode (``cumulative`` / ``adaptive`` /
+    ``frozen``); it is part of the task's content-addressed key.
     """
 
     system: SystemConfig
     workload: WorkloadConfig
     protocol: Optional[Union[str, Protocol]] = None
     dynamic_selection: bool = False
+    selection_mode: Optional[str] = None
 
 
 def summarize_run(result: RunResult) -> Dict[str, object]:
     """A plain, picklable summary carrying everything the experiments consume.
 
-    Extends ``RunResult.summary()`` with the per-protocol statistics and the
-    deadlock-victim breakdown so that audit-style experiments (E4, E6) can be
-    shaped from worker output without shipping the full ``RunResult`` between
-    processes.
+    Extends ``RunResult.summary()`` with the per-protocol statistics, the
+    deadlock-victim breakdown (so audit-style experiments E4/E6 can be
+    shaped from worker output without shipping the full ``RunResult``
+    between processes), the windowed time series, and — for drifting
+    workloads — the drift boundaries plus the post-drift mean system time
+    that the E9 comparison quotes.
     """
     row = result.summary()
     row["deadlocks_found"] = result.deadlocks_found
+    row["windowed"] = result.metrics.windowed_series()
+    row["drift_boundaries"] = list(result.drift_boundaries)
+    settled = result.drift_boundaries[-1] if result.drift_boundaries else 0.0
+    row["post_drift_mean_system_time"] = result.metrics.mean_system_time_after(settled)
     per_protocol: Dict[str, Dict[str, float]] = {}
     for protocol in Protocol:
         stats = result.metrics.protocol_statistics(protocol)
@@ -103,6 +112,7 @@ def execute_task(task: SimulationTask) -> Dict[str, object]:
         task.workload,
         protocol=task.protocol,
         dynamic_selection=task.dynamic_selection,
+        selection_mode=task.selection_mode,
     )
     return summarize_run(result)
 
@@ -205,10 +215,12 @@ class AggregatedMetric:
 
     @property
     def low(self) -> float:
+        """Lower edge of the confidence interval (``mean - halfwidth``)."""
         return self.mean - self.halfwidth
 
     @property
     def high(self) -> float:
+        """Upper edge of the confidence interval (``mean + halfwidth``)."""
         return self.mean + self.halfwidth
 
 
@@ -221,8 +233,12 @@ class ReplicatedResult:
     metrics: Dict[str, AggregatedMetric]
     all_serializable: bool
     all_committed: bool
+    #: Raw per-replication summaries in seed order (windowed series included);
+    #: populated by :func:`run_replicated` for time-series consumers.
+    summaries: Tuple[Dict[str, object], ...] = ()
 
     def metric(self, name: str) -> AggregatedMetric:
+        """The aggregated statistics of one named metric."""
         return self.metrics[name]
 
     def as_row(self) -> Dict[str, object]:
@@ -244,6 +260,7 @@ def replication_tasks(
     *,
     protocol: Optional[Union[str, Protocol]] = None,
     dynamic_selection: bool = False,
+    selection_mode: Optional[str] = None,
     seeds: Sequence[int] = (0, 1, 2, 3, 4),
 ) -> List[SimulationTask]:
     """One task per replication seed; each re-seeds both configurations."""
@@ -253,6 +270,7 @@ def replication_tasks(
             workload=workload.with_overrides(seed=workload.seed + seed),
             protocol=protocol,
             dynamic_selection=dynamic_selection,
+            selection_mode=selection_mode,
         )
         for seed in seeds
     ]
@@ -294,9 +312,13 @@ def aggregate_replications(
 
 
 def _default_label(
-    protocol: Optional[Union[str, Protocol]], dynamic_selection: bool
+    protocol: Optional[Union[str, Protocol]],
+    dynamic_selection: bool,
+    selection_mode: Optional[str] = None,
 ) -> str:
     if dynamic_selection:
+        if selection_mode is not None and selection_mode != "cumulative":
+            return selection_mode
         return "dynamic"
     if protocol is not None:
         return str(Protocol.from_name(protocol))
@@ -309,6 +331,7 @@ def run_replicated(
     *,
     protocol: Optional[Union[str, Protocol]] = None,
     dynamic_selection: bool = False,
+    selection_mode: Optional[str] = None,
     seeds: Sequence[int] = (0, 1, 2, 3, 4),
     label: Optional[str] = None,
     confidence_z: float = 1.96,
@@ -331,17 +354,20 @@ def run_replicated(
         workload,
         protocol=protocol,
         dynamic_selection=dynamic_selection,
+        selection_mode=selection_mode,
         seeds=seeds,
     )
     summaries = run_tasks(tasks, jobs=jobs, store=store, force=force)
     if label is None:
-        label = _default_label(protocol, dynamic_selection)
-    return aggregate_replications(
+        label = _default_label(protocol, dynamic_selection, selection_mode)
+    result = aggregate_replications(
         label,
         summaries,
         [task.workload.num_transactions for task in tasks],
         confidence_z=confidence_z,
     )
+    result.summaries = tuple(summaries)
+    return result
 
 
 def compare_protocols_replicated(

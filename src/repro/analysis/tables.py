@@ -76,6 +76,37 @@ STORE_COLUMNS = (
 )
 
 
+#: Columns of the windowed time-series table (one row per time window).
+WINDOW_COLUMNS = (
+    "window",
+    "start",
+    "end",
+    "committed",
+    "mean_system_time",
+    "restart_probability",
+    "share_2PL",
+    "share_T/O",
+    "share_PA",
+)
+
+
+def windowed_rows(summary: Mapping[str, object]) -> List[Mapping[str, object]]:
+    """The per-window time series carried by one run summary (may be empty).
+
+    Summaries are produced by
+    :func:`repro.analysis.replications.summarize_run` and survive the result
+    store round-trip unchanged, so windowed tables rendered from a store are
+    byte-identical to fresh ones.
+    """
+    series = summary.get("windowed")
+    return list(series) if isinstance(series, list) else []
+
+
+def windowed_table(summary: Mapping[str, object]) -> str:
+    """Render one summary's windowed time series with the standard columns."""
+    return rows_to_table(windowed_rows(summary), WINDOW_COLUMNS)
+
+
 def store_rows(store: "ResultStore") -> List[Mapping[str, object]]:
     """Flat rows for every entry of a result store, in insertion order.
 
@@ -89,7 +120,7 @@ def store_rows(store: "ResultStore") -> List[Mapping[str, object]]:
         task = entry.get("task") or {}
         summary = entry["summary"]
         if task.get("dynamic_selection"):
-            label = "dynamic"
+            label = task.get("selection_mode") or "dynamic"
         else:
             label = task.get("protocol") or "mixed"
         row = {"key": str(entry["key"])[:12], "label": label}

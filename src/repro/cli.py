@@ -9,12 +9,13 @@ Four subcommands are provided::
 
 ``run`` executes a single workload under one protocol (or the dynamic
 selector) and prints the result summary; ``sweep`` regenerates one of the
-experiments of DESIGN.md's index (E1-E8) with configurable parameters and
+experiments of DESIGN.md's index (E1-E9) with configurable parameters and
 prints the result table; ``scenario`` runs a named end-to-end workload
 profile from the registry in :mod:`repro.workload.scenarios` (``--list``
-shows them all); ``store`` inspects a result store without running anything.
-``--jobs N`` fans simulation runs across N worker processes; results are
-bit-identical to a serial run.
+shows them all; ``--windows PATH`` additionally writes the per-window
+time series of every replication); ``store`` inspects a result store
+without running anything.  ``--jobs N`` fans simulation runs across N
+worker processes; results are bit-identical to a serial run.
 
 ``sweep`` and ``scenario`` accept ``--store PATH`` to persist every
 completed run in a content-addressed result store and to reuse cached runs
@@ -33,7 +34,9 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.analysis.experiments import (
+    DRIFT_SCENARIOS,
     correctness_audit,
+    drift_adaptation_experiment,
     dynamic_vs_static,
     protocol_switching_ablation,
     semilock_ablation,
@@ -42,7 +45,13 @@ from repro.analysis.experiments import (
     sweep_arrival_rate,
     sweep_transaction_size,
 )
-from repro.analysis.tables import STORE_COLUMNS, kv_table, rows_to_table, store_rows
+from repro.analysis.tables import (
+    STORE_COLUMNS,
+    kv_table,
+    rows_to_table,
+    store_rows,
+    windowed_table,
+)
 from repro.common.config import SystemConfig, WorkloadConfig
 from repro.common.errors import ConfigurationError
 from repro.store import ResultStore
@@ -50,10 +59,15 @@ from repro.system.runner import run_simulation
 from repro.workload.scenarios import all_scenarios, get_scenario
 
 #: Experiment ids accepted by ``sweep``; must match DESIGN.md's index.
-EXPERIMENT_IDS = ("e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8")
+EXPERIMENT_IDS = ("e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9")
+
+#: Default transaction count of ``run``/``sweep`` when ``--transactions``
+#: is not given (E9 instead falls back to each scenario's own size).
+DEFAULT_TRANSACTIONS = 300
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser with the ``run``/``sweep``/``scenario``/``store`` subcommands."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -81,7 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--experiment",
         choices=list(EXPERIMENT_IDS),
         required=True,
-        help="experiment id from the DESIGN.md index (E1-E8)",
+        help="experiment id from the DESIGN.md index (E1-E9)",
     )
     sweep_parser.add_argument(
         "--rates",
@@ -96,6 +110,13 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=[1, 4, 8],
         help="transaction sizes for e2",
+    )
+    sweep_parser.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=list(DRIFT_SCENARIOS),
+        metavar="NAME",
+        help="drift scenarios for e9 (default: the registered drift suite)",
     )
     _add_jobs_argument(sweep_parser)
     _add_store_arguments(sweep_parser)
@@ -130,6 +151,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="override the scenario's arrival rate",
+    )
+    scenario_parser.add_argument(
+        "--windows",
+        default=None,
+        metavar="PATH",
+        help="write the per-window time series of every replication to this file",
     )
     _add_jobs_argument(scenario_parser)
     _add_store_arguments(scenario_parser)
@@ -215,7 +242,13 @@ def _add_system_arguments(parser: argparse.ArgumentParser) -> None:
 
 def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--arrival-rate", type=float, default=20.0, help="arrival rate lambda")
-    parser.add_argument("--transactions", type=int, default=300, help="number of transactions")
+    parser.add_argument(
+        "--transactions",
+        type=int,
+        default=None,
+        help=f"number of transactions (default {DEFAULT_TRANSACTIONS}; "
+        "e9 defaults to each scenario's own size)",
+    )
     parser.add_argument("--min-size", type=int, default=2, help="minimum transaction size")
     parser.add_argument("--max-size", type=int, default=6, help="maximum transaction size")
     parser.add_argument("--read-fraction", type=float, default=0.6, help="fraction of reads")
@@ -250,9 +283,10 @@ def _system_from_args(args: argparse.Namespace) -> SystemConfig:
 
 
 def _workload_from_args(args: argparse.Namespace) -> WorkloadConfig:
+    transactions = args.transactions if args.transactions is not None else DEFAULT_TRANSACTIONS
     return WorkloadConfig(
         arrival_rate=args.arrival_rate,
-        num_transactions=args.transactions,
+        num_transactions=transactions,
         min_size=args.min_size,
         max_size=args.max_size,
         read_fraction=args.read_fraction,
@@ -289,6 +323,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
     jobs = args.jobs
     store = _open_store(args)
     force = args.force
+    transactions = args.transactions if args.transactions is not None else DEFAULT_TRANSACTIONS
     if args.experiment == "e1":
         rows = sweep_arrival_rate(
             args.rates, system=system, workload=workload, jobs=jobs, store=store, force=force
@@ -300,7 +335,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
     elif args.experiment == "e3":
         rows = single_item_write_experiment(
             arrival_rate=args.arrival_rate,
-            num_transactions=args.transactions,
+            num_transactions=transactions,
             system=system,
             jobs=jobs,
             store=store,
@@ -309,7 +344,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
     elif args.experiment == "e4":
         rows = correctness_audit(
             arrival_rates=args.rates,
-            num_transactions=args.transactions,
+            num_transactions=transactions,
             system=system,
             workload=workload,
             jobs=jobs,
@@ -323,7 +358,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
     elif args.experiment == "e6":
         rows = semilock_ablation(
             arrival_rate=args.arrival_rate,
-            num_transactions=args.transactions,
+            num_transactions=transactions,
             system=system,
             workload=workload,
             jobs=jobs,
@@ -339,10 +374,20 @@ def _command_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         rows = stl_cost_experiment()
+    elif args.experiment == "e9":
+        # E9 runs the registered drift scenarios; the generic system /
+        # workload flags do not apply (each scenario carries its own).
+        rows = drift_adaptation_experiment(
+            tuple(args.scenarios),
+            transactions=args.transactions,
+            jobs=jobs,
+            store=store,
+            force=force,
+        )
     else:
         rows = protocol_switching_ablation(
             arrival_rate=args.arrival_rate,
-            num_transactions=args.transactions,
+            num_transactions=transactions,
             system=system,
             workload=workload,
             jobs=jobs,
@@ -383,8 +428,26 @@ def _command_scenario(args: argparse.Namespace) -> int:
         force=args.force,
     )
     print(rows_to_table([result.as_row()]))
+    if args.windows is not None:
+        _write_windows(Path(args.windows), configured.name, result)
     _report_store(store)
     return 0 if result.all_serializable else 1
+
+
+def _write_windows(path: Path, name: str, result) -> None:
+    """Write the per-window time series of every replication to ``path``.
+
+    One table per replication, in seed order, headed by the scenario name
+    and the replication index.  Stored summaries round-trip through JSON
+    unchanged, so the file is byte-identical between cache-cold, parallel
+    and resumed runs.
+    """
+    sections = []
+    for index, summary in enumerate(result.summaries):
+        sections.append(f"== {name} · replication {index} ==")
+        sections.append(windowed_table(summary))
+        sections.append("")
+    path.write_text("\n".join(sections), encoding="utf-8")
 
 
 def _command_store(args: argparse.Namespace) -> int:

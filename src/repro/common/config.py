@@ -10,7 +10,7 @@ objects below so that the experiment harness can sweep them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.common.protocol_names import Protocol
@@ -163,6 +163,116 @@ class SystemConfig:
 
 
 @dataclass(frozen=True)
+class DriftSegment:
+    """One control point of a drifting workload regime (see :class:`DriftConfig`).
+
+    ``at`` positions the segment as a fraction of the transaction stream in
+    ``[0, 1)``: with ``N`` transactions the segment takes effect at arrival
+    index ``ceil(at * N)``.  Every other field is optional; a ``None`` field
+    inherits the base :class:`WorkloadConfig` value, so a segment only names
+    the knobs it moves.  ``hotspot_center`` places the centre of the (moving)
+    hot region as a fraction of the item space — the knob behind hot-spot
+    migration.
+    """
+
+    at: float
+    arrival_rate: Optional[float] = None
+    read_fraction: Optional[float] = None
+    hotspot_probability: Optional[float] = None
+    hotspot_fraction: Optional[float] = None
+    hotspot_center: Optional[float] = None
+
+    #: Names of the driftable scalar knobs, in interpolation order.
+    FIELDS = (
+        "arrival_rate",
+        "read_fraction",
+        "hotspot_probability",
+        "hotspot_fraction",
+        "hotspot_center",
+    )
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.at < 1.0:
+            raise ConfigurationError("a drift segment must start within [0, 1)")
+        if self.arrival_rate is not None and self.arrival_rate <= 0:
+            raise ConfigurationError("a drifted arrival rate must be positive")
+        if self.read_fraction is not None and not 0.0 <= self.read_fraction <= 1.0:
+            raise ConfigurationError("a drifted read fraction must be within [0, 1]")
+        if self.hotspot_probability is not None and not 0.0 <= self.hotspot_probability <= 1.0:
+            raise ConfigurationError("a drifted hotspot probability must be within [0, 1]")
+        if self.hotspot_fraction is not None and not 0.0 < self.hotspot_fraction <= 1.0:
+            raise ConfigurationError("a drifted hotspot fraction must be within (0, 1]")
+        if self.hotspot_center is not None and not 0.0 <= self.hotspot_center <= 1.0:
+            raise ConfigurationError("a drifted hotspot center must be within [0, 1]")
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Schedule of workload-regime changes over the transaction stream.
+
+    ``segments`` are :class:`DriftSegment` control points ordered by strictly
+    increasing ``at``.  In ``"piecewise"`` mode each knob jumps to a segment's
+    value at its start and holds it until the next segment that names the
+    knob.  In ``"smooth"`` mode each named knob ramps linearly from the base
+    workload value **at the start of the stream** to the first control point
+    that names it, then between consecutive control points — so a smooth
+    schedule is already moving before ``segments[0].at``; to hold the base
+    value over a prefix, make the first control point restate it (as the
+    ``load-ramp`` scenario does).
+
+    The schedule composes with every access pattern and arrival process: a
+    drifting hot spot overlays the base pattern
+    (:class:`repro.workload.drift.MigratingHotspotOverlay`), while arrival
+    rate and read fraction act on the generator directly.
+    """
+
+    segments: Tuple[DriftSegment, ...]
+    mode: str = "piecewise"
+
+    #: Valid values of ``mode``.
+    MODES = ("piecewise", "smooth")
+
+    def __post_init__(self) -> None:
+        if self.mode not in self.MODES:
+            raise ConfigurationError(
+                f"unknown drift mode {self.mode!r}; choose one of {', '.join(self.MODES)}"
+            )
+        if not self.segments:
+            raise ConfigurationError("a drift schedule needs at least one segment")
+        positions = [segment.at for segment in self.segments]
+        if positions != sorted(positions) or len(set(positions)) != len(positions):
+            raise ConfigurationError("drift segments must have strictly increasing `at`")
+
+    @property
+    def onset(self) -> float:
+        """Stream fraction of the first control point.
+
+        In piecewise mode the workload is exactly the base regime before
+        this; in smooth mode the ramp toward the first control point is
+        already under way (see the class docstring).
+        """
+        return self.segments[0].at
+
+    @property
+    def settled(self) -> float:
+        """Stream fraction from which no further regime change occurs."""
+        return self.segments[-1].at
+
+    def drifts_arrival_rate(self) -> bool:
+        """Whether any segment moves the arrival rate (needs Poisson arrivals)."""
+        return any(segment.arrival_rate is not None for segment in self.segments)
+
+    def drifts_hotspot(self) -> bool:
+        """Whether any segment moves a hot-spot knob (enables the overlay pattern)."""
+        return any(
+            segment.hotspot_probability is not None
+            or segment.hotspot_fraction is not None
+            or segment.hotspot_center is not None
+            for segment in self.segments
+        )
+
+
+@dataclass(frozen=True)
 class WorkloadConfig:
     """Open-arrival workload description.
 
@@ -213,6 +323,12 @@ class WorkloadConfig:
         Probability of the long mode under the bimodal size distribution.
     protocol_mix:
         Static protocol assignment (ignored when the dynamic selector is on).
+    drift:
+        Optional :class:`DriftConfig` regime schedule.  ``None`` (the
+        default) keeps the workload stationary and generates bit-identical
+        streams to configurations predating the field; a schedule makes
+        arrival rate, read/write mix and the hot region drift over the
+        transaction stream (piecewise or smoothly).
     """
 
     arrival_rate: float = 10.0
@@ -233,6 +349,7 @@ class WorkloadConfig:
     size_distribution: str = "uniform"
     bimodal_long_fraction: float = 0.1
     protocol_mix: ProtocolMix = field(default_factory=ProtocolMix.uniform)
+    drift: Optional[DriftConfig] = None
     seed: int = 1
 
     #: Valid values for the shape-selection fields.
@@ -287,6 +404,21 @@ class WorkloadConfig:
             )
         if not 0.0 <= self.bimodal_long_fraction <= 1.0:
             raise ConfigurationError("bimodal long fraction must be within [0, 1]")
+        if self.drift is not None:
+            if self.drift.drifts_arrival_rate() and self.arrival_process != "poisson":
+                raise ConfigurationError(
+                    "an arrival-rate drift schedule requires the poisson arrival process"
+                )
+            # Segment k takes effect at the first arrival index i with
+            # i / num_transactions >= at; a segment no index reaches would
+            # silently never fire (and never record a drift boundary), so
+            # reject it loudly instead.
+            last = self.drift.segments[-1]
+            if last.at * self.num_transactions > self.num_transactions - 1:
+                raise ConfigurationError(
+                    f"drift segment at={last.at} never takes effect with "
+                    f"{self.num_transactions} transactions"
+                )
 
     def with_overrides(self, **changes: object) -> "WorkloadConfig":
         """Return a copy with the given fields replaced (sweep helper)."""

@@ -26,10 +26,12 @@ class OperationType(enum.Enum):
 
     @property
     def is_read(self) -> bool:
+        """Whether this operation type is a read."""
         return self is OperationType.READ
 
     @property
     def is_write(self) -> bool:
+        """Whether this operation type is a write."""
         return self is OperationType.WRITE
 
     def conflicts_with(self, other: "OperationType") -> bool:
@@ -49,10 +51,12 @@ class LogicalOperation:
 
     @property
     def is_read(self) -> bool:
+        """Whether this logical operation reads its item."""
         return self.op_type.is_read
 
     @property
     def is_write(self) -> bool:
+        """Whether this logical operation writes its item."""
         return self.op_type.is_write
 
     def conflicts_with(self, other: "LogicalOperation") -> bool:
@@ -72,10 +76,12 @@ class PhysicalOperation:
 
     @property
     def is_read(self) -> bool:
+        """Whether this physical operation reads its copy."""
         return self.op_type.is_read
 
     @property
     def is_write(self) -> bool:
+        """Whether this physical operation writes its copy."""
         return self.op_type.is_write
 
     @property

@@ -21,14 +21,17 @@ class Protocol(enum.Enum):
 
     @property
     def is_two_phase_locking(self) -> bool:
+        """Whether this is the 2PL protocol."""
         return self is Protocol.TWO_PHASE_LOCKING
 
     @property
     def is_timestamp_ordering(self) -> bool:
+        """Whether this is the T/O protocol."""
         return self is Protocol.TIMESTAMP_ORDERING
 
     @property
     def is_precedence_agreement(self) -> bool:
+        """Whether this is the PA protocol."""
         return self is Protocol.PRECEDENCE_AGREEMENT
 
     @classmethod

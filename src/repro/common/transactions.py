@@ -33,6 +33,7 @@ class TransactionStatus(enum.Enum):
 
     @property
     def is_terminal(self) -> bool:
+        """Whether the transaction has committed (no further state changes)."""
         return self in (TransactionStatus.COMMITTED, TransactionStatus.FINISHED)
 
 

@@ -65,14 +65,17 @@ class QueuedRequest:
 
     @property
     def transaction(self) -> TransactionId:
+        """The transaction the queued request belongs to."""
         return self.request.transaction
 
     @property
     def request_id(self) -> RequestId:
+        """The globally unique id of the underlying request."""
         return self.request.request_id
 
     @property
     def is_blocked(self) -> bool:
+        """Whether the entry is blocked (PA timestamp agreement still pending)."""
         return self.status is EntryStatus.BLOCKED
 
 

@@ -49,27 +49,33 @@ class WaitForGraph:
         self._successors: Dict[TransactionId, Set[TransactionId]] = {}
 
     def add_edge(self, waiter: TransactionId, holder: TransactionId) -> None:
+        """Record that ``waiter`` waits for ``holder`` (self-edges are ignored)."""
         if waiter == holder:
             return
         self._successors.setdefault(waiter, set()).add(holder)
         self._successors.setdefault(holder, set())
 
     def add_edges(self, edges: Iterable[Tuple[TransactionId, TransactionId]]) -> None:
+        """Record a batch of ``(waiter, holder)`` edges."""
         for waiter, holder in edges:
             self.add_edge(waiter, holder)
 
     def remove_node(self, node: TransactionId) -> None:
+        """Drop ``node`` and every edge that touches it."""
         self._successors.pop(node, None)
         for successors in self._successors.values():
             successors.discard(node)
 
     def nodes(self) -> Tuple[TransactionId, ...]:
+        """All transactions present in the graph."""
         return tuple(self._successors)
 
     def successors(self, node: TransactionId) -> Tuple[TransactionId, ...]:
+        """The transactions ``node`` waits for, in sorted order."""
         return tuple(sorted(self._successors.get(node, ())))
 
     def edge_count(self) -> int:
+        """Total number of wait-for edges."""
         return sum(len(successors) for successors in self._successors.values())
 
     def find_cycle(self) -> Optional[Tuple[TransactionId, ...]]:
@@ -144,13 +150,24 @@ def _find_cycle_masked(sorted_nodes, adjacency, removed):
 
 @dataclass
 class DeadlockResolution:
-    """Outcome of one detector scan."""
+    """Outcome of one detector scan.
+
+    ``cycles``/``victims`` record the resolved (true) deadlocks — one 2PL
+    victim per cycle.  ``phantom_cycles`` records cycles with no 2PL member:
+    Corollary 2 proves a true deadlock cycle always contains one, so such a
+    cycle can only be an artifact of in-flight state (e.g. a restarted T/O
+    transaction whose old attempt's lock releases have not yet reached every
+    copy, merging two attempts into one wait-for node).  Phantom cycles
+    dissolve on their own and abort nobody.
+    """
 
     cycles: List[Tuple[TransactionId, ...]] = field(default_factory=list)
     victims: List[TransactionId] = field(default_factory=list)
+    phantom_cycles: List[Tuple[TransactionId, ...]] = field(default_factory=list)
 
     @property
     def deadlock_found(self) -> bool:
+        """Whether the scan resolved at least one true deadlock."""
         return bool(self.cycles)
 
 
@@ -224,8 +241,17 @@ class DeadlockDetector:
             if cycle_keys is None:
                 return resolution
             cycle = tuple(transaction_of[key] for key in cycle_keys)
-            resolution.cycles.append(cycle)
             victim = self._choose_victim(cycle, protocol_of)
+            if victim is None:
+                # No 2PL member: by Corollary 2 this cannot be a true
+                # deadlock — it is a phantom closed by in-flight releases of
+                # a restarted transaction's previous attempt.  Abort nobody;
+                # mask the cycle's nodes for this scan (the next periodic
+                # scan re-examines them after the releases have landed).
+                resolution.phantom_cycles.append(cycle)
+                removed.update(cycle_keys)
+                continue
+            resolution.cycles.append(cycle)
             resolution.victims.append(victim)
             removed.add(pack_transaction(victim))
 
@@ -233,15 +259,21 @@ class DeadlockDetector:
         self,
         cycle: Sequence[TransactionId],
         protocol_of: Mapping[TransactionId, Protocol],
-    ) -> TransactionId:
-        """Pick the victim: a 2PL member when one exists (Corollary 2 guarantees it)."""
+    ) -> Optional[TransactionId]:
+        """The 2PL member to abort, or ``None`` for a phantom (no-2PL) cycle.
+
+        Corollary 2 guarantees every true deadlock cycle contains a 2PL
+        transaction; among those the victim is the one holding the fewest
+        granted locks (cheapest to restart), ties broken toward the youngest.
+        """
         two_phase = [
             tid
             for tid in cycle
             if protocol_of.get(tid, Protocol.TWO_PHASE_LOCKING).is_two_phase_locking
         ]
-        candidates = two_phase or list(cycle)
+        if not two_phase:
+            return None
         return min(
-            candidates,
+            two_phase,
             key=lambda tid: (self._lock_count_of(tid), -tid.seq, tid.site),
         )

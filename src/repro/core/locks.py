@@ -42,6 +42,7 @@ class LockMode(enum.Enum):
 
     @property
     def is_semi(self) -> bool:
+        """Whether this is a semi-lock mode (orders conflicting writes only)."""
         return self in (LockMode.SEMI_READ, LockMode.SEMI_WRITE)
 
     @property
@@ -92,6 +93,7 @@ class GrantedLock:
     implemented: bool = False
 
     def conflicts_with_mode(self, mode: LockMode) -> bool:
+        """Whether this granted lock conflicts with a request for ``mode``."""
         return self.mode.conflicts_with(mode)
 
     def downgrade(self) -> None:
@@ -109,6 +111,7 @@ class LockTable:
 
     @property
     def copy(self) -> CopyId:
+        """The physical copy whose locks this table tracks."""
         return self._copy
 
     def __len__(self) -> int:
@@ -154,6 +157,7 @@ class LockTable:
             ) from None
 
     def get(self, request_id: RequestId) -> Optional[GrantedLock]:
+        """The granted lock with ``request_id``, or ``None``."""
         return self._locks.get(request_id)
 
     def locks(self) -> Tuple[GrantedLock, ...]:
@@ -161,6 +165,7 @@ class LockTable:
         return tuple(sorted(self._locks.values(), key=lambda lock: lock.grant_seq))
 
     def locks_of(self, transaction: TransactionId) -> Tuple[GrantedLock, ...]:
+        """Every lock currently granted to ``transaction``, in grant order."""
         return tuple(
             lock for lock in self.locks() if lock.transaction == transaction
         )

@@ -43,6 +43,7 @@ class Precedence:
 
     @property
     def is_two_phase_locking(self) -> bool:
+        """Whether this precedence belongs to a 2PL request."""
         return self.protocol.is_two_phase_locking
 
     def sort_key(self) -> Tuple:

@@ -53,6 +53,7 @@ class PrecedenceAgreementPolicy(ProtocolPolicy):
     protocol = Protocol.PRECEDENCE_AGREEMENT
 
     def decide_arrival(self, request: Request, view: QueueStateView) -> ArrivalDecision:
+        """Insert the PA request blocked with a proposed timestamp (Section 3.4 step 1)."""
         precedence = self._timestamp_precedence(request)
         threshold = self._acceptance_threshold(request, view)
         if request.timestamp > threshold:

@@ -27,6 +27,7 @@ class TimestampOrderingPolicy(ProtocolPolicy):
     protocol = Protocol.TIMESTAMP_ORDERING
 
     def decide_arrival(self, request: Request, view: QueueStateView) -> ArrivalDecision:
+        """Accept the request in timestamp order, or reject it as arriving too late."""
         precedence = self._timestamp_precedence(request)
         if self._arrives_in_order(request, view):
             return ArrivalDecision(kind=DecisionKind.ACCEPT, precedence=precedence)

@@ -31,6 +31,7 @@ class TwoPhaseLockingPolicy(ProtocolPolicy):
     protocol = Protocol.TWO_PHASE_LOCKING
 
     def decide_arrival(self, request: Request, view: QueueStateView) -> ArrivalDecision:
+        """Accept the 2PL request; it waits for conflicting locks ahead of it."""
         precedence = Precedence(
             timestamp=view.max_timestamp_seen,
             protocol=self.protocol,

@@ -89,10 +89,12 @@ class QueueManager:
 
     @property
     def copy(self) -> CopyId:
+        """The physical copy this queue manager serves."""
         return self._copy
 
     @property
     def execution_log(self) -> ExecutionLog:
+        """The shared execution log the manager appends implemented operations to."""
         return self._log
 
     @property
@@ -107,18 +109,22 @@ class QueueManager:
 
     @property
     def semi_locks_enabled(self) -> bool:
+        """Whether unified enforcement uses semi-locks (vs. full locks, the E6 ablation)."""
         return self._semi_locks_enabled
 
     @property
     def grants_issued(self) -> int:
+        """Number of lock grants issued so far."""
         return self._grants_issued
 
     @property
     def rejections(self) -> int:
+        """Number of T/O rejections issued so far."""
         return self._rejections
 
     @property
     def backoffs(self) -> int:
+        """Number of PA back-offs issued so far."""
         return self._backoffs
 
     def queue_entries(self) -> Tuple[QueuedRequest, ...]:
@@ -130,6 +136,7 @@ class QueueManager:
         return self._locks.locks()
 
     def queue_length(self) -> int:
+        """Number of entries currently in the data queue."""
         return len(self._queue)
 
     def drain_effects(self) -> List[Effect]:

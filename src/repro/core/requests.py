@@ -31,14 +31,17 @@ class Request:
 
     @property
     def is_read(self) -> bool:
+        """Whether the request asks for a read."""
         return self.op_type.is_read
 
     @property
     def is_write(self) -> bool:
+        """Whether the request asks for a write."""
         return self.op_type.is_write
 
     @property
     def physical_operation(self) -> PhysicalOperation:
+        """The physical operation this request implements once granted."""
         return PhysicalOperation(self.op_type, self.copy)
 
     def conflicts_with(self, other: "Request") -> bool:

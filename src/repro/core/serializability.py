@@ -41,24 +41,30 @@ class ConflictGraph:
         return graph
 
     def add_node(self, node: TransactionId) -> None:
+        """Ensure ``node`` exists in the graph."""
         self._successors.setdefault(node, set())
 
     def add_edge(self, source: TransactionId, target: TransactionId) -> None:
+        """Record the conflict edge ``before -> after`` (self-edges are ignored)."""
         if source == target:
             return
         self._successors.setdefault(source, set()).add(target)
         self._successors.setdefault(target, set())
 
     def nodes(self) -> Tuple[TransactionId, ...]:
+        """All transactions in the graph."""
         return tuple(sorted(self._successors))
 
     def successors(self, node: TransactionId) -> Tuple[TransactionId, ...]:
+        """The transactions ordered after ``node``, sorted."""
         return tuple(sorted(self._successors.get(node, ())))
 
     def edge_count(self) -> int:
+        """Total number of conflict edges."""
         return sum(len(successors) for successors in self._successors.values())
 
     def has_edge(self, source: TransactionId, target: TransactionId) -> bool:
+        """Whether the conflict edge ``before -> after`` is present."""
         return target in self._successors.get(source, ())
 
     def topological_order(self) -> Optional[List[TransactionId]]:

@@ -15,16 +15,19 @@ The selection machinery has three parts:
 """
 
 from repro.selection.parameters import (
+    DecayingParameterEstimator,
     ParameterEstimator,
     ProtocolCostParameters,
     SystemLoadParameters,
 )
-from repro.selection.selector import STLProtocolSelector
+from repro.selection.selector import SELECTION_MODES, STLProtocolSelector
 from repro.selection.stl import ThroughputLossModel
 
 __all__ = [
+    "DecayingParameterEstimator",
     "ParameterEstimator",
     "ProtocolCostParameters",
+    "SELECTION_MODES",
     "STLProtocolSelector",
     "SystemLoadParameters",
     "ThroughputLossModel",

@@ -20,7 +20,7 @@ exist.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.common.config import SystemConfig, WorkloadConfig
 from repro.common.protocol_names import Protocol
@@ -97,11 +97,37 @@ class ParameterEstimator:
         """Use ``metrics`` as the source of measured values from now on."""
         self._metrics = metrics
 
+    def refresh_observations(self) -> None:
+        """Fold new measurements into the estimate state (hook, no-op here).
+
+        The cumulative estimator reads the metrics collector directly at
+        query time, so there is nothing to fold; the decaying subclass
+        overrides this to advance its sliding window.  The selector calls it
+        once per refresh, before re-reading the parameters.
+        """
+
+    def is_warm(self) -> bool:
+        """Whether every protocol's estimates are backed by enough measurements.
+
+        The frozen selector mode waits for this before pinning its
+        estimates — freezing earlier would pin configuration priors rather
+        than anything observed.  With no metrics bound the priors are final
+        (there is nothing to wait for), so an unbound estimator reports warm.
+        """
+        metrics = self._metrics
+        if metrics is None:
+            return True
+        return all(
+            metrics.protocol_statistics(protocol).committed >= self._min_observations
+            for protocol in Protocol
+        )
+
     # ---------------------------------------------------------------- #
     # System-wide load
     # ---------------------------------------------------------------- #
 
     def system_parameters(self) -> SystemLoadParameters:
+        """The system-load figures for the STL recursion (measured once warm, priors before)."""
         priors = self._priors
         metrics = self._metrics
         if metrics is None or metrics.committed_count < self._min_observations:
@@ -122,6 +148,7 @@ class ParameterEstimator:
     # ---------------------------------------------------------------- #
 
     def protocol_parameters(self, protocol: Protocol) -> ProtocolCostParameters:
+        """The per-protocol STL cost inputs (measured once warm, priors before)."""
         prior = self._priors.for_protocol(protocol)
         metrics = self._metrics
         if metrics is None:
@@ -167,6 +194,180 @@ class ParameterEstimator:
             lock_time_aborted=lock_time_aborted,
             read_failure_probability=min(stats.read_backoff_probability, 0.99),
             write_failure_probability=min(stats.write_backoff_probability, 0.99),
+        )
+
+
+class DecayingParameterEstimator(ParameterEstimator):
+    """Sliding-window estimation with exponential decay across refresh epochs.
+
+    Where the base estimator reads *cumulative* run statistics — which
+    converge and stop responding once a run is long enough — this estimator
+    maintains, per refresh epoch, the *delta* of every counter since the
+    previous refresh and folds it into exponentially decayed accumulators::
+
+        window = decay * window + delta
+
+    With ``decay = 0.5`` an observation loses half its weight per refresh,
+    so the effective window spans roughly ``1 / (1 - decay)`` epochs and the
+    estimates track a drifting workload instead of averaging over dead
+    regimes.  The adaptive STL selector drives :meth:`refresh_observations`
+    at every refresh; queries fall back to the cumulative path (and from
+    there to the priors) until the decayed window holds enough mass.
+    """
+
+    #: Flat per-protocol counter names snapshotted each epoch.
+    _PROTOCOL_COUNTERS = (
+        "committed",
+        "attempts",
+        "restarts",
+        "deadlock_aborts",
+        "read_requests",
+        "read_rejections",
+        "read_backoffs",
+        "write_requests",
+        "write_rejections",
+        "write_backoffs",
+        "lock_committed_sum",
+        "lock_committed_count",
+        "lock_aborted_sum",
+        "lock_aborted_count",
+    )
+    _SYSTEM_COUNTERS = ("grants_read", "grants_write", "elapsed")
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        workload: WorkloadConfig,
+        *,
+        decay: float = 0.5,
+        min_observations: int = 10,
+    ) -> None:
+        super().__init__(system, workload, min_observations=min_observations)
+        if not 0.0 <= decay < 1.0:
+            raise ValueError("decay must be within [0, 1)")
+        self._decay = decay
+        self._window: Dict[str, float] = {}
+        self._last_snapshot: Optional[Dict[str, float]] = None
+
+    @property
+    def decay(self) -> float:
+        """Per-epoch weight multiplier of past observations."""
+        return self._decay
+
+    def refresh_observations(self) -> None:
+        """Advance the window: decay the past, fold in the delta since last refresh."""
+        metrics = self._metrics
+        if metrics is None:
+            return
+        snapshot = self._snapshot(metrics)
+        previous = self._last_snapshot or {}
+        for key, value in snapshot.items():
+            delta = max(0.0, value - previous.get(key, 0.0))
+            self._window[key] = self._decay * self._window.get(key, 0.0) + delta
+        self._last_snapshot = snapshot
+
+    def _snapshot(self, metrics: MetricsCollector) -> Dict[str, float]:
+        """Flat cumulative counters keyed ``<protocol>.<name>`` / ``sys.<name>``."""
+        snapshot: Dict[str, float] = {}
+        for protocol in Protocol:
+            stats = metrics.protocol_statistics(protocol)
+            values = {
+                "committed": stats.committed,
+                "attempts": stats.attempts,
+                "restarts": stats.restarts,
+                "deadlock_aborts": stats.deadlock_aborts,
+                "read_requests": stats.read_requests,
+                "read_rejections": stats.read_rejections,
+                "read_backoffs": stats.read_backoffs,
+                "write_requests": stats.write_requests,
+                "write_rejections": stats.write_rejections,
+                "write_backoffs": stats.write_backoffs,
+                "lock_committed_sum": stats.lock_time_committed.mean
+                * stats.lock_time_committed.count,
+                "lock_committed_count": stats.lock_time_committed.count,
+                "lock_aborted_sum": stats.lock_time_aborted.mean
+                * stats.lock_time_aborted.count,
+                "lock_aborted_count": stats.lock_time_aborted.count,
+            }
+            for name, value in values.items():
+                snapshot[f"{protocol}.{name}"] = float(value)
+        grants_read, grants_write, _ = metrics.grant_totals()
+        snapshot["sys.grants_read"] = float(grants_read)
+        snapshot["sys.grants_write"] = float(grants_write)
+        snapshot["sys.elapsed"] = metrics.elapsed_time
+        return snapshot
+
+    def _w(self, protocol: Protocol, name: str) -> float:
+        return self._window.get(f"{protocol}.{name}", 0.0)
+
+    # ---------------------------------------------------------------- #
+    # Windowed queries (fall back to the cumulative path when thin)
+    # ---------------------------------------------------------------- #
+
+    def system_parameters(self) -> SystemLoadParameters:
+        """Decayed-window load figures; cumulative/prior fallback when thin."""
+        elapsed = self._window.get("sys.elapsed", 0.0)
+        grants_read = self._window.get("sys.grants_read", 0.0)
+        grants_write = self._window.get("sys.grants_write", 0.0)
+        grants = grants_read + grants_write
+        if elapsed <= 0.0 or grants < self._min_observations:
+            return super().system_parameters()
+        metrics = self._metrics
+        copies = metrics.grant_totals()[2] if metrics is not None else 0
+        copies = max(1, copies)
+        priors = self._priors.load
+        return SystemLoadParameters(
+            system_throughput=max(grants / elapsed, 1e-9),
+            read_throughput=grants_read / elapsed / copies,
+            write_throughput=grants_write / elapsed / copies,
+            read_fraction=grants_read / grants,
+            requests_per_transaction=priors.requests_per_transaction,
+        )
+
+    def protocol_parameters(self, protocol: Protocol) -> ProtocolCostParameters:
+        """Decayed-window per-protocol costs; cumulative/prior fallback when thin."""
+        if self._w(protocol, "committed") < self._min_observations:
+            return super().protocol_parameters(protocol)
+        prior = self._priors.for_protocol(protocol)
+        lock_count = self._w(protocol, "lock_committed_count")
+        lock_time = (
+            self._w(protocol, "lock_committed_sum") / lock_count
+            if lock_count >= self._min_observations
+            else prior.lock_time
+        )
+        aborted_count = self._w(protocol, "lock_aborted_count")
+        lock_time_aborted = (
+            self._w(protocol, "lock_aborted_sum") / aborted_count
+            if aborted_count >= max(1, self._min_observations // 2)
+            else prior.lock_time_aborted
+        )
+        attempts = self._w(protocol, "attempts")
+        reads = self._w(protocol, "read_requests")
+        writes = self._w(protocol, "write_requests")
+        if protocol.is_two_phase_locking:
+            abort_probability = (
+                self._w(protocol, "deadlock_aborts") / attempts
+                if attempts
+                else prior.abort_probability
+            )
+            return ProtocolCostParameters(
+                protocol=protocol,
+                lock_time=lock_time,
+                lock_time_aborted=lock_time_aborted,
+                abort_probability=min(abort_probability, 0.99),
+            )
+        if protocol.is_timestamp_ordering:
+            read_failure = self._w(protocol, "read_rejections") / reads if reads else 0.0
+            write_failure = self._w(protocol, "write_rejections") / writes if writes else 0.0
+        else:
+            read_failure = self._w(protocol, "read_backoffs") / reads if reads else 0.0
+            write_failure = self._w(protocol, "write_backoffs") / writes if writes else 0.0
+        return ProtocolCostParameters(
+            protocol=protocol,
+            lock_time=lock_time,
+            lock_time_aborted=lock_time_aborted,
+            read_failure_probability=min(read_failure, 0.99),
+            write_failure_probability=min(write_failure, 0.99),
         )
 
 

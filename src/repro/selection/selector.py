@@ -14,6 +14,14 @@ details beyond the paper's prose:
   class; we cache the breakdown by ``(num_reads, num_writes)`` and invalidate
   the cache whenever the parameter estimates are refreshed, which bounds the
   per-arrival cost to a dictionary lookup in steady state.
+* **Estimation modes.**  ``"cumulative"`` (the default) re-reads the
+  run-so-far averages at every refresh; ``"adaptive"`` drives a
+  :class:`~repro.selection.parameters.DecayingParameterEstimator` so the
+  estimates track a *drifting* workload; ``"frozen"`` keeps refreshing only
+  until the measured warm-up estimates exist
+  (:meth:`~repro.selection.parameters.ParameterEstimator.is_warm`) and then
+  pins them for the rest of the run — the stale-estimate baseline the E9
+  drift experiment compares against.
 """
 
 from __future__ import annotations
@@ -21,9 +29,10 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from repro.common.config import SystemConfig, WorkloadConfig
+from repro.common.errors import ConfigurationError
 from repro.common.protocol_names import Protocol
 from repro.common.transactions import TransactionSpec
-from repro.selection.parameters import ParameterEstimator
+from repro.selection.parameters import DecayingParameterEstimator, ParameterEstimator
 from repro.selection.stl import STLBreakdown, ThroughputLossModel
 from repro.system.metrics import MetricsCollector
 
@@ -32,6 +41,9 @@ _PROTOCOL_ORDER = (
     Protocol.TIMESTAMP_ORDERING,
     Protocol.PRECEDENCE_AGREEMENT,
 )
+
+#: Estimation modes accepted by the selector (and the CLI / task layer).
+SELECTION_MODES = ("cumulative", "adaptive", "frozen")
 
 
 class STLProtocolSelector:
@@ -44,12 +56,20 @@ class STLProtocolSelector:
         exploration_transactions: int = 30,
         refresh_interval: int = 25,
         time_steps: int = 32,
+        mode: str = "cumulative",
     ) -> None:
+        if mode not in SELECTION_MODES:
+            raise ConfigurationError(
+                f"unknown selection mode {mode!r}; choose one of {', '.join(SELECTION_MODES)}"
+            )
         self._estimator = estimator
         self._exploration_transactions = exploration_transactions
         self._refresh_interval = max(1, refresh_interval)
         self._time_steps = time_steps
+        self._mode = mode
         self._decisions = 0
+        self._refreshes = 0
+        self._frozen = False
         self._choices: Dict[Protocol, int] = {protocol: 0 for protocol in Protocol}
         self._cache: Dict[Tuple[int, int], STLBreakdown] = {}
         self._model: Optional[ThroughputLossModel] = None
@@ -64,13 +84,26 @@ class STLProtocolSelector:
         *,
         exploration_transactions: int = 30,
         refresh_interval: int = 25,
+        mode: str = "cumulative",
+        decay: float = 0.5,
     ) -> "STLProtocolSelector":
-        """Build a selector seeded with configuration-derived priors."""
-        estimator = ParameterEstimator(system, workload)
+        """Build a selector seeded with configuration-derived priors.
+
+        ``mode="adaptive"`` plugs in a
+        :class:`~repro.selection.parameters.DecayingParameterEstimator`
+        (sliding window, ``decay`` weight per refresh epoch); the other
+        modes use the cumulative estimator.
+        """
+        estimator: ParameterEstimator
+        if mode == "adaptive":
+            estimator = DecayingParameterEstimator(system, workload, decay=decay)
+        else:
+            estimator = ParameterEstimator(system, workload)
         return cls(
             estimator,
             exploration_transactions=exploration_transactions,
             refresh_interval=refresh_interval,
+            mode=mode,
         )
 
     # ---------------------------------------------------------------- #
@@ -84,7 +117,18 @@ class STLProtocolSelector:
 
     @property
     def decisions(self) -> int:
+        """Number of protocol choices made so far (exploration included)."""
         return self._decisions
+
+    @property
+    def mode(self) -> str:
+        """The estimation mode: ``cumulative``, ``adaptive`` or ``frozen``."""
+        return self._mode
+
+    @property
+    def refreshes(self) -> int:
+        """How many times the estimates were re-read and the class cache dropped."""
+        return self._refreshes
 
     def choice_counts(self) -> Dict[Protocol, int]:
         """How many transactions each protocol has been assigned so far."""
@@ -101,7 +145,20 @@ class STLProtocolSelector:
             protocol = _PROTOCOL_ORDER[(self._decisions - 1) % len(_PROTOCOL_ORDER)]
             self._choices[protocol] += 1
             return protocol
-        if (self._decisions - self._exploration_transactions) % self._refresh_interval == 1:
+        since_exploration = self._decisions - self._exploration_transactions
+        on_tick = (since_exploration - 1) % self._refresh_interval == 0
+        if self._mode == "frozen":
+            # Keep refreshing on the normal cadence until the measured
+            # estimates exist (exploration commits are still in flight at
+            # the first post-exploration decision), then pin them — and the
+            # class cache built from them — for the rest of the run.
+            # Freezing any earlier would pin configuration priors instead
+            # of warm-up measurements.
+            if not self._frozen and on_tick:
+                self._refresh()
+                if self._estimator.is_warm():
+                    self._frozen = True
+        elif on_tick:
             self._refresh()
         breakdown = self.breakdown(spec)
         protocol = Protocol.from_name(breakdown.best())
@@ -129,7 +186,15 @@ class STLProtocolSelector:
     # ---------------------------------------------------------------- #
 
     def _refresh(self) -> None:
-        """Re-read the parameter estimates and drop the per-class cache."""
+        """Re-read the parameter estimates and drop the per-class cache.
+
+        In adaptive mode this first advances the estimator's sliding window
+        (:meth:`~repro.selection.parameters.ParameterEstimator.refresh_observations`,
+        a no-op for the cumulative estimator), so each refresh sees the
+        decayed blend of recent epochs rather than run-so-far averages.
+        """
+        self._refreshes += 1
+        self._estimator.refresh_observations()
         load = self._estimator.system_parameters()
         self._model = ThroughputLossModel(load, time_steps=self._time_steps)
         self._costs = {

@@ -44,6 +44,7 @@ class STLBreakdown:
     precedence_agreement: float
 
     def as_dict(self) -> Dict[str, float]:
+        """The three losses keyed by protocol name."""
         return {
             "2PL": self.two_phase_locking,
             "T/O": self.timestamp_ordering,
@@ -80,6 +81,7 @@ class ThroughputLossModel:
 
     @property
     def load(self) -> SystemLoadParameters:
+        """The system-load parameters the model was built with."""
         return self._load
 
     # ---------------------------------------------------------------- #
@@ -219,6 +221,7 @@ class ThroughputLossModel:
     def stl_two_phase_locking(
         self, spec: TransactionSpec, costs: ProtocolCostParameters
     ) -> float:
+        """``STL_2PL(t)``: expected loss of running ``spec`` under 2PL."""
         loss = self.transaction_loss(spec.num_reads, spec.num_writes)
         success = self.stl_prime(loss, costs.lock_time)
         abort_probability = min(costs.abort_probability, 0.999)
@@ -230,6 +233,7 @@ class ThroughputLossModel:
     def stl_timestamp_ordering(
         self, spec: TransactionSpec, costs: ProtocolCostParameters
     ) -> float:
+        """``STL_T/O(t)``: expected loss of running ``spec`` under T/O."""
         loss = self.transaction_loss(spec.num_reads, spec.num_writes)
         success_probability = self._all_requests_succeed_probability(spec, costs)
         success = self.stl_prime(loss, costs.lock_time)
@@ -244,6 +248,7 @@ class ThroughputLossModel:
     def stl_precedence_agreement(
         self, spec: TransactionSpec, costs: ProtocolCostParameters
     ) -> float:
+        """``STL_PA(t)``: expected loss of running ``spec`` under PA."""
         loss = self.transaction_loss(spec.num_reads, spec.num_writes)
         success_probability = self._all_requests_succeed_probability(spec, costs)
         base = self.stl_prime(loss, costs.lock_time)

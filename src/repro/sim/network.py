@@ -44,6 +44,7 @@ class Network:
 
     @property
     def simulator(self) -> Simulator:
+        """The simulator messages are scheduled on."""
         return self._simulator
 
     @property
@@ -53,10 +54,12 @@ class Network:
 
     @property
     def remote_messages(self) -> int:
+        """Number of inter-site messages sent so far."""
         return self._remote_messages
 
     @property
     def local_messages(self) -> int:
+        """Number of same-site messages sent so far."""
         return self._local_messages
 
     def messages_by_kind(self) -> Dict[str, int]:

@@ -23,6 +23,7 @@ class RandomStreams:
 
     @property
     def master_seed(self) -> int:
+        """The master seed every named substream derives from."""
         return self._master_seed
 
     def stream(self, name: str) -> random.Random:

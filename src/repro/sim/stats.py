@@ -27,15 +27,18 @@ class WelfordAccumulator:
         self._maximum = max(self._maximum, value)
 
     def extend(self, values: Iterable[float]) -> None:
+        """Fold every value of an iterable into the statistics."""
         for value in values:
             self.add(value)
 
     @property
     def count(self) -> int:
+        """Number of observations folded in so far."""
         return self._count
 
     @property
     def mean(self) -> float:
+        """Running mean (0.0 before any observation)."""
         return self._mean if self._count else 0.0
 
     @property
@@ -47,14 +50,17 @@ class WelfordAccumulator:
 
     @property
     def stdev(self) -> float:
+        """Sample standard deviation."""
         return math.sqrt(self.variance)
 
     @property
     def minimum(self) -> float:
+        """Smallest observation (``inf`` before any)."""
         return self._minimum if self._count else 0.0
 
     @property
     def maximum(self) -> float:
+        """Largest observation (``-inf`` before any)."""
         return self._maximum if self._count else 0.0
 
     def confidence_halfwidth(self, z: float = 1.96) -> float:
@@ -71,12 +77,15 @@ class Counter:
         self._values: Dict[str, int] = {}
 
     def increment(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to ``key``'s count."""
         self._values[name] = self._values.get(name, 0) + amount
 
     def get(self, name: str) -> int:
+        """The count recorded for ``key`` (0 when never incremented)."""
         return self._values.get(name, 0)
 
     def as_dict(self) -> Dict[str, int]:
+        """All counts as a plain dictionary."""
         return dict(self._values)
 
 
@@ -108,6 +117,7 @@ class TimeWeightedValue:
 
     @property
     def current(self) -> float:
+        """The value as of the last update."""
         return self._value
 
 
@@ -125,6 +135,7 @@ class SummaryStatistics:
 
     @classmethod
     def from_values(cls, values: Iterable[float]) -> "SummaryStatistics":
+        """Summary statistics of a value sequence (all zeros when empty)."""
         data: List[float] = sorted(values)
         if not data:
             return cls(count=0, mean=0.0, stdev=0.0, minimum=0.0, maximum=0.0)

@@ -46,18 +46,22 @@ class ReplicaCatalog:
 
     @classmethod
     def from_config(cls, config: SystemConfig) -> "ReplicaCatalog":
+        """Build the catalog implied by a system configuration (round-robin placement)."""
         return cls(config.num_sites, config.num_items, config.replication_factor)
 
     @property
     def num_sites(self) -> int:
+        """Number of sites copies are spread over."""
         return self._num_sites
 
     @property
     def num_items(self) -> int:
+        """Number of logical data items."""
         return self._num_items
 
     @property
     def replication_factor(self) -> int:
+        """Number of physical copies per logical item."""
         return self._replication_factor
 
     def sites_holding(self, item: ItemId) -> Tuple[SiteId, ...]:

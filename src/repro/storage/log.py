@@ -48,6 +48,7 @@ class CopyLog:
 
     @property
     def copy(self) -> CopyId:
+        """The physical copy this log records."""
         return self._copy
 
     def append(
@@ -63,6 +64,7 @@ class CopyLog:
         return entry
 
     def entries(self) -> Tuple[LogEntry, ...]:
+        """The implemented operations in implementation order."""
         return tuple(self._entries)
 
     def remove_transaction(self, transaction: TransactionId) -> int:
@@ -159,9 +161,11 @@ class ExecutionLog:
         return self._logs[copy].remove_transaction(transaction)
 
     def copies(self) -> Tuple[CopyId, ...]:
+        """Every copy that has at least one implemented operation."""
         return tuple(self._logs)
 
     def logs(self) -> Iterable[CopyLog]:
+        """The per-copy logs, keyed by copy id."""
         return self._logs.values()
 
     def all_entries(self) -> List[LogEntry]:
@@ -177,4 +181,5 @@ class ExecutionLog:
         return tuple(sorted(seen))
 
     def total_operations(self) -> int:
+        """Total implemented operations across all copies."""
         return sum(len(log) for log in self._logs.values())

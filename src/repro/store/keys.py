@@ -30,7 +30,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.analysis.replications import SimulationTask
 
 #: Version of the key encoding; part of every digest.
-KEY_SCHEMA = 1
+#: v2: drift schedules joined ``WorkloadConfig`` and ``selection_mode``
+#: joined the task payload, changing what a digest covers.
+KEY_SCHEMA = 2
 
 
 def canonical_value(value: object) -> object:
@@ -75,6 +77,7 @@ def task_payload(task: "SimulationTask") -> Dict[str, object]:
         "workload": canonical_value(task.workload),
         "protocol": protocol,
         "dynamic_selection": bool(task.dynamic_selection),
+        "selection_mode": task.selection_mode,
     }
 
 

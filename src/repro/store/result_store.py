@@ -66,6 +66,7 @@ class ResultStore:
 
     @property
     def path(self) -> Path:
+        """Filesystem path of the backing JSONL file."""
         return self._path
 
     def __len__(self) -> int:

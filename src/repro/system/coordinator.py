@@ -185,6 +185,7 @@ class RequestIssuerActor(Actor):
         )
 
     def execution_status(self, tid: TransactionId) -> Optional[TransactionStatus]:
+        """The life-cycle status of ``tid``'s current attempt, or ``None``."""
         execution = self._executions.get(tid)
         return execution.status if execution is not None else None
 
@@ -213,6 +214,7 @@ class RequestIssuerActor(Actor):
     # ---------------------------------------------------------------- #
 
     def handle(self, message: Message) -> None:
+        """Dispatch one inbound network message to its handler."""
         if message.kind == "grant":
             payload = message.payload
             if isinstance(payload, GrantDelivery):

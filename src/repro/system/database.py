@@ -43,9 +43,13 @@ class RunResult:
     deadlock_victims: Tuple[TransactionId, ...]
     protocol_switches: int = 0
     protocol_of: Dict[TransactionId, Protocol] = field(default_factory=dict)
+    #: Arrival times at which workload drift segments took effect (empty for
+    #: stationary workloads); set by the runner after generation.
+    drift_boundaries: Tuple[float, ...] = ()
 
     @property
     def serializable(self) -> bool:
+        """Whether the run passed the conflict-serializability audit."""
         return self.serializability.serializable
 
     @property
@@ -55,22 +59,27 @@ class RunResult:
 
     @property
     def throughput(self) -> float:
+        """Committed transactions per unit of simulated time."""
         return self.metrics.throughput()
 
     @property
     def restarts(self) -> int:
+        """Total non-deadlock restarts (T/O rejections) across the run."""
         return self.metrics.total_restarts()
 
     @property
     def deadlock_aborts(self) -> int:
+        """Total deadlock victimisations across the run."""
         return self.metrics.total_deadlock_aborts()
 
     @property
     def backoff_rounds(self) -> int:
+        """Total PA back-off rounds across the run."""
         return self.metrics.total_backoff_rounds()
 
     @property
     def messages_per_transaction(self) -> float:
+        """Messages sent per committed transaction (0 when nothing committed)."""
         if not self.committed:
             return 0.0
         return self.messages_total / self.committed
@@ -184,39 +193,49 @@ class DistributedDatabase:
 
     @property
     def simulator(self) -> Simulator:
+        """The discrete-event simulator driving the run."""
         return self._simulator
 
     @property
     def network(self) -> Network:
+        """The message-passing network between actors."""
         return self._network
 
     @property
     def catalog(self) -> ReplicaCatalog:
+        """The replica catalog mapping items to physical copies."""
         return self._catalog
 
     @property
     def metrics(self) -> MetricsCollector:
+        """The run's metrics collector."""
         return self._metrics
 
     @property
     def execution_log(self) -> ExecutionLog:
+        """The per-copy log of implemented operations (the oracle's input)."""
         return self._execution_log
 
     @property
     def value_store(self) -> ValueStore:
+        """The store holding every copy's current value."""
         return self._value_store
 
     @property
     def detector(self) -> DeadlockDetectorActor:
+        """The periodic deadlock detector actor."""
         return self._detector
 
     def queue_manager(self, copy: CopyId) -> QueueManager:
+        """The queue manager serving ``copy``."""
         return self._queue_managers[copy]
 
     def issuer(self, site: SiteId) -> RequestIssuerActor:
+        """The request issuer actor of ``site``."""
         return self._issuers[site]
 
     def protocol_of(self, tid: TransactionId) -> Optional[Protocol]:
+        """The protocol ``tid`` ran under, or ``None`` if it never started."""
         return self._protocol_registry.get(tid)
 
     def remaining_work(self) -> int:

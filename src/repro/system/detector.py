@@ -61,14 +61,17 @@ class DeadlockDetectorActor(Actor):
 
     @property
     def scans(self) -> int:
+        """Number of wait-for-graph scans performed."""
         return self._scans
 
     @property
     def deadlocks_found(self) -> int:
+        """Number of true deadlock cycles resolved."""
         return self._deadlocks_found
 
     @property
     def victims(self) -> Tuple[TransactionId, ...]:
+        """Every victim aborted so far, in abort order."""
         return tuple(self._victims)
 
     # ---------------------------------------------------------------- #
@@ -80,6 +83,7 @@ class DeadlockDetectorActor(Actor):
         self._simulator.schedule(self._period, self._scan, label="deadlock-scan")
 
     def handle(self, message: Message) -> None:  # pragma: no cover - no inbound messages
+        """The detector receives no messages; scans are self-scheduled."""
         raise NotImplementedError("the deadlock detector receives no messages")
 
     def _scan(self) -> None:

@@ -42,6 +42,7 @@ class ProtocolStatistics:
 
     @property
     def mean_system_time(self) -> float:
+        """Mean system time of this protocol's committed transactions."""
         return self.system_time.mean
 
     @property
@@ -53,19 +54,27 @@ class ProtocolStatistics:
 
     @property
     def read_rejection_probability(self) -> float:
+        """T/O ``P_r``: read rejections per read request."""
         return self.read_rejections / self.read_requests if self.read_requests else 0.0
 
     @property
     def write_rejection_probability(self) -> float:
+        """T/O ``P_r'``: write rejections per write request."""
         return self.write_rejections / self.write_requests if self.write_requests else 0.0
 
     @property
     def read_backoff_probability(self) -> float:
+        """PA ``P_B``: read back-offs per read request."""
         return self.read_backoffs / self.read_requests if self.read_requests else 0.0
 
     @property
     def write_backoff_probability(self) -> float:
+        """PA ``P_B'``: write back-offs per write request."""
         return self.write_backoffs / self.write_requests if self.write_requests else 0.0
+
+
+#: Default width (simulated time units) of the windowed time-series buckets.
+DEFAULT_WINDOW_WIDTH = 2.0
 
 
 class MetricsCollector:
@@ -86,13 +95,16 @@ class MetricsCollector:
     # ---------------------------------------------------------------- #
 
     def record_arrival(self, protocol: Protocol, arrival_time: float) -> None:
+        """Note a transaction arrival (tracks the start of the measured span)."""
         if self._first_arrival is None or arrival_time < self._first_arrival:
             self._first_arrival = arrival_time
 
     def record_attempt(self, protocol: Protocol) -> None:
+        """Count one execution attempt of a ``protocol`` transaction."""
         self._by_protocol[protocol].attempts += 1
 
     def record_request_issued(self, protocol: Protocol, op_type: OperationType) -> None:
+        """Count one issued read/write request for ``protocol``."""
         stats = self._by_protocol[protocol]
         if op_type.is_read:
             stats.read_requests += 1
@@ -100,6 +112,7 @@ class MetricsCollector:
             stats.write_requests += 1
 
     def record_rejection(self, protocol: Protocol, op_type: OperationType) -> None:
+        """Count one T/O rejection of a read/write request."""
         stats = self._by_protocol[protocol]
         if op_type.is_read:
             stats.read_rejections += 1
@@ -107,6 +120,7 @@ class MetricsCollector:
             stats.write_rejections += 1
 
     def record_backoff(self, protocol: Protocol, op_type: OperationType) -> None:
+        """Count one PA back-off of a read/write request."""
         stats = self._by_protocol[protocol]
         if op_type.is_read:
             stats.read_backoffs += 1
@@ -114,9 +128,11 @@ class MetricsCollector:
             stats.write_backoffs += 1
 
     def record_backoff_round(self, protocol: Protocol) -> None:
+        """Count one whole PA back-off round (new timestamp broadcast)."""
         self._by_protocol[protocol].backoff_rounds += 1
 
     def record_restart(self, protocol: Protocol, due_to_deadlock: bool) -> None:
+        """Count one abort: a deadlock victimisation or a rejection restart."""
         stats = self._by_protocol[protocol]
         if due_to_deadlock:
             stats.deadlock_aborts += 1
@@ -124,6 +140,7 @@ class MetricsCollector:
             stats.restarts += 1
 
     def record_lock_time(self, protocol: Protocol, duration: float, aborted: bool) -> None:
+        """Record how long one request held its lock (aborted or committed)."""
         stats = self._by_protocol[protocol]
         if aborted:
             stats.lock_time_aborted.add(duration)
@@ -131,12 +148,14 @@ class MetricsCollector:
             stats.lock_time_committed.add(duration)
 
     def record_grant(self, copy: object, op_type: OperationType) -> None:
+        """Count one granted read/write lock at ``copy``."""
         if op_type.is_read:
             self._grants_by_copy_read[copy] = self._grants_by_copy_read.get(copy, 0) + 1
         else:
             self._grants_by_copy_write[copy] = self._grants_by_copy_write.get(copy, 0) + 1
 
     def record_commit(self, outcome: TransactionOutcome) -> None:
+        """Record a committed transaction's outcome."""
         self._outcomes.append(outcome)
         stats = self._by_protocol[outcome.protocol]
         stats.committed += 1
@@ -149,10 +168,12 @@ class MetricsCollector:
 
     @property
     def outcomes(self) -> Tuple[TransactionOutcome, ...]:
+        """Every committed transaction's outcome, in commit order."""
         return tuple(self._outcomes)
 
     @property
     def committed_count(self) -> int:
+        """Number of committed transactions."""
         return len(self._outcomes)
 
     @property
@@ -163,9 +184,11 @@ class MetricsCollector:
         return max(0.0, self._last_commit - self._first_arrival)
 
     def protocol_statistics(self, protocol: Protocol) -> ProtocolStatistics:
+        """The aggregated statistics of one protocol."""
         return self._by_protocol[protocol]
 
     def all_protocol_statistics(self) -> Dict[Protocol, ProtocolStatistics]:
+        """Per-protocol statistics keyed by protocol."""
         return dict(self._by_protocol)
 
     def mean_system_time(self, protocol: Optional[Protocol] = None) -> float:
@@ -177,6 +200,7 @@ class MetricsCollector:
         return sum(outcome.system_time for outcome in self._outcomes) / len(self._outcomes)
 
     def system_time_summary(self, protocol: Optional[Protocol] = None) -> SummaryStatistics:
+        """Summary statistics of system times, optionally per protocol."""
         values = [
             outcome.system_time
             for outcome in self._outcomes
@@ -185,12 +209,15 @@ class MetricsCollector:
         return SummaryStatistics.from_values(values)
 
     def total_restarts(self) -> int:
+        """Total T/O-rejection restarts across protocols."""
         return sum(stats.restarts for stats in self._by_protocol.values())
 
     def total_deadlock_aborts(self) -> int:
+        """Total deadlock victimisations across protocols."""
         return sum(stats.deadlock_aborts for stats in self._by_protocol.values())
 
     def total_backoff_rounds(self) -> int:
+        """Total PA back-off rounds across protocols."""
         return sum(stats.backoff_rounds for stats in self._by_protocol.values())
 
     def throughput(self) -> float:
@@ -246,3 +273,75 @@ class MetricsCollector:
         writes = sum(self._grants_by_copy_write.values())
         total = reads + writes
         return reads / total if total else 0.5
+
+    def windowed_series(self, width: float = DEFAULT_WINDOW_WIDTH) -> List[Dict[str, object]]:
+        """Per-window time series of the run, derived from committed outcomes.
+
+        The simulated timeline is cut into contiguous windows of ``width``
+        time units (window ``k`` covers ``[k * width, (k + 1) * width)`` of
+        commit time).  Each row reports the window bounds, the number of
+        commits, the mean system time of those commits, the restart
+        probability (aborts per attempt, attributed to the window the
+        transaction finally committed in) and the per-protocol share of the
+        committed transactions — the series E9 measures adaptation lag on.
+        Rows are plain JSON-pure dictionaries so they survive the result
+        store round-trip unchanged.
+        """
+        if width <= 0:
+            raise ValueError("window width must be positive")
+        if not self._outcomes:
+            return []
+        last_index = max(int(outcome.commit_time // width) for outcome in self._outcomes)
+        buckets: List[List[TransactionOutcome]] = [[] for _ in range(last_index + 1)]
+        for outcome in self._outcomes:
+            buckets[int(outcome.commit_time // width)].append(outcome)
+        series: List[Dict[str, object]] = []
+        for index, bucket in enumerate(buckets):
+            committed = len(bucket)
+            aborts = sum(o.restarts + o.deadlock_aborts for o in bucket)
+            attempts = committed + aborts
+            row: Dict[str, object] = {
+                "window": index,
+                "start": index * width,
+                "end": (index + 1) * width,
+                "committed": committed,
+                "mean_system_time": (
+                    sum(o.system_time for o in bucket) / committed if committed else 0.0
+                ),
+                "restart_probability": aborts / attempts if attempts else 0.0,
+            }
+            for protocol in Protocol:
+                share = (
+                    sum(1 for o in bucket if o.protocol == protocol) / committed
+                    if committed
+                    else 0.0
+                )
+                row[f"share_{protocol}"] = share
+            series.append(row)
+        return series
+
+    def mean_system_time_after(self, boundary: float) -> float:
+        """Mean system time of transactions that *arrived* at or after ``boundary``.
+
+        The post-drift performance measure: cutting on arrival time (not
+        commit time) charges a slow pre-drift backlog to the old regime
+        while measuring every transaction generated under the new one.
+        Returns 0.0 when no such transaction committed.
+        """
+        values = [
+            outcome.system_time
+            for outcome in self._outcomes
+            if outcome.arrival_time >= boundary
+        ]
+        return sum(values) / len(values) if values else 0.0
+
+    def grant_totals(self) -> Tuple[int, int, int]:
+        """Cumulative ``(read grants, write grants, active copies)``.
+
+        The raw counters behind the throughput averages; the decaying
+        estimator snapshots them to form per-epoch deltas.
+        """
+        reads = sum(self._grants_by_copy_read.values())
+        writes = sum(self._grants_by_copy_write.values())
+        copies = len(set(self._grants_by_copy_read) | set(self._grants_by_copy_write))
+        return reads, writes, copies

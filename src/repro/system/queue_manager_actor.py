@@ -68,9 +68,11 @@ class QueueManagerActor(Actor):
 
     @property
     def manager(self) -> QueueManager:
+        """The wrapped (pure) queue manager."""
         return self._manager
 
     def handle(self, message: Message) -> None:
+        """Dispatch one inbound network message to the queue manager."""
         now = self._network.simulator.now
         if message.kind == "request":
             request: Request = message.payload

@@ -22,6 +22,7 @@ def run_simulation(
     *,
     protocol: Optional[Union[str, Protocol]] = None,
     dynamic_selection: bool = False,
+    selection_mode: Optional[str] = None,
     max_time: Optional[float] = None,
     max_events: int = 5_000_000,
 ) -> RunResult:
@@ -39,12 +40,19 @@ def run_simulation(
         When ``True`` the STL-based selector of Section 5 chooses a protocol
         for every transaction at arrival time (``protocol`` must then be
         ``None``).
+    selection_mode:
+        Estimation mode of the dynamic selector — ``"cumulative"`` (the
+        default), ``"adaptive"`` (sliding-window estimates with exponential
+        decay, for drifting workloads) or ``"frozen"`` (estimates pinned
+        once the warm-up measurements exist).  Only valid together with ``dynamic_selection``.
     """
     system = system if system is not None else SystemConfig()
     workload = workload if workload is not None else WorkloadConfig()
 
     if protocol is not None and dynamic_selection:
         raise ValueError("pass either a fixed protocol or dynamic_selection, not both")
+    if selection_mode is not None and not dynamic_selection:
+        raise ValueError("selection_mode requires dynamic_selection=True")
 
     if protocol is not None:
         workload = workload.with_overrides(
@@ -57,7 +65,9 @@ def run_simulation(
         # importing it at module load time would create an import cycle.
         from repro.selection.selector import STLProtocolSelector
 
-        selector = STLProtocolSelector.from_configs(system, workload)
+        selector = STLProtocolSelector.from_configs(
+            system, workload, mode=selection_mode or "cumulative"
+        )
         chooser = selector.choose
 
     database = DistributedDatabase(system, choose_protocol=chooser)
@@ -68,7 +78,9 @@ def run_simulation(
         system, workload, assign_protocols=not dynamic_selection
     )
     database.load_workload(generator.generate(), workload)
-    return database.run(max_time=max_time, max_events=max_events)
+    result = database.run(max_time=max_time, max_events=max_events)
+    result.drift_boundaries = generator.drift_boundaries()
+    return result
 
 
 def run_many(
@@ -76,6 +88,7 @@ def run_many(
     *,
     protocol: Optional[Union[str, Protocol]] = None,
     dynamic_selection: bool = False,
+    selection_mode: Optional[str] = None,
     jobs: int = 1,
     store: Optional[ResultStore] = None,
     force: bool = False,
@@ -98,6 +111,7 @@ def run_many(
             workload=workload,
             protocol=protocol,
             dynamic_selection=dynamic_selection,
+            selection_mode=selection_mode,
         )
         for system, workload in configurations
     ]

@@ -20,6 +20,7 @@ from repro.workload.access_patterns import (
     ZipfianAccessPattern,
     build_access_pattern,
 )
+from repro.workload.drift import DriftResolver, MigratingHotspotOverlay, RegimeShape
 from repro.workload.generator import (
     ArrivalProcess,
     BurstyArrivalProcess,
@@ -41,8 +42,11 @@ __all__ = [
     "AccessPattern",
     "ArrivalProcess",
     "BurstyArrivalProcess",
+    "DriftResolver",
     "HotspotAccessPattern",
+    "MigratingHotspotOverlay",
     "PoissonArrivalProcess",
+    "RegimeShape",
     "Scenario",
     "SiteSkewedAccessPattern",
     "TransactionGenerator",

@@ -35,6 +35,7 @@ class AccessPattern(abc.ABC):
 
     @property
     def num_items(self) -> int:
+        """Size of the item space draws come from."""
         return self._num_items
 
     @abc.abstractmethod
@@ -53,6 +54,7 @@ class UniformAccessPattern(AccessPattern):
     """Every data item is equally likely to be accessed."""
 
     def draw(self, rng: random.Random, count: int, site: Optional[int] = None) -> List[ItemId]:
+        """Draw ``count`` distinct items uniformly."""
         count = self._clamp_count(count)
         return sorted(rng.sample(range(self._num_items), count))
 
@@ -78,9 +80,11 @@ class HotspotAccessPattern(AccessPattern):
 
     @property
     def hot_size(self) -> int:
+        """Number of items in the hot region."""
         return self._hot_size
 
     def draw(self, rng: random.Random, count: int, site: Optional[int] = None) -> List[ItemId]:
+        """Draw ``count`` distinct items under the b-c hot-region model."""
         count = self._clamp_count(count)
         if self._hot_probability >= 1.0 and count > self._hot_size:
             # Every draw lands in the hot region, which is too small: take all
@@ -132,6 +136,7 @@ class ZipfianAccessPattern(AccessPattern):
 
     @property
     def theta(self) -> float:
+        """The Zipf skew exponent."""
         return self._theta
 
     def probability(self, item: int) -> float:
@@ -141,6 +146,7 @@ class ZipfianAccessPattern(AccessPattern):
         return (item + 1) ** -self._theta / self._total_weight
 
     def draw(self, rng: random.Random, count: int, site: Optional[int] = None) -> List[ItemId]:
+        """Draw ``count`` distinct items Zipf-distributed by rank."""
         count = self._clamp_count(count)
         chosen: set = set()
         attempts_left = self._MAX_REJECTIONS_PER_ITEM * count
@@ -183,6 +189,7 @@ class SiteSkewedAccessPattern(AccessPattern):
 
     @property
     def num_sites(self) -> int:
+        """Number of site partitions the item space is split into."""
         return self._num_sites
 
     def partition(self, site: int) -> "tuple[int, int]":
@@ -194,6 +201,7 @@ class SiteSkewedAccessPattern(AccessPattern):
         return start, end
 
     def draw(self, rng: random.Random, count: int, site: Optional[int] = None) -> List[ItemId]:
+        """Draw ``count`` distinct items, mostly from ``site``'s own partition."""
         count = self._clamp_count(count)
         if site is None:
             # Site-agnostic callers (e.g. pattern unit tests) get uniform draws.

@@ -13,6 +13,7 @@ from repro.common.protocol_names import Protocol
 from repro.common.transactions import TransactionSpec
 from repro.sim.rng import RandomStreams
 from repro.workload.access_patterns import AccessPattern, build_access_pattern
+from repro.workload.drift import DriftResolver, MigratingHotspotOverlay, RegimeShape
 
 
 class ArrivalProcess(abc.ABC):
@@ -38,6 +39,7 @@ class PoissonArrivalProcess(ArrivalProcess):
         self._rate = rate
 
     def next_interarrival(self, rng: random.Random) -> float:
+        """An exponential inter-arrival gap at the configured rate."""
         return rng.expovariate(self._rate)
 
 
@@ -80,9 +82,11 @@ class BurstyArrivalProcess(ArrivalProcess):
 
     @property
     def state(self) -> str:
+        """The current phase: ``"calm"`` or ``"burst"``."""
         return self._state
 
     def next_interarrival(self, rng: random.Random) -> float:
+        """The gap to the next arrival, advancing burst phases as needed."""
         if self._remaining is None:
             self._remaining = rng.expovariate(1.0 / self._mean_sojourn[self._state])
         elapsed = 0.0
@@ -141,16 +145,32 @@ class TransactionGenerator:
         else:
             self._access_pattern = build_access_pattern(system, workload)
         self._sequence_by_site = {site: 0 for site in range(system.num_sites)}
+        self._drift_boundaries: List[float] = []
 
     @property
     def access_pattern(self) -> AccessPattern:
+        """The item-selection strategy draws flow through."""
         return self._access_pattern
+
+    def drift_boundaries(self) -> "tuple[float, ...]":
+        """Arrival times at which drift segments took effect, in schedule order.
+
+        Populated during iteration of a drifting workload (empty for a
+        stationary one, or before :meth:`generate` has run); the last entry
+        is the time from which the final regime holds — the boundary the
+        post-drift metrics of E9 cut on.
+        """
+        return tuple(self._drift_boundaries)
 
     def generate(self) -> List[TransactionSpec]:
         """The full list of transaction specs for the run, in arrival order."""
         return list(self.iter_transactions())
 
     def iter_transactions(self) -> Iterator[TransactionSpec]:
+        """Yield the transaction stream in arrival order (drifting or stationary)."""
+        if self._workload.drift is not None:
+            yield from self._iter_drifting()
+            return
         arrival_stream = self._streams.stream("arrivals")
         shape_stream = self._streams.stream("shapes")
         site_stream = self._streams.stream("sites")
@@ -162,18 +182,83 @@ class TransactionGenerator:
             site = site_stream.randrange(self._system.num_sites)
             yield self._make_transaction(clock, site, shape_stream, protocol_stream)
 
+    def _iter_drifting(self) -> Iterator[TransactionSpec]:
+        """The drifting-regime stream: per-arrival knobs from the schedule.
+
+        Stream position ``u = index / num_transactions`` drives the
+        :class:`~repro.workload.drift.DriftResolver`; a drifted arrival rate
+        replaces the interarrival draw (Poisson only, enforced by the
+        config), a drifted hot spot overlays the base access pattern, and a
+        drifted read fraction re-weights the read/write split.  All draws go
+        through the same named streams as the stationary path.
+        """
+        workload = self._workload
+        assert workload.drift is not None
+        arrival_stream = self._streams.stream("arrivals")
+        shape_stream = self._streams.stream("shapes")
+        site_stream = self._streams.stream("sites")
+        protocol_stream = self._streams.stream("protocols")
+        resolver = DriftResolver(workload)
+        overlay: Optional[MigratingHotspotOverlay] = None
+        if workload.drift.drifts_hotspot():
+            # The overlay *replaces* the legacy hot-spot mechanism: its track
+            # is anchored at the base hotspot knobs, so cold draws must
+            # delegate to the un-skewed base pattern or the hot probability
+            # would be applied twice (once by the overlay, once by a
+            # HotspotAccessPattern underneath).
+            unskewed = workload.with_overrides(
+                hotspot_probability=0.0,
+                access_pattern=(
+                    "uniform"
+                    if workload.access_pattern in ("uniform", "hotspot")
+                    else workload.access_pattern
+                ),
+            )
+            base_pattern = build_access_pattern(self._system, unskewed)
+            overlay = MigratingHotspotOverlay(base_pattern, self._system.num_items)
+        arrivals: Optional[ArrivalProcess] = None
+        if not workload.drift.drifts_arrival_rate():
+            arrivals = build_arrival_process(workload)
+        segments = workload.drift.segments
+        self._drift_boundaries = []
+        reached = 0
+        clock = 0.0
+        total = workload.num_transactions
+        for index in range(total):
+            u = index / total
+            shape = resolver.resolve(u)
+            if arrivals is not None:
+                clock += arrivals.next_interarrival(arrival_stream)
+            else:
+                clock += arrival_stream.expovariate(shape.arrival_rate)
+            while reached < len(segments) and u >= segments[reached].at:
+                self._drift_boundaries.append(clock)
+                reached += 1
+            site = site_stream.randrange(self._system.num_sites)
+            yield self._make_transaction(
+                clock, site, shape_stream, protocol_stream, shape=shape, overlay=overlay
+            )
+
     def _make_transaction(
         self,
         arrival_time: float,
         site: int,
         shape_stream: random.Random,
         protocol_stream: random.Random,
+        *,
+        shape: Optional[RegimeShape] = None,
+        overlay: Optional[MigratingHotspotOverlay] = None,
     ) -> TransactionSpec:
         self._sequence_by_site[site] += 1
         tid = TransactionId(site=site, seq=self._sequence_by_site[site])
         size = self._draw_size(shape_stream)
-        items = self._access_pattern.draw(shape_stream, size, site=site)
-        reads, writes = self._split_reads_writes(items, shape_stream)
+        if overlay is not None and shape is not None:
+            overlay.set_regime(shape)
+            items = overlay.draw(shape_stream, size, site=site)
+        else:
+            items = self._access_pattern.draw(shape_stream, size, site=site)
+        read_fraction = shape.read_fraction if shape is not None else None
+        reads, writes = self._split_reads_writes(items, shape_stream, read_fraction)
         compute_time = (
             shape_stream.expovariate(1.0 / self._workload.compute_time)
             if self._workload.compute_time > 0
@@ -201,19 +286,25 @@ class TransactionGenerator:
         return shape_stream.randint(workload.min_size, workload.max_size)
 
     def _split_reads_writes(
-        self, items: Sequence[ItemId], stream: random.Random
+        self,
+        items: Sequence[ItemId],
+        stream: random.Random,
+        read_fraction: Optional[float] = None,
     ) -> "tuple[List[ItemId], List[ItemId]]":
         """Mark each accessed item read or written according to the read fraction.
 
-        A transaction that would end up with no operations at all (impossible
-        here since every item is either read or written) is avoided by
-        construction; a transaction may legitimately be read-only or
-        write-only.
+        ``read_fraction`` overrides the configured fraction (the drifting
+        path passes the regime's effective value).  A transaction that would
+        end up with no operations at all (impossible here since every item
+        is either read or written) is avoided by construction; a transaction
+        may legitimately be read-only or write-only.
         """
+        if read_fraction is None:
+            read_fraction = self._workload.read_fraction
         reads: List[ItemId] = []
         writes: List[ItemId] = []
         for item in items:
-            if stream.random() < self._workload.read_fraction:
+            if stream.random() < read_fraction:
                 reads.append(item)
             else:
                 writes.append(item)

@@ -21,7 +21,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 
-from repro.common.config import ProtocolMix, SystemConfig, WorkloadConfig
+from repro.common.config import (
+    DriftConfig,
+    DriftSegment,
+    ProtocolMix,
+    SystemConfig,
+    WorkloadConfig,
+)
 from repro.common.errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -34,8 +40,9 @@ class Scenario:
     """One named, end-to-end workload profile.
 
     ``protocol`` forces a single static protocol for every transaction;
-    ``dynamic_selection`` turns on the STL selector; with neither, the
-    workload's protocol mix applies.
+    ``dynamic_selection`` turns on the STL selector (``selection_mode``
+    then picks its estimation mode — cumulative, adaptive or frozen); with
+    neither, the workload's protocol mix applies.
     """
 
     name: str
@@ -44,11 +51,16 @@ class Scenario:
     workload: WorkloadConfig = field(default_factory=WorkloadConfig)
     protocol: Optional[str] = None
     dynamic_selection: bool = False
+    selection_mode: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.protocol is not None and self.dynamic_selection:
             raise ConfigurationError(
                 "a scenario uses either a fixed protocol or dynamic selection, not both"
+            )
+        if self.selection_mode is not None and not self.dynamic_selection:
+            raise ConfigurationError(
+                "a selection mode only makes sense together with dynamic selection"
             )
 
     def configured(
@@ -91,6 +103,7 @@ class Scenario:
             self.workload,
             protocol=self.protocol,
             dynamic_selection=self.dynamic_selection,
+            selection_mode=self.selection_mode,
             seeds=seeds,
             jobs=jobs,
             label=self.name,
@@ -117,10 +130,12 @@ def scenario_names() -> Tuple[str, ...]:
 
 
 def all_scenarios() -> Tuple[Scenario, ...]:
+    """Every registered scenario, in registration order."""
     return tuple(_REGISTRY.values())
 
 
 def get_scenario(name: str) -> Scenario:
+    """The registered scenario called ``name`` (raises for unknown names)."""
     try:
         return _REGISTRY[name]
     except KeyError:
@@ -234,6 +249,90 @@ register_scenario(
             read_fraction=0.6,
             access_pattern="site-skewed",
             site_locality=0.85,
+            seed=13,
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="hotspot-migration",
+        description=(
+            "A hot region forms over the first third of the stream, then migrates "
+            "across the item space (smooth drift); the mild early prefix misleads "
+            "frozen estimates."
+        ),
+        system=SystemConfig(num_sites=4, num_items=64, restart_delay=0.02, seed=11),
+        workload=WorkloadConfig(
+            arrival_rate=30.0,
+            num_transactions=400,
+            min_size=2,
+            max_size=6,
+            read_fraction=0.8,
+            drift=DriftConfig(
+                mode="smooth",
+                segments=(
+                    DriftSegment(
+                        at=0.35,
+                        hotspot_probability=0.6,
+                        hotspot_fraction=0.1,
+                        hotspot_center=0.15,
+                        read_fraction=0.4,
+                    ),
+                    DriftSegment(at=0.7, hotspot_center=0.85),
+                ),
+            ),
+            seed=13,
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="mix-flip",
+        description=(
+            "Read-mostly analytics flips to write-heavy churn mid-run "
+            "(piecewise drift of the read/write mix)."
+        ),
+        system=SystemConfig(num_sites=4, num_items=64, restart_delay=0.02, seed=11),
+        workload=WorkloadConfig(
+            arrival_rate=30.0,
+            num_transactions=400,
+            min_size=2,
+            max_size=6,
+            read_fraction=0.9,
+            hotspot_probability=0.4,
+            hotspot_fraction=0.1,
+            drift=DriftConfig(
+                mode="piecewise",
+                segments=(DriftSegment(at=0.5, read_fraction=0.2),),
+            ),
+            seed=13,
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="load-ramp",
+        description=(
+            "Arrival rate ramps from a light to a saturating load "
+            "(smooth drift; Poisson arrivals throughout)."
+        ),
+        system=SystemConfig(num_sites=4, num_items=64, restart_delay=0.02, seed=11),
+        workload=WorkloadConfig(
+            arrival_rate=10.0,
+            num_transactions=400,
+            min_size=2,
+            max_size=6,
+            read_fraction=0.6,
+            drift=DriftConfig(
+                mode="smooth",
+                segments=(
+                    DriftSegment(at=0.2, arrival_rate=10.0),
+                    DriftSegment(at=0.8, arrival_rate=60.0),
+                ),
+            ),
             seed=13,
         ),
     )

@@ -4,6 +4,7 @@ import pytest
 
 from repro.analysis.experiments import (
     correctness_audit,
+    drift_adaptation_experiment,
     dynamic_vs_static,
     semilock_ablation,
     single_item_write_experiment,
@@ -11,6 +12,8 @@ from repro.analysis.experiments import (
     sweep_transaction_size,
 )
 from repro.common.config import SystemConfig, WorkloadConfig
+from repro.common.errors import ConfigurationError
+from repro.store import ResultStore
 from repro.common.protocol_names import Protocol
 
 
@@ -93,3 +96,51 @@ class TestScenarioExperiments:
         assert {row["enforcement"] for row in rows} == {"semi-locks", "full locking"}
         assert all(row["serializable"] for row in rows)
         assert all("to_mean_system_time" in row for row in rows)
+
+
+class TestDriftAdaptation:
+    """E9: the drift-scenario comparison driver."""
+
+    @pytest.fixture(scope="class")
+    def e9_rows(self):
+        return drift_adaptation_experiment(
+            ("hotspot-migration",), transactions=60, seeds=(0,)
+        )
+
+    def test_row_structure(self, e9_rows):
+        policies = [row["policy"] for row in e9_rows]
+        assert policies == ["2PL", "T/O", "PA", "adaptive", "frozen"]
+        for row in e9_rows:
+            assert row["scenario"] == "hotspot-migration"
+            assert row["serializable"] is True
+            assert row["committed"] == 60
+            assert row["post_drift_mean_system_time"] >= 0.0
+
+    def test_serial_and_parallel_rows_are_identical(self, e9_rows):
+        parallel = drift_adaptation_experiment(
+            ("hotspot-migration",), transactions=60, seeds=(0,), jobs=3
+        )
+        assert parallel == e9_rows
+
+    def test_store_resume_reproduces_the_rows(self, e9_rows, tmp_path):
+        store = ResultStore(tmp_path / "e9.jsonl")
+        first = drift_adaptation_experiment(
+            ("hotspot-migration",), transactions=60, seeds=(0,), store=store
+        )
+        warm = ResultStore(tmp_path / "e9.jsonl")
+        resumed = drift_adaptation_experiment(
+            ("hotspot-migration",), transactions=60, seeds=(0,), store=warm
+        )
+        assert first == e9_rows
+        assert resumed == e9_rows
+        assert warm.hits == 5 and warm.misses == 0
+
+    def test_unknown_scenario_fails_loudly(self):
+        with pytest.raises(ConfigurationError):
+            drift_adaptation_experiment(("no-such-scenario",), transactions=10, seeds=(0,))
+
+    def test_summaries_carry_drift_boundaries(self):
+        rows = drift_adaptation_experiment(
+            ("mix-flip",), modes=("adaptive",), protocols=(), transactions=40, seeds=(0,)
+        )
+        assert [row["policy"] for row in rows] == ["adaptive"]

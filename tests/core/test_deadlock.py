@@ -112,3 +112,43 @@ class TestDeadlockDetector:
         resolution = detector.resolve([(T1, T2), (T2, T1)], {T1: Protocol.TIMESTAMP_ORDERING})
         # T2 has no protocol registered; it is treated as 2PL and chosen.
         assert resolution.victims == [T2]
+
+
+class TestPhantomCycles:
+    """Cycles without a 2PL member are phantoms (Corollary 2) and abort nobody."""
+
+    def test_pure_to_cycle_aborts_nobody(self):
+        detector = DeadlockDetector()
+        protocols = {T1: Protocol.TIMESTAMP_ORDERING, T2: Protocol.TIMESTAMP_ORDERING}
+        resolution = detector.resolve([(T1, T2), (T2, T1)], protocols)
+        assert resolution.victims == []
+        assert not resolution.deadlock_found
+        assert resolution.phantom_cycles == [(T1, T2)] or resolution.phantom_cycles == [(T2, T1)]
+
+    def test_pure_pa_cycle_aborts_nobody(self):
+        detector = DeadlockDetector()
+        protocols = {T1: Protocol.PRECEDENCE_AGREEMENT, T2: Protocol.PRECEDENCE_AGREEMENT}
+        resolution = detector.resolve([(T1, T2), (T2, T1)], protocols)
+        assert resolution.victims == []
+        assert len(resolution.phantom_cycles) == 1
+
+    def test_true_cycle_next_to_a_phantom_is_still_resolved(self):
+        detector = DeadlockDetector()
+        protocols = {
+            T1: Protocol.TIMESTAMP_ORDERING,
+            T2: Protocol.TIMESTAMP_ORDERING,
+            T3: Protocol.TWO_PHASE_LOCKING,
+            T4: Protocol.TWO_PHASE_LOCKING,
+        }
+        edges = [(T1, T2), (T2, T1), (T3, T4), (T4, T3)]
+        resolution = detector.resolve(edges, protocols)
+        assert len(resolution.phantom_cycles) == 1
+        assert len(resolution.cycles) == 1
+        assert resolution.victims and resolution.victims[0] in {T3, T4}
+
+    def test_mixed_cycle_is_not_a_phantom(self):
+        detector = DeadlockDetector()
+        protocols = {T1: Protocol.TIMESTAMP_ORDERING, T2: Protocol.TWO_PHASE_LOCKING}
+        resolution = detector.resolve([(T1, T2), (T2, T1)], protocols)
+        assert resolution.victims == [T2]
+        assert resolution.phantom_cycles == []

@@ -3,9 +3,16 @@
 import pytest
 
 from repro.analysis.replications import SimulationTask
-from repro.common.config import ProtocolMix, SystemConfig, WorkloadConfig
+from repro.common.config import (
+    DriftConfig,
+    DriftSegment,
+    ProtocolMix,
+    SystemConfig,
+    WorkloadConfig,
+)
 from repro.common.protocol_names import Protocol
 from repro.store import canonical_value, task_key, task_payload
+from repro.workload.scenarios import get_scenario
 
 
 @pytest.fixture(scope="module")
@@ -95,6 +102,105 @@ class TestTaskKey:
             workload=base_task.workload.with_overrides(protocol_mix=backward),
         )
         assert task_key(first) == task_key(second)
+
+
+def _adaptive_drift_task() -> SimulationTask:
+    """A fully pinned E9-style task: drifting workload + adaptive selection."""
+    return SimulationTask(
+        system=SystemConfig(num_sites=2, num_items=16, seed=3),
+        workload=WorkloadConfig(
+            arrival_rate=20.0,
+            num_transactions=10,
+            drift=DriftConfig(
+                mode="smooth",
+                segments=(
+                    DriftSegment(at=0.3, hotspot_probability=0.6, hotspot_center=0.2),
+                    DriftSegment(at=0.7, hotspot_center=0.8),
+                ),
+            ),
+            seed=4,
+        ),
+        dynamic_selection=True,
+        selection_mode="adaptive",
+    )
+
+
+class TestAdaptiveDriftKeys:
+    """E9 configurations must key distinctly and stably."""
+
+    #: Golden digest of ``_adaptive_drift_task()``.  If this assertion ever
+    #: fails, the canonical task encoding changed: bump ``KEY_SCHEMA`` so
+    #: stale stores invalidate themselves, then re-pin.
+    GOLDEN_KEY = "06a8cfeac052da4dc0e4fc617039b75ad3b20c829d5429acca0a84dfc22ffd03"
+
+    def test_adaptive_drift_key_is_stable_across_processes(self):
+        assert task_key(_adaptive_drift_task()) == self.GOLDEN_KEY
+
+    def test_selection_modes_key_distinctly(self):
+        base = _adaptive_drift_task()
+        keys = {
+            task_key(
+                SimulationTask(
+                    system=base.system,
+                    workload=base.workload,
+                    dynamic_selection=True,
+                    selection_mode=mode,
+                )
+            )
+            for mode in (None, "cumulative", "adaptive", "frozen")
+        }
+        assert len(keys) == 4
+
+    def test_drift_schedule_changes_the_key(self):
+        base = _adaptive_drift_task()
+        stationary = SimulationTask(
+            system=base.system,
+            workload=base.workload.with_overrides(drift=None),
+            dynamic_selection=True,
+            selection_mode="adaptive",
+        )
+        assert task_key(stationary) != task_key(base)
+
+    def test_drift_segment_values_change_the_key(self):
+        base = _adaptive_drift_task()
+        nudged = SimulationTask(
+            system=base.system,
+            workload=base.workload.with_overrides(
+                drift=DriftConfig(
+                    mode="smooth",
+                    segments=(
+                        DriftSegment(at=0.3, hotspot_probability=0.7, hotspot_center=0.2),
+                        DriftSegment(at=0.7, hotspot_center=0.8),
+                    ),
+                )
+            ),
+            dynamic_selection=True,
+            selection_mode="adaptive",
+        )
+        assert task_key(nudged) != task_key(base)
+
+    def test_drift_payload_round_trips_through_json(self):
+        import json
+
+        payload = task_payload(_adaptive_drift_task())
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_registered_drift_scenarios_key_distinctly_per_mode(self):
+        keys = set()
+        for name in ("hotspot-migration", "mix-flip", "load-ramp"):
+            scenario = get_scenario(name)
+            for mode in ("adaptive", "frozen"):
+                keys.add(
+                    task_key(
+                        SimulationTask(
+                            system=scenario.system,
+                            workload=scenario.workload,
+                            dynamic_selection=True,
+                            selection_mode=mode,
+                        )
+                    )
+                )
+        assert len(keys) == 6
 
 
 class TestCanonicalValue:

@@ -129,6 +129,20 @@ class TestSweepCommand:
         assert exit_code == 0
         assert "switching" in capsys.readouterr().out
 
+    def test_e9_sweep(self, capsys):
+        exit_code = main(
+            [
+                "sweep",
+                "--experiment", "e9",
+                "--scenarios", "mix-flip",
+                "--transactions", "40",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "post_drift_mean_system_time" in out
+        assert "adaptive" in out and "frozen" in out
+
     def test_sweep_with_jobs_matches_serial_output(self, capsys):
         argv = [
             "sweep",
@@ -183,7 +197,7 @@ class TestScenarioCommand:
     @pytest.mark.parametrize(
         "name",
         ["zipf-hotspot", "read-mostly-analytics", "bursty-arrivals", "site-skewed",
-         "bimodal-churn"],
+         "bimodal-churn", "hotspot-migration", "mix-flip", "load-ramp"],
     )
     def test_named_scenarios_run_serializable(self, name, capsys):
         exit_code = main(
@@ -200,6 +214,29 @@ class TestScenarioCommand:
         serial_out = capsys.readouterr().out
         assert main(argv + ["--jobs", "2"]) == 0
         assert capsys.readouterr().out == serial_out
+
+    def test_scenario_windows_file(self, tmp_path, capsys):
+        path = tmp_path / "windows.txt"
+        argv = [
+            "scenario", "mix-flip",
+            "--transactions", "40",
+            "--replications", "2",
+            "--windows", str(path),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        content = path.read_text(encoding="utf-8")
+        assert "mix-flip · replication 0" in content
+        assert "mix-flip · replication 1" in content
+        assert "restart_probability" in content and "share_2PL" in content
+
+    def test_scenario_windows_file_byte_identical_across_jobs(self, tmp_path, capsys):
+        serial, parallel = tmp_path / "serial.txt", tmp_path / "parallel.txt"
+        base = ["scenario", "load-ramp", "--transactions", "40", "--replications", "2"]
+        assert main(base + ["--windows", str(serial)]) == 0
+        assert main(base + ["--jobs", "2", "--windows", str(parallel)]) == 0
+        capsys.readouterr()
+        assert serial.read_bytes() == parallel.read_bytes()
 
 
 class TestStoreFlags:

@@ -136,3 +136,72 @@ class TestThroughputPerCopy:
         metrics.record_commit(outcome(1, commit=1.0))
         assert metrics.average_read_throughput() == pytest.approx(0.5)
         assert metrics.average_write_throughput() == pytest.approx(0.5)
+
+
+class TestWindowedSeries:
+    def test_empty_collector_has_no_windows(self):
+        assert MetricsCollector().windowed_series() == []
+
+    def test_width_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MetricsCollector().windowed_series(width=0.0)
+
+    def test_commits_bucket_by_commit_time(self):
+        metrics = MetricsCollector()
+        metrics.record_commit(outcome(1, Protocol.TWO_PHASE_LOCKING, 0.0, 0.5))
+        metrics.record_commit(outcome(2, Protocol.TWO_PHASE_LOCKING, 0.0, 1.5))
+        metrics.record_commit(outcome(3, Protocol.TIMESTAMP_ORDERING, 2.0, 5.5))
+        series = metrics.windowed_series(width=2.0)
+        assert [row["committed"] for row in series] == [2, 0, 1]
+        assert series[0]["start"] == 0.0 and series[0]["end"] == 2.0
+        assert series[1]["committed"] == 0
+        assert series[1]["mean_system_time"] == 0.0
+
+    def test_window_mean_and_restart_probability(self):
+        metrics = MetricsCollector()
+        metrics.record_commit(outcome(1, Protocol.TWO_PHASE_LOCKING, 0.0, 1.0, restarts=1))
+        metrics.record_commit(outcome(2, Protocol.TWO_PHASE_LOCKING, 0.0, 1.5))
+        (row,) = metrics.windowed_series(width=2.0)
+        assert row["mean_system_time"] == pytest.approx(1.25)
+        # 1 abort over 3 attempts (two commits plus one restart).
+        assert row["restart_probability"] == pytest.approx(1 / 3)
+
+    def test_protocol_shares_sum_to_one_per_nonempty_window(self):
+        metrics = MetricsCollector()
+        metrics.record_commit(outcome(1, Protocol.TWO_PHASE_LOCKING, 0.0, 0.5))
+        metrics.record_commit(outcome(2, Protocol.TIMESTAMP_ORDERING, 0.0, 0.6))
+        metrics.record_commit(outcome(3, Protocol.PRECEDENCE_AGREEMENT, 0.0, 0.7))
+        metrics.record_commit(outcome(4, Protocol.PRECEDENCE_AGREEMENT, 0.0, 0.8))
+        (row,) = metrics.windowed_series(width=1.0)
+        assert row["share_2PL"] == pytest.approx(0.25)
+        assert row["share_T/O"] == pytest.approx(0.25)
+        assert row["share_PA"] == pytest.approx(0.5)
+
+    def test_series_is_json_pure(self):
+        import json
+
+        metrics = MetricsCollector()
+        metrics.record_commit(outcome(1, Protocol.TWO_PHASE_LOCKING, 0.0, 3.0))
+        series = metrics.windowed_series()
+        assert json.loads(json.dumps(series)) == series
+
+
+class TestPostDriftMean:
+    def test_cut_is_on_arrival_time(self):
+        metrics = MetricsCollector()
+        metrics.record_commit(outcome(1, Protocol.TWO_PHASE_LOCKING, arrival=0.0, commit=9.0))
+        metrics.record_commit(outcome(2, Protocol.TWO_PHASE_LOCKING, arrival=5.0, commit=7.0))
+        # The first transaction commits after the boundary but arrived before
+        # it, so only the second counts.
+        assert metrics.mean_system_time_after(4.0) == pytest.approx(2.0)
+
+    def test_boundary_zero_covers_everything(self):
+        metrics = MetricsCollector()
+        metrics.record_commit(outcome(1, Protocol.TWO_PHASE_LOCKING, 0.0, 2.0))
+        metrics.record_commit(outcome(2, Protocol.TWO_PHASE_LOCKING, 1.0, 5.0))
+        assert metrics.mean_system_time_after(0.0) == pytest.approx(3.0)
+
+    def test_no_matching_transactions_yields_zero(self):
+        metrics = MetricsCollector()
+        metrics.record_commit(outcome(1, Protocol.TWO_PHASE_LOCKING, 0.0, 2.0))
+        assert metrics.mean_system_time_after(10.0) == 0.0

@@ -9,7 +9,7 @@ Fails (exit 1) when the source tree's documentation references drift:
 2. **Experiment ids** — every ``E<n>`` id cited in an experiment context
    (a line that also mentions ``experiment``/``DESIGN``, or a
    ``bench_e<n>_*.py`` file name) must be defined in DESIGN.md's index.
-   Ranges like ``E1-E8`` / ``E1–E8`` are expanded.  Ids such as the
+   Ranges like ``E1-E9`` / ``E1–E9`` are expanded.  Ids such as the
    paper's *condition* (E1)/(E2) are out of scope and ignored.
 3. **CLI experiment choices** — the ids accepted by
    ``python -m repro.cli sweep --experiment`` must match DESIGN.md's index
@@ -20,12 +20,17 @@ Fails (exit 1) when the source tree's documentation references drift:
    ``README.md`` or ``DESIGN.md`` must resolve to a module under ``src/``
    (a trailing attribute such as ``repro.store.task_key`` is allowed, but
    the module part must exist).
+6. **Docstring coverage** — every public module, class, function and method
+   in ``src/repro/`` must carry a docstring; coverage below
+   ``DOCSTRING_COVERAGE_THRESHOLD`` fails, and each undocumented item is
+   listed individually.
 
 Run from anywhere; the repository root is derived from this file.
 """
 
 from __future__ import annotations
 
+import ast
 import re
 import sys
 from pathlib import Path
@@ -216,6 +221,62 @@ def check_module_references(errors: List[str]) -> None:
                 )
 
 
+#: Minimum fraction of public definitions in ``src/repro/`` that must carry a
+#: docstring.  Held at 1.0: every public module/class/function is documented,
+#: and the generated API reference (``make api-docs``) depends on it.
+DOCSTRING_COVERAGE_THRESHOLD = 1.0
+
+
+def iter_public_definitions(tree: ast.Module) -> Iterable[Tuple[str, int, bool]]:
+    """``(qualified name, line, documented)`` for each public def/class in ``tree``.
+
+    Public means every path component lacks a leading underscore; nested
+    definitions inside functions are out of scope (they are implementation
+    detail, not API).
+    """
+
+    def visit(node: ast.AST, prefix: str) -> Iterable[Tuple[str, int, bool]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                if child.name.startswith("_"):
+                    continue
+                qualified = f"{prefix}{child.name}"
+                yield qualified, child.lineno, ast.get_docstring(child) is not None
+                if isinstance(child, ast.ClassDef):
+                    yield from visit(child, qualified + ".")
+
+    yield from visit(tree, "")
+
+
+def check_docstring_coverage(errors: List[str]) -> None:
+    """Docstring-coverage gate over every public definition in ``src/repro``."""
+    package = ROOT / "src" / "repro"
+    total = 0
+    documented = 0
+    undocumented: List[str] = []
+    for path in sorted(package.rglob("*.py")):
+        relative = path.relative_to(ROOT)
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        total += 1
+        if ast.get_docstring(tree) is not None:
+            documented += 1
+        else:
+            undocumented.append(f"{relative}:1: module docstring missing")
+        for name, line, has_doc in iter_public_definitions(tree):
+            total += 1
+            if has_doc:
+                documented += 1
+            else:
+                undocumented.append(f"{relative}:{line}: {name} is undocumented")
+    coverage = documented / total if total else 1.0
+    if coverage < DOCSTRING_COVERAGE_THRESHOLD:
+        errors.append(
+            f"docstring coverage {documented}/{total} ({coverage:.1%}) is below the "
+            f"{DOCSTRING_COVERAGE_THRESHOLD:.0%} threshold"
+        )
+        errors.extend(f"  {item}" for item in undocumented)
+
+
 def main() -> int:
     errors: List[str] = []
     for required in ("README.md", "DESIGN.md"):
@@ -226,6 +287,7 @@ def main() -> int:
     check_cli_choices(errors)
     check_scenario_examples(errors)
     check_module_references(errors)
+    check_docstring_coverage(errors)
     if errors:
         print("check-docs: FAILED")
         for error in errors:
