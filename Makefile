@@ -23,9 +23,11 @@ check-api-docs:
 bench-gate:
 	$(PY) tools/check_bench.py
 
-## hot-path + store micros as plain tests (no timing) — fast sanity check
+## hot-path + store micros and the E10 availability experiment as plain
+## tests (no timing) — fast sanity check
 bench-smoke:
-	$(PY) -m pytest benchmarks/bench_micro_hotpaths.py benchmarks/bench_store.py -q --benchmark-disable
+	$(PY) -m pytest benchmarks/bench_micro_hotpaths.py benchmarks/bench_store.py \
+		benchmarks/bench_e10_availability.py -q --benchmark-disable
 
 ## full pytest-benchmark run of the hot-path micros
 bench:

@@ -268,8 +268,21 @@ def reference_topological_order(graph: ConflictGraph) -> Optional[List[Transacti
     return order
 
 
-def reference_check_serializable(log: ExecutionLog) -> SerializabilityReport:
-    """Seed oracle: all-pairs conflict graph + list-based Kahn."""
+def reference_check_serializable(
+    log: ExecutionLog, committed_attempts=None
+) -> SerializabilityReport:
+    """Seed oracle: all-pairs conflict graph + list-based Kahn.
+
+    Accepts the optional committed-attempt filter the production oracle
+    grew for the fault model, applying the shared :func:`committed_view`
+    (the filter is a plain projection, not part of the algorithm under A/B
+    comparison; fault-free harness runs pass a mapping that filters
+    nothing).
+    """
+    if committed_attempts is not None:
+        from repro.core.serializability import committed_view
+
+        log = committed_view(log, committed_attempts)
     graph = reference_conflict_graph(log)
     order = reference_topological_order(graph)
     if order is not None:

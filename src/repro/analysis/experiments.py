@@ -1,4 +1,4 @@
-"""Experiment definitions E1-E9 (see DESIGN.md for the index).
+"""Experiment definitions E1-E10 (see DESIGN.md for the index).
 
 Each function runs one of the paper's evaluation scenarios and returns a list
 of flat row dictionaries so that benchmarks, examples and the tables under
@@ -22,6 +22,8 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import dataclasses
+
 from repro.analysis.replications import SimulationTask, run_tasks
 from repro.store import ResultStore
 from repro.common.config import ProtocolMix, SystemConfig, WorkloadConfig
@@ -33,6 +35,10 @@ from repro.workload.scenarios import get_scenario
 #: Drift scenarios E9 runs by default (all registered in
 #: :mod:`repro.workload.scenarios`).
 DRIFT_SCENARIOS = ("hotspot-migration", "mix-flip", "load-ramp")
+
+#: Fault scenarios E10 runs by default (all registered in
+#: :mod:`repro.workload.scenarios`).
+FAULT_SCENARIOS = ("site-blackout", "flaky-links", "crash-storm")
 
 _ALL_PROTOCOLS = (
     Protocol.TWO_PHASE_LOCKING,
@@ -376,6 +382,95 @@ def protocol_switching_ablation(
                 "protocol_switches": summary["protocol_switches"],
                 "committed": summary["committed"],
                 "serializable": summary["serializable"],
+            }
+        )
+    return rows
+
+
+def availability_experiment(
+    scenarios: Sequence[str] = FAULT_SCENARIOS,
+    *,
+    commit_protocols: Sequence[str] = ("one-phase", "two-phase"),
+    protocols: Sequence[Protocol] = _ALL_PROTOCOLS,
+    transactions: Optional[int] = None,
+    seeds: Sequence[int] = (0, 1, 2),
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    force: bool = False,
+) -> List[Dict[str, object]]:
+    """E10: throughput/availability and write-all atomicity under site failures.
+
+    For every registered fault scenario the driver races each concurrency
+    protocol under each commit layer.  Beyond the usual performance columns,
+    every row reports the fault-tolerance verdicts: ``atomic`` (the replica
+    audit found no half-applied write-all), ``lost_writes`` (write-all
+    members silently dropped at crashed sites), ``serializable``, the
+    commit-round accounting (mean commit latency, mean blocked-in-doubt
+    time, aborted rounds), and the per-phase message counts of the 2PC
+    traffic.  Two-phase commit must keep every row atomic and serializable
+    across the injected crashes; one-phase commit demonstrably loses
+    atomicity (lost writes / divergent replicas) or availability (timeout
+    churn) — the claim the E10 benchmark asserts.  Values are averaged (or
+    summed, for counts) over ``seeds`` replications; every (scenario,
+    commit, protocol, seed) combination is one task, so ``jobs`` parallelism
+    and the result store apply per point.
+    """
+    tasks: List[SimulationTask] = []
+    labels: List[Tuple[str, str, str]] = []
+    for name in scenarios:
+        scenario = get_scenario(name).configured(transactions=transactions)
+        for commit_name in commit_protocols:
+            commit = dataclasses.replace(scenario.system.commit, protocol=commit_name)
+            for protocol in protocols:
+                for seed in seeds:
+                    tasks.append(
+                        SimulationTask(
+                            system=scenario.system.with_overrides(
+                                seed=scenario.system.seed + seed, commit=commit
+                            ),
+                            workload=scenario.workload.with_overrides(
+                                seed=scenario.workload.seed + seed
+                            ),
+                            protocol=protocol,
+                        )
+                    )
+                labels.append((name, commit_name, str(protocol)))
+    summaries = run_tasks(tasks, jobs=jobs, store=store, force=force)
+
+    def seed_mean(group: Sequence[Dict[str, object]], key: str) -> float:
+        return sum(float(summary[key]) for summary in group) / len(group)
+
+    def seed_sum(group: Sequence[Dict[str, object]], key: str) -> int:
+        return sum(int(summary[key]) for summary in group)
+
+    rows: List[Dict[str, object]] = []
+    per_label = len(seeds)
+    for index, (name, commit_name, policy) in enumerate(labels):
+        group = summaries[index * per_label : (index + 1) * per_label]
+        commit_traffic = sum(
+            sum(summary["commit_messages"].values()) for summary in group
+        )
+        rows.append(
+            {
+                "scenario": name,
+                "commit": commit_name,
+                "protocol": policy,
+                "committed": seed_sum(group, "committed"),
+                "availability": seed_mean(group, "availability"),
+                "mean_system_time": seed_mean(group, "mean_system_time"),
+                "throughput": seed_mean(group, "throughput"),
+                "restarts": seed_sum(group, "restarts"),
+                "timeout_restarts": seed_sum(group, "timeout_restarts"),
+                "commit_aborts": seed_sum(group, "commit_aborts"),
+                "mean_commit_latency": seed_mean(group, "mean_commit_latency"),
+                "mean_in_doubt_time": seed_mean(group, "mean_in_doubt_time"),
+                "commit_messages": commit_traffic,
+                "crashes": seed_sum(group, "crashes"),
+                "messages_dropped": seed_sum(group, "messages_dropped"),
+                "lost_writes": seed_sum(group, "lost_writes"),
+                "divergent_items": seed_sum(group, "replica_divergent_items"),
+                "atomic": all(bool(summary["atomic"]) for summary in group),
+                "serializable": all(bool(summary["serializable"]) for summary in group),
             }
         )
     return rows

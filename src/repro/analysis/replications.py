@@ -46,6 +46,10 @@ AGGREGATED_METRICS = (
     "messages_per_transaction",
 )
 
+#: Message kinds of the two-phase commit rounds, reported per run so the
+#: E10 tables can quote the per-phase communication cost.
+COMMIT_MESSAGE_KINDS = ("prepare", "vote", "decide", "status_query", "status_reply")
+
 
 # --------------------------------------------------------------------------- #
 # The parallel execution engine
@@ -82,6 +86,9 @@ def summarize_run(result: RunResult) -> Dict[str, object]:
     """
     row = result.summary()
     row["deadlocks_found"] = result.deadlocks_found
+    row["commit_messages"] = {
+        kind: result.messages_by_kind.get(kind, 0) for kind in COMMIT_MESSAGE_KINDS
+    }
     row["windowed"] = result.metrics.windowed_series()
     row["drift_boundaries"] = list(result.drift_boundaries)
     settled = result.drift_boundaries[-1] if result.drift_boundaries else 0.0

@@ -9,7 +9,7 @@ Four subcommands are provided::
 
 ``run`` executes a single workload under one protocol (or the dynamic
 selector) and prints the result summary; ``sweep`` regenerates one of the
-experiments of DESIGN.md's index (E1-E9) with configurable parameters and
+experiments of DESIGN.md's index (E1-E10) with configurable parameters and
 prints the result table; ``scenario`` runs a named end-to-end workload
 profile from the registry in :mod:`repro.workload.scenarios` (``--list``
 shows them all; ``--windows PATH`` additionally writes the per-window
@@ -35,6 +35,8 @@ from typing import Optional, Sequence
 
 from repro.analysis.experiments import (
     DRIFT_SCENARIOS,
+    FAULT_SCENARIOS,
+    availability_experiment,
     correctness_audit,
     drift_adaptation_experiment,
     dynamic_vs_static,
@@ -52,14 +54,15 @@ from repro.analysis.tables import (
     store_rows,
     windowed_table,
 )
-from repro.common.config import SystemConfig, WorkloadConfig
+from repro.commit import commit_protocol_names
+from repro.common.config import CommitConfig, SystemConfig, WorkloadConfig
 from repro.common.errors import ConfigurationError
 from repro.store import ResultStore
 from repro.system.runner import run_simulation
 from repro.workload.scenarios import all_scenarios, get_scenario
 
 #: Experiment ids accepted by ``sweep``; must match DESIGN.md's index.
-EXPERIMENT_IDS = ("e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9")
+EXPERIMENT_IDS = ("e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10")
 
 #: Default transaction count of ``run``/``sweep`` when ``--transactions``
 #: is not given (E9 instead falls back to each scenario's own size).
@@ -95,7 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--experiment",
         choices=list(EXPERIMENT_IDS),
         required=True,
-        help="experiment id from the DESIGN.md index (E1-E9)",
+        help="experiment id from the DESIGN.md index (E1-E10)",
     )
     sweep_parser.add_argument(
         "--rates",
@@ -114,9 +117,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--scenarios",
         nargs="+",
-        default=list(DRIFT_SCENARIOS),
+        default=None,
         metavar="NAME",
-        help="drift scenarios for e9 (default: the registered drift suite)",
+        help=(
+            "scenarios for e9/e10 (defaults: the registered drift suite "
+            f"{', '.join(DRIFT_SCENARIOS)} for e9; the fault suite "
+            f"{', '.join(FAULT_SCENARIOS)} for e10)"
+        ),
     )
     _add_jobs_argument(sweep_parser)
     _add_store_arguments(sweep_parser)
@@ -238,6 +245,13 @@ def _add_system_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="switch a transaction to PA after this many aborts (future-work item 4)",
     )
+    parser.add_argument(
+        "--commit",
+        choices=list(commit_protocol_names()),
+        default="one-phase",
+        help="atomic-commit layer (one-phase: the paper's implicit commit; "
+        "two-phase: presumed-nothing 2PC)",
+    )
 
 
 def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
@@ -278,6 +292,7 @@ def _system_from_args(args: argparse.Namespace) -> SystemConfig:
         restart_delay=args.restart_delay,
         semi_locks_enabled=not args.no_semi_locks,
         protocol_switch_threshold=args.switch_after,
+        commit=CommitConfig(protocol=args.commit),
         seed=args.seed,
     )
 
@@ -378,7 +393,17 @@ def _command_sweep(args: argparse.Namespace) -> int:
         # E9 runs the registered drift scenarios; the generic system /
         # workload flags do not apply (each scenario carries its own).
         rows = drift_adaptation_experiment(
-            tuple(args.scenarios),
+            tuple(args.scenarios) if args.scenarios else DRIFT_SCENARIOS,
+            transactions=args.transactions,
+            jobs=jobs,
+            store=store,
+            force=force,
+        )
+    elif args.experiment == "e10":
+        # E10 runs the registered fault scenarios under both commit layers;
+        # like e9, each scenario carries its own system and workload.
+        rows = availability_experiment(
+            tuple(args.scenarios) if args.scenarios else FAULT_SCENARIOS,
             transactions=args.transactions,
             jobs=jobs,
             store=store,

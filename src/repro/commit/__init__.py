@@ -1,0 +1,44 @@
+"""Pluggable atomic-commit layer: one-phase (implicit) and two-phase commit.
+
+See :mod:`repro.commit.base` for the interface and registry,
+:mod:`repro.commit.one_phase` / :mod:`repro.commit.two_phase` for the two
+built-in protocols, :mod:`repro.commit.participant` for the per-site 2PC
+participant actor, and :mod:`repro.commit.audit` for the write-all
+atomicity audit.
+"""
+
+from repro.commit.audit import ReplicaReport, check_replica_convergence
+from repro.commit.base import (
+    CommitProtocol,
+    commit_protocol_names,
+    create_commit_protocol,
+    register_commit_protocol,
+)
+from repro.commit.messages import (
+    DecisionMessage,
+    PrepareRequest,
+    StatusQuery,
+    StatusReply,
+    VoteMessage,
+)
+from repro.commit.one_phase import OnePhaseCommit
+from repro.commit.participant import CommitParticipantActor, commit_participant_name
+from repro.commit.two_phase import TwoPhaseCommit
+
+__all__ = [
+    "CommitProtocol",
+    "CommitParticipantActor",
+    "DecisionMessage",
+    "OnePhaseCommit",
+    "PrepareRequest",
+    "ReplicaReport",
+    "StatusQuery",
+    "StatusReply",
+    "TwoPhaseCommit",
+    "VoteMessage",
+    "check_replica_convergence",
+    "commit_participant_name",
+    "commit_protocol_names",
+    "create_commit_protocol",
+    "register_commit_protocol",
+]

@@ -1,0 +1,58 @@
+"""Write-all atomicity audit: do an item's copies agree after the run?
+
+The serializability oracle checks the *order* of implemented operations;
+this audit checks the *values*: under read-one/write-all, every copy of a
+logical item must hold the same value once the run has drained.  A
+half-applied write-all — the failure mode of one-phase commit under site
+crashes — leaves copies divergent, which no ordering check can see when
+the lost write simply never reached the crashed copy's log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.common.ids import ItemId
+from repro.storage.catalog import ReplicaCatalog
+from repro.storage.store import ValueStore
+
+
+@dataclass(frozen=True)
+class ReplicaReport:
+    """Outcome of the replica-convergence audit."""
+
+    checked_items: int
+    divergent_items: Tuple[ItemId, ...]
+
+    @property
+    def convergent(self) -> bool:
+        """Whether every item's copies ended the run with one agreed value."""
+        return not self.divergent_items
+
+
+def check_replica_convergence(
+    value_store: ValueStore, catalog: ReplicaCatalog
+) -> ReplicaReport:
+    """Compare every replicated item's copies: final values *and* write counts.
+
+    Items with a single copy are trivially convergent and skipped.  An item
+    is divergent when its copies ended the run with different values, or
+    received a different number of committed writes — the latter catches a
+    half-applied write-all even when a later complete write-all happened to
+    make the final values agree again.
+    """
+    divergent = []
+    checked = 0
+    for item in range(catalog.num_items):
+        copies = catalog.copies_of(item)
+        if len(copies) < 2:
+            continue
+        checked += 1
+        values = [value_store.read(copy) for copy in copies]
+        counts = [value_store.write_count(copy) for copy in copies]
+        if any(value != values[0] for value in values[1:]) or any(
+            count != counts[0] for count in counts[1:]
+        ):
+            divergent.append(item)
+    return ReplicaReport(checked_items=checked, divergent_items=tuple(divergent))

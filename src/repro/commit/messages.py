@@ -1,0 +1,73 @@
+"""Typed payloads of the two-phase commit message rounds.
+
+The message kinds mirror tippers-commit style coordinator/participant
+traffic: ``prepare`` and ``decide`` flow coordinator to participant,
+``vote`` flows back, and ``status_query`` / ``status_reply`` implement the
+presumed-nothing recovery round a participant runs for in-doubt
+transactions after its site recovers.  All payloads carry the attempt
+number so a late message from a superseded commit round can never be
+mistaken for the current one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+from repro.common.ids import CopyId, SiteId, TransactionId
+from repro.core.requests import Request
+from repro.storage.log import CommitDecision
+
+
+@dataclass(frozen=True)
+class PrepareRequest:
+    """Coordinator to participant: please vote on committing this attempt.
+
+    ``requests`` are the transaction's granted physical requests whose
+    copies live at the participant's site (the participant re-verifies the
+    locks and, after a crash, restores them from its log); ``writes`` maps
+    each local copy to the value a commit decision must install.
+    """
+
+    transaction: TransactionId
+    attempt: int
+    coordinator: str
+    requests: Tuple[Request, ...]
+    writes: Dict[CopyId, Any]
+
+
+@dataclass(frozen=True)
+class VoteMessage:
+    """Participant to coordinator: yes (prepared and logged) or no."""
+
+    transaction: TransactionId
+    attempt: int
+    site: SiteId
+    commit: bool
+
+
+@dataclass(frozen=True)
+class DecisionMessage:
+    """Coordinator to participant: the logged commit/abort decision."""
+
+    transaction: TransactionId
+    attempt: int
+    decision: CommitDecision
+
+
+@dataclass(frozen=True)
+class StatusQuery:
+    """Recovered participant to coordinator: what happened to this attempt?"""
+
+    transaction: TransactionId
+    attempt: int
+    reply_to: str
+
+
+@dataclass(frozen=True)
+class StatusReply:
+    """Coordinator's answer to a :class:`StatusQuery` (always a final decision)."""
+
+    transaction: TransactionId
+    attempt: int
+    decision: CommitDecision

@@ -1,0 +1,203 @@
+"""The two-phase commit participant: one crashable actor per site.
+
+The participant fronts its site's data layer for the commit protocol:
+
+* on ``prepare`` it re-verifies the transaction's local locks against the
+  site's queue managers, durably logs a
+  :class:`~repro.storage.log.PreparedRecord` (write-ahead: the record hits
+  the log *before* the yes vote leaves the site), and votes;
+* on ``decide`` it applies the pending writes to the local copies (commit)
+  and then releases — or aborts — exactly the prepared attempt's locks at
+  the local queue managers, so a write is always installed before the lock
+  that guards it falls;
+* after a site recovery it restores the locks of every in-doubt record
+  (2PC recovery re-acquires prepared transactions' locks before the site
+  takes new work) and asks each record's coordinator for the verdict with a
+  ``status_query``.
+
+The participant is ``crashable``: while its site is down the network drops
+everything addressed to it, and the in-doubt state it comes back with is
+precisely what its durable commit log says.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.commit.messages import (
+    DecisionMessage,
+    PrepareRequest,
+    StatusQuery,
+    StatusReply,
+    VoteMessage,
+)
+from repro.common.errors import SimulationError
+from repro.common.ids import CopyId, SiteId
+from repro.core.queue_manager import QueueManager
+from repro.sim.actor import Actor, Message
+from repro.sim.network import Network
+from repro.sim.simulator import Simulator
+from repro.storage.log import CommitDecision, PreparedRecord, SiteCommitLog
+from repro.storage.store import ValueStore
+from repro.system.metrics import MetricsCollector
+from repro.system.queue_manager_actor import queue_manager_name
+
+
+def commit_participant_name(site: SiteId) -> str:
+    """Network name of the commit-participant actor at ``site``."""
+    return f"cp-{site}"
+
+
+class CommitParticipantActor(Actor):
+    """Votes on, applies, and recovers two-phase commits for one site."""
+
+    crashable = True
+
+    def __init__(
+        self,
+        site: SiteId,
+        simulator: Simulator,
+        network: Network,
+        metrics: MetricsCollector,
+        value_store: ValueStore,
+        managers: Dict[CopyId, QueueManager],
+        commit_log: SiteCommitLog,
+    ) -> None:
+        super().__init__(name=commit_participant_name(site), site=site)
+        self._simulator = simulator
+        self._network = network
+        self._metrics = metrics
+        self._value_store = value_store
+        self._managers = dict(managers)
+        self._log = commit_log
+        self._recoveries = 0
+
+    @property
+    def commit_log(self) -> SiteCommitLog:
+        """The durable commit log backing this participant."""
+        return self._log
+
+    @property
+    def recoveries(self) -> int:
+        """Number of site recoveries this participant has run its protocol for."""
+        return self._recoveries
+
+    # ---------------------------------------------------------------- #
+    # Message handling
+    # ---------------------------------------------------------------- #
+
+    def handle(self, message: Message) -> None:
+        """Dispatch one inbound commit-protocol message."""
+        if message.kind == "prepare":
+            self._on_prepare(message.payload)
+        elif message.kind == "decide":
+            self._on_decide(message.payload)
+        elif message.kind == "status_reply":
+            self._on_status_reply(message.payload)
+        else:
+            raise SimulationError(
+                f"commit participant received unknown message kind {message.kind!r}"
+            )
+
+    def _on_prepare(self, prepare: PrepareRequest) -> None:
+        now = self._simulator.now
+        verified = all(
+            self._managers[request.copy].holds_granted_lock(request.request_id)
+            for request in prepare.requests
+        )
+        if verified:
+            self._log.log_prepared(
+                PreparedRecord(
+                    transaction=prepare.transaction,
+                    attempt=prepare.attempt,
+                    coordinator=prepare.coordinator,
+                    requests=prepare.requests,
+                    writes=dict(prepare.writes),
+                    prepared_at=now,
+                )
+            )
+        self._network.send(
+            self,
+            prepare.coordinator,
+            "vote",
+            VoteMessage(
+                transaction=prepare.transaction,
+                attempt=prepare.attempt,
+                site=self.site,
+                commit=verified,
+            ),
+        )
+
+    def _on_decide(self, decision: DecisionMessage) -> None:
+        record = self._log.prepared_record(decision.transaction, decision.attempt)
+        if record is None or not record.in_doubt:
+            # Vote-no rounds log nothing here (the coordinator's abort path
+            # cleans the queue managers); duplicates resolve once.
+            return
+        self._resolve(record, decision.decision)
+
+    def _on_status_reply(self, reply: StatusReply) -> None:
+        record = self._log.prepared_record(reply.transaction, reply.attempt)
+        if record is None or not record.in_doubt:
+            return
+        self._resolve(record, reply.decision)
+
+    # ---------------------------------------------------------------- #
+    # Decision application and recovery
+    # ---------------------------------------------------------------- #
+
+    def _resolve(self, record: PreparedRecord, decision: CommitDecision) -> None:
+        """Apply a decision to one prepared record (writes first, locks after).
+
+        A commit releases through ``commit_release``, which honours the
+        semi-lock rule: a T/O lock still pre-scheduled at decision time is
+        downgraded and kept until it turns normal, so later 2PL/PA requests
+        cannot overtake the earlier conflicting operation it was ordered
+        behind.
+        """
+        now = self._simulator.now
+        record.decision = decision
+        record.decided_at = now
+        self._metrics.record_in_doubt_time(now - record.prepared_at)
+        if decision.is_commit:
+            for copy, value in record.writes.items():
+                self._value_store.write(copy, value, record.transaction, now)
+            kind = "commit_release"
+        else:
+            kind = "abort"
+        for request in record.requests:
+            self._network.send(
+                self,
+                queue_manager_name(request.copy),
+                kind,
+                (record.transaction, record.attempt),
+            )
+
+    def on_site_event(self, site: SiteId, now: float) -> None:
+        """Recovery listener: restore in-doubt locks, then ask the coordinators.
+
+        Wired to the fault injector's recovery notifications; events for
+        other sites are ignored.  Lock restoration happens synchronously at
+        the recovery instant — before any queued message can reach the
+        recovered queue managers — so no new transaction can slip past a
+        prepared one's write order.
+        """
+        if site != self.site:
+            return
+        in_doubt = self._log.in_doubt_records()
+        if not in_doubt:
+            return
+        self._recoveries += 1
+        for record in in_doubt:
+            for request in record.requests:
+                self._managers[request.copy].restore_lock(request, now)
+            self._network.send(
+                self,
+                record.coordinator,
+                "status_query",
+                StatusQuery(
+                    transaction=record.transaction,
+                    attempt=record.attempt,
+                    reply_to=self.name,
+                ),
+            )

@@ -34,6 +34,138 @@ class NetworkConfig:
 
 
 @dataclass(frozen=True)
+class CommitConfig:
+    """Atomic-commit layer selection and tuning.
+
+    Parameters
+    ----------
+    protocol:
+        Name of the commit protocol from the registry in
+        :mod:`repro.commit`: ``"one-phase"`` (commit is an implicit,
+        zero-cost side effect of the final release — the paper's base
+        system and the default) or ``"two-phase"`` (presumed-nothing 2PC
+        with prepare/vote/decide rounds and participant logging).
+    prepare_timeout:
+        Two-phase only: how long the coordinator waits for votes before
+        unilaterally deciding *abort*.  Bounds the time a transaction can
+        stay in the PREPARING state when a participant site is down.
+    """
+
+    protocol: str = "one-phase"
+    prepare_timeout: float = 1.0
+
+    def __post_init__(self) -> None:
+        # Imported lazily: repro.commit sits above this module in the layer
+        # map, and validating against the live registry (rather than a
+        # hardcoded copy of its names) keeps register_commit_protocol a real
+        # extension point.
+        from repro.commit.base import commit_protocol_names
+
+        names = commit_protocol_names()
+        if self.protocol not in names:
+            raise ConfigurationError(
+                f"unknown commit protocol {self.protocol!r}; "
+                f"choose one of {', '.join(names)}"
+            )
+        if self.prepare_timeout <= 0:
+            raise ConfigurationError("the prepare timeout must be positive")
+
+
+@dataclass(frozen=True)
+class SiteCrash:
+    """One scheduled site failure: ``site`` is down during ``[at, at + duration)``.
+
+    While down, the site's queue managers and commit participant receive no
+    messages (in-flight deliveries are dropped) and their volatile state —
+    lock tables and data queues — is lost; durable state (the commit log and
+    the value store) survives.  The site recovers at ``at + duration``.
+    """
+
+    site: int
+    at: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.site < 0:
+            raise ConfigurationError("a crash needs a non-negative site id")
+        if self.at < 0:
+            raise ConfigurationError("a crash cannot be scheduled in the past")
+        if self.duration <= 0:
+            raise ConfigurationError("a crash must have a positive duration")
+
+
+@dataclass(frozen=True)
+class DelaySpike:
+    """A transient message-delay spike on the inter-site links.
+
+    During ``[at, at + duration)`` every remote message matching the spike
+    pays ``multiplier`` times its sampled latency.  ``site=None`` hits every
+    remote link; a concrete site hits only links with that site as sender or
+    receiver (a congested or degraded access link).
+    """
+
+    at: float
+    duration: float
+    multiplier: float
+    site: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ConfigurationError("a delay spike cannot start in the past")
+        if self.duration <= 0:
+            raise ConfigurationError("a delay spike must have a positive duration")
+        if self.multiplier < 1.0:
+            raise ConfigurationError("a delay-spike multiplier must be at least 1")
+        if self.site is not None and self.site < 0:
+            raise ConfigurationError("a delay-spike site id must be non-negative")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Site-failure and link-degradation model for one run.
+
+    The fault timeline is fully determined by this configuration and the
+    system seed, so faulty runs stay deterministic and replayable.
+
+    Parameters
+    ----------
+    crashes:
+        Scheduled :class:`SiteCrash` windows.
+    crash_rate:
+        Rate (crashes per simulated time unit, per site) of additional
+        stochastic crashes; ``0`` disables them.
+    mean_repair_time:
+        Mean (exponential) downtime of a stochastic crash.
+    horizon:
+        Simulated time up to which stochastic crashes are generated.
+        Required (positive) when ``crash_rate > 0``.
+    spikes:
+        Scheduled :class:`DelaySpike` windows on the remote links.
+    request_timeout:
+        Coordinator-side watchdog: an attempt still waiting for grants
+        after this long is aborted and restarted.  Without it, a request
+        dropped at a crashed site would block its transaction forever.
+    """
+
+    crashes: Tuple[SiteCrash, ...] = ()
+    crash_rate: float = 0.0
+    mean_repair_time: float = 0.5
+    horizon: float = 0.0
+    spikes: Tuple[DelaySpike, ...] = ()
+    request_timeout: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.crash_rate < 0:
+            raise ConfigurationError("the stochastic crash rate must be non-negative")
+        if self.mean_repair_time <= 0:
+            raise ConfigurationError("the mean repair time must be positive")
+        if self.crash_rate > 0 and self.horizon <= 0:
+            raise ConfigurationError("stochastic crashes need a positive horizon")
+        if self.request_timeout <= 0:
+            raise ConfigurationError("the request timeout must be positive")
+
+
+@dataclass(frozen=True)
 class ProtocolMix:
     """Static assignment of protocols to transactions by probability.
 
@@ -123,6 +255,14 @@ class SystemConfig:
         switches to PA for its next attempt, which cannot be rejected or
         deadlocked and therefore bounds starvation.  ``None`` disables the
         feature (the paper's base system).
+    commit:
+        The atomic-commit layer (:class:`CommitConfig`).  The default
+        ``one-phase`` layer reproduces the paper's implicit commit
+        bit-identically; ``two-phase`` runs presumed-nothing 2PC.
+    faults:
+        Optional :class:`FaultConfig` site-failure model.  ``None`` (the
+        default) keeps every site up forever, exactly as before the fault
+        model existed.
     """
 
     num_sites: int = 4
@@ -137,6 +277,8 @@ class SystemConfig:
     semi_locks_enabled: bool = True
     timestamp_wait_enabled: bool = True
     protocol_switch_threshold: Optional[int] = None
+    commit: CommitConfig = field(default_factory=CommitConfig)
+    faults: Optional[FaultConfig] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -156,6 +298,19 @@ class SystemConfig:
             raise ConfigurationError("PA back-off interval must be positive")
         if self.protocol_switch_threshold is not None and self.protocol_switch_threshold < 1:
             raise ConfigurationError("protocol switch threshold must be at least 1 (or None)")
+        if self.faults is not None:
+            for crash in self.faults.crashes:
+                if crash.site >= self.num_sites:
+                    raise ConfigurationError(
+                        f"crash schedules site {crash.site}, "
+                        f"but only {self.num_sites} sites exist"
+                    )
+            for spike in self.faults.spikes:
+                if spike.site is not None and spike.site >= self.num_sites:
+                    raise ConfigurationError(
+                        f"delay spike targets site {spike.site}, "
+                        f"but only {self.num_sites} sites exist"
+                    )
 
     def with_overrides(self, **changes: object) -> "SystemConfig":
         """Return a copy with the given fields replaced (sweep helper)."""

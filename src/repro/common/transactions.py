@@ -21,13 +21,20 @@ from repro.common.protocol_names import Protocol
 
 
 class TransactionStatus(enum.Enum):
-    """Life-cycle of one transaction attempt as seen by its coordinator."""
+    """Life-cycle of one transaction attempt as seen by its coordinator.
+
+    The legal transitions form the explicit state machine enforced by
+    :meth:`repro.system.coordinator.RequestIssuerActor.transition`; the
+    ``PREPARING`` state exists only under the two-phase commit layer, while
+    one-phase commits jump straight from ``EXECUTING`` to ``COMMITTED``.
+    """
 
     PENDING = "pending"                # created, not yet arrived / issued
     REQUESTING = "requesting"          # requests sent, waiting for grants or back-offs
     BACKING_OFF = "backing-off"        # PA only: new timestamp broadcast, waiting again
     EXECUTING = "executing"            # all needed grants held, local computation running
-    COMMITTED = "committed"            # execution finished, releases sent
+    PREPARING = "preparing"            # 2PC only: prepare sent, waiting for votes
+    COMMITTED = "committed"            # commit decided, releases under way
     ABORTED = "aborted"                # rejected (T/O) or deadlock victim (2PL); will restart
     FINISHED = "finished"              # committed and fully cleaned up
 

@@ -91,6 +91,10 @@ class GrantedLock:
     pre_scheduled: bool = False
     normal_grant_sent: bool = True
     implemented: bool = False
+    #: Two-phase commit: the holder committed and released while this lock
+    #: was still pre-scheduled; the (downgraded) lock must be released the
+    #: moment it becomes normal instead of sending a normal-grant effect.
+    release_on_normal: bool = False
 
     def conflicts_with_mode(self, mode: LockMode) -> bool:
         """Whether this granted lock conflicts with a request for ``mode``."""

@@ -47,6 +47,7 @@ from repro.core.data_queue import DataQueue, EntryStatus, QueuedRequest
 from repro.core.deadlock import pack_transaction
 from repro.core.effects import BackoffIssued, Effect, GrantIssued, RequestRejected
 from repro.core.locks import GrantedLock, LockMode, LockTable
+from repro.core.precedence import Precedence
 from repro.core.protocols.base import DecisionKind, ProtocolPolicy, QueueStateView
 from repro.core.protocols.precedence_agreement import PrecedenceAgreementPolicy
 from repro.core.protocols.registry import default_policies
@@ -82,6 +83,7 @@ class QueueManager:
         self._grants_issued = 0
         self._rejections = 0
         self._backoffs = 0
+        self._crashes = 0
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -126,6 +128,21 @@ class QueueManager:
     def backoffs(self) -> int:
         """Number of PA back-offs issued so far."""
         return self._backoffs
+
+    @property
+    def crashes(self) -> int:
+        """Number of times this queue manager's site has crashed."""
+        return self._crashes
+
+    def holds_granted_lock(self, request_id) -> bool:
+        """Whether the granted, unreleased lock for ``request_id`` is still in place.
+
+        The two-phase commit participant's vote hinges on this: a site crash
+        wipes the volatile lock table, and a transaction whose lock vanished
+        can no longer be guaranteed its write order, so the participant must
+        vote *no* for it.
+        """
+        return request_id in self._locks
 
     def queue_entries(self) -> Tuple[QueuedRequest, ...]:
         """Current queue contents in precedence order (granted entries included)."""
@@ -225,14 +242,21 @@ class QueueManager:
         self._queue.resort()
         self._try_grant(now)
 
-    def release(self, transaction: TransactionId, now: float) -> None:
+    def release(
+        self, transaction: TransactionId, now: float, attempt: Optional[int] = None
+    ) -> None:
         """Release every lock ``transaction`` holds here and drop its queue entries.
 
         Operations that have not been implemented yet (no prior downgrade) are
         recorded as implemented at release time — the paper's definition of
-        the implementation instant for 2PL and PA operations.
+        the implementation instant for 2PL and PA operations.  With
+        ``attempt`` given only that attempt's entries are touched (used by the
+        two-phase commit participant, which releases exactly the attempt it
+        holds a prepared record for).
         """
         for entry in self._queue.entries_of(transaction):
+            if attempt is not None and entry.request_id.attempt != attempt:
+                continue
             if entry.granted and entry.lock is not None:
                 self._implement(entry.lock, now)
                 self._locks.release(entry.request_id)
@@ -258,24 +282,139 @@ class QueueManager:
         if changed:
             self._try_grant(now)
 
-    def abort(self, transaction: TransactionId, now: float) -> None:
+    def release_prepared(
+        self, transaction: TransactionId, now: float, attempt: Optional[int] = None
+    ) -> None:
+        """Release a committed 2PC attempt's locks, honouring the semi-lock rule.
+
+        Invoked by the commit participant when it applies a commit decision.
+        Normally-granted locks release immediately (implementing their
+        operations, exactly like :meth:`release`).  A T/O lock that is still
+        *pre-scheduled* — an earlier conflicting lock remains unreleased —
+        must not vanish yet: Section 4.2 rule 4 keeps it in place as a
+        semi-lock so later 2PL/PA requests cannot slip in front of the
+        not-yet-finished earlier operation (the inversion
+        ``examples/semilock_necessity.py`` demonstrates).  The operation is
+        implemented now (as the one-phase downgrade does), the lock is
+        downgraded, and it is flagged to auto-release the moment it becomes
+        normal — the participant has no reason to hold it a tick longer.
+        """
+        for entry in self._queue.entries_of(transaction):
+            if attempt is not None and entry.request_id.attempt != attempt:
+                continue
+            lock = entry.lock
+            if entry.granted and lock is not None:
+                defer = (
+                    self._semi_locks_enabled
+                    and lock.protocol.is_timestamp_ordering
+                    and not lock.normal_grant_sent
+                )
+                self._implement(lock, now)
+                if defer:
+                    lock.downgrade()
+                    lock.release_on_normal = True
+                    continue
+                self._locks.release(entry.request_id)
+            self._queue.remove(entry.request_id)
+        self._promote_pre_scheduled(now)
+        self._try_grant(now)
+
+    def abort(
+        self, transaction: TransactionId, now: float, attempt: Optional[int] = None
+    ) -> None:
         """Remove every trace of ``transaction`` without recording implementations.
 
         Used for T/O restarts and 2PL deadlock victims, which by construction
         have not executed yet.  Reads the attempt had already recorded (reads
         take effect at grant time) are withdrawn from the execution log so
-        that only committed work is audited for serializability.
+        that only committed work is audited for serializability.  The log
+        withdrawal does not depend on finding queue entries: a site crash may
+        have wiped the volatile queue state while the durable log still holds
+        the attempt's tentative reads.  ``attempt`` restricts the abort to one
+        attempt's entries (two-phase recovery resolving an old in-doubt round).
         """
-        removed_any = False
         for entry in self._queue.entries_of(transaction):
+            if attempt is not None and entry.request_id.attempt != attempt:
+                continue
             if entry.granted and entry.lock is not None and entry.request_id in self._locks:
                 self._locks.release(entry.request_id)
             self._queue.remove(entry.request_id)
-            removed_any = True
-        if removed_any:
-            self._log.remove_transaction(self._copy, transaction)
+        self._log.remove_transaction(self._copy, transaction, attempt)
         self._promote_pre_scheduled(now)
         self._try_grant(now)
+
+    # ------------------------------------------------------------------ #
+    # Site failure (fault model) entry points
+    # ------------------------------------------------------------------ #
+
+    def crash(self, now: float) -> None:
+        """Fail-stop: lose all volatile state (data queue, lock table, outbox).
+
+        Timestamps (``R-TS``/``W-TS``/max-seen) survive — recovery restores
+        them conservatively, the standard cheap trick that keeps T/O sound
+        after a crash — and the shared execution log and value store are
+        durable by definition.  Everything queued or granted is simply gone:
+        transactions that held locks here can no longer be guaranteed their
+        write order, which is exactly what the two-phase commit participant's
+        vote verification checks.
+        """
+        self._queue = DataQueue()
+        self._locks = LockTable(self._copy)
+        self._effects = []
+        self._crashes += 1
+
+    def restore_lock(self, request: Request, now: float) -> None:
+        """Re-install a prepared (in-doubt) transaction's granted lock after recovery.
+
+        Standard 2PC recovery: before a recovered site accepts new work, the
+        locks of transactions in the prepared state are re-acquired from the
+        commit log so their pending writes keep their place in the conflict
+        order.  The lock is granted immediately (the queue is empty right
+        after a crash wipe) and no grant effect is emitted — the issuer
+        already holds the original grant.  A restored read is marked
+        implemented: its log entry, recorded at the original grant instant,
+        survived the crash in the durable execution log.
+        """
+        if request.copy != self._copy:
+            raise ProtocolError(
+                f"lock for {request.copy} restored at the queue manager of {self._copy}"
+            )
+        policy = self._policy_for(request.protocol)
+        mode = policy.lock_mode(request.op_type, self._semi_locks_enabled)
+        if request.protocol.is_two_phase_locking:
+            timestamp = self._max_timestamp_seen
+        else:
+            timestamp = request.timestamp
+        precedence = Precedence(
+            timestamp=timestamp,
+            protocol=request.protocol,
+            site=request.transaction.site,
+            transaction=request.transaction,
+            arrival_seq=self._arrival_counter,
+        )
+        self._arrival_counter += 1
+        entry = QueuedRequest(
+            request=request,
+            precedence=precedence,
+            status=EntryStatus.ACCEPTED,
+            enqueue_time=now,
+        )
+        self._queue.insert(entry)
+        lock = self._locks.grant(
+            request_id=entry.request_id,
+            transaction=entry.transaction,
+            protocol=request.protocol,
+            mode=mode,
+            time=now,
+            pre_scheduled=False,
+        )
+        entry.granted = True
+        entry.lock = lock
+        if request.is_read:
+            self._read_ts = max(self._read_ts, timestamp)
+            lock.implemented = True
+        else:
+            self._write_ts = max(self._write_ts, timestamp)
 
     # ------------------------------------------------------------------ #
     # Wait-for information for the deadlock detector
@@ -433,6 +572,8 @@ class QueueManager:
         for lock in self._locks.locks():
             if lock.normal_grant_sent:
                 continue
+            if lock.request_id not in self._locks:
+                continue  # auto-released earlier in this very pass
             remaining = self._locks.conflicting_locks(
                 lock.mode, excluding=lock.transaction, granted_before=lock.grant_seq
             )
@@ -442,6 +583,13 @@ class QueueManager:
             lock.pre_scheduled = False
             entry = self._queue.find(lock.request_id)
             if entry is None:
+                continue
+            if lock.release_on_normal:
+                # The 2PC holder already committed and "released": the
+                # semi-lock's ordering job ends the instant it turns normal,
+                # and nobody is waiting for a grant effect.
+                self._locks.release(lock.request_id)
+                self._queue.remove(lock.request_id)
                 continue
             self._effects.append(
                 GrantIssued(request=entry.request, mode=lock.mode, normal=True, time=now)
@@ -460,6 +608,7 @@ class QueueManager:
             op_type=entry.request.op_type,
             protocol=lock.protocol,
             time=now,
+            attempt=lock.request_id.attempt,
         )
         lock.implemented = True
 

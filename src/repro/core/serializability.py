@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.common.errors import SerializationViolationError
 from repro.common.ids import TransactionId
@@ -145,8 +145,47 @@ class SerializabilityReport:
             raise SerializationViolationError(self.cycle)
 
 
-def check_serializable(log: ExecutionLog) -> SerializabilityReport:
-    """Audit an execution log for conflict serializability (Theorem 2 oracle)."""
+def committed_view(
+    log: ExecutionLog, committed_attempts: Mapping[TransactionId, int]
+) -> ExecutionLog:
+    """The sub-log holding only committed attempts' entries.
+
+    Aborted attempts withdraw their tentative reads through the queue
+    managers' ``abort`` path — but under the fault model that abort message
+    can be dropped at a crashed site, stranding entries of executions that
+    never happened in the durable log.  Auditing a view restricted to each
+    transaction's *committed* attempt keeps the oracle's verdict about the
+    execution that actually took place.  For fault-free runs the view equals
+    the full log (every stale entry was withdrawn), so the report is
+    unchanged.
+    """
+    filtered = ExecutionLog()
+    for copy_log in log.logs():
+        for entry in copy_log:
+            if committed_attempts.get(entry.transaction) == entry.attempt:
+                filtered.record(
+                    entry.copy,
+                    entry.transaction,
+                    entry.op_type,
+                    entry.protocol,
+                    entry.time,
+                    entry.attempt,
+                )
+    return filtered
+
+
+def check_serializable(
+    log: ExecutionLog,
+    committed_attempts: Optional[Mapping[TransactionId, int]] = None,
+) -> SerializabilityReport:
+    """Audit an execution log for conflict serializability (Theorem 2 oracle).
+
+    ``committed_attempts`` (transaction -> attempt number that committed)
+    restricts the audit to the committed execution via :func:`committed_view`;
+    without it every log entry is audited, as direct queue-manager tests do.
+    """
+    if committed_attempts is not None:
+        log = committed_view(log, committed_attempts)
     graph = ConflictGraph.from_execution_log(log)
     order = graph.topological_order()
     if order is not None:

@@ -33,7 +33,16 @@ class Actor:
     An actor has a globally unique ``name``, lives at a ``site`` and receives
     messages through :meth:`handle`.  Subclasses implement the behaviour; the
     network performs delivery and latency accounting.
+
+    ``crashable`` marks the actors the fault model can take down with their
+    site (the data layer: queue managers and commit participants).  Request
+    issuers stay up — the paper's transactions originate from terminals, so
+    a data-site failure must not silently erase the coordinator driving them.
     """
+
+    #: Whether a site crash takes this actor down (messages to it are dropped
+    #: while its site is down).  Overridden by the data-layer actors.
+    crashable: bool = False
 
     def __init__(self, name: str, site: SiteId) -> None:
         self.name = name

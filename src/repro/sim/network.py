@@ -7,18 +7,32 @@ messages between actors on the same site pay ``local_delay``.  The network
 also keeps global and per-kind message counters, which the experiment harness
 reports as the communication cost of each protocol (the paper notes PA's
 communication cost grows with load).
+
+The RNG behind the variable delays must be passed in explicitly: it ties the
+delay sequence to the run's seed, and a network that silently fell back to a
+private default stream would decouple message latencies from the seed (a bug
+this signature used to permit).
+
+With a :class:`~repro.sim.faults.FaultInjector` attached, the network also
+models failures: remote latencies are scaled by any active delay spike, and
+a message whose receiver is a *crashable* actor at a site that is down at
+the delivery instant is dropped (charged to the senders' counters — the
+communication cost was paid — and recorded in the drop counters).
 """
 
 from __future__ import annotations
 
 from collections import Counter as CollectionsCounter
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.common.config import NetworkConfig
 from repro.common.errors import SimulationError
 from repro.sim.actor import Actor, Message
 from repro.sim.rng import RandomStreams
 from repro.sim.simulator import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.sim.faults import FaultInjector
 
 
 class Network:
@@ -27,12 +41,20 @@ class Network:
     def __init__(
         self,
         simulator: Simulator,
-        config: Optional[NetworkConfig] = None,
-        rng: Optional[RandomStreams] = None,
+        config: Optional[NetworkConfig],
+        rng: RandomStreams,
+        *,
+        faults: Optional["FaultInjector"] = None,
     ) -> None:
+        if rng is None:
+            raise SimulationError(
+                "Network needs an explicit RandomStreams: a default stream would "
+                "decouple the message delays from the run seed"
+            )
         self._simulator = simulator
         self._config = config or NetworkConfig()
-        self._rng = rng or RandomStreams(0)
+        self._rng = rng
+        self._faults = faults
         self._actors: Dict[str, Actor] = {}
         # Per-(sender, receiver) channels are FIFO: a message never overtakes an
         # earlier message on the same channel, mirroring a reliable transport.
@@ -41,6 +63,8 @@ class Network:
         self._messages_by_kind: CollectionsCounter = CollectionsCounter()
         self._remote_messages = 0
         self._local_messages = 0
+        self._messages_dropped = 0
+        self._dropped_by_kind: CollectionsCounter = CollectionsCounter()
 
     @property
     def simulator(self) -> Simulator:
@@ -62,9 +86,18 @@ class Network:
         """Number of same-site messages sent so far."""
         return self._local_messages
 
+    @property
+    def messages_dropped(self) -> int:
+        """Number of messages dropped because their receiver's site was down."""
+        return self._messages_dropped
+
     def messages_by_kind(self) -> Dict[str, int]:
         """Message counts keyed by message kind."""
         return dict(self._messages_by_kind)
+
+    def dropped_by_kind(self) -> Dict[str, int]:
+        """Dropped-message counts keyed by message kind."""
+        return dict(self._dropped_by_kind)
 
     def register(self, actor: Actor) -> None:
         """Make ``actor`` addressable by its name."""
@@ -100,10 +133,18 @@ class Network:
         The message is charged to the global counters immediately and handed
         to the receiver's :meth:`~repro.sim.actor.Actor.handle` after the
         sampled latency plus ``extra_delay`` (used to model local service
-        time before transmission).
+        time before transmission).  With a fault injector attached, remote
+        latencies are scaled by active delay spikes and a message addressed
+        to a crashable actor whose site is down at the delivery instant is
+        dropped instead of delivered.
         """
         receiver = self.actor(receiver_name)
-        delay = self.latency(sender.site, receiver.site) + extra_delay
+        latency = self.latency(sender.site, receiver.site)
+        if self._faults is not None and sender.site != receiver.site:
+            latency *= self._faults.delay_multiplier(
+                sender.site, receiver.site, self._simulator.now
+            )
+        delay = latency + extra_delay
         channel = (sender.name, receiver_name)
         deliver_time = self._simulator.now + delay
         previous = self._channel_clock.get(channel, float("-inf"))
@@ -125,6 +166,14 @@ class Network:
             self._local_messages += 1
         else:
             self._remote_messages += 1
+        if (
+            self._faults is not None
+            and receiver.crashable
+            and not self._faults.site_up(receiver.site, deliver_time)
+        ):
+            self._messages_dropped += 1
+            self._dropped_by_kind[kind] += 1
+            return message
         self._simulator.schedule(
             delay, lambda: receiver.handle(message), label=f"{kind}:{sender.name}->{receiver_name}"
         )

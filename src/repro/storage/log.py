@@ -11,23 +11,35 @@ semi-lock for T/O operations).
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Set, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
-from repro.common.ids import CopyId, TransactionId
+from repro.common.errors import SimulationError
+from repro.common.ids import CopyId, SiteId, TransactionId
 from repro.common.operations import OperationType
 from repro.common.protocol_names import Protocol
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.requests import Request
 
 
 @dataclass(frozen=True)
 class LogEntry:
-    """One implemented physical operation."""
+    """One implemented physical operation.
+
+    ``attempt`` records which execution attempt of the transaction
+    implemented the operation; the two-phase commit layer's recovery needs
+    it to withdraw exactly one aborted attempt's tentative reads without
+    touching entries a newer attempt already recorded.
+    """
 
     copy: CopyId
     transaction: TransactionId
     op_type: OperationType
     protocol: Protocol
     time: float
+    attempt: int = 0
 
     def conflicts_with(self, other: "LogEntry") -> bool:
         """Entries conflict when they touch the same copy, come from different
@@ -45,6 +57,9 @@ class CopyLog:
     def __init__(self, copy: CopyId) -> None:
         self._copy = copy
         self._entries: List[LogEntry] = []
+        # Entries per transaction, so removals for transactions that never
+        # recorded anything here (the common case for aborts) stay O(1).
+        self._entry_counts: Dict[TransactionId, int] = {}
 
     @property
     def copy(self) -> CopyId:
@@ -57,27 +72,46 @@ class CopyLog:
         op_type: OperationType,
         protocol: Protocol,
         time: float,
+        attempt: int = 0,
     ) -> LogEntry:
         """Record that ``transaction`` implemented an operation on this copy at ``time``."""
-        entry = LogEntry(self._copy, transaction, op_type, protocol, time)
+        entry = LogEntry(self._copy, transaction, op_type, protocol, time, attempt)
         self._entries.append(entry)
+        self._entry_counts[transaction] = self._entry_counts.get(transaction, 0) + 1
         return entry
 
     def entries(self) -> Tuple[LogEntry, ...]:
         """The implemented operations in implementation order."""
         return tuple(self._entries)
 
-    def remove_transaction(self, transaction: TransactionId) -> int:
-        """Remove every entry of ``transaction`` (used when an attempt aborts).
+    def remove_transaction(self, transaction: TransactionId, attempt: Optional[int] = None) -> int:
+        """Remove entries of ``transaction`` (used when an attempt aborts).
 
         Only committed transactions participate in the serializability check;
         an aborted attempt may already have recorded its reads (reads take
         effect at lock-grant time), so those tentative entries are withdrawn
-        here.  Returns the number of entries removed.
+        here.  With ``attempt`` given, only that attempt's entries go — the
+        two-phase recovery path resolving an old in-doubt attempt must not
+        disturb entries a newer attempt of the same transaction recorded.
+        Returns the number of entries removed.
         """
+        if not self._entry_counts.get(transaction):
+            return 0
         before = len(self._entries)
-        self._entries = [entry for entry in self._entries if entry.transaction != transaction]
-        return before - len(self._entries)
+        self._entries = [
+            entry
+            for entry in self._entries
+            if entry.transaction != transaction
+            or (attempt is not None and entry.attempt != attempt)
+        ]
+        removed = before - len(self._entries)
+        if removed:
+            remaining = self._entry_counts[transaction] - removed
+            if remaining:
+                self._entry_counts[transaction] = remaining
+            else:
+                del self._entry_counts[transaction]
+        return removed
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -150,15 +184,22 @@ class ExecutionLog:
         op_type: OperationType,
         protocol: Protocol,
         time: float,
+        attempt: int = 0,
     ) -> LogEntry:
         """Append an implemented operation to the log of ``copy``."""
-        return self.log_for(copy).append(transaction, op_type, protocol, time)
+        return self.log_for(copy).append(transaction, op_type, protocol, time, attempt)
 
-    def remove_transaction(self, copy: CopyId, transaction: TransactionId) -> int:
-        """Withdraw the tentative entries of ``transaction`` from the log of ``copy``."""
+    def remove_transaction(
+        self, copy: CopyId, transaction: TransactionId, attempt: Optional[int] = None
+    ) -> int:
+        """Withdraw the tentative entries of ``transaction`` from the log of ``copy``.
+
+        ``attempt`` restricts the withdrawal to one attempt's entries (see
+        :meth:`CopyLog.remove_transaction`).
+        """
         if copy not in self._logs:
             return 0
-        return self._logs[copy].remove_transaction(transaction)
+        return self._logs[copy].remove_transaction(transaction, attempt)
 
     def copies(self) -> Tuple[CopyId, ...]:
         """Every copy that has at least one implemented operation."""
@@ -183,3 +224,125 @@ class ExecutionLog:
     def total_operations(self) -> int:
         """Total implemented operations across all copies."""
         return sum(len(log) for log in self._logs.values())
+
+
+# --------------------------------------------------------------------------- #
+# Commit logging (the durable state behind two-phase commit)
+# --------------------------------------------------------------------------- #
+
+
+class CommitDecision(enum.Enum):
+    """Outcome of an atomic-commit round."""
+
+    COMMIT = "commit"
+    ABORT = "abort"
+
+    @property
+    def is_commit(self) -> bool:
+        """Whether the decision commits the transaction."""
+        return self is CommitDecision.COMMIT
+
+
+@dataclass
+class PreparedRecord:
+    """Durable participant-side record of one prepared transaction attempt.
+
+    Written by a commit participant *before* it votes yes (the write-ahead
+    rule of presumed-nothing 2PC): the record survives a site crash and is
+    everything recovery needs — the granted requests to re-install as locks,
+    the pending writes to apply on a commit decision, and the coordinator to
+    ask when the decision never arrived.
+    """
+
+    transaction: TransactionId
+    attempt: int
+    coordinator: str
+    requests: Tuple["Request", ...]
+    writes: Dict[CopyId, Any]
+    prepared_at: float
+    decision: Optional[CommitDecision] = None
+    decided_at: Optional[float] = None
+
+    @property
+    def in_doubt(self) -> bool:
+        """Whether the participant is still blocked on the coordinator's decision."""
+        return self.decision is None
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """Durable coordinator-side record of one commit decision."""
+
+    transaction: TransactionId
+    attempt: int
+    decision: CommitDecision
+    time: float
+
+
+class SiteCommitLog:
+    """The durable commit log of one site.
+
+    Holds both roles' records: :class:`PreparedRecord` entries written by the
+    site's commit participant, and :class:`DecisionRecord` entries written by
+    the site's coordinator.  Records are keyed by ``(transaction, attempt)``
+    because a transaction aborted in one commit round can prepare again under
+    a later attempt while the old round's record is still in doubt at a
+    crashed site.
+    """
+
+    def __init__(self, site: SiteId) -> None:
+        self._site = site
+        self._prepared: Dict[Tuple[TransactionId, int], PreparedRecord] = {}
+        self._decisions: Dict[Tuple[TransactionId, int], DecisionRecord] = {}
+
+    @property
+    def site(self) -> SiteId:
+        """The site this log belongs to."""
+        return self._site
+
+    def log_prepared(self, record: PreparedRecord) -> None:
+        """Durably record that a transaction attempt prepared here."""
+        key = (record.transaction, record.attempt)
+        if key in self._prepared:
+            raise SimulationError(
+                f"transaction {record.transaction} attempt {record.attempt} "
+                f"prepared twice at site {self._site}"
+            )
+        self._prepared[key] = record
+
+    def prepared_record(
+        self, transaction: TransactionId, attempt: int
+    ) -> Optional[PreparedRecord]:
+        """The prepared record of one attempt, or ``None``."""
+        return self._prepared.get((transaction, attempt))
+
+    def in_doubt_records(self) -> Tuple[PreparedRecord, ...]:
+        """Every prepared record still waiting for a decision, oldest first."""
+        return tuple(
+            record
+            for record in self._prepared.values()
+            if record.in_doubt
+        )
+
+    def log_decision(
+        self,
+        transaction: TransactionId,
+        attempt: int,
+        decision: CommitDecision,
+        time: float,
+    ) -> DecisionRecord:
+        """Durably record a coordinator's commit/abort decision."""
+        record = DecisionRecord(transaction, attempt, decision, time)
+        self._decisions[(transaction, attempt)] = record
+        return record
+
+    def decision_for(
+        self, transaction: TransactionId, attempt: int
+    ) -> Optional[CommitDecision]:
+        """The logged decision of one attempt, or ``None`` while undecided."""
+        record = self._decisions.get((transaction, attempt))
+        return record.decision if record is not None else None
+
+    def decision_count(self) -> int:
+        """Number of decisions this site's coordinator has logged."""
+        return len(self._decisions)

@@ -31,6 +31,11 @@ class ValueStore:
         self._default_value = default_value
         self._history_limit = max(1, history_limit)
         self._versions: Dict[CopyId, List[Version]] = {}
+        # Committed writes per copy, unbounded (the history is trimmed).
+        # Under write-all every copy of an item must see the same count; a
+        # mismatch is durable evidence of a half-applied write-all even when
+        # a later full write-all made the final values agree again.
+        self._write_counts: Dict[CopyId, int] = {}
 
     def read(self, copy: CopyId) -> Any:
         """Current value of ``copy`` (the default when never written)."""
@@ -46,7 +51,12 @@ class ValueStore:
         history.append(version)
         if len(history) > self._history_limit:
             del history[: len(history) - self._history_limit]
+        self._write_counts[copy] = self._write_counts.get(copy, 0) + 1
         return version
+
+    def write_count(self, copy: CopyId) -> int:
+        """Number of committed writes ``copy`` has received (initialisation excluded)."""
+        return self._write_counts.get(copy, 0)
 
     def initialize(self, copy: CopyId, value: Any) -> None:
         """Set an initial value outside of any transaction (load phase)."""

@@ -32,7 +32,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 #: Version of the key encoding; part of every digest.
 #: v2: drift schedules joined ``WorkloadConfig`` and ``selection_mode``
 #: joined the task payload, changing what a digest covers.
-KEY_SCHEMA = 2
+#: v3: the commit layer (``CommitConfig``) and the fault model
+#: (``FaultConfig``) joined ``SystemConfig``, changing every digest; v2-era
+#: stores therefore miss cleanly instead of serving results whose commit
+#: semantics are unspecified.
+KEY_SCHEMA = 3
 
 
 def canonical_value(value: object) -> object:

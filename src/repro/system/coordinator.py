@@ -1,6 +1,8 @@
 """The request issuer / transaction coordinator actor, one per site.
 
-This actor drives the transaction life cycle described by the paper:
+This actor drives the transaction life cycle as an **explicit state
+machine** (the legal moves live in :data:`LEGAL_TRANSITIONS` and are
+enforced by :meth:`RequestIssuerActor.transition`):
 
 * translate logical operations into physical requests (read-one / write-all)
   and send them to the queue managers;
@@ -13,7 +15,15 @@ This actor drives the transaction life cycle described by the paper:
   Section 4.2);
 * for **PA** transactions, run the timestamp-agreement loop of Section 3.4:
   collect grants and back-off proposals, take the maximum, broadcast the
-  agreed timestamp, and wait again; PA transactions never restart.
+  agreed timestamp, and wait again; PA transactions never restart under
+  concurrency control (the fault model's request timeout may still retry
+  one whose request was dropped at a crashed site).
+
+The *commit point* is delegated to a pluggable
+:class:`~repro.commit.base.CommitProtocol`: once the local computation
+finishes, ``begin_commit`` decides when the transaction counts as
+committed and how its write-all reaches the copies (implicit one-phase
+commit, or presumed-nothing 2PC with prepare/vote/decide).
 
 The coordinator is also where the dynamic selector plugs in: when a
 transaction arrives without a protocol, ``choose_protocol`` is consulted
@@ -24,8 +34,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
+from repro.commit.base import CommitProtocol, create_commit_protocol
+from repro.common.config import CommitConfig
 from repro.common.errors import SimulationError
 from repro.common.ids import CopyId, RequestId, SiteId, TransactionId
 from repro.common.operations import PhysicalOperation
@@ -34,15 +46,44 @@ from repro.common.transactions import TransactionOutcome, TransactionSpec, Trans
 from repro.core.effects import BackoffIssued, GrantIssued, RequestRejected
 from repro.core.requests import Request
 from repro.sim.actor import Actor, Message
+from repro.sim.faults import FaultInjector
 from repro.sim.network import Network
 from repro.sim.simulator import Simulator
 from repro.storage.catalog import ReplicaCatalog
+from repro.storage.log import SiteCommitLog
 from repro.storage.store import ValueStore
 from repro.system.metrics import MetricsCollector
 from repro.system.queue_manager_actor import GrantDelivery, queue_manager_name
 
 #: Hook used for dynamic protocol selection: ``(spec, now) -> Protocol``.
 ProtocolChooser = Callable[[TransactionSpec, float], Protocol]
+
+#: The transaction life-cycle state machine: every legal move, and nothing
+#: else.  ``PREPARING`` is reachable only under the two-phase commit layer.
+LEGAL_TRANSITIONS: Mapping[TransactionStatus, Tuple[TransactionStatus, ...]] = {
+    TransactionStatus.PENDING: (TransactionStatus.REQUESTING,),
+    TransactionStatus.REQUESTING: (
+        TransactionStatus.EXECUTING,
+        TransactionStatus.BACKING_OFF,
+        TransactionStatus.ABORTED,
+    ),
+    TransactionStatus.BACKING_OFF: (
+        TransactionStatus.REQUESTING,
+        TransactionStatus.EXECUTING,
+        TransactionStatus.ABORTED,
+    ),
+    TransactionStatus.EXECUTING: (
+        TransactionStatus.COMMITTED,
+        TransactionStatus.PREPARING,
+    ),
+    TransactionStatus.PREPARING: (
+        TransactionStatus.COMMITTED,
+        TransactionStatus.ABORTED,
+    ),
+    TransactionStatus.COMMITTED: (TransactionStatus.FINISHED,),
+    TransactionStatus.ABORTED: (TransactionStatus.REQUESTING,),
+    TransactionStatus.FINISHED: (),
+}
 
 
 def request_issuer_name(site: SiteId) -> str:
@@ -59,7 +100,7 @@ class _RequestPhase(enum.Enum):
 
 
 @dataclass
-class _RequestState:
+class RequestState:
     """Book-keeping for one physical request of the current attempt."""
 
     request: Request
@@ -70,7 +111,7 @@ class _RequestState:
 
 
 @dataclass
-class _Execution:
+class TransactionExecution:
     """Dynamic state of one transaction at its coordinator."""
 
     spec: TransactionSpec
@@ -78,7 +119,7 @@ class _Execution:
     timestamp: float
     attempt: int = 0
     status: TransactionStatus = TransactionStatus.PENDING
-    requests: Dict[RequestId, _RequestState] = field(default_factory=dict)
+    requests: Dict[RequestId, RequestState] = field(default_factory=dict)
     physical_operations: Tuple[PhysicalOperation, ...] = ()
     restarts: int = 0
     deadlock_aborts: int = 0
@@ -89,6 +130,7 @@ class _Execution:
 
     @property
     def tid(self) -> TransactionId:
+        """The transaction's globally unique id."""
         return self.spec.tid
 
     def copies(self) -> Tuple[CopyId, ...]:
@@ -96,15 +138,19 @@ class _Execution:
         return tuple(sorted({operation.copy for operation in self.physical_operations}))
 
     def all_granted(self) -> bool:
+        """Whether every outstanding request holds its lock."""
         return all(state.phase is _RequestPhase.GRANTED for state in self.requests.values())
 
     def all_normal(self) -> bool:
+        """Whether every request has received its *normal* (non-pre-scheduled) grant."""
         return all(state.normal_grant for state in self.requests.values())
 
     def any_waiting(self) -> bool:
+        """Whether any request has neither a grant nor a back-off yet."""
         return any(state.phase is _RequestPhase.WAITING for state in self.requests.values())
 
-    def backed_off_states(self) -> List[_RequestState]:
+    def backed_off_states(self) -> List[RequestState]:
+        """The requests currently holding a PA back-off proposal."""
         return [
             state
             for state in self.requests.values()
@@ -138,6 +184,9 @@ class RequestIssuerActor(Actor):
         value_store: Optional[ValueStore] = None,
         protocol_registry: Optional[Dict[TransactionId, Protocol]] = None,
         protocol_switch_threshold: Optional[int] = None,
+        commit_config: Optional[CommitConfig] = None,
+        commit_log: Optional[SiteCommitLog] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         super().__init__(name=request_issuer_name(site), site=site)
         self._simulator = simulator
@@ -152,9 +201,155 @@ class RequestIssuerActor(Actor):
         self._value_store = value_store
         self._protocol_registry = protocol_registry if protocol_registry is not None else {}
         self._protocol_switch_threshold = protocol_switch_threshold
-        self._executions: Dict[TransactionId, _Execution] = {}
+        self._commit_config = commit_config if commit_config is not None else CommitConfig()
+        self._commit_log = commit_log if commit_log is not None else SiteCommitLog(site)
+        self._faults = faults
+        self._request_timeout = faults.config.request_timeout if faults is not None else None
+        self._commit: CommitProtocol = create_commit_protocol(
+            self._commit_config.protocol, self
+        )
+        self._executions: Dict[TransactionId, TransactionExecution] = {}
         self._timestamp_counter = 0
         self._protocol_switches = 0
+
+    # ---------------------------------------------------------------- #
+    # Surface used by the commit layer
+    # ---------------------------------------------------------------- #
+
+    @property
+    def simulator(self) -> Simulator:
+        """The simulator driving this coordinator."""
+        return self._simulator
+
+    @property
+    def network(self) -> Network:
+        """The message network this coordinator sends on."""
+        return self._network
+
+    @property
+    def catalog(self) -> ReplicaCatalog:
+        """The replica catalog (write-all placement)."""
+        return self._catalog
+
+    @property
+    def metrics(self) -> MetricsCollector:
+        """The run's metrics collector."""
+        return self._metrics
+
+    @property
+    def value_store(self) -> Optional[ValueStore]:
+        """The store commit layers install write values into."""
+        return self._value_store
+
+    @property
+    def faults(self) -> Optional[FaultInjector]:
+        """The fault injector, or ``None`` in a fault-free run."""
+        return self._faults
+
+    @property
+    def commit_config(self) -> CommitConfig:
+        """The commit-layer configuration."""
+        return self._commit_config
+
+    @property
+    def commit_log(self) -> SiteCommitLog:
+        """This site's durable commit log (coordinator-side records)."""
+        return self._commit_log
+
+    @property
+    def commit_protocol(self) -> CommitProtocol:
+        """The commit layer driving this coordinator's commit points."""
+        return self._commit
+
+    def transition(
+        self, execution: TransactionExecution, status: TransactionStatus
+    ) -> None:
+        """Move ``execution`` to ``status``, enforcing the life-cycle state machine."""
+        current = execution.status
+        if status is current:
+            return
+        if status not in LEGAL_TRANSITIONS[current]:
+            raise SimulationError(
+                f"illegal transaction transition {current.value} -> {status.value} "
+                f"for {execution.tid}"
+            )
+        execution.status = status
+
+    def compute_write_values(self, execution: TransactionExecution) -> Dict[int, Any]:
+        """The write set's values: the spec's logic applied to the read values."""
+        if execution.spec.logic is not None:
+            return execution.spec.logic(dict(execution.read_values))
+        return {item: f"written-by-{execution.tid}" for item in execution.spec.write_items}
+
+    def record_outcome(self, execution: TransactionExecution) -> None:
+        """Report a committed transaction's outcome to the metrics collector."""
+        outcome = TransactionOutcome(
+            spec=execution.spec,
+            protocol=execution.protocol,
+            arrival_time=execution.spec.arrival_time,
+            commit_time=execution.commit_time if execution.commit_time is not None else 0.0,
+            restarts=execution.restarts,
+            backoffs=execution.backoff_rounds,
+            deadlock_aborts=execution.deadlock_aborts,
+        )
+        self._metrics.record_commit(outcome)
+
+    def release_phase(self, execution: TransactionExecution) -> None:
+        """Release a committed transaction's locks (one-phase commit path).
+
+        T/O transactions that finished while holding a pre-scheduled lock
+        run the semi-lock dance of Section 4.2 rule 4: downgrade, keep
+        collecting normal grants, release only when all are normal.
+        """
+        needs_semi = (
+            execution.protocol.is_timestamp_ordering
+            and self._semi_locks_enabled
+            and execution.any_pre_scheduled()
+        )
+        if needs_semi:
+            execution.awaiting_final_release = True
+            for copy in execution.copies():
+                self._network.send(self, queue_manager_name(copy), "downgrade", execution.tid)
+            if self._request_timeout is not None:
+                # Fault-model watchdog: a crashed site wipes the pre-scheduled
+                # lock whose normal grant this wait depends on, so the wait
+                # could otherwise outlive the run and leak the transaction's
+                # locks at every healthy site.
+                self._simulator.schedule(
+                    self._request_timeout,
+                    lambda attempt=execution.attempt: self._on_release_timeout(
+                        execution, attempt
+                    ),
+                    label=f"release-timeout-{execution.tid}",
+                )
+            self._advance(execution)
+        else:
+            self._final_release(execution)
+
+    def _on_release_timeout(self, execution: TransactionExecution, attempt: int) -> None:
+        """Force the final release of a committed transaction stuck awaiting normality.
+
+        Only reachable under the fault model: the normal grant it is waiting
+        for was wiped with a crashed site's lock table and will never arrive.
+        The transaction is committed either way; reclaiming its remaining
+        locks bounds how long one dead site can block healthy ones.
+        """
+        if execution.attempt != attempt:
+            return
+        if not execution.awaiting_final_release:
+            return
+        if execution.status is not TransactionStatus.COMMITTED:
+            return
+        self._final_release(execution)
+
+    def abort_for_commit(self, execution: TransactionExecution) -> None:
+        """Abort an attempt whose commit round decided abort (ordinary restart).
+
+        The abort messages travel the issuer-to-queue-manager channels, so
+        FIFO ordering guarantees they land before any request of the next
+        attempt.
+        """
+        self._abort_attempt(execution, due_to_deadlock=False)
 
     # ---------------------------------------------------------------- #
     # Public API
@@ -170,7 +365,9 @@ class RequestIssuerActor(Actor):
                     f"transaction {spec.tid} has no protocol and no selector is configured"
                 )
             protocol = self._choose_protocol(spec, now)
-        execution = _Execution(spec=spec, protocol=protocol, timestamp=self._new_timestamp(now))
+        execution = TransactionExecution(
+            spec=spec, protocol=protocol, timestamp=self._new_timestamp(now)
+        )
         self._executions[spec.tid] = execution
         self._protocol_registry[spec.tid] = protocol
         self._metrics.record_arrival(protocol, spec.arrival_time)
@@ -188,6 +385,20 @@ class RequestIssuerActor(Actor):
         """The life-cycle status of ``tid``'s current attempt, or ``None``."""
         execution = self._executions.get(tid)
         return execution.status if execution is not None else None
+
+    def committed_attempts(self) -> Dict[TransactionId, int]:
+        """For every committed transaction, the attempt number that committed.
+
+        The serializability oracle audits the view of the execution log
+        restricted to these attempts; entries stranded by an abort message
+        that a crashed site never received belong to no committed attempt
+        and are excluded.
+        """
+        return {
+            tid: execution.attempt
+            for tid, execution in self._executions.items()
+            if execution.status in (TransactionStatus.COMMITTED, TransactionStatus.FINISHED)
+        }
 
     def granted_lock_count(self, tid: TransactionId) -> int:
         """Number of locks the transaction currently holds (victim-selection hint)."""
@@ -225,6 +436,8 @@ class RequestIssuerActor(Actor):
             self._on_backoff(message.payload)
         elif message.kind == "reject":
             self._on_reject(message.payload)
+        elif message.kind in self._commit.message_kinds:
+            self._commit.handle_message(message.kind, message.payload)
         elif message.kind == "abort_victim":
             self.abort_victim(message.payload)
         elif message.kind == "submit":
@@ -246,9 +459,8 @@ class RequestIssuerActor(Actor):
         self._timestamp_counter += 1
         return now + self._timestamp_counter * 1e-9
 
-    def _start_attempt(self, execution: _Execution) -> None:
-        now = self._simulator.now
-        execution.status = TransactionStatus.REQUESTING
+    def _start_attempt(self, execution: TransactionExecution) -> None:
+        self.transition(execution, TransactionStatus.REQUESTING)
         execution.requests = {}
         execution.physical_operations = tuple(self._translate(execution.spec))
         self._metrics.record_attempt(execution.protocol)
@@ -263,9 +475,29 @@ class RequestIssuerActor(Actor):
                 backoff_interval=self._pa_backoff_interval,
                 issuer=self.name,
             )
-            execution.requests[request.request_id] = _RequestState(request=request)
+            execution.requests[request.request_id] = RequestState(request=request)
             self._metrics.record_request_issued(execution.protocol, operation.op_type)
             self._network.send(self, queue_manager_name(operation.copy), "request", request)
+        if self._request_timeout is not None:
+            self._simulator.schedule(
+                self._request_timeout,
+                lambda attempt=execution.attempt: self._on_request_timeout(execution, attempt),
+                label=f"request-timeout-{execution.tid}",
+            )
+
+    def _on_request_timeout(self, execution: TransactionExecution, attempt: int) -> None:
+        """Fault-model watchdog: retry an attempt stuck waiting for grants.
+
+        A request dropped at a crashed site would otherwise block its
+        transaction forever; the watchdog aborts the attempt so the restart
+        can try again (and succeed once the site recovers).
+        """
+        if execution.attempt != attempt:
+            return
+        if execution.status not in (TransactionStatus.REQUESTING, TransactionStatus.BACKING_OFF):
+            return
+        self._metrics.record_timeout_restart()
+        self._abort_attempt(execution, due_to_deadlock=False)
 
     def _translate(self, spec: TransactionSpec) -> List[PhysicalOperation]:
         """Logical-to-physical translation with per-copy de-duplication.
@@ -282,7 +514,7 @@ class RequestIssuerActor(Actor):
                 strongest[operation.copy] = operation
         return [strongest[copy] for copy in sorted(strongest)]
 
-    def _abort_attempt(self, execution: _Execution, due_to_deadlock: bool) -> None:
+    def _abort_attempt(self, execution: TransactionExecution, due_to_deadlock: bool) -> None:
         now = self._simulator.now
         for state in execution.requests.values():
             if state.phase is _RequestPhase.GRANTED and state.grant_time is not None:
@@ -291,7 +523,7 @@ class RequestIssuerActor(Actor):
                 )
         for copy in execution.copies():
             self._network.send(self, queue_manager_name(copy), "abort", execution.tid)
-        execution.status = TransactionStatus.ABORTED
+        self.transition(execution, TransactionStatus.ABORTED)
         if due_to_deadlock:
             execution.deadlock_aborts += 1
         else:
@@ -303,7 +535,7 @@ class RequestIssuerActor(Actor):
             label=f"restart-{execution.tid}",
         )
 
-    def _restart(self, execution: _Execution) -> None:
+    def _restart(self, execution: TransactionExecution) -> None:
         if execution.status is not TransactionStatus.ABORTED:
             return
         execution.attempt += 1
@@ -311,7 +543,7 @@ class RequestIssuerActor(Actor):
         self._maybe_switch_protocol(execution)
         self._start_attempt(execution)
 
-    def _maybe_switch_protocol(self, execution: _Execution) -> None:
+    def _maybe_switch_protocol(self, execution: TransactionExecution) -> None:
         """Future-work item 4: switch a repeatedly aborted transaction to PA.
 
         PA attempts are never rejected and never chosen as deadlock victims,
@@ -337,7 +569,7 @@ class RequestIssuerActor(Actor):
     # Responses from queue managers
     # ---------------------------------------------------------------- #
 
-    def _lookup(self, request: Request) -> Optional[Tuple[_Execution, _RequestState]]:
+    def _lookup(self, request: Request) -> Optional[Tuple[TransactionExecution, RequestState]]:
         execution = self._executions.get(request.transaction)
         if execution is None:
             return None
@@ -396,7 +628,7 @@ class RequestIssuerActor(Actor):
     # Progress rules
     # ---------------------------------------------------------------- #
 
-    def _advance(self, execution: _Execution) -> None:
+    def _advance(self, execution: TransactionExecution) -> None:
         """Apply the protocol's progress rule after any state change."""
         if execution.status in (TransactionStatus.REQUESTING, TransactionStatus.BACKING_OFF):
             if execution.all_granted():
@@ -410,7 +642,9 @@ class RequestIssuerActor(Actor):
         if execution.awaiting_final_release and execution.all_normal():
             self._final_release(execution)
 
-    def _run_backoff_round(self, execution: _Execution, backed_off: List[_RequestState]) -> None:
+    def _run_backoff_round(
+        self, execution: TransactionExecution, backed_off: List[RequestState]
+    ) -> None:
         """PA timestamp agreement: adopt the maximum proposal and broadcast the confirmation."""
         agreed = max(
             [execution.timestamp]
@@ -425,7 +659,7 @@ class RequestIssuerActor(Actor):
             execution.backoff_rounds += 1
             self._metrics.record_backoff_round(execution.protocol)
         execution.timestamp = agreed
-        execution.status = TransactionStatus.BACKING_OFF
+        self.transition(execution, TransactionStatus.BACKING_OFF)
         for state in backed_off:
             state.phase = _RequestPhase.WAITING
             state.backoff_timestamp = None
@@ -434,8 +668,8 @@ class RequestIssuerActor(Actor):
                 self, queue_manager_name(copy), "update_ts", (execution.tid, agreed)
             )
 
-    def _begin_execution(self, execution: _Execution) -> None:
-        execution.status = TransactionStatus.EXECUTING
+    def _begin_execution(self, execution: TransactionExecution) -> None:
+        self.transition(execution, TransactionStatus.EXECUTING)
         self._fill_missing_read_values(execution)
         duration = execution.spec.compute_time + self._io_time * len(execution.physical_operations)
         self._simulator.schedule(
@@ -444,7 +678,7 @@ class RequestIssuerActor(Actor):
             label=f"execute-{execution.tid}",
         )
 
-    def _fill_missing_read_values(self, execution: _Execution) -> None:
+    def _fill_missing_read_values(self, execution: TransactionExecution) -> None:
         """Complete the read set for items whose grant carried no value.
 
         Items that the transaction both reads and writes are covered by a
@@ -459,47 +693,13 @@ class RequestIssuerActor(Actor):
                 copy = self._catalog.read_copy(item, self.site)
                 execution.read_values[item] = self._value_store.read(copy)
 
-    def _write_phase(self, execution: _Execution) -> None:
-        """Install the write set into every copy (write-all) while locks are held."""
-        if self._value_store is None:
-            return
-        now = self._simulator.now
-        if execution.spec.logic is not None:
-            new_values = execution.spec.logic(dict(execution.read_values))
-        else:
-            new_values = {
-                item: f"written-by-{execution.tid}" for item in execution.spec.write_items
-            }
-        for item in execution.spec.write_items:
-            value = new_values.get(item, f"written-by-{execution.tid}")
-            for copy in self._catalog.write_copies(item):
-                self._value_store.write(copy, value, execution.tid, now)
-
-    def _complete_execution(self, execution: _Execution) -> None:
-        """The transaction finished its local computation and write phase."""
+    def _complete_execution(self, execution: TransactionExecution) -> None:
+        """The local computation finished: hand the transaction to the commit layer."""
         if execution.status is not TransactionStatus.EXECUTING:
             return
-        now = self._simulator.now
-        self._write_phase(execution)
-        execution.status = TransactionStatus.COMMITTED
-        execution.commit_time = now
-        self._record_outcome(execution)
-        needs_semi = (
-            execution.protocol.is_timestamp_ordering
-            and self._semi_locks_enabled
-            and execution.any_pre_scheduled()
-        )
-        if needs_semi:
-            # Semi-lock rule 4: convert locks to semi-locks, keep collecting
-            # normal grants, and only then release.
-            execution.awaiting_final_release = True
-            for copy in execution.copies():
-                self._network.send(self, queue_manager_name(copy), "downgrade", execution.tid)
-            self._advance(execution)
-        else:
-            self._final_release(execution)
+        self._commit.begin_commit(execution)
 
-    def _final_release(self, execution: _Execution) -> None:
+    def _final_release(self, execution: TransactionExecution) -> None:
         now = self._simulator.now
         execution.awaiting_final_release = False
         for state in execution.requests.values():
@@ -509,16 +709,4 @@ class RequestIssuerActor(Actor):
                 )
         for copy in execution.copies():
             self._network.send(self, queue_manager_name(copy), "release", execution.tid)
-        execution.status = TransactionStatus.FINISHED
-
-    def _record_outcome(self, execution: _Execution) -> None:
-        outcome = TransactionOutcome(
-            spec=execution.spec,
-            protocol=execution.protocol,
-            arrival_time=execution.spec.arrival_time,
-            commit_time=execution.commit_time if execution.commit_time is not None else 0.0,
-            restarts=execution.restarts,
-            backoffs=execution.backoff_rounds,
-            deadlock_aborts=execution.deadlock_aborts,
-        )
-        self._metrics.record_commit(outcome)
+        self.transition(execution, TransactionStatus.FINISHED)

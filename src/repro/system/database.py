@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro.commit.audit import ReplicaReport, check_replica_convergence
+from repro.commit.participant import CommitParticipantActor
 from repro.common.config import SystemConfig, WorkloadConfig
 from repro.common.errors import SimulationError
 from repro.common.ids import CopyId, SiteId, TransactionId
@@ -12,11 +14,12 @@ from repro.common.protocol_names import Protocol
 from repro.common.transactions import TransactionSpec
 from repro.core.queue_manager import QueueManager
 from repro.core.serializability import SerializabilityReport, check_serializable
+from repro.sim.faults import FaultInjector
 from repro.sim.network import Network
 from repro.sim.rng import RandomStreams
 from repro.sim.simulator import Simulator
 from repro.storage.catalog import ReplicaCatalog
-from repro.storage.log import ExecutionLog
+from repro.storage.log import ExecutionLog, SiteCommitLog
 from repro.storage.store import ValueStore
 from repro.system.coordinator import ProtocolChooser, RequestIssuerActor
 from repro.system.detector import DeadlockDetectorActor
@@ -46,11 +49,48 @@ class RunResult:
     #: Arrival times at which workload drift segments took effect (empty for
     #: stationary workloads); set by the runner after generation.
     drift_boundaries: Tuple[float, ...] = ()
+    #: Name of the commit layer the run used (``one-phase`` / ``two-phase``).
+    commit_protocol: str = "one-phase"
+    #: Replica-convergence audit over every replicated item's final values.
+    replica_report: ReplicaReport = field(
+        default_factory=lambda: ReplicaReport(checked_items=0, divergent_items=())
+    )
+    #: Site crashes that fired during the run (0 in fault-free runs).
+    crashes: int = 0
+    #: Messages dropped because their receiver's site was down.
+    messages_dropped: int = 0
 
     @property
     def serializable(self) -> bool:
         """Whether the run passed the conflict-serializability audit."""
         return self.serializability.serializable
+
+    @property
+    def availability(self) -> float:
+        """Fraction of submitted transactions that committed by the end of the run."""
+        if not self.submitted:
+            return 0.0
+        return self.committed / self.submitted
+
+    @property
+    def atomic(self) -> bool:
+        """Whether every committed write-all fully happened (no replica divergence)."""
+        return self.replica_report.convergent
+
+    @property
+    def lost_writes(self) -> int:
+        """Write-all members lost at crashed sites (one-phase commit under faults)."""
+        return self.metrics.lost_writes
+
+    @property
+    def commit_aborts(self) -> int:
+        """Two-phase commit rounds that decided abort."""
+        return self.metrics.commit_aborts
+
+    @property
+    def timeout_restarts(self) -> int:
+        """Attempts aborted by the request-timeout watchdog."""
+        return self.metrics.timeout_restarts
 
     @property
     def mean_system_time(self) -> float:
@@ -99,6 +139,17 @@ class RunResult:
             "messages_per_transaction": self.messages_per_transaction,
             "serializable": self.serializable,
             "end_time": self.end_time,
+            "commit_protocol": self.commit_protocol,
+            "availability": self.availability,
+            "atomic": self.atomic,
+            "replica_divergent_items": len(self.replica_report.divergent_items),
+            "lost_writes": self.lost_writes,
+            "commit_aborts": self.commit_aborts,
+            "timeout_restarts": self.timeout_restarts,
+            "mean_commit_latency": self.metrics.mean_commit_latency,
+            "mean_in_doubt_time": self.metrics.mean_in_doubt_time,
+            "crashes": self.crashes,
+            "messages_dropped": self.messages_dropped,
         }
 
 
@@ -129,7 +180,14 @@ class DistributedDatabase:
         self._system = system
         self._simulator = Simulator()
         self._rng = RandomStreams(system.seed)
-        self._network = Network(self._simulator, system.network, self._rng)
+        self._faults: Optional[FaultInjector] = None
+        if system.faults is not None:
+            self._faults = FaultInjector(
+                self._simulator, system.faults, system.num_sites, self._rng
+            )
+        self._network = Network(
+            self._simulator, system.network, self._rng, faults=self._faults
+        )
         self._catalog = ReplicaCatalog.from_config(system)
         self._execution_log = ExecutionLog()
         self._value_store = value_store if value_store is not None else ValueStore()
@@ -138,6 +196,9 @@ class DistributedDatabase:
         self._pending_arrivals = 0
         self._submitted = 0
         self._workload_config: Optional[WorkloadConfig] = None
+        self._commit_logs: Dict[SiteId, SiteCommitLog] = {
+            site: SiteCommitLog(site) for site in range(system.num_sites)
+        }
 
         self._queue_managers: Dict[CopyId, QueueManager] = {}
         self._queue_manager_actors: Dict[CopyId, QueueManagerActor] = {}
@@ -155,6 +216,28 @@ class DistributedDatabase:
                 self._queue_managers[copy] = manager
                 self._queue_manager_actors[copy] = actor
 
+        self._participants: Dict[SiteId, CommitParticipantActor] = {}
+        for site in range(system.num_sites):
+            participant = CommitParticipantActor(
+                site=site,
+                simulator=self._simulator,
+                network=self._network,
+                metrics=self._metrics,
+                value_store=self._value_store,
+                managers={
+                    copy: self._queue_managers[copy]
+                    for copy in self._catalog.copies_at(site)
+                },
+                commit_log=self._commit_logs[site],
+            )
+            self._network.register(participant)
+            self._participants[site] = participant
+
+        if self._faults is not None:
+            self._faults.add_crash_listener(self._on_site_crashed)
+            for participant in self._participants.values():
+                self._faults.add_recovery_listener(participant.on_site_event)
+
         self._issuers: Dict[SiteId, RequestIssuerActor] = {}
         for site in range(system.num_sites):
             issuer = RequestIssuerActor(
@@ -171,6 +254,9 @@ class DistributedDatabase:
                 value_store=self._value_store,
                 protocol_registry=self._protocol_registry,
                 protocol_switch_threshold=system.protocol_switch_threshold,
+                commit_config=system.commit,
+                commit_log=self._commit_logs[site],
+                faults=self._faults,
             )
             self._network.register(issuer)
             self._issuers[site] = issuer
@@ -226,6 +312,11 @@ class DistributedDatabase:
         """The periodic deadlock detector actor."""
         return self._detector
 
+    @property
+    def faults(self) -> Optional[FaultInjector]:
+        """The fault injector, or ``None`` when the run is fault-free."""
+        return self._faults
+
     def queue_manager(self, copy: CopyId) -> QueueManager:
         """The queue manager serving ``copy``."""
         return self._queue_managers[copy]
@@ -233,6 +324,19 @@ class DistributedDatabase:
     def issuer(self, site: SiteId) -> RequestIssuerActor:
         """The request issuer actor of ``site``."""
         return self._issuers[site]
+
+    def participant(self, site: SiteId) -> CommitParticipantActor:
+        """The commit-participant actor of ``site``."""
+        return self._participants[site]
+
+    def commit_log(self, site: SiteId) -> SiteCommitLog:
+        """The durable commit log of ``site``."""
+        return self._commit_logs[site]
+
+    def _on_site_crashed(self, site: SiteId, now: float) -> None:
+        """Crash listener: wipe the volatile state of the site's queue managers."""
+        for copy in self._catalog.copies_at(site):
+            self._queue_managers[copy].crash(now)
 
     def protocol_of(self, tid: TransactionId) -> Optional[Protocol]:
         """The protocol ``tid`` ran under, or ``None`` if it never started."""
@@ -290,6 +394,8 @@ class DistributedDatabase:
         runaway runs; hitting the event cap raises :class:`SimulationError`
         because it indicates a livelock rather than a legitimate long run.
         """
+        if self._faults is not None:
+            self._faults.start()
         self._detector.start()
         end_time = self._simulator.run(until=max_time, max_events=max_events)
         if self._simulator.pending_events and max_time is None:
@@ -301,7 +407,10 @@ class DistributedDatabase:
         return self._build_result(end_time)
 
     def _build_result(self, end_time: float) -> RunResult:
-        report = check_serializable(self._execution_log)
+        committed_attempts: Dict[TransactionId, int] = {}
+        for issuer in self._issuers.values():
+            committed_attempts.update(issuer.committed_attempts())
+        report = check_serializable(self._execution_log, committed_attempts)
         return RunResult(
             system=self._system,
             workload=self._workload_config,
@@ -320,4 +429,8 @@ class DistributedDatabase:
                 issuer.protocol_switches for issuer in self._issuers.values()
             ),
             protocol_of=dict(self._protocol_registry),
+            commit_protocol=self._system.commit.protocol,
+            replica_report=check_replica_convergence(self._value_store, self._catalog),
+            crashes=self._faults.crash_count if self._faults is not None else 0,
+            messages_dropped=self._network.messages_dropped,
         )

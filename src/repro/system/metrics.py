@@ -89,6 +89,12 @@ class MetricsCollector:
         self._grants_by_copy_write: Dict[object, int] = {}
         self._first_arrival: Optional[float] = None
         self._last_commit: float = 0.0
+        # Commit-layer and fault-model observations.
+        self._commit_latency: WelfordAccumulator = WelfordAccumulator()
+        self._in_doubt_time: WelfordAccumulator = WelfordAccumulator()
+        self._lost_writes = 0
+        self._commit_aborts = 0
+        self._timeout_restarts = 0
 
     # ---------------------------------------------------------------- #
     # Recording
@@ -162,6 +168,26 @@ class MetricsCollector:
         stats.system_time.add(outcome.system_time)
         self._last_commit = max(self._last_commit, outcome.commit_time)
 
+    def record_commit_latency(self, duration: float) -> None:
+        """Record one commit round's latency (prepare sent to decision logged)."""
+        self._commit_latency.add(duration)
+
+    def record_in_doubt_time(self, duration: float) -> None:
+        """Record how long one participant held a prepared record before the decision."""
+        self._in_doubt_time.add(duration)
+
+    def record_lost_write(self) -> None:
+        """Count a write-all member silently lost at a crashed site (one-phase commit)."""
+        self._lost_writes += 1
+
+    def record_commit_abort(self) -> None:
+        """Count a two-phase commit round that decided abort (vote missing or no)."""
+        self._commit_aborts += 1
+
+    def record_timeout_restart(self) -> None:
+        """Count an attempt aborted by the coordinator's request-timeout watchdog."""
+        self._timeout_restarts += 1
+
     # ---------------------------------------------------------------- #
     # Reporting
     # ---------------------------------------------------------------- #
@@ -219,6 +245,36 @@ class MetricsCollector:
     def total_backoff_rounds(self) -> int:
         """Total PA back-off rounds across protocols."""
         return sum(stats.backoff_rounds for stats in self._by_protocol.values())
+
+    @property
+    def lost_writes(self) -> int:
+        """Write-all members lost at crashed sites (one-phase commit only)."""
+        return self._lost_writes
+
+    @property
+    def commit_aborts(self) -> int:
+        """Two-phase commit rounds that decided abort."""
+        return self._commit_aborts
+
+    @property
+    def timeout_restarts(self) -> int:
+        """Attempts aborted by the request-timeout watchdog."""
+        return self._timeout_restarts
+
+    @property
+    def mean_commit_latency(self) -> float:
+        """Mean prepare-to-decision latency of two-phase commit rounds (0 when none)."""
+        return self._commit_latency.mean
+
+    @property
+    def mean_in_doubt_time(self) -> float:
+        """Mean time participants spent holding a prepared, undecided record."""
+        return self._in_doubt_time.mean
+
+    @property
+    def in_doubt_resolutions(self) -> int:
+        """Number of prepared records that have received their decision."""
+        return self._in_doubt_time.count
 
     def throughput(self) -> float:
         """Committed transactions per unit of simulated time."""

@@ -47,11 +47,22 @@ class QueueManagerActor(Actor):
     ``update_ts``
         payload ``(TransactionId, float)`` — the PA-agreed timestamp.
     ``downgrade`` / ``release`` / ``abort``
-        payload :class:`~repro.common.ids.TransactionId`.
+        payload :class:`~repro.common.ids.TransactionId`; ``release`` and
+        ``abort`` also accept ``(TransactionId, attempt)``.
+    ``commit_release``
+        payload ``(TransactionId, attempt)`` from the commit participant:
+        release one committed 2PC attempt under the semi-lock rule
+        (:meth:`repro.core.queue_manager.QueueManager.release_prepared`).
 
     Outgoing message kinds (to request issuers): ``grant``, ``backoff``,
     ``reject`` with the corresponding effect dataclass as payload.
+
+    The actor is ``crashable``: a site crash drops its inbound messages and
+    wipes the wrapped manager's volatile state (see
+    :meth:`repro.core.queue_manager.QueueManager.crash`).
     """
+
+    crashable = True
 
     def __init__(
         self,
@@ -81,14 +92,26 @@ class QueueManagerActor(Actor):
             transaction, new_timestamp = message.payload
             self._manager.update_timestamp(transaction, new_timestamp, now)
         elif message.kind == "release":
-            self._manager.release(message.payload, now)
+            transaction, attempt = self._transaction_and_attempt(message.payload)
+            self._manager.release(transaction, now, attempt)
+        elif message.kind == "commit_release":
+            transaction, attempt = self._transaction_and_attempt(message.payload)
+            self._manager.release_prepared(transaction, now, attempt)
         elif message.kind == "downgrade":
             self._manager.downgrade(message.payload, now)
         elif message.kind == "abort":
-            self._manager.abort(message.payload, now)
+            transaction, attempt = self._transaction_and_attempt(message.payload)
+            self._manager.abort(transaction, now, attempt)
         else:
             raise SimulationError(f"queue manager received unknown message kind {message.kind!r}")
         self._dispatch_effects(now)
+
+    @staticmethod
+    def _transaction_and_attempt(payload):
+        """Unpack a ``TransactionId`` or ``(TransactionId, attempt)`` payload."""
+        if isinstance(payload, tuple):
+            return payload
+        return payload, None
 
     def _dispatch_effects(self, now: float) -> None:
         for effect in self._manager.drain_effects():

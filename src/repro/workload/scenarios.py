@@ -22,9 +22,13 @@ from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 
 from repro.common.config import (
+    CommitConfig,
+    DelaySpike,
     DriftConfig,
     DriftSegment,
+    FaultConfig,
     ProtocolMix,
+    SiteCrash,
     SystemConfig,
     WorkloadConfig,
 )
@@ -333,6 +337,103 @@ register_scenario(
                     DriftSegment(at=0.8, arrival_rate=60.0),
                 ),
             ),
+            seed=13,
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="site-blackout",
+        description=(
+            "One data site goes dark mid-run for 1.5 time units "
+            "(two-phase commit over 2x-replicated items rides it out)."
+        ),
+        system=SystemConfig(
+            num_sites=4,
+            num_items=48,
+            replication_factor=2,
+            restart_delay=0.02,
+            seed=11,
+            commit=CommitConfig(protocol="two-phase", prepare_timeout=0.5),
+            faults=FaultConfig(
+                crashes=(SiteCrash(site=1, at=1.0, duration=1.5),),
+                request_timeout=1.5,
+            ),
+        ),
+        workload=WorkloadConfig(
+            arrival_rate=30.0,
+            num_transactions=300,
+            min_size=2,
+            max_size=6,
+            read_fraction=0.6,
+            seed=13,
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="flaky-links",
+        description=(
+            "25x delay spikes on the remote links plus one brief site outage: "
+            "commit rounds crawl but stay atomic."
+        ),
+        system=SystemConfig(
+            num_sites=4,
+            num_items=48,
+            replication_factor=2,
+            restart_delay=0.02,
+            seed=11,
+            commit=CommitConfig(protocol="two-phase", prepare_timeout=0.8),
+            faults=FaultConfig(
+                crashes=(SiteCrash(site=2, at=1.6, duration=0.6),),
+                spikes=(
+                    DelaySpike(at=0.8, duration=1.0, multiplier=25.0),
+                    DelaySpike(at=2.6, duration=0.8, multiplier=25.0, site=2),
+                ),
+                request_timeout=2.5,
+            ),
+        ),
+        workload=WorkloadConfig(
+            arrival_rate=30.0,
+            num_transactions=300,
+            min_size=2,
+            max_size=6,
+            read_fraction=0.6,
+            seed=13,
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="crash-storm",
+        description=(
+            "Stochastic crash/recover churn across all sites (plus one scheduled "
+            "outage): recovery and in-doubt resolution under repeated failures."
+        ),
+        system=SystemConfig(
+            num_sites=4,
+            num_items=48,
+            replication_factor=2,
+            restart_delay=0.02,
+            seed=11,
+            commit=CommitConfig(protocol="two-phase", prepare_timeout=0.5),
+            faults=FaultConfig(
+                crashes=(SiteCrash(site=0, at=0.9, duration=0.5),),
+                crash_rate=0.25,
+                mean_repair_time=0.4,
+                horizon=10.0,
+                request_timeout=1.5,
+            ),
+        ),
+        workload=WorkloadConfig(
+            arrival_rate=30.0,
+            num_transactions=300,
+            min_size=2,
+            max_size=6,
+            read_fraction=0.6,
             seed=13,
         ),
     )

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.analysis.experiments import (
+    availability_experiment,
     correctness_audit,
     drift_adaptation_experiment,
     dynamic_vs_static,
@@ -144,3 +145,72 @@ class TestDriftAdaptation:
             ("mix-flip",), modes=("adaptive",), protocols=(), transactions=40, seeds=(0,)
         )
         assert [row["policy"] for row in rows] == ["adaptive"]
+
+
+class TestAvailability:
+    """E10: the fault-scenario commit-layer comparison driver."""
+
+    @pytest.fixture(scope="class")
+    def e10_rows(self):
+        return availability_experiment(("site-blackout",), transactions=80, seeds=(0,))
+
+    def test_row_structure(self, e10_rows):
+        combos = [(row["commit"], row["protocol"]) for row in e10_rows]
+        assert combos == [
+            ("one-phase", "2PL"),
+            ("one-phase", "T/O"),
+            ("one-phase", "PA"),
+            ("two-phase", "2PL"),
+            ("two-phase", "T/O"),
+            ("two-phase", "PA"),
+        ]
+        for row in e10_rows:
+            assert row["scenario"] == "site-blackout"
+            assert row["crashes"] >= 1
+            assert 0.0 < row["availability"] <= 1.0
+
+    def test_two_phase_keeps_atomicity_one_phase_loses_it(self, e10_rows):
+        for row in e10_rows:
+            if row["commit"] == "two-phase":
+                assert row["atomic"] and row["serializable"]
+                assert row["lost_writes"] == 0
+                assert row["commit_messages"] > 0
+            else:
+                assert (
+                    row["lost_writes"] > 0
+                    or row["divergent_items"] > 0
+                    or not row["serializable"]
+                )
+                assert row["commit_messages"] == 0
+
+    def test_serial_and_parallel_rows_are_identical(self, e10_rows):
+        parallel = availability_experiment(
+            ("site-blackout",), transactions=80, seeds=(0,), jobs=3
+        )
+        assert parallel == e10_rows
+
+    def test_store_resume_reproduces_the_rows(self, e10_rows, tmp_path):
+        store = ResultStore(tmp_path / "e10.jsonl")
+        first = availability_experiment(
+            ("site-blackout",), transactions=80, seeds=(0,), store=store
+        )
+        warm = ResultStore(tmp_path / "e10.jsonl")
+        resumed = availability_experiment(
+            ("site-blackout",), transactions=80, seeds=(0,), store=warm
+        )
+        assert first == e10_rows
+        assert resumed == e10_rows
+        assert warm.hits == 6 and warm.misses == 0
+
+    def test_restricted_commit_layer_and_protocols(self):
+        rows = availability_experiment(
+            ("crash-storm",),
+            commit_protocols=("two-phase",),
+            protocols=(Protocol.TWO_PHASE_LOCKING,),
+            transactions=40,
+            seeds=(0,),
+        )
+        assert len(rows) == 1
+        assert rows[0]["commit"] == "two-phase"
+        assert rows[0]["atomic"]
+        assert rows[0]["crashes"] >= 1

@@ -1,0 +1,76 @@
+"""One-phase commit is bit-identical to the pre-refactor implicit commit.
+
+``golden_one_phase.json`` pins SHA-256 digests of ``summarize_run`` output
+(restricted to the pre-refactor key set) computed on the commit *before*
+the commit-pipeline refactor.  With the default ``commit="one-phase"``
+layer and no faults configured, the refactored life cycle must reproduce
+every one of them exactly — same grants, same messages, same metrics, same
+windowed series — across protocol mixes, replication, semi-locks and the
+dynamic selector.
+"""
+
+import hashlib
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis.replications import SimulationTask, execute_task
+from repro.common.config import SystemConfig, WorkloadConfig
+
+GOLDEN = json.loads(
+    (pathlib.Path(__file__).parent / "golden_one_phase.json").read_text()
+)
+
+CASES = {
+    "mixed-default": SimulationTask(
+        system=SystemConfig(num_sites=3, num_items=24, seed=5),
+        workload=WorkloadConfig(arrival_rate=25.0, num_transactions=120, seed=7),
+    ),
+    "pure-to-semilocks": SimulationTask(
+        system=SystemConfig(num_sites=3, num_items=24, seed=5),
+        workload=WorkloadConfig(arrival_rate=25.0, num_transactions=120, seed=7),
+        protocol="T/O",
+    ),
+    "pure-pa": SimulationTask(
+        system=SystemConfig(num_sites=3, num_items=24, seed=5),
+        workload=WorkloadConfig(arrival_rate=25.0, num_transactions=120, seed=7),
+        protocol="PA",
+    ),
+    "pure-2pl-replicated": SimulationTask(
+        system=SystemConfig(num_sites=3, num_items=24, replication_factor=2, seed=5),
+        workload=WorkloadConfig(arrival_rate=25.0, num_transactions=120, seed=7),
+        protocol="2PL",
+    ),
+    "dynamic": SimulationTask(
+        system=SystemConfig(num_sites=3, num_items=24, seed=5),
+        workload=WorkloadConfig(arrival_rate=25.0, num_transactions=100, seed=7),
+        dynamic_selection=True,
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_default_commit_layer_matches_pre_refactor_golden(name):
+    summary = execute_task(CASES[name])
+    filtered = {key: summary[key] for key in GOLDEN["keys"]}
+    blob = json.dumps(filtered, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    assert digest == GOLDEN["digests"][name], (
+        f"one-phase run {name!r} diverged from the pre-refactor behaviour"
+    )
+
+
+def test_default_summary_reports_the_one_phase_layer():
+    summary = execute_task(CASES["mixed-default"])
+    assert summary["commit_protocol"] == "one-phase"
+    assert summary["lost_writes"] == 0
+    assert summary["crashes"] == 0
+    assert summary["atomic"] is True
+    assert summary["commit_messages"] == {
+        "prepare": 0,
+        "vote": 0,
+        "decide": 0,
+        "status_query": 0,
+        "status_reply": 0,
+    }

@@ -1,0 +1,104 @@
+"""The commit-protocol registry and the commit/fault configuration."""
+
+import pytest
+
+from repro.commit import (
+    OnePhaseCommit,
+    TwoPhaseCommit,
+    commit_protocol_names,
+    create_commit_protocol,
+    register_commit_protocol,
+)
+from repro.commit.base import CommitProtocol
+from repro.common.config import (
+    CommitConfig,
+    DelaySpike,
+    FaultConfig,
+    SiteCrash,
+    SystemConfig,
+)
+from repro.common.errors import ConfigurationError
+
+
+class TestRegistry:
+    def test_builtin_protocols_registered(self):
+        names = commit_protocol_names()
+        assert "one-phase" in names
+        assert "two-phase" in names
+
+    def test_create_returns_the_right_class(self):
+        coordinator = object()
+        assert isinstance(create_commit_protocol("one-phase", coordinator), OnePhaseCommit)
+        assert isinstance(create_commit_protocol("two-phase", coordinator), TwoPhaseCommit)
+
+    def test_unknown_protocol_rejected_with_known_names(self):
+        with pytest.raises(ConfigurationError, match="two-phase"):
+            create_commit_protocol("three-phase", object())
+
+    def test_duplicate_registration_rejected(self):
+        class Duplicate(CommitProtocol):
+            name = "one-phase"
+
+            def begin_commit(self, execution):
+                """Unused."""
+
+        with pytest.raises(ConfigurationError):
+            register_commit_protocol(Duplicate)
+
+    def test_nameless_registration_rejected(self):
+        class Nameless(CommitProtocol):
+            def begin_commit(self, execution):
+                """Unused."""
+
+        with pytest.raises(ConfigurationError):
+            register_commit_protocol(Nameless)
+
+
+class TestCommitConfig:
+    def test_default_is_one_phase(self):
+        assert CommitConfig().protocol == "one-phase"
+        assert SystemConfig().commit.protocol == "one-phase"
+        assert SystemConfig().faults is None
+
+    def test_unknown_commit_protocol_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CommitConfig(protocol="three-phase")
+
+    def test_non_positive_prepare_timeout_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CommitConfig(prepare_timeout=0.0)
+
+
+class TestFaultConfig:
+    def test_crash_validation(self):
+        with pytest.raises(ConfigurationError):
+            SiteCrash(site=-1, at=0.0, duration=1.0)
+        with pytest.raises(ConfigurationError):
+            SiteCrash(site=0, at=-1.0, duration=1.0)
+        with pytest.raises(ConfigurationError):
+            SiteCrash(site=0, at=0.0, duration=0.0)
+
+    def test_spike_validation(self):
+        with pytest.raises(ConfigurationError):
+            DelaySpike(at=0.0, duration=1.0, multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            DelaySpike(at=0.0, duration=0.0, multiplier=2.0)
+
+    def test_stochastic_crashes_need_a_horizon(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(crash_rate=0.1)
+        FaultConfig(crash_rate=0.1, horizon=5.0)
+
+    def test_request_timeout_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(request_timeout=0.0)
+
+    def test_system_config_rejects_out_of_range_crash_sites(self):
+        faults = FaultConfig(crashes=(SiteCrash(site=7, at=1.0, duration=1.0),))
+        with pytest.raises(ConfigurationError):
+            SystemConfig(num_sites=4, faults=faults)
+
+    def test_system_config_rejects_out_of_range_spike_sites(self):
+        faults = FaultConfig(spikes=(DelaySpike(at=1.0, duration=1.0, multiplier=2.0, site=9),))
+        with pytest.raises(ConfigurationError):
+            SystemConfig(num_sites=4, faults=faults)

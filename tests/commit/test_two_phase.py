@@ -1,0 +1,297 @@
+"""Two-phase commit: fault-free equivalence, crash atomicity, recovery."""
+
+import pytest
+
+from repro.commit.audit import check_replica_convergence
+from repro.common.config import (
+    CommitConfig,
+    FaultConfig,
+    SiteCrash,
+    SystemConfig,
+    WorkloadConfig,
+)
+from repro.common.errors import SimulationError
+from repro.common.ids import CopyId, RequestId, TransactionId
+from repro.common.operations import OperationType
+from repro.common.protocol_names import Protocol
+from repro.common.transactions import TransactionSpec, TransactionStatus
+from repro.core.queue_manager import QueueManager
+from repro.core.requests import Request
+from repro.storage.catalog import ReplicaCatalog
+from repro.storage.store import ValueStore
+from repro.system.coordinator import TransactionExecution
+from repro.system.database import DistributedDatabase
+from repro.system.runner import run_simulation
+
+BLACKOUT = FaultConfig(
+    crashes=(SiteCrash(site=1, at=1.0, duration=1.5),), request_timeout=1.5
+)
+
+STORM = FaultConfig(
+    crashes=(SiteCrash(site=0, at=0.9, duration=0.5),),
+    crash_rate=0.25,
+    mean_repair_time=0.4,
+    horizon=10.0,
+    request_timeout=1.5,
+)
+
+
+def _system(commit="two-phase", faults=None, **overrides):
+    return SystemConfig(
+        num_sites=4,
+        num_items=48,
+        replication_factor=2,
+        restart_delay=0.02,
+        seed=11,
+        commit=CommitConfig(protocol=commit, prepare_timeout=0.5),
+        faults=faults,
+        **overrides,
+    )
+
+
+def _workload(**overrides):
+    defaults = dict(arrival_rate=30.0, num_transactions=120, seed=13)
+    defaults.update(overrides)
+    return WorkloadConfig(**defaults)
+
+
+class TestFaultFreeTwoPhase:
+    def test_everything_commits_atomically(self):
+        result = run_simulation(_system(), _workload())
+        assert result.committed == result.submitted
+        assert result.serializable
+        assert result.atomic
+        assert result.commit_protocol == "two-phase"
+        assert result.lost_writes == 0
+        assert result.commit_aborts == 0
+
+    def test_commit_rounds_pay_messages_and_latency(self):
+        result = run_simulation(_system(), _workload())
+        kinds = result.messages_by_kind
+        assert kinds["prepare"] == kinds["decide"]
+        assert kinds["vote"] == kinds["prepare"]
+        assert result.metrics.mean_commit_latency > 0.0
+        assert result.metrics.in_doubt_resolutions > 0
+        # No site ever went down, so nothing was ever queried after recovery.
+        assert "status_query" not in kinds
+
+    def test_one_phase_sends_no_commit_traffic(self):
+        result = run_simulation(_system(commit="one-phase"), _workload())
+        kinds = result.messages_by_kind
+        assert "prepare" not in kinds
+        assert "vote" not in kinds
+        assert result.metrics.mean_commit_latency == 0.0
+
+
+class TestCrashAtomicity:
+    def test_two_phase_rides_out_a_blackout(self):
+        result = run_simulation(_system(faults=BLACKOUT), _workload(num_transactions=150))
+        assert result.crashes == 1
+        assert result.messages_dropped > 0
+        assert result.committed == result.submitted
+        assert result.serializable
+        assert result.atomic
+        assert result.lost_writes == 0
+
+    def test_one_phase_loses_atomicity_in_the_same_blackout(self):
+        result = run_simulation(
+            _system(commit="one-phase", faults=BLACKOUT), _workload(num_transactions=150)
+        )
+        assert result.crashes == 1
+        violated = (
+            result.lost_writes > 0
+            or result.replica_report.divergent_items
+            or not result.serializable
+        )
+        assert violated
+        assert not result.atomic
+
+    def test_two_phase_aborts_rounds_instead_of_losing_writes(self):
+        result = run_simulation(_system(faults=BLACKOUT), _workload(num_transactions=150))
+        # Some prepare rounds must have timed out against the dead site ...
+        assert result.commit_aborts > 0
+        # ... and every aborted round retried to a clean commit.
+        assert result.committed == result.submitted
+        assert result.metrics.timeout_restarts > 0
+
+    def test_two_phase_survives_a_crash_storm_with_recovery_queries(self):
+        result = run_simulation(_system(faults=STORM), _workload(num_transactions=150))
+        assert result.crashes > 1
+        assert result.serializable
+        assert result.atomic
+        # In-doubt participants resolved via the recovery status round.
+        assert result.messages_by_kind.get("status_query", 0) > 0
+        assert result.messages_by_kind.get("status_reply", 0) > 0
+
+    def test_fault_runs_are_deterministic(self):
+        first = run_simulation(_system(faults=STORM), _workload())
+        second = run_simulation(_system(faults=STORM), _workload())
+        assert first.summary() == second.summary()
+
+
+class TestDecisionLogging:
+    def test_every_committed_transaction_has_a_logged_decision(self):
+        system = _system()
+        workload = _workload(num_transactions=60)
+        database = DistributedDatabase(system)
+        from repro.workload.generator import TransactionGenerator
+
+        generator = TransactionGenerator(system, workload)
+        database.load_workload(generator.generate(), workload)
+        result = database.run()
+        assert result.committed == result.submitted
+        decisions = sum(
+            database.commit_log(site).decision_count()
+            for site in range(system.num_sites)
+        )
+        # At least one decision per transaction (abort rounds add more).
+        assert decisions >= result.committed
+        for site in range(system.num_sites):
+            assert not database.commit_log(site).in_doubt_records()
+
+
+class TestStateMachine:
+    def test_illegal_transition_rejected(self):
+        system = _system(commit="one-phase")
+        database = DistributedDatabase(system)
+        issuer = database.issuer(0)
+        spec = TransactionSpec(
+            tid=TransactionId(0, 1), read_items=(1,), write_items=(), arrival_time=0.0
+        )
+        execution = TransactionExecution(
+            spec=spec, protocol=Protocol.TWO_PHASE_LOCKING, timestamp=1.0
+        )
+        assert execution.status is TransactionStatus.PENDING
+        with pytest.raises(SimulationError):
+            issuer.transition(execution, TransactionStatus.COMMITTED)
+        issuer.transition(execution, TransactionStatus.REQUESTING)
+        assert execution.status is TransactionStatus.REQUESTING
+        with pytest.raises(SimulationError):
+            issuer.transition(execution, TransactionStatus.PREPARING)
+
+    def test_same_state_transition_is_a_no_op(self):
+        system = _system(commit="one-phase")
+        database = DistributedDatabase(system)
+        issuer = database.issuer(0)
+        spec = TransactionSpec(
+            tid=TransactionId(0, 2), read_items=(1,), write_items=(), arrival_time=0.0
+        )
+        execution = TransactionExecution(
+            spec=spec, protocol=Protocol.TWO_PHASE_LOCKING, timestamp=1.0
+        )
+        issuer.transition(execution, TransactionStatus.PENDING)
+        assert execution.status is TransactionStatus.PENDING
+
+
+class TestSemiLockRuleUnderTwoPhase:
+    """Releasing a committed 2PC attempt must honour Section 4.2 rule 4."""
+
+    COPY = CopyId(0, 0)
+
+    def _to_request(self, seq, op_type, timestamp):
+        tid = TransactionId(0, seq)
+        return Request(
+            request_id=RequestId(tid, 0, 0),
+            transaction=tid,
+            protocol=Protocol.TIMESTAMP_ORDERING,
+            op_type=op_type,
+            copy=self.COPY,
+            timestamp=timestamp,
+            backoff_interval=1.0,
+            issuer="ri-0",
+        )
+
+    def test_pre_scheduled_lock_survives_commit_release_as_semi_lock(self):
+        manager = QueueManager(self.COPY)
+        # t1: T/O read, granted SRL, still executing (unreleased).
+        reader = self._to_request(1, OperationType.READ, timestamp=1.0)
+        manager.submit(reader, now=0.0)
+        # t2: T/O write, granted WL *pre-scheduled* over t1's SRL.
+        writer = self._to_request(2, OperationType.WRITE, timestamp=2.0)
+        manager.submit(writer, now=0.1)
+        manager.drain_effects()
+        assert manager.holds_granted_lock(writer.request_id)
+
+        # t2 commits via 2PC: the participant's release must not drop the
+        # pre-scheduled lock outright ...
+        manager.release_prepared(writer.transaction, now=0.2, attempt=0)
+        assert manager.holds_granted_lock(writer.request_id)
+
+        # ... so a 2PL read arriving now stays queued behind the semi-write
+        # lock instead of slipping in front of t1 (the inversion of
+        # examples/semilock_necessity.py).
+        t3 = TransactionId(0, 3)
+        straggler = Request(
+            request_id=RequestId(t3, 0, 0),
+            transaction=t3,
+            protocol=Protocol.TWO_PHASE_LOCKING,
+            op_type=OperationType.READ,
+            copy=self.COPY,
+            timestamp=0.0,
+            backoff_interval=1.0,
+            issuer="ri-0",
+        )
+        manager.submit(straggler, now=0.3)
+        assert not any(
+            getattr(effect, "request", None) is straggler
+            for effect in manager.drain_effects()
+        )
+
+        # Once t1 releases, t2's semi-lock turns normal and auto-releases,
+        # unblocking the straggler — with t2's write implemented before it.
+        manager.release(reader.transaction, now=0.4)
+        assert not manager.holds_granted_lock(writer.request_id)
+        assert any(
+            getattr(effect, "request", None) is straggler
+            for effect in manager.drain_effects()
+        )
+        operations = [
+            (entry.transaction.seq, entry.op_type.is_write)
+            for log in manager.execution_log.logs()
+            for entry in log.entries()
+        ]
+        assert operations.index((2, True)) < operations.index((3, False))
+
+    def test_contended_to_heavy_two_phase_run_stays_serializable(self):
+        mix_system = _system().with_overrides(num_items=16)
+        workload = _workload(
+            num_transactions=150, arrival_rate=40.0, read_fraction=0.4
+        )
+        result = run_simulation(mix_system, workload, protocol="T/O")
+        assert result.committed == result.submitted
+        assert result.serializable
+        assert result.atomic
+
+
+class TestReplicaAudit:
+    def test_divergent_final_values_detected(self):
+        catalog = ReplicaCatalog(num_sites=2, num_items=2, replication_factor=2)
+        store = ValueStore()
+        writer = TransactionId(0, 1)
+        store.write(CopyId(0, 0), "a", writer, 1.0)
+        store.write(CopyId(0, 1), "b", writer, 1.0)
+        report = check_replica_convergence(store, catalog)
+        assert report.divergent_items == (0,)
+        assert not report.convergent
+
+    def test_masked_half_applied_write_all_detected_by_write_counts(self):
+        catalog = ReplicaCatalog(num_sites=2, num_items=1, replication_factor=2)
+        store = ValueStore()
+        first, second = TransactionId(0, 1), TransactionId(0, 2)
+        # First write-all only reaches copy 0; the second reaches both and
+        # makes the final values agree again.
+        store.write(CopyId(0, 0), "lost", first, 1.0)
+        store.write(CopyId(0, 0), "same", second, 2.0)
+        store.write(CopyId(0, 1), "same", second, 2.0)
+        report = check_replica_convergence(store, catalog)
+        assert report.divergent_items == (0,)
+
+    def test_converged_copies_pass(self):
+        catalog = ReplicaCatalog(num_sites=2, num_items=1, replication_factor=2)
+        store = ValueStore()
+        writer = TransactionId(0, 1)
+        store.write(CopyId(0, 0), "v", writer, 1.0)
+        store.write(CopyId(0, 1), "v", writer, 1.0)
+        report = check_replica_convergence(store, catalog)
+        assert report.convergent
+        assert report.checked_items == 1

@@ -14,9 +14,9 @@ T1, T2, T3 = (TransactionId(0, i) for i in range(1, 4))
 X, Y = CopyId(0, 0), CopyId(1, 0)
 
 
-def record(log, copy, tid, op, time):
+def record(log, copy, tid, op, time, attempt=0):
     op_type = OperationType.READ if op == "r" else OperationType.WRITE
-    log.record(copy, tid, op_type, Protocol.TWO_PHASE_LOCKING, time)
+    log.record(copy, tid, op_type, Protocol.TWO_PHASE_LOCKING, time, attempt)
 
 
 class TestConflictGraphConstruction:
@@ -134,3 +134,42 @@ class TestTopologicalOrder:
         report = check_serializable(log)
         assert report.transactions_checked == 2
         assert report.conflict_edges == 1
+
+
+class TestCommittedView:
+    """The committed-attempt filter behind fault-run audits."""
+
+    def test_stale_attempt_entries_are_excluded(self):
+        log = ExecutionLog()
+        # T1's attempt-0 read was stranded by an abort dropped at a crashed
+        # site; its attempt-1 re-read and T2's write are the real execution.
+        record(log, X, T1, "r", 1.0, attempt=0)
+        record(log, X, T2, "w", 2.0, attempt=0)
+        record(log, X, T1, "r", 3.0, attempt=1)
+        report = check_serializable(log, {T1: 1, T2: 0})
+        assert report.serializable
+        assert report.serialization_order == [T2, T1]
+        assert report.conflict_edges == 1
+
+    def test_stale_entry_would_otherwise_flip_the_verdict(self):
+        log = ExecutionLog()
+        record(log, X, T1, "r", 1.0, attempt=0)   # stale: aborted attempt
+        record(log, X, T2, "w", 2.0, attempt=0)
+        record(log, Y, T2, "w", 3.0, attempt=0)
+        record(log, Y, T1, "w", 4.0, attempt=1)
+        # Unfiltered, the stale read produces the cycle T1 -> T2 -> T1.
+        assert not check_serializable(log).serializable
+        assert check_serializable(log, {T1: 1, T2: 0}).serializable
+
+    def test_uncommitted_transactions_are_excluded_entirely(self):
+        log = ExecutionLog()
+        record(log, X, T1, "w", 1.0)
+        record(log, X, T3, "r", 2.0)
+        report = check_serializable(log, {T1: 0})
+        assert report.transactions_checked == 1
+
+    def test_no_filter_audits_everything(self):
+        log = ExecutionLog()
+        record(log, X, T1, "r", 1.0, attempt=0)
+        record(log, X, T2, "w", 2.0)
+        assert check_serializable(log).transactions_checked == 2

@@ -1,0 +1,274 @@
+"""The fault injector: timelines, determinism, spikes, drops, crash wipes."""
+
+import pytest
+
+from repro.common.config import (
+    DelaySpike,
+    FaultConfig,
+    NetworkConfig,
+    SiteCrash,
+)
+from repro.common.errors import SimulationError
+from repro.common.ids import CopyId, RequestId, TransactionId
+from repro.common.operations import OperationType
+from repro.common.protocol_names import Protocol
+from repro.core.queue_manager import QueueManager
+from repro.core.requests import Request
+from repro.sim.actor import Actor, Message
+from repro.sim.faults import FaultInjector
+from repro.sim.network import Network
+from repro.sim.rng import RandomStreams
+from repro.sim.simulator import Simulator
+
+
+def build_injector(config, num_sites=4, seed=0, simulator=None):
+    simulator = simulator if simulator is not None else Simulator()
+    return FaultInjector(simulator, config, num_sites, RandomStreams(seed))
+
+
+class Recorder(Actor):
+    """Crashable actor that records every delivered message."""
+
+    crashable = True
+
+    def __init__(self, name, site):
+        super().__init__(name, site)
+        self.received = []
+
+    def handle(self, message: Message) -> None:
+        self.received.append(message)
+
+
+class TestTimeline:
+    def test_scheduled_crash_window(self):
+        injector = build_injector(
+            FaultConfig(crashes=(SiteCrash(site=1, at=2.0, duration=1.0),))
+        )
+        assert injector.site_up(1, 1.9)
+        assert not injector.site_up(1, 2.0)
+        assert not injector.site_up(1, 2.9)
+        assert injector.site_up(1, 3.0)
+        assert injector.site_up(0, 2.5)
+        assert injector.downtime_of(1) == ((2.0, 3.0),)
+
+    def test_overlapping_windows_merge(self):
+        injector = build_injector(
+            FaultConfig(
+                crashes=(
+                    SiteCrash(site=0, at=1.0, duration=1.0),
+                    SiteCrash(site=0, at=1.5, duration=1.0),
+                )
+            )
+        )
+        assert injector.downtime_of(0) == ((1.0, 2.5),)
+        assert injector.total_crashes_planned == 1
+
+    def test_sites_outside_the_model_are_always_up(self):
+        injector = build_injector(FaultConfig())
+        assert injector.site_up(99, 5.0)
+
+    def test_stochastic_timeline_is_seed_deterministic(self):
+        config = FaultConfig(crash_rate=0.5, mean_repair_time=0.3, horizon=20.0)
+        first = build_injector(config, seed=3)
+        second = build_injector(config, seed=3)
+        third = build_injector(config, seed=4)
+        assert first.downtime_of(0) == second.downtime_of(0)
+        assert first.downtime_of(0) != third.downtime_of(0)
+        assert first.total_crashes_planned > 0
+
+    def test_start_twice_rejected(self):
+        injector = build_injector(
+            FaultConfig(crashes=(SiteCrash(site=0, at=1.0, duration=1.0),))
+        )
+        injector.start()
+        with pytest.raises(SimulationError):
+            injector.start()
+
+
+class TestListeners:
+    def test_crash_and_recovery_listeners_fire_in_order(self):
+        simulator = Simulator()
+        injector = build_injector(
+            FaultConfig(crashes=(SiteCrash(site=2, at=1.0, duration=0.5),)),
+            simulator=simulator,
+        )
+        events = []
+        injector.add_crash_listener(lambda site, now: events.append(("crash", site, now)))
+        injector.add_recovery_listener(lambda site, now: events.append(("recover", site, now)))
+        injector.start()
+        simulator.run()
+        assert events == [("crash", 2, 1.0), ("recover", 2, 1.5)]
+        assert injector.crash_count == 1
+
+
+class TestDelaySpikes:
+    CONFIG = FaultConfig(
+        spikes=(
+            DelaySpike(at=1.0, duration=1.0, multiplier=10.0),
+            DelaySpike(at=5.0, duration=1.0, multiplier=4.0, site=2),
+        )
+    )
+
+    def test_global_spike_hits_every_remote_link(self):
+        injector = build_injector(self.CONFIG)
+        assert injector.delay_multiplier(0, 1, 1.5) == 10.0
+        assert injector.delay_multiplier(0, 1, 2.5) == 1.0
+
+    def test_site_spike_hits_only_its_links(self):
+        injector = build_injector(self.CONFIG)
+        assert injector.delay_multiplier(0, 2, 5.5) == 4.0
+        assert injector.delay_multiplier(2, 1, 5.5) == 4.0
+        assert injector.delay_multiplier(0, 1, 5.5) == 1.0
+
+    def test_overlapping_spikes_take_the_maximum(self):
+        config = FaultConfig(
+            spikes=(
+                DelaySpike(at=0.0, duration=2.0, multiplier=3.0),
+                DelaySpike(at=1.0, duration=2.0, multiplier=7.0),
+            )
+        )
+        injector = build_injector(config)
+        assert injector.delay_multiplier(0, 1, 1.5) == 7.0
+
+    def test_spiked_latency_slows_remote_messages(self):
+        config = FaultConfig(spikes=(DelaySpike(at=0.0, duration=10.0, multiplier=5.0),))
+        simulator = Simulator()
+        injector = build_injector(config, simulator=simulator)
+        network = Network(
+            simulator,
+            NetworkConfig(fixed_delay=0.1, variable_delay=0.0, local_delay=0.001),
+            RandomStreams(1),
+            faults=injector,
+        )
+        sender, receiver = Recorder("s", 0), Recorder("r", 1)
+        network.register(sender)
+        network.register(receiver)
+        network.send(sender, "r", "ping")
+        simulator.run()
+        assert simulator.now == pytest.approx(0.5)
+
+
+class TestMessageDrops:
+    def build(self):
+        simulator = Simulator()
+        injector = build_injector(
+            FaultConfig(crashes=(SiteCrash(site=1, at=0.0, duration=10.0),)),
+            simulator=simulator,
+        )
+        network = Network(
+            simulator,
+            NetworkConfig(fixed_delay=0.01, variable_delay=0.0, local_delay=0.001),
+            RandomStreams(1),
+            faults=injector,
+        )
+        return simulator, network
+
+    def test_message_to_downed_crashable_actor_is_dropped(self):
+        simulator, network = self.build()
+        sender, receiver = Recorder("s", 0), Recorder("r", 1)
+        network.register(sender)
+        network.register(receiver)
+        network.send(sender, "r", "ping")
+        simulator.run()
+        assert receiver.received == []
+        assert network.messages_dropped == 1
+        assert network.dropped_by_kind() == {"ping": 1}
+        # The communication cost was still paid.
+        assert network.messages_sent == 1
+
+    def test_non_crashable_actors_keep_receiving(self):
+        simulator, network = self.build()
+
+        class Sturdy(Recorder):
+            crashable = False
+
+        sender, receiver = Recorder("s", 0), Sturdy("r", 1)
+        network.register(sender)
+        network.register(receiver)
+        network.send(sender, "r", "ping")
+        simulator.run()
+        assert len(receiver.received) == 1
+        assert network.messages_dropped == 0
+
+
+def _request(tid_seq, copy, op_type=OperationType.WRITE, attempt=0, timestamp=1.0):
+    tid = TransactionId(0, tid_seq)
+    return Request(
+        request_id=RequestId(tid, 0, attempt),
+        transaction=tid,
+        protocol=Protocol.TWO_PHASE_LOCKING,
+        op_type=op_type,
+        copy=copy,
+        timestamp=timestamp,
+        backoff_interval=1.0,
+        issuer="ri-0",
+    )
+
+
+class TestQueueManagerCrash:
+    COPY = CopyId(0, 0)
+
+    def test_crash_wipes_queue_and_locks(self):
+        manager = QueueManager(self.COPY)
+        manager.submit(_request(1, self.COPY), now=0.0)
+        assert manager.queue_length() == 1
+        assert manager.granted_locks()
+        manager.crash(now=1.0)
+        assert manager.queue_length() == 0
+        assert not manager.granted_locks()
+        assert manager.drain_effects() == []
+        assert manager.crashes == 1
+
+    def test_crash_preserves_timestamps(self):
+        manager = QueueManager(self.COPY)
+        manager.submit(_request(1, self.COPY, timestamp=5.0), now=0.0)
+        before = manager.write_ts
+        manager.crash(now=1.0)
+        assert manager.write_ts == before
+
+    def test_restore_lock_blocks_later_conflicting_requests(self):
+        manager = QueueManager(self.COPY)
+        request = _request(1, self.COPY)
+        manager.submit(request, now=0.0)
+        manager.crash(now=1.0)
+        assert not manager.holds_granted_lock(request.request_id)
+        manager.restore_lock(request, now=1.5)
+        assert manager.holds_granted_lock(request.request_id)
+        manager.drain_effects()
+        competitor = _request(2, self.COPY, timestamp=2.0)
+        manager.submit(competitor, now=2.0)
+        effects = manager.drain_effects()
+        # The competitor queues behind the restored lock instead of jumping it.
+        assert not any(
+            getattr(effect, "request", None) is competitor for effect in effects
+        )
+        manager.release(request.transaction, now=3.0, attempt=request.request_id.attempt)
+        effects = manager.drain_effects()
+        assert any(getattr(effect, "request", None) is competitor for effect in effects)
+
+    def test_abort_withdraws_log_entries_even_after_a_wipe(self):
+        manager = QueueManager(self.COPY)
+        read = _request(1, self.COPY, op_type=OperationType.READ)
+        manager.submit(read, now=0.0)
+        # The read implemented at grant time: one tentative log entry.
+        assert manager.execution_log.total_operations() == 1
+        manager.crash(now=1.0)
+        manager.abort(read.transaction, now=2.0)
+        assert manager.execution_log.total_operations() == 0
+
+    def test_attempt_scoped_abort_leaves_other_attempts_alone(self):
+        manager = QueueManager(self.COPY)
+        old = _request(1, self.COPY, op_type=OperationType.READ, attempt=0)
+        manager.submit(old, now=0.0)
+        manager.crash(now=1.0)
+        fresh = _request(1, self.COPY, op_type=OperationType.READ, attempt=1, timestamp=2.0)
+        manager.submit(fresh, now=2.0)
+        assert manager.execution_log.total_operations() == 2
+        manager.abort(old.transaction, now=3.0, attempt=0)
+        entries = [
+            entry
+            for log in manager.execution_log.logs()
+            for entry in log.entries()
+        ]
+        assert [entry.attempt for entry in entries] == [1]
+        assert manager.holds_granted_lock(fresh.request_id)

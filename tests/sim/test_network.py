@@ -122,6 +122,32 @@ class TestAccounting:
         assert sample(3) != sample(4)
 
 
+class TestExplicitRng:
+    """Regression: the network must never silently fall back to a default RNG.
+
+    The old signature defaulted to ``RandomStreams(0)`` when no rng was
+    passed, which decoupled message delays from the run seed — two runs with
+    different seeds drew identical latencies.  The rng is now a required
+    argument.
+    """
+
+    def test_network_requires_an_rng_argument(self):
+        with pytest.raises(TypeError):
+            Network(Simulator(), NetworkConfig())
+
+    def test_network_rejects_a_none_rng(self):
+        with pytest.raises(SimulationError):
+            Network(Simulator(), NetworkConfig(), None)
+
+    def test_latencies_follow_the_provided_seed(self):
+        config = NetworkConfig(variable_delay=0.05)
+        seeded = Network(Simulator(), config, RandomStreams(7))
+        reseeded = Network(Simulator(), config, RandomStreams(8))
+        assert [seeded.latency(0, 1) for _ in range(5)] != [
+            reseeded.latency(0, 1) for _ in range(5)
+        ]
+
+
 class TestBaseActor:
     def test_base_actor_handle_is_abstract(self):
         with pytest.raises(NotImplementedError):

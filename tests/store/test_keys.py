@@ -4,14 +4,17 @@ import pytest
 
 from repro.analysis.replications import SimulationTask
 from repro.common.config import (
+    CommitConfig,
     DriftConfig,
     DriftSegment,
+    FaultConfig,
     ProtocolMix,
+    SiteCrash,
     SystemConfig,
     WorkloadConfig,
 )
 from repro.common.protocol_names import Protocol
-from repro.store import canonical_value, task_key, task_payload
+from repro.store import ResultStore, canonical_value, task_key, task_payload
 from repro.workload.scenarios import get_scenario
 
 
@@ -130,8 +133,9 @@ class TestAdaptiveDriftKeys:
 
     #: Golden digest of ``_adaptive_drift_task()``.  If this assertion ever
     #: fails, the canonical task encoding changed: bump ``KEY_SCHEMA`` so
-    #: stale stores invalidate themselves, then re-pin.
-    GOLDEN_KEY = "06a8cfeac052da4dc0e4fc617039b75ad3b20c829d5429acca0a84dfc22ffd03"
+    #: stale stores invalidate themselves, then re-pin.  (Re-pinned for
+    #: KEY_SCHEMA v3: commit/fault config joined ``SystemConfig``.)
+    GOLDEN_KEY = "818ed79d1697a2f67c98fc6eea2ac883e33519a59b32fd96de9fcbc66dbb104c"
 
     def test_adaptive_drift_key_is_stable_across_processes(self):
         assert task_key(_adaptive_drift_task()) == self.GOLDEN_KEY
@@ -201,6 +205,94 @@ class TestAdaptiveDriftKeys:
                     )
                 )
         assert len(keys) == 6
+
+
+class TestCommitFaultKeys:
+    """Key-schema v3: the commit layer and fault model are part of every digest."""
+
+    #: Golden v3 digest of the module fixture's ``base_task`` (all-default
+    #: commit/fault configuration).  Byte-stability of the new defaults: if
+    #: this ever fails, the canonical encoding moved again — bump
+    #: ``KEY_SCHEMA`` and re-pin.
+    GOLDEN_DEFAULT_KEY = "8abb5d6d434db141801bf8220e1544b9a75252940e433f319049e4a869320f78"
+
+    #: A KEY_SCHEMA v2 digest (the adaptive-drift golden this file pinned
+    #: before the schema bump).  Kept to prove that rows addressed by v2-era
+    #: keys stay inert under v3 lookups.
+    V2_ERA_KEY = "06a8cfeac052da4dc0e4fc617039b75ad3b20c829d5429acca0a84dfc22ffd03"
+
+    def test_default_commit_fault_config_is_byte_stable(self, base_task):
+        assert task_key(base_task) == self.GOLDEN_DEFAULT_KEY
+
+    def test_default_payload_names_commit_and_faults(self, base_task):
+        payload = task_payload(base_task)
+        assert payload["schema"] == 3
+        assert payload["system"]["commit"] == {
+            "protocol": "one-phase",
+            "prepare_timeout": 1.0,
+        }
+        assert payload["system"]["faults"] is None
+
+    def test_commit_protocol_changes_the_key(self, base_task):
+        changed = SimulationTask(
+            system=base_task.system.with_overrides(
+                commit=CommitConfig(protocol="two-phase")
+            ),
+            workload=base_task.workload,
+            protocol=base_task.protocol,
+        )
+        assert task_key(changed) != task_key(base_task)
+
+    def test_fault_config_changes_the_key(self, base_task):
+        changed = SimulationTask(
+            system=base_task.system.with_overrides(
+                faults=FaultConfig(crashes=(SiteCrash(site=1, at=1.0, duration=0.5),))
+            ),
+            workload=base_task.workload,
+            protocol=base_task.protocol,
+        )
+        assert task_key(changed) != task_key(base_task)
+
+    def test_prepare_timeout_changes_the_key(self, base_task):
+        changed = SimulationTask(
+            system=base_task.system.with_overrides(
+                commit=CommitConfig(prepare_timeout=2.0)
+            ),
+            workload=base_task.workload,
+            protocol=base_task.protocol,
+        )
+        assert task_key(changed) != task_key(base_task)
+
+    def test_warm_resume_on_a_v2_store_misses_cleanly(self, base_task, tmp_path):
+        """A store written under the v2 schema serves nothing to v3 lookups.
+
+        v2 keys digested a payload without commit/fault fields, so the same
+        logical configuration now addresses a different key: the old rows
+        stay inert instead of being served with unspecified commit semantics.
+        """
+        store = ResultStore(tmp_path / "runs.jsonl")
+        store.put(self.V2_ERA_KEY, {"schema": 2}, {"committed": 10})
+        assert task_key(base_task) != self.V2_ERA_KEY
+        assert store.lookup(task_key(base_task)) is None
+        assert store.lookup(self.V2_ERA_KEY) is not None
+
+    def test_fault_payload_round_trips_through_json(self, base_task):
+        import json
+
+        task = SimulationTask(
+            system=base_task.system.with_overrides(
+                commit=CommitConfig(protocol="two-phase", prepare_timeout=0.5),
+                faults=FaultConfig(
+                    crashes=(SiteCrash(site=1, at=1.0, duration=0.5),),
+                    crash_rate=0.2,
+                    mean_repair_time=0.3,
+                    horizon=8.0,
+                ),
+            ),
+            workload=base_task.workload,
+        )
+        payload = task_payload(task)
+        assert json.loads(json.dumps(payload)) == payload
 
 
 class TestCanonicalValue:

@@ -143,6 +143,37 @@ class TestSweepCommand:
         assert "post_drift_mean_system_time" in out
         assert "adaptive" in out and "frozen" in out
 
+    def test_e10_sweep(self, capsys):
+        exit_code = main(
+            [
+                "sweep",
+                "--experiment", "e10",
+                "--scenarios", "site-blackout",
+                "--transactions", "40",
+                "--jobs", "2",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "one-phase" in out and "two-phase" in out
+        assert "lost_writes" in out and "atomic" in out
+
+    def test_run_accepts_the_commit_flag(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--commit", "two-phase",
+                "--sites", "2",
+                "--items", "16",
+                "--transactions", "20",
+                "--protocol", "2PL",
+                "--seed", "5",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "commit_protocol" in out and "two-phase" in out
+
     def test_sweep_with_jobs_matches_serial_output(self, capsys):
         argv = [
             "sweep",

@@ -21,6 +21,13 @@ EXPECTED_SCENARIOS = (
     "bimodal-churn",
 )
 
+#: The fault-scenario family behind E10 (two-phase commit + site failures).
+FAULT_SCENARIOS = (
+    "site-blackout",
+    "flaky-links",
+    "crash-storm",
+)
+
 
 class TestRegistry:
     def test_expected_scenarios_registered(self):
@@ -60,6 +67,16 @@ class TestScenarioRuns:
     @pytest.mark.parametrize("name", EXPECTED_SCENARIOS)
     def test_every_scenario_runs_and_is_serializable(self, name):
         result = run_scenario(name, transactions=30, seeds=(0,))
+        assert result.label == name
+        assert result.all_serializable
+        assert result.all_committed
+
+    @pytest.mark.parametrize("name", FAULT_SCENARIOS)
+    def test_fault_scenarios_ride_out_their_failures(self, name):
+        scenario = get_scenario(name)
+        assert scenario.system.commit.protocol == "two-phase"
+        assert scenario.system.faults is not None
+        result = run_scenario(name, transactions=40, seeds=(0,))
         assert result.label == name
         assert result.all_serializable
         assert result.all_committed
