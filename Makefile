@@ -27,7 +27,8 @@ bench-gate:
 ## tests (no timing) — fast sanity check
 bench-smoke:
 	$(PY) -m pytest benchmarks/bench_micro_hotpaths.py benchmarks/bench_store.py \
-		benchmarks/bench_e10_availability.py -q --benchmark-disable
+		benchmarks/bench_e10_availability.py benchmarks/bench_e11_recovery.py \
+		-q --benchmark-disable
 
 ## full pytest-benchmark run of the hot-path micros
 bench:

@@ -1,0 +1,105 @@
+"""E11 — blocking and availability of the 2PC family under coordinator loss.
+
+E10 crashes data sites; E11 crashes the *coordinator* — the transaction
+manager process itself — and races the commit-protocol family (presumed
+nothing, presumed abort, presumed commit) with the cooperative termination
+protocol off and on.  The driver
+(``repro.analysis.experiments.recovery_experiment``) runs the registered
+recovery scenarios; the acceptance claims asserted below:
+
+* every variant stays atomic and serializable across every injected crash
+  (coordinator recovery re-drives in-doubt rounds, never corrupts them);
+* presumed-abort issues strictly fewer forced log writes than presumed
+  nothing on a failure-free run — the variants' whole point is trading
+  forced writes against recovery-time presumptions;
+* under the coordinator blackout, availability at the fault horizon is
+  strictly higher with the cooperative termination protocol on: peers that
+  saw the decision free blocked participants years (of simulated time)
+  before the coordinator comes back.
+
+The benchmark, the CLI (``sweep --experiment e11``) and the tests share the
+same driver; all runs are fully seeded, so the table and the assertions are
+deterministic.
+"""
+
+from benchmarks.conftest import save_table
+from repro.analysis.experiments import recovery_experiment
+
+COLUMNS = (
+    "scenario",
+    "commit",
+    "termination",
+    "availability",
+    "mean_in_doubt",
+    "max_in_doubt",
+    "forced_log_writes",
+    "lazy_log_writes",
+    "ack_messages",
+    "peer_messages",
+    "coordinator_crashes",
+    "redriven",
+    "mean_recovery_latency",
+    "termination_resolutions",
+    "records_truncated",
+    "atomic",
+    "serializable",
+)
+
+
+def run_experiment():
+    """Run E11 at a reduced-but-representative scale (fully seeded).
+
+    ``uniform-baseline`` joins the fault scenarios as the failure-free
+    control: it is where the forced-write saving of the presumed variants
+    is measured without any recovery traffic mixed in.
+    """
+    return recovery_experiment(
+        ("uniform-baseline", "coordinator-blackout", "in-doubt-storm"),
+        transactions=150,
+        seeds=(0, 1),
+        jobs=4,
+    )
+
+
+def test_e11_recovery(benchmark, results_dir):
+    """Benchmark E11 and assert the commit-protocol-family acceptance claims."""
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    save_table(results_dir, "e11_recovery", rows, COLUMNS)
+
+    # Safety first: every variant, every fault scenario, every seed —
+    # atomic and serializable, with every commit round eventually decided.
+    assert all(row["atomic"] and row["serializable"] for row in rows)
+
+    by_key = {
+        (row["scenario"], row["commit"], row["termination"]): row for row in rows
+    }
+
+    # Presumed abort logs lazily for read-only participants and never logs
+    # aborts, so on the failure-free control it must force strictly fewer
+    # log writes than presumed nothing (which forces every prepare and
+    # every decision) — while paying for it in ack messages.
+    for termination in (False, True):
+        presumed = by_key[("uniform-baseline", "presumed-abort", termination)]
+        nothing = by_key[("uniform-baseline", "two-phase", termination)]
+        assert presumed["forced_log_writes"] < nothing["forced_log_writes"]
+        assert presumed["ack_messages"] > 0
+        assert nothing["ack_messages"] == 0
+
+    # The failure-free control must see no coordinator crashes and no
+    # recovery traffic at all; the blackout rows must see both.
+    assert all(
+        by_key[("uniform-baseline", commit, term)]["coordinator_crashes"] == 0
+        for commit in ("two-phase", "presumed-abort", "presumed-commit")
+        for term in (False, True)
+    )
+
+    # The headline: under the coordinator blackout the termination protocol
+    # resolves blocked in-doubt participants from their peers, so
+    # availability at the fault horizon is strictly higher than with peer
+    # queries disabled, and the worst blocked-in-doubt time collapses.
+    with_term = by_key[("coordinator-blackout", "two-phase", True)]
+    without = by_key[("coordinator-blackout", "two-phase", False)]
+    assert with_term["coordinator_crashes"] >= 1
+    assert with_term["availability"] > without["availability"]
+    assert with_term["termination_resolutions"] > 0
+    assert with_term["max_in_doubt"] < without["max_in_doubt"]

@@ -1,4 +1,4 @@
-"""Experiment definitions E1-E10 (see DESIGN.md for the index).
+"""Experiment definitions E1-E11 (see DESIGN.md for the index).
 
 Each function runs one of the paper's evaluation scenarios and returns a list
 of flat row dictionaries so that benchmarks, examples and the tables under
@@ -39,6 +39,15 @@ DRIFT_SCENARIOS = ("hotspot-migration", "mix-flip", "load-ramp")
 #: Fault scenarios E10 runs by default (all registered in
 #: :mod:`repro.workload.scenarios`).
 FAULT_SCENARIOS = ("site-blackout", "flaky-links", "crash-storm")
+
+#: Fault scenarios E11 runs by default: a pure data-site outage (the
+#: control), the deterministic coordinator blackout, and the stochastic
+#: coordinator/site churn storm.
+RECOVERY_SCENARIOS = ("site-blackout", "coordinator-blackout", "in-doubt-storm")
+
+#: Commit-protocol variants E11 races (the full 2PC family; one-phase has
+#: no prepared state and nothing to recover).
+RECOVERY_COMMIT_PROTOCOLS = ("two-phase", "presumed-abort", "presumed-commit")
 
 _ALL_PROTOCOLS = (
     Protocol.TWO_PHASE_LOCKING,
@@ -469,6 +478,147 @@ def availability_experiment(
                 "messages_dropped": seed_sum(group, "messages_dropped"),
                 "lost_writes": seed_sum(group, "lost_writes"),
                 "divergent_items": seed_sum(group, "replica_divergent_items"),
+                "atomic": all(bool(summary["atomic"]) for summary in group),
+                "serializable": all(bool(summary["serializable"]) for summary in group),
+            }
+        )
+    return rows
+
+
+def _scenario_horizon(scenario_name: str) -> float:
+    """The availability horizon of one fault scenario.
+
+    Availability-at-horizon asks: of everything submitted, how much had
+    committed shortly after the last injected fault cleared?  The horizon is
+    therefore the end of the scenario's fault timeline — the latest scheduled
+    crash/spike end, or the stochastic fault horizon — plus one time unit of
+    settling margin.  A blocking commit layer shows up as transactions still
+    undecided (locks held, retries looping) at that instant.
+    """
+    scenario = get_scenario(scenario_name)
+    faults = scenario.system.faults
+    if faults is None:
+        return 1.0
+    ends = [crash.at + crash.duration for crash in faults.crashes]
+    ends.extend(crash.at + crash.duration for crash in faults.coordinator_crashes)
+    ends.extend(spike.at + spike.duration for spike in faults.spikes)
+    if faults.crash_rate > 0 or faults.coordinator_crash_rate > 0:
+        ends.append(faults.horizon)
+    return max(ends, default=0.0) + 1.0
+
+
+def recovery_experiment(
+    scenarios: Sequence[str] = RECOVERY_SCENARIOS,
+    *,
+    commit_protocols: Sequence[str] = RECOVERY_COMMIT_PROTOCOLS,
+    termination: Sequence[bool] = (False, True),
+    transactions: Optional[int] = None,
+    seeds: Sequence[int] = (0, 1, 2),
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    force: bool = False,
+) -> List[Dict[str, object]]:
+    """E11: blocking and availability of the 2PC family under coordinator loss.
+
+    For every fault scenario the driver races each commit-protocol variant
+    (presumed-nothing two-phase, presumed-abort, presumed-commit) with the
+    cooperative termination protocol off and on.  Each row reports:
+
+    * ``availability`` — fraction of submitted transactions committed by the
+      scenario's fault horizon (see :func:`_scenario_horizon`); the blocking
+      cost of in-doubt participants shows up here,
+    * ``final_availability`` — the same fraction at run end (always 1.0 when
+      every transaction eventually commits: 2PC never loses work, it only
+      delays it),
+    * the blocked-in-doubt accounting (``mean_in_doubt``/``max_in_doubt``),
+    * the logging cost (forced vs lazy log writes — the presumed variants'
+      failure-free saving), the ack/peer message traffic, and the checkpoint
+      truncation counters,
+    * the coordinator-recovery accounting: crashes injected, recovery walks
+      run, transactions re-driven, mean in-doubt latency the walk resolved,
+      and in-doubt records the termination protocol resolved peer-to-peer,
+    * the ``atomic``/``serializable`` verdicts, which must hold on every row.
+
+    Values are averaged (or summed, for counts) over ``seeds`` replications;
+    every (scenario, variant, termination, seed) combination is one task, so
+    ``jobs`` parallelism and the result store apply per point.
+    """
+    tasks: List[SimulationTask] = []
+    labels: List[Tuple[str, str, bool]] = []
+    for name in scenarios:
+        scenario = get_scenario(name).configured(transactions=transactions)
+        for commit_name in commit_protocols:
+            for with_termination in termination:
+                commit = dataclasses.replace(
+                    scenario.system.commit,
+                    protocol=commit_name,
+                    termination_protocol=with_termination,
+                )
+                for seed in seeds:
+                    tasks.append(
+                        SimulationTask(
+                            system=scenario.system.with_overrides(
+                                seed=scenario.system.seed + seed, commit=commit
+                            ),
+                            workload=scenario.workload.with_overrides(
+                                seed=scenario.workload.seed + seed
+                            ),
+                        )
+                    )
+                labels.append((name, commit_name, with_termination))
+    summaries = run_tasks(tasks, jobs=jobs, store=store, force=force)
+
+    def seed_mean(group: Sequence[Dict[str, object]], key: str) -> float:
+        return sum(float(summary[key]) for summary in group) / len(group)
+
+    def seed_sum(group: Sequence[Dict[str, object]], key: str) -> int:
+        return sum(int(summary[key]) for summary in group)
+
+    rows: List[Dict[str, object]] = []
+    per_label = len(seeds)
+    for index, (name, commit_name, with_termination) in enumerate(labels):
+        group = summaries[index * per_label : (index + 1) * per_label]
+        horizon = _scenario_horizon(name)
+        at_horizon = sum(
+            sum(1 for commit_time in summary["commit_times"] if commit_time <= horizon)
+            / float(summary["submitted"])
+            for summary in group
+        ) / len(group)
+        peer_traffic = sum(
+            summary["recovery_messages"]["peer_query"]
+            + summary["recovery_messages"]["peer_reply"]
+            for summary in group
+        )
+        rows.append(
+            {
+                "scenario": name,
+                "commit": commit_name,
+                "termination": with_termination,
+                "horizon": horizon,
+                "availability": at_horizon,
+                "final_availability": seed_mean(group, "availability"),
+                "committed": seed_sum(group, "committed"),
+                "mean_in_doubt": seed_mean(group, "mean_in_doubt_time"),
+                "max_in_doubt": max(
+                    float(summary["max_in_doubt_time"]) for summary in group
+                ),
+                "forced_log_writes": seed_sum(group, "forced_log_writes"),
+                "lazy_log_writes": seed_sum(group, "lazy_log_writes"),
+                "ack_messages": sum(
+                    summary["recovery_messages"]["ack"] for summary in group
+                ),
+                "peer_messages": peer_traffic,
+                "coordinator_crashes": seed_sum(group, "coordinator_crashes"),
+                "coordinator_recoveries": seed_sum(group, "coordinator_recoveries"),
+                "redriven": seed_sum(group, "redriven_transactions"),
+                "mean_recovery_latency": seed_mean(group, "mean_recovery_latency"),
+                "termination_resolutions": seed_sum(group, "termination_resolutions"),
+                "records_truncated": seed_sum(group, "log_records_truncated"),
+                "peak_log_records": max(
+                    int(summary["peak_log_records"]) for summary in group
+                ),
+                "timeout_restarts": seed_sum(group, "timeout_restarts"),
+                "commit_aborts": seed_sum(group, "commit_aborts"),
                 "atomic": all(bool(summary["atomic"]) for summary in group),
                 "serializable": all(bool(summary["serializable"]) for summary in group),
             }

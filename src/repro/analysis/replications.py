@@ -50,6 +50,11 @@ AGGREGATED_METRICS = (
 #: E10 tables can quote the per-phase communication cost.
 COMMIT_MESSAGE_KINDS = ("prepare", "vote", "decide", "status_query", "status_reply")
 
+#: Message kinds of the coordinator-recovery machinery (decision acks of the
+#: presumed variants, cooperative-termination peer traffic), reported
+#: separately so the pre-refactor ``commit_messages`` table keeps its shape.
+RECOVERY_MESSAGE_KINDS = ("ack", "peer_query", "peer_reply")
+
 
 # --------------------------------------------------------------------------- #
 # The parallel execution engine
@@ -89,6 +94,10 @@ def summarize_run(result: RunResult) -> Dict[str, object]:
     row["commit_messages"] = {
         kind: result.messages_by_kind.get(kind, 0) for kind in COMMIT_MESSAGE_KINDS
     }
+    row["recovery_messages"] = {
+        kind: result.messages_by_kind.get(kind, 0) for kind in RECOVERY_MESSAGE_KINDS
+    }
+    row["commit_times"] = [outcome.commit_time for outcome in result.metrics.outcomes]
     row["windowed"] = result.metrics.windowed_series()
     row["drift_boundaries"] = list(result.drift_boundaries)
     settled = result.drift_boundaries[-1] if result.drift_boundaries else 0.0

@@ -9,7 +9,7 @@ Four subcommands are provided::
 
 ``run`` executes a single workload under one protocol (or the dynamic
 selector) and prints the result summary; ``sweep`` regenerates one of the
-experiments of DESIGN.md's index (E1-E10) with configurable parameters and
+experiments of DESIGN.md's index (E1-E11) with configurable parameters and
 prints the result table; ``scenario`` runs a named end-to-end workload
 profile from the registry in :mod:`repro.workload.scenarios` (``--list``
 shows them all; ``--windows PATH`` additionally writes the per-window
@@ -36,7 +36,9 @@ from typing import Optional, Sequence
 from repro.analysis.experiments import (
     DRIFT_SCENARIOS,
     FAULT_SCENARIOS,
+    RECOVERY_SCENARIOS,
     availability_experiment,
+    recovery_experiment,
     correctness_audit,
     drift_adaptation_experiment,
     dynamic_vs_static,
@@ -62,7 +64,7 @@ from repro.system.runner import run_simulation
 from repro.workload.scenarios import all_scenarios, get_scenario
 
 #: Experiment ids accepted by ``sweep``; must match DESIGN.md's index.
-EXPERIMENT_IDS = ("e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10")
+EXPERIMENT_IDS = ("e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11")
 
 #: Default transaction count of ``run``/``sweep`` when ``--transactions``
 #: is not given (E9 instead falls back to each scenario's own size).
@@ -98,7 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--experiment",
         choices=list(EXPERIMENT_IDS),
         required=True,
-        help="experiment id from the DESIGN.md index (E1-E10)",
+        help="experiment id from the DESIGN.md index (E1-E11)",
     )
     sweep_parser.add_argument(
         "--rates",
@@ -120,9 +122,10 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="NAME",
         help=(
-            "scenarios for e9/e10 (defaults: the registered drift suite "
+            "scenarios for e9/e10/e11 (defaults: the registered drift suite "
             f"{', '.join(DRIFT_SCENARIOS)} for e9; the fault suite "
-            f"{', '.join(FAULT_SCENARIOS)} for e10)"
+            f"{', '.join(FAULT_SCENARIOS)} for e10; the recovery suite "
+            f"{', '.join(RECOVERY_SCENARIOS)} for e11)"
         ),
     )
     _add_jobs_argument(sweep_parser)
@@ -404,6 +407,17 @@ def _command_sweep(args: argparse.Namespace) -> int:
         # like e9, each scenario carries its own system and workload.
         rows = availability_experiment(
             tuple(args.scenarios) if args.scenarios else FAULT_SCENARIOS,
+            transactions=args.transactions,
+            jobs=jobs,
+            store=store,
+            force=force,
+        )
+    elif args.experiment == "e11":
+        # E11 races the 2PC family (with and without the termination
+        # protocol) across the coordinator-recovery fault scenarios; each
+        # scenario carries its own system and workload.
+        rows = recovery_experiment(
+            tuple(args.scenarios) if args.scenarios else RECOVERY_SCENARIOS,
             transactions=args.transactions,
             jobs=jobs,
             store=store,

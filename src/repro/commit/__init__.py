@@ -1,10 +1,12 @@
-"""Pluggable atomic-commit layer: one-phase (implicit) and two-phase commit.
+"""Pluggable atomic-commit layer: one-phase commit and the 2PC family.
 
-See :mod:`repro.commit.base` for the interface and registry,
-:mod:`repro.commit.one_phase` / :mod:`repro.commit.two_phase` for the two
-built-in protocols, :mod:`repro.commit.participant` for the per-site 2PC
-participant actor, and :mod:`repro.commit.audit` for the write-all
-atomicity audit.
+See :mod:`repro.commit.base` for the interface and registry;
+:mod:`repro.commit.one_phase`, :mod:`repro.commit.two_phase` and
+:mod:`repro.commit.presumed` for the four built-in protocols (one-phase,
+presumed-nothing two-phase, presumed-abort, presumed-commit);
+:mod:`repro.commit.participant` for the per-site 2PC participant actor
+(including the cooperative termination protocol); and
+:mod:`repro.commit.audit` for the write-all atomicity audit.
 """
 
 from repro.commit.audit import ReplicaReport, check_replica_convergence
@@ -15,7 +17,10 @@ from repro.commit.base import (
     register_commit_protocol,
 )
 from repro.commit.messages import (
+    AckMessage,
     DecisionMessage,
+    PeerQuery,
+    PeerReply,
     PrepareRequest,
     StatusQuery,
     StatusReply,
@@ -23,14 +28,20 @@ from repro.commit.messages import (
 )
 from repro.commit.one_phase import OnePhaseCommit
 from repro.commit.participant import CommitParticipantActor, commit_participant_name
+from repro.commit.presumed import PresumedAbortCommit, PresumedCommitCommit
 from repro.commit.two_phase import TwoPhaseCommit
 
 __all__ = [
+    "AckMessage",
     "CommitProtocol",
     "CommitParticipantActor",
     "DecisionMessage",
     "OnePhaseCommit",
+    "PeerQuery",
+    "PeerReply",
     "PrepareRequest",
+    "PresumedAbortCommit",
+    "PresumedCommitCommit",
     "ReplicaReport",
     "StatusQuery",
     "StatusReply",

@@ -9,8 +9,8 @@ execution to a :class:`CommitProtocol`, which decides *when* the
 transaction counts as committed, *how* its writes reach the copies, and
 *what happens* when a site is down in the middle of it.
 
-Two protocols are registered (see :mod:`repro.commit.one_phase` and
-:mod:`repro.commit.two_phase`):
+Four protocols are registered (see :mod:`repro.commit.one_phase`,
+:mod:`repro.commit.two_phase` and :mod:`repro.commit.presumed`):
 
 ``one-phase``
     The paper's behaviour, bit-identical to the pre-refactor code path:
@@ -22,6 +22,12 @@ Two protocols are registered (see :mod:`repro.commit.one_phase` and
     Presumed-nothing 2PC (coordinate / participate / recover): prepare,
     vote, decide, with durable participant logging via
     :mod:`repro.storage.log` and in-doubt resolution after recovery.
+
+``presumed-abort`` / ``presumed-commit``
+    The classic logging/ack-matrix variants of 2PC: same message flow,
+    but a missing decision record *means* something (abort, respectively
+    commit), which trades forced log writes on the common path for ack
+    messages and — for presumed-commit — a forced begin record.
 
 A commit protocol runs inside one coordinator
 (:class:`~repro.system.coordinator.RequestIssuerActor`) and drives it
@@ -75,6 +81,22 @@ class CommitProtocol(abc.ABC):
         raise SimulationError(
             f"commit protocol {self.name!r} does not handle {kind!r} messages"
         )
+
+    def on_coordinator_crash(self) -> None:
+        """Drop volatile per-round state when the owning coordinator crashes.
+
+        The default is a no-op: one-phase commit keeps no round state.  The
+        two-phase family wipes its in-memory vote tallies and parked status
+        queries — everything not backed by the durable site log.
+        """
+
+    def recover(self, execution: "TransactionExecution") -> None:
+        """Re-drive one in-flight commit round after a coordinator restart.
+
+        Called by the coordinator's recovery walk for each transaction found
+        still ``PREPARING``.  The default is a no-op because the one-phase
+        layer commits synchronously and can never be caught mid-round.
+        """
 
 
 _REGISTRY: Dict[str, Type[CommitProtocol]] = {}

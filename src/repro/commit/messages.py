@@ -1,18 +1,21 @@
-"""Typed payloads of the two-phase commit message rounds.
+"""Typed payloads of the commit-protocol message rounds.
 
 The message kinds mirror tippers-commit style coordinator/participant
 traffic: ``prepare`` and ``decide`` flow coordinator to participant,
 ``vote`` flows back, and ``status_query`` / ``status_reply`` implement the
-presumed-nothing recovery round a participant runs for in-doubt
-transactions after its site recovers.  All payloads carry the attempt
-number so a late message from a superseded commit round can never be
-mistaken for the current one.
+recovery round a participant runs for in-doubt transactions after its site
+recovers.  The presumed variants add ``ack`` (participant confirms an
+outcome so the coordinator may forget it) and the cooperative termination
+protocol adds ``peer_query`` / ``peer_reply`` (an in-doubt participant
+asking the round's other participants when the coordinator is dead).  All
+payloads carry the attempt number so a late message from a superseded
+commit round can never be mistaken for the current one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.common.ids import CopyId, SiteId, TransactionId
 from repro.core.requests import Request
@@ -27,6 +30,13 @@ class PrepareRequest:
     copies live at the participant's site (the participant re-verifies the
     locks and, after a crash, restores them from its log); ``writes`` maps
     each local copy to the value a commit decision must install.
+
+    The protocol variant rides along on three fields: ``participants``
+    names every site in the round (the termination protocol's peer set),
+    ``force_log`` tells the participant whether its prepared record must be
+    forced (update participant) or may be lazy (read-only participant under
+    a presumed variant), and ``ack_decision`` names the outcome the
+    participant must acknowledge so the coordinator can forget the round.
     """
 
     transaction: TransactionId
@@ -34,6 +44,9 @@ class PrepareRequest:
     coordinator: str
     requests: Tuple[Request, ...]
     writes: Dict[CopyId, Any]
+    participants: Tuple[SiteId, ...] = ()
+    force_log: bool = True
+    ack_decision: Optional[CommitDecision] = None
 
 
 @dataclass(frozen=True)
@@ -71,3 +84,47 @@ class StatusReply:
     transaction: TransactionId
     attempt: int
     decision: CommitDecision
+
+
+@dataclass(frozen=True)
+class PeerQuery:
+    """In-doubt participant to a peer participant: do you know the outcome?
+
+    The cooperative termination protocol's question — sent to the round's
+    other participants when the coordinator has stopped answering, so a
+    decision any peer received (or logged at the coordinator's own site)
+    resolves the blocked participant without waiting for recovery.
+    """
+
+    transaction: TransactionId
+    attempt: int
+    reply_to: str
+
+
+@dataclass(frozen=True)
+class PeerReply:
+    """Peer participant's answer to a :class:`PeerQuery`.
+
+    Unlike a :class:`StatusReply`, the decision may be ``None``: a peer
+    that is itself in doubt (or never saw the round) answers "uncertain"
+    and the asker keeps waiting.
+    """
+
+    transaction: TransactionId
+    attempt: int
+    decision: Optional[CommitDecision]
+    site: SiteId
+
+
+@dataclass(frozen=True)
+class AckMessage:
+    """Participant to coordinator: outcome applied, you may forget the round.
+
+    Presumed-abort collects acks for commits, presumed-commit for aborts —
+    the acknowledged decision record becomes collectable at the next
+    checkpoint once every participant has answered.
+    """
+
+    transaction: TransactionId
+    attempt: int
+    site: SiteId

@@ -1,0 +1,108 @@
+"""Presumed-abort and presumed-commit: 2PC variants that trade log forces for acks.
+
+Presumed-nothing 2PC (:mod:`repro.commit.two_phase`) forces a log write for
+every prepare and every decision, and retains every decision record forever
+— because a status query for a round it has no record of can only be
+parked, never answered.  The classic presumed variants close that hole by
+*defining* what a missing record means, which lets them skip forced writes
+for the presumed outcome:
+
+``presumed-abort``
+    A missing decision record means **abort**.  Commit decisions are forced
+    and participants acknowledge applied commits so the coordinator may
+    eventually forget them; abort decisions are never logged at all — a
+    recovering coordinator (or a late status query) reads the abort from
+    the record's absence.  Read-only participants log their prepares lazily
+    (an aborted read-only participant has nothing to undo or redo).
+
+``presumed-commit``
+    A missing decision record means **commit**.  For that reading to be
+    safe the coordinator must force a *begin* record before any prepare
+    leaves (otherwise a round that died mid-flight would be presumed
+    committed), after which the commit decision itself may be written
+    lazily; abort decisions are forced and acknowledged.  Read-only
+    participants again log lazily — presuming commit for a participant
+    with no writes is harmless either way.
+
+Per commit on the failure-free path with ``P`` participants of which ``R``
+are read-only, presumed-nothing forces ``P + 1`` writes (every prepare plus
+the decision) where both variants force ``(P - R) + 1`` — presumed-abort's
+one force is the commit decision, presumed-commit's is the begin record
+(its commit decision is lazy).  The saving is what the E11 sweep's
+forced-write counters make visible; the price appears on the less common
+paths as one ack message per presumed-outcome's opposite decision.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Optional, Tuple
+
+from repro.commit.base import register_commit_protocol
+from repro.commit.two_phase import TwoPhaseCommit
+from repro.common.ids import SiteId, TransactionId
+from repro.storage.log import CommitDecision
+
+
+@register_commit_protocol
+class PresumedAbortCommit(TwoPhaseCommit):
+    """2PC with abort presumed: no abort records, acked + forgettable commits."""
+
+    name = "presumed-abort"
+    message_kinds = ("vote", "status_query", "ack")
+
+    presumption: ClassVar[Optional[CommitDecision]] = CommitDecision.ABORT
+    ack_decision: ClassVar[Optional[CommitDecision]] = CommitDecision.COMMIT
+    lazy_read_only_prepares: ClassVar[bool] = True
+
+    def _log_decision(
+        self,
+        transaction: TransactionId,
+        attempt: int,
+        decision: CommitDecision,
+        now: float,
+        participants: Tuple[SiteId, ...],
+    ) -> None:
+        """Force commits (collectable once every participant acked); skip aborts."""
+        if decision.is_commit:
+            self._coordinator.commit_log.log_decision(
+                transaction,
+                attempt,
+                decision,
+                now,
+                await_acks_from=participants,
+            )
+
+
+@register_commit_protocol
+class PresumedCommitCommit(TwoPhaseCommit):
+    """2PC with commit presumed: forced begins, lazy commits, acked aborts."""
+
+    name = "presumed-commit"
+    message_kinds = ("vote", "status_query", "ack")
+
+    presumption: ClassVar[Optional[CommitDecision]] = CommitDecision.COMMIT
+    ack_decision: ClassVar[Optional[CommitDecision]] = CommitDecision.ABORT
+    lazy_read_only_prepares: ClassVar[bool] = True
+    logs_begin_record: ClassVar[bool] = True
+
+    def _log_decision(
+        self,
+        transaction: TransactionId,
+        attempt: int,
+        decision: CommitDecision,
+        now: float,
+        participants: Tuple[SiteId, ...],
+    ) -> None:
+        """Write commits lazily (presumed from absence), force + ack-track aborts."""
+        if decision.is_commit:
+            self._coordinator.commit_log.log_decision(
+                transaction, attempt, decision, now, forced=False, presumed=True
+            )
+        else:
+            self._coordinator.commit_log.log_decision(
+                transaction,
+                attempt,
+                decision,
+                now,
+                await_acks_from=participants,
+            )

@@ -22,15 +22,30 @@ Participants that were down when the decision went out resolve their
 in-doubt records after recovery with a ``status_query``; the coordinator
 answers from its durable decision log — immediately when the decision
 exists, or as soon as it is made when the query arrives mid-round.
+
+This class is also the chassis of the **protocol family**: the
+presumed-abort and presumed-commit variants (:mod:`repro.commit.presumed`)
+subclass it and override only the logging/ack matrix — which records are
+forced, which outcome is presumed from a missing record, and which outcome
+participants must acknowledge.  The vote/decide message flow is shared.
+
+Coordinator crashes are survived through two hooks the owning coordinator
+calls: :meth:`on_coordinator_crash` wipes the volatile round state (the
+in-memory vote tallies and parked status queries a real TM process loses),
+and :meth:`recover` re-drives one transaction the recovery walk found still
+``PREPARING`` — since the decision is logged and the round closed in one
+atomic event, a round open across a crash is by construction undecided, so
+every variant may safely abort it under its own logging rules.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Set, Tuple
+from typing import TYPE_CHECKING, ClassVar, Dict, List, Optional, Set, Tuple
 
 from repro.commit.base import CommitProtocol, register_commit_protocol
 from repro.commit.messages import (
+    AckMessage,
     DecisionMessage,
     PrepareRequest,
     StatusQuery,
@@ -64,6 +79,28 @@ class TwoPhaseCommit(CommitProtocol):
     name = "two-phase"
     message_kinds = ("vote", "status_query")
 
+    # ------------------------------------------------------------------ #
+    # The logging/ack matrix (overridden by the presumed variants)
+    # ------------------------------------------------------------------ #
+
+    #: Outcome a status query for an unknown round is answered with.
+    #: ``None`` (presumed-nothing) parks the query until a decision exists.
+    presumption: ClassVar[Optional[CommitDecision]] = None
+
+    #: Outcome participants must acknowledge so the coordinator may forget
+    #: the decision record.  ``None``: the protocol is ack-free and the
+    #: decision record is retained forever.
+    ack_decision: ClassVar[Optional[CommitDecision]] = None
+
+    #: Whether read-only participants (no local writes) may write their
+    #: prepared record lazily instead of forcing it before the vote.
+    lazy_read_only_prepares: ClassVar[bool] = False
+
+    #: Whether a forced begin record precedes the prepare round (needed by
+    #: presumed-commit, whose recovery must tell "never started" apart from
+    #: "in flight when the coordinator died").
+    logs_begin_record: ClassVar[bool] = False
+
     def __init__(self, coordinator) -> None:
         super().__init__(coordinator)
         self._rounds: Dict[TransactionId, _CommitRound] = {}
@@ -80,6 +117,7 @@ class TwoPhaseCommit(CommitProtocol):
         coordinator = self._coordinator
         now = coordinator.simulator.now
         coordinator.transition(execution, TransactionStatus.PREPARING)
+        execution.prepare_time = now
         new_values = coordinator.compute_write_values(execution)
         requests_by_site: Dict[SiteId, List] = {}
         for state in execution.requests.values():
@@ -90,12 +128,23 @@ class TwoPhaseCommit(CommitProtocol):
             for copy in coordinator.catalog.write_copies(item):
                 writes_by_site.setdefault(copy.site, {})[copy] = value
         participants = tuple(sorted(requests_by_site))
+        # The termination protocol's peer group: every participant site plus
+        # the coordinator's own (whose durable site log knows the decision
+        # even while the coordinator process itself is dead).
+        peer_group = tuple(sorted(set(participants) | {coordinator.site}))
         commit_round = _CommitRound(
             execution=execution, participants=participants, prepare_time=now
         )
         self._rounds[execution.tid] = commit_round
         attempt = execution.attempt
+        if self.logs_begin_record:
+            coordinator.commit_log.log_begin(
+                execution.tid, attempt, participants, now
+            )
         for site in participants:
+            force_log = not (
+                self.lazy_read_only_prepares and not writes_by_site.get(site)
+            )
             coordinator.network.send(
                 coordinator,
                 commit_participant_name(site),
@@ -106,6 +155,9 @@ class TwoPhaseCommit(CommitProtocol):
                     coordinator=coordinator.name,
                     requests=tuple(requests_by_site[site]),
                     writes=writes_by_site.get(site, {}),
+                    participants=peer_group,
+                    force_log=force_log,
+                    ack_decision=self.ack_decision,
                 ),
             )
         coordinator.simulator.schedule(
@@ -119,11 +171,13 @@ class TwoPhaseCommit(CommitProtocol):
     # ---------------------------------------------------------------- #
 
     def handle_message(self, kind: str, payload: object) -> None:
-        """Route a ``vote`` or ``status_query`` delivered to the coordinator."""
+        """Route a ``vote``, ``status_query`` or ``ack`` delivered to the coordinator."""
         if kind == "vote":
             self._on_vote(payload)
         elif kind == "status_query":
             self._on_status_query(payload)
+        elif kind == "ack":
+            self._on_ack(payload)
         else:
             super().handle_message(kind, payload)
 
@@ -152,6 +206,21 @@ class TwoPhaseCommit(CommitProtocol):
             return
         self._decide(commit_round, CommitDecision.ABORT)
 
+    def _log_decision(
+        self,
+        transaction: TransactionId,
+        attempt: int,
+        decision: CommitDecision,
+        now: float,
+        participants: Tuple[SiteId, ...],
+    ) -> None:
+        """Write the outcome under this variant's logging rules.
+
+        Presumed-nothing forces both outcomes and (having no presumption or
+        ack round to fall back on) retains the records forever.
+        """
+        self._coordinator.commit_log.log_decision(transaction, attempt, decision, now)
+
     def _decide(self, commit_round: _CommitRound, decision: CommitDecision) -> None:
         """Log the decision, notify the participants, finish or retry the transaction."""
         coordinator = self._coordinator
@@ -160,7 +229,9 @@ class TwoPhaseCommit(CommitProtocol):
         attempt = execution.attempt
         commit_round.decided = True
         del self._rounds[execution.tid]
-        coordinator.commit_log.log_decision(execution.tid, attempt, decision, now)
+        self._log_decision(
+            execution.tid, attempt, decision, now, commit_round.participants
+        )
         for site in commit_round.participants:
             coordinator.network.send(
                 coordinator,
@@ -187,24 +258,34 @@ class TwoPhaseCommit(CommitProtocol):
             coordinator.abort_for_commit(execution)
 
     # ---------------------------------------------------------------- #
-    # Recovery: status queries from recovered participants
+    # Recovery: status queries, acks and the coordinator restart walk
     # ---------------------------------------------------------------- #
 
     def _on_status_query(self, query: StatusQuery) -> None:
         coordinator = self._coordinator
         decision = coordinator.commit_log.decision_for(query.transaction, query.attempt)
         if decision is None:
-            # Still mid-round: park the query; _decide answers it.
-            self._waiting_queries.setdefault(
-                (query.transaction, query.attempt), []
-            ).append(query.reply_to)
-            return
+            commit_round = self._current_round(query.transaction, query.attempt)
+            if commit_round is not None or self.presumption is None:
+                # Still mid-round (or presumed-nothing, which never guesses):
+                # park the query; _decide answers it.
+                self._waiting_queries.setdefault(
+                    (query.transaction, query.attempt), []
+                ).append(query.reply_to)
+                return
+            # No record and no live round: the presumption *is* the answer
+            # (that absence-of-record reading is what lets the presumed
+            # variants skip a forced write for the presumed outcome).
+            decision = self.presumption
         coordinator.network.send(
             coordinator,
             query.reply_to,
             "status_reply",
             StatusReply(transaction=query.transaction, attempt=query.attempt, decision=decision),
         )
+
+    def _on_ack(self, ack: AckMessage) -> None:
+        self._coordinator.commit_log.record_ack(ack.transaction, ack.attempt, ack.site)
 
     def _answer_waiting_queries(
         self, transaction: TransactionId, attempt: int, decision: CommitDecision
@@ -216,3 +297,45 @@ class TwoPhaseCommit(CommitProtocol):
                 "status_reply",
                 StatusReply(transaction=transaction, attempt=attempt, decision=decision),
             )
+
+    def on_coordinator_crash(self) -> None:
+        """Lose the volatile commit state a real TM process loses with a crash.
+
+        The in-memory vote tallies and parked status queries are gone; what
+        survives is exactly the durable site log.  The recovery walk (via
+        :meth:`recover`) re-drives whatever was in flight.
+        """
+        self._rounds.clear()
+        self._waiting_queries.clear()
+
+    def recover(self, execution: "TransactionExecution") -> None:
+        """Re-drive one round found still ``PREPARING`` after a coordinator restart.
+
+        The decision is logged and the round closed inside one atomic event,
+        so an execution still ``PREPARING`` is by construction undecided: no
+        participant can hold (or ever receive) a commit for this attempt,
+        and every variant may abort it under its own logging rules — exactly
+        the classic "no commit record ⇒ abort" recovery reading.
+        """
+        coordinator = self._coordinator
+        now = coordinator.simulator.now
+        attempt = execution.attempt
+        participants = tuple(
+            sorted({state.request.copy.site for state in execution.requests.values()})
+        )
+        self._log_decision(
+            execution.tid, attempt, CommitDecision.ABORT, now, participants
+        )
+        for site in participants:
+            coordinator.network.send(
+                coordinator,
+                commit_participant_name(site),
+                "decide",
+                DecisionMessage(
+                    transaction=execution.tid,
+                    attempt=attempt,
+                    decision=CommitDecision.ABORT,
+                ),
+            )
+        coordinator.metrics.record_commit_abort()
+        coordinator.abort_for_commit(execution)

@@ -43,16 +43,42 @@ class CommitConfig:
         Name of the commit protocol from the registry in
         :mod:`repro.commit`: ``"one-phase"`` (commit is an implicit,
         zero-cost side effect of the final release — the paper's base
-        system and the default) or ``"two-phase"`` (presumed-nothing 2PC
-        with prepare/vote/decide rounds and participant logging).
+        system and the default), ``"two-phase"`` (presumed-nothing 2PC
+        with prepare/vote/decide rounds and participant logging), or one
+        of the presumption variants ``"presumed-abort"`` /
+        ``"presumed-commit"``, which run the same rounds under a cheaper
+        logging/ack matrix.
     prepare_timeout:
-        Two-phase only: how long the coordinator waits for votes before
-        unilaterally deciding *abort*.  Bounds the time a transaction can
-        stay in the PREPARING state when a participant site is down.
+        Two-phase family only: how long the coordinator waits for votes
+        before unilaterally deciding *abort*.  Bounds the time a
+        transaction can stay in the PREPARING state when a participant
+        site is down.
+    termination_protocol:
+        Two-phase family only: when ``True``, a participant blocked
+        in-doubt also queries its *peer participants* (cooperative
+        termination), so it can decide as soon as any peer knows the
+        outcome instead of blocking until its coordinator recovers.
+    termination_timeout:
+        How long a participant stays silently in doubt before it starts
+        its query rounds (coordinator status query, plus peer queries when
+        the termination protocol is enabled).
+    termination_backoff:
+        Multiplier applied to the query interval after every unanswered
+        round, bounding the retry traffic of a long coordinator outage.
+    checkpoint_interval:
+        When set, every site checkpoints its commit log at this simulated
+        interval and truncates the records the protocol no longer needs
+        (resolved prepared records, fully-acked or presumable decisions).
+        ``None`` (the default) keeps logs append-only, exactly as before
+        the truncation machinery existed.
     """
 
     protocol: str = "one-phase"
     prepare_timeout: float = 1.0
+    termination_protocol: bool = False
+    termination_timeout: float = 1.0
+    termination_backoff: float = 2.0
+    checkpoint_interval: Optional[float] = None
 
     def __post_init__(self) -> None:
         # Imported lazily: repro.commit sits above this module in the layer
@@ -69,6 +95,12 @@ class CommitConfig:
             )
         if self.prepare_timeout <= 0:
             raise ConfigurationError("the prepare timeout must be positive")
+        if self.termination_timeout <= 0:
+            raise ConfigurationError("the termination timeout must be positive")
+        if self.termination_backoff < 1.0:
+            raise ConfigurationError("the termination backoff must be at least 1")
+        if self.checkpoint_interval is not None and self.checkpoint_interval <= 0:
+            raise ConfigurationError("the checkpoint interval must be positive (or None)")
 
 
 @dataclass(frozen=True)
@@ -92,6 +124,32 @@ class SiteCrash:
             raise ConfigurationError("a crash cannot be scheduled in the past")
         if self.duration <= 0:
             raise ConfigurationError("a crash must have a positive duration")
+
+
+@dataclass(frozen=True)
+class CoordinatorCrash:
+    """One scheduled coordinator failure: the transaction-manager process of
+    ``site`` is down during ``[at, at + duration)``.
+
+    A coordinator crash is a *process* failure, independent of the site's
+    data layer: the queue managers and commit participant stay up, but the
+    request issuer loses its volatile commit-round state, every message
+    addressed to it is dropped, and new arrivals at the site wait for the
+    restart.  On recovery the coordinator walks its durable decision log and
+    re-drives every transaction it finds in doubt.
+    """
+
+    site: int
+    at: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.site < 0:
+            raise ConfigurationError("a coordinator crash needs a non-negative site id")
+        if self.at < 0:
+            raise ConfigurationError("a coordinator crash cannot be scheduled in the past")
+        if self.duration <= 0:
+            raise ConfigurationError("a coordinator crash must have a positive duration")
 
 
 @dataclass(frozen=True)
@@ -145,6 +203,15 @@ class FaultConfig:
         Coordinator-side watchdog: an attempt still waiting for grants
         after this long is aborted and restarted.  Without it, a request
         dropped at a crashed site would block its transaction forever.
+    coordinator_crashes:
+        Scheduled :class:`CoordinatorCrash` windows (transaction-manager
+        process failures, independent of the site's data layer).
+    coordinator_crash_rate:
+        Rate of additional stochastic coordinator crashes per site; drawn
+        from their own named RNG streams so enabling them never perturbs
+        the site-crash timeline.  ``0`` disables them.
+    coordinator_mean_repair_time:
+        Mean (exponential) downtime of a stochastic coordinator crash.
     """
 
     crashes: Tuple[SiteCrash, ...] = ()
@@ -153,6 +220,9 @@ class FaultConfig:
     horizon: float = 0.0
     spikes: Tuple[DelaySpike, ...] = ()
     request_timeout: float = 5.0
+    coordinator_crashes: Tuple[CoordinatorCrash, ...] = ()
+    coordinator_crash_rate: float = 0.0
+    coordinator_mean_repair_time: float = 0.5
 
     def __post_init__(self) -> None:
         if self.crash_rate < 0:
@@ -163,6 +233,18 @@ class FaultConfig:
             raise ConfigurationError("stochastic crashes need a positive horizon")
         if self.request_timeout <= 0:
             raise ConfigurationError("the request timeout must be positive")
+        if self.coordinator_crash_rate < 0:
+            raise ConfigurationError(
+                "the stochastic coordinator crash rate must be non-negative"
+            )
+        if self.coordinator_mean_repair_time <= 0:
+            raise ConfigurationError("the coordinator mean repair time must be positive")
+        if self.coordinator_crash_rate > 0 and self.horizon <= 0:
+            raise ConfigurationError("stochastic coordinator crashes need a positive horizon")
+
+    def has_coordinator_faults(self) -> bool:
+        """Whether any coordinator downtime can occur under this configuration."""
+        return bool(self.coordinator_crashes) or self.coordinator_crash_rate > 0
 
 
 @dataclass(frozen=True)
@@ -309,6 +391,12 @@ class SystemConfig:
                 if spike.site is not None and spike.site >= self.num_sites:
                     raise ConfigurationError(
                         f"delay spike targets site {spike.site}, "
+                        f"but only {self.num_sites} sites exist"
+                    )
+            for crash in self.faults.coordinator_crashes:
+                if crash.site >= self.num_sites:
+                    raise ConfigurationError(
+                        f"coordinator crash schedules site {crash.site}, "
                         f"but only {self.num_sites} sites exist"
                     )
 

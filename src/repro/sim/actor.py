@@ -44,6 +44,12 @@ class Actor:
     #: while its site is down).  Overridden by the data-layer actors.
     crashable: bool = False
 
+    #: Whether a *coordinator* crash takes this actor down: the transaction
+    #: manager process failing while the site's data layer stays up.  Only the
+    #: request issuer overrides this — participants and queue managers belong
+    #: to the data layer and keep running through a coordinator blackout.
+    coordinator_crashable: bool = False
+
     def __init__(self, name: str, site: SiteId) -> None:
         self.name = name
         self.site = site

@@ -174,6 +174,14 @@ class Network:
             self._messages_dropped += 1
             self._dropped_by_kind[kind] += 1
             return message
+        if (
+            self._faults is not None
+            and receiver.coordinator_crashable
+            and not self._faults.coordinator_up(receiver.site, deliver_time)
+        ):
+            self._messages_dropped += 1
+            self._dropped_by_kind[kind] += 1
+            return message
         self._simulator.schedule(
             delay, lambda: receiver.handle(message), label=f"{kind}:{sender.name}->{receiver_name}"
         )

@@ -262,6 +262,15 @@ class PreparedRecord:
     prepared_at: float
     decision: Optional[CommitDecision] = None
     decided_at: Optional[float] = None
+    #: Sites of the round's other participants: the cooperative termination
+    #: protocol queries their commit participants when the coordinator is
+    #: unreachable.  Empty for rounds run before the termination protocol
+    #: existed or when the coordinator chose not to share the membership.
+    participants: Tuple[SiteId, ...] = ()
+    #: Decision the participant must acknowledge back to the coordinator so
+    #: it can forget the outcome record (presumed-abort acks commits,
+    #: presumed-commit acks aborts, presumed-nothing acks neither).
+    ack_decision: Optional[CommitDecision] = None
 
     @property
     def in_doubt(self) -> bool:
@@ -279,6 +288,26 @@ class DecisionRecord:
     time: float
 
 
+@dataclass
+class BeginRecord:
+    """Durable coordinator-side record that a commit round started.
+
+    Presumed-commit forces this record *before* any prepare request leaves
+    the coordinator: after a coordinator crash the recovery walk needs to
+    know which rounds were in flight, because with commit presumed an
+    absent outcome record means "committed" and only the begin record tells
+    recovery which in-flight rounds must instead be aborted explicitly.
+    """
+
+    transaction: TransactionId
+    attempt: int
+    participants: Tuple[SiteId, ...]
+    time: float
+    #: Set once the round's decision is logged (or presumed); decided begin
+    #: records are garbage the next checkpoint collects.
+    decided: bool = False
+
+
 class SiteCommitLog:
     """The durable commit log of one site.
 
@@ -294,14 +323,61 @@ class SiteCommitLog:
         self._site = site
         self._prepared: Dict[Tuple[TransactionId, int], PreparedRecord] = {}
         self._decisions: Dict[Tuple[TransactionId, int], DecisionRecord] = {}
+        self._begins: Dict[Tuple[TransactionId, int], BeginRecord] = {}
+        # Decisions the coordinator may forget once every listed participant
+        # has acknowledged, and decisions covered by a presumption (readable
+        # from the *absence* of a record, so immediately collectable).
+        self._ack_tracked: Dict[Tuple[TransactionId, int], Set[SiteId]] = {}
+        self._presumed: Set[Tuple[TransactionId, int]] = set()
+        self._forced_writes = 0
+        self._lazy_writes = 0
+        self._records_truncated = 0
+        self._peak_records = 0
 
     @property
     def site(self) -> SiteId:
         """The site this log belongs to."""
         return self._site
 
-    def log_prepared(self, record: PreparedRecord) -> None:
-        """Durably record that a transaction attempt prepared here."""
+    @property
+    def forced_writes(self) -> int:
+        """Number of forced (synchronous) log writes issued at this site."""
+        return self._forced_writes
+
+    @property
+    def lazy_writes(self) -> int:
+        """Number of lazy (asynchronous) log writes issued at this site."""
+        return self._lazy_writes
+
+    @property
+    def records_truncated(self) -> int:
+        """Total records reclaimed by checkpoint truncation so far."""
+        return self._records_truncated
+
+    @property
+    def peak_records(self) -> int:
+        """Largest number of live log records ever held at once."""
+        return self._peak_records
+
+    def record_count(self) -> int:
+        """Number of live (untruncated) records in the log right now."""
+        return len(self._prepared) + len(self._decisions) + len(self._begins)
+
+    def _count_write(self, forced: bool) -> None:
+        if forced:
+            self._forced_writes += 1
+        else:
+            self._lazy_writes += 1
+        self._peak_records = max(self._peak_records, self.record_count())
+
+    def log_prepared(self, record: PreparedRecord, *, forced: bool = True) -> None:
+        """Durably record that a transaction attempt prepared here.
+
+        ``forced`` distinguishes a synchronous write the participant must
+        wait out before voting (the presumed-nothing/update-participant
+        rule) from a lazy one (read-only participants under presumed-abort
+        and presumed-commit, whose vote carries no redo obligation).
+        """
         key = (record.transaction, record.attempt)
         if key in self._prepared:
             raise SimulationError(
@@ -309,6 +385,7 @@ class SiteCommitLog:
                 f"prepared twice at site {self._site}"
             )
         self._prepared[key] = record
+        self._count_write(forced)
 
     def prepared_record(
         self, transaction: TransactionId, attempt: int
@@ -330,11 +407,72 @@ class SiteCommitLog:
         attempt: int,
         decision: CommitDecision,
         time: float,
+        *,
+        forced: bool = True,
+        await_acks_from: Tuple[SiteId, ...] = (),
+        presumed: bool = False,
     ) -> DecisionRecord:
-        """Durably record a coordinator's commit/abort decision."""
+        """Durably record a coordinator's commit/abort decision.
+
+        ``forced`` marks a synchronous write (the decision must hit the log
+        before any outcome message leaves); a lazy decision record may be
+        written after the fact, which is presumed-commit's saving on the
+        commit path.  ``await_acks_from`` lists participant sites whose
+        acknowledgements allow the record to be garbage-collected at the
+        next checkpoint; ``presumed`` marks a decision the protocol can
+        reconstruct from the record's *absence*, collectable immediately.
+        Decisions with neither (presumed-nothing's) are retained forever.
+        """
+        key = (transaction, attempt)
         record = DecisionRecord(transaction, attempt, decision, time)
-        self._decisions[(transaction, attempt)] = record
+        self._decisions[key] = record
+        if await_acks_from:
+            self._ack_tracked[key] = set(await_acks_from)
+        if presumed:
+            self._presumed.add(key)
+        begin = self._begins.get(key)
+        if begin is not None:
+            begin.decided = True
+        self._count_write(forced)
         return record
+
+    def record_ack(self, transaction: TransactionId, attempt: int, site: SiteId) -> None:
+        """Note a participant's acknowledgement of an outcome message.
+
+        Unknown acknowledgements (for decisions that never tracked acks, or
+        duplicates after a retry) are ignored — acks only ever *release*
+        retention obligations.
+        """
+        pending = self._ack_tracked.get((transaction, attempt))
+        if pending is not None:
+            pending.discard(site)
+
+    def log_begin(
+        self,
+        transaction: TransactionId,
+        attempt: int,
+        participants: Tuple[SiteId, ...],
+        time: float,
+        *,
+        forced: bool = True,
+    ) -> BeginRecord:
+        """Durably record that a commit round with ``participants`` started."""
+        record = BeginRecord(transaction, attempt, tuple(participants), time)
+        self._begins[(transaction, attempt)] = record
+        self._count_write(forced)
+        return record
+
+    def begin_record(
+        self, transaction: TransactionId, attempt: int
+    ) -> Optional[BeginRecord]:
+        """The begin record of one attempt, or ``None``."""
+        return self._begins.get((transaction, attempt))
+
+    def undecided_begin_records(self) -> Tuple[BeginRecord, ...]:
+        """Begin records whose round has no logged decision yet."""
+        return tuple(
+            record for record in self._begins.values() if not record.decided
+        )
 
     def decision_for(
         self, transaction: TransactionId, attempt: int
@@ -346,3 +484,36 @@ class SiteCommitLog:
     def decision_count(self) -> int:
         """Number of decisions this site's coordinator has logged."""
         return len(self._decisions)
+
+    def truncate(self) -> int:
+        """Checkpoint the log: drop every record recovery can no longer need.
+
+        Collectable are resolved prepared records (the participant applied or
+        discarded the writes and will never be in doubt again), decided begin
+        records, and decisions that are either *presumed* (reconstructable
+        from absence) or fully acknowledged by every tracked participant.
+        Presumed-nothing decisions are never tracked or presumed, so they
+        survive every checkpoint — the retention cost the presumed variants
+        exist to avoid.  Returns the number of records reclaimed.
+        """
+        dead_prepared = [
+            key for key, record in self._prepared.items() if not record.in_doubt
+        ]
+        for key in dead_prepared:
+            del self._prepared[key]
+        dead_begins = [key for key, record in self._begins.items() if record.decided]
+        for key in dead_begins:
+            del self._begins[key]
+        dead_decisions = [
+            key
+            for key in self._decisions
+            if key in self._presumed
+            or (key in self._ack_tracked and not self._ack_tracked[key])
+        ]
+        for key in dead_decisions:
+            del self._decisions[key]
+            self._ack_tracked.pop(key, None)
+            self._presumed.discard(key)
+        reclaimed = len(dead_prepared) + len(dead_begins) + len(dead_decisions)
+        self._records_truncated += reclaimed
+        return reclaimed

@@ -36,7 +36,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 #: (``FaultConfig``) joined ``SystemConfig``, changing every digest; v2-era
 #: stores therefore miss cleanly instead of serving results whose commit
 #: semantics are unspecified.
-KEY_SCHEMA = 3
+#: v4: the coordinator-recovery family widened both configs —
+#: ``CommitConfig`` grew the termination-protocol and checkpoint fields,
+#: ``FaultConfig`` grew coordinator crashes — so every digest moves again
+#: and v3-era stores (which never specified those semantics) miss cleanly.
+KEY_SCHEMA = 4
 
 
 def canonical_value(value: object) -> object:

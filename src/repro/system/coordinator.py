@@ -75,6 +75,10 @@ LEGAL_TRANSITIONS: Mapping[TransactionStatus, Tuple[TransactionStatus, ...]] = {
     TransactionStatus.EXECUTING: (
         TransactionStatus.COMMITTED,
         TransactionStatus.PREPARING,
+        # Only the coordinator-recovery walk aborts an EXECUTING transaction:
+        # its completion event may have been suppressed while the coordinator
+        # was down, so recovery restarts the attempt rather than risk a hang.
+        TransactionStatus.ABORTED,
     ),
     TransactionStatus.PREPARING: (
         TransactionStatus.COMMITTED,
@@ -127,6 +131,9 @@ class TransactionExecution:
     commit_time: Optional[float] = None
     awaiting_final_release: bool = False
     read_values: Dict[int, Any] = field(default_factory=dict)
+    #: When the current attempt entered its commit round (``PREPARING``);
+    #: the coordinator-recovery walk measures recovery latency from it.
+    prepare_time: Optional[float] = None
 
     @property
     def tid(self) -> TransactionId:
@@ -167,6 +174,14 @@ class TransactionExecution:
 
 class RequestIssuerActor(Actor):
     """Coordinator for all transactions originating at one site."""
+
+    #: The issuer *is* the transaction-manager process the coordinator-crash
+    #: fault model kills: messages to it are dropped while it is down, its
+    #: volatile commit state is wiped at the crash instant, and on recovery
+    #: it walks the durable site log to re-drive in-doubt work.  Site
+    #: crashes still do not touch it (``crashable`` stays False): the data
+    #: layer and the TM process fail independently.
+    coordinator_crashable = True
 
     def __init__(
         self,
@@ -261,6 +276,18 @@ class RequestIssuerActor(Actor):
         """The commit layer driving this coordinator's commit points."""
         return self._commit
 
+    def _up(self) -> bool:
+        """Whether this coordinator process is alive right now.
+
+        Internal watchdog and completion events check this before acting: a
+        real TM process that is down fires nothing, and acting on a timer
+        while "down" would both break the failure model and double-fire
+        restarts for transactions the recovery walk re-drives from the log.
+        """
+        return self._faults is None or self._faults.coordinator_up(
+            self.site, self._simulator.now
+        )
+
     def transition(
         self, execution: TransactionExecution, status: TransactionStatus
     ) -> None:
@@ -334,6 +361,8 @@ class RequestIssuerActor(Actor):
         The transaction is committed either way; reclaiming its remaining
         locks bounds how long one dead site can block healthy ones.
         """
+        if not self._up():
+            return
         if execution.attempt != attempt:
             return
         if not execution.awaiting_final_release:
@@ -421,6 +450,78 @@ class RequestIssuerActor(Actor):
         self._abort_attempt(execution, due_to_deadlock=True)
 
     # ---------------------------------------------------------------- #
+    # Coordinator crash and recovery
+    # ---------------------------------------------------------------- #
+
+    def on_coordinator_crash(self, site: SiteId, now: float) -> None:
+        """Crash listener: the TM process dies, losing its volatile commit state.
+
+        Wired to the fault injector's coordinator-crash notifications;
+        events for other sites are ignored.  The transaction table itself
+        survives (it models the terminals' pending work, which recovery
+        re-drives); what dies is the commit layer's in-memory round state —
+        vote tallies and parked status queries.
+        """
+        if site != self.site:
+            return
+        self._commit.on_coordinator_crash()
+
+    def on_coordinator_recovery(self, site: SiteId, now: float) -> None:
+        """Recovery listener: walk the transaction table and re-drive stuck work.
+
+        The walk is the log-driven recovery pass of a restarting TM:
+
+        * ``PREPARING`` — the round is by construction undecided (decisions
+          log atomically with round closure), so the commit layer's
+          :meth:`~repro.commit.base.CommitProtocol.recover` aborts it under
+          the variant's own logging rules and restarts the attempt;
+        * ``REQUESTING`` / ``BACKING_OFF`` / ``EXECUTING`` — replies and
+          completion events addressed to the dead process were dropped, so
+          the attempt is aborted and restarted;
+        * ``ABORTED`` — the pending restart timer was suppressed while
+          down; schedule it again (idempotent under the status guard);
+        * ``COMMITTED`` still awaiting its final release — force it, as the
+          release watchdog would have.
+
+        Every timer suppressed during the downtime is accounted here and
+        nowhere else, so a recovering coordinator never double-fires
+        restarts for transactions it re-drives from its log.
+        """
+        if site != self.site:
+            return
+        self._metrics.record_coordinator_recovery()
+        for execution in list(self._executions.values()):
+            status = execution.status
+            if status is TransactionStatus.PREPARING:
+                started = (
+                    execution.prepare_time
+                    if execution.prepare_time is not None
+                    else now
+                )
+                self._metrics.record_coordinator_redrive(now - started)
+                self._commit.recover(execution)
+            elif status in (
+                TransactionStatus.REQUESTING,
+                TransactionStatus.BACKING_OFF,
+                TransactionStatus.EXECUTING,
+            ):
+                self._metrics.record_coordinator_redrive()
+                self._abort_attempt(execution, due_to_deadlock=False)
+            elif status is TransactionStatus.ABORTED:
+                self._metrics.record_coordinator_redrive()
+                self._simulator.schedule(
+                    self._restart_delay,
+                    lambda execution=execution: self._restart(execution),
+                    label=f"restart-{execution.tid}",
+                )
+            elif (
+                status is TransactionStatus.COMMITTED
+                and execution.awaiting_final_release
+            ):
+                self._metrics.record_coordinator_redrive()
+                self._final_release(execution)
+
+    # ---------------------------------------------------------------- #
     # Message handling
     # ---------------------------------------------------------------- #
 
@@ -492,6 +593,10 @@ class RequestIssuerActor(Actor):
         transaction forever; the watchdog aborts the attempt so the restart
         can try again (and succeed once the site recovers).
         """
+        if not self._up():
+            # A dead TM process fires no timers; the recovery walk restarts
+            # whatever is still stuck when the coordinator comes back.
+            return
         if execution.attempt != attempt:
             return
         if execution.status not in (TransactionStatus.REQUESTING, TransactionStatus.BACKING_OFF):
@@ -536,6 +641,9 @@ class RequestIssuerActor(Actor):
         )
 
     def _restart(self, execution: TransactionExecution) -> None:
+        if not self._up():
+            # Suppressed while down; the recovery walk reschedules it.
+            return
         if execution.status is not TransactionStatus.ABORTED:
             return
         execution.attempt += 1
@@ -674,7 +782,7 @@ class RequestIssuerActor(Actor):
         duration = execution.spec.compute_time + self._io_time * len(execution.physical_operations)
         self._simulator.schedule(
             duration,
-            lambda: self._complete_execution(execution),
+            lambda attempt=execution.attempt: self._complete_execution(execution, attempt),
             label=f"execute-{execution.tid}",
         )
 
@@ -693,8 +801,20 @@ class RequestIssuerActor(Actor):
                 copy = self._catalog.read_copy(item, self.site)
                 execution.read_values[item] = self._value_store.read(copy)
 
-    def _complete_execution(self, execution: TransactionExecution) -> None:
-        """The local computation finished: hand the transaction to the commit layer."""
+    def _complete_execution(self, execution: TransactionExecution, attempt: int = 0) -> None:
+        """The local computation finished: hand the transaction to the commit layer.
+
+        The attempt guard matters once coordinator recovery can abort an
+        ``EXECUTING`` transaction: the superseded attempt's completion event
+        may still be queued, and the retry could be ``EXECUTING`` again when
+        it fires — without the guard the stale event would open a commit
+        round for work the new attempt has not finished.
+        """
+        if not self._up():
+            # Suppressed while down; the recovery walk aborts the attempt.
+            return
+        if execution.attempt != attempt:
+            return
         if execution.status is not TransactionStatus.EXECUTING:
             return
         self._commit.begin_commit(execution)

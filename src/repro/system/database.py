@@ -59,6 +59,16 @@ class RunResult:
     crashes: int = 0
     #: Messages dropped because their receiver's site was down.
     messages_dropped: int = 0
+    #: Coordinator (TM-process) crashes that fired during the run.
+    coordinator_crashes: int = 0
+    #: Forced (synchronous) commit-log writes summed over every site.
+    forced_log_writes: int = 0
+    #: Lazy (asynchronous) commit-log writes summed over every site.
+    lazy_log_writes: int = 0
+    #: Commit-log records reclaimed by checkpoint truncation, all sites.
+    log_records_truncated: int = 0
+    #: Largest live commit-log record count any site ever held.
+    peak_log_records: int = 0
 
     @property
     def serializable(self) -> bool:
@@ -150,6 +160,16 @@ class RunResult:
             "mean_in_doubt_time": self.metrics.mean_in_doubt_time,
             "crashes": self.crashes,
             "messages_dropped": self.messages_dropped,
+            "coordinator_crashes": self.coordinator_crashes,
+            "coordinator_recoveries": self.metrics.coordinator_recoveries,
+            "redriven_transactions": self.metrics.redriven_transactions,
+            "mean_recovery_latency": self.metrics.mean_recovery_latency,
+            "max_in_doubt_time": self.metrics.max_in_doubt_time,
+            "termination_resolutions": self.metrics.termination_resolutions,
+            "forced_log_writes": self.forced_log_writes,
+            "lazy_log_writes": self.lazy_log_writes,
+            "log_records_truncated": self.log_records_truncated,
+            "peak_log_records": self.peak_log_records,
         }
 
 
@@ -229,6 +249,8 @@ class DistributedDatabase:
                     for copy in self._catalog.copies_at(site)
                 },
                 commit_log=self._commit_logs[site],
+                commit_config=system.commit,
+                faults=self._faults,
             )
             self._network.register(participant)
             self._participants[site] = participant
@@ -260,6 +282,13 @@ class DistributedDatabase:
             )
             self._network.register(issuer)
             self._issuers[site] = issuer
+
+        if self._faults is not None:
+            for issuer in self._issuers.values():
+                self._faults.add_coordinator_crash_listener(issuer.on_coordinator_crash)
+                self._faults.add_coordinator_recovery_listener(
+                    issuer.on_coordinator_recovery
+                )
 
         self._detector = DeadlockDetectorActor(
             simulator=self._simulator,
@@ -376,6 +405,20 @@ class DistributedDatabase:
         )
 
     def _arrive(self, spec: TransactionSpec) -> None:
+        if self._faults is not None and not self._faults.coordinator_up(
+            spec.origin_site, self._simulator.now
+        ):
+            # A crashed transaction manager cannot accept new work; the
+            # arrival waits at the terminal until the coordinator restarts.
+            recovery = self._faults.coordinator_recovery_time(
+                spec.origin_site, self._simulator.now
+            )
+            self._simulator.schedule_at(
+                recovery,
+                lambda spec=spec: self._arrive(spec),
+                label=f"arrival-deferred-{spec.tid}",
+            )
+            return
         self._pending_arrivals -= 1
         self._issuers[spec.origin_site].submit_transaction(spec)
 
@@ -397,6 +440,8 @@ class DistributedDatabase:
         if self._faults is not None:
             self._faults.start()
         self._detector.start()
+        if self._system.commit.checkpoint_interval is not None:
+            self._schedule_checkpoint()
         end_time = self._simulator.run(until=max_time, max_events=max_events)
         if self._simulator.pending_events and max_time is None:
             if self._simulator.events_processed >= max_events:
@@ -405,6 +450,25 @@ class DistributedDatabase:
                     f"{self.remaining_work()} transactions still outstanding"
                 )
         return self._build_result(end_time)
+
+    def _schedule_checkpoint(self) -> None:
+        interval = self._system.commit.checkpoint_interval
+        assert interval is not None
+        self._simulator.schedule(interval, self._run_checkpoint, label="checkpoint")
+
+    def _run_checkpoint(self) -> None:
+        """Periodic checkpoint: truncate every site's commit log.
+
+        Only collectable records go — resolved prepares, decided begin
+        records, and decisions that are presumed or fully acknowledged —
+        so any participant that could still ask about an outcome keeps
+        getting an answer.  The chain stops rescheduling itself once the
+        workload has drained, letting the event queue empty.
+        """
+        for log in self._commit_logs.values():
+            log.truncate()
+        if self.remaining_work() > 0:
+            self._schedule_checkpoint()
 
     def _build_result(self, end_time: float) -> RunResult:
         committed_attempts: Dict[TransactionId, int] = {}
@@ -433,4 +497,17 @@ class DistributedDatabase:
             replica_report=check_replica_convergence(self._value_store, self._catalog),
             crashes=self._faults.crash_count if self._faults is not None else 0,
             messages_dropped=self._network.messages_dropped,
+            coordinator_crashes=(
+                self._faults.coordinator_crash_count if self._faults is not None else 0
+            ),
+            forced_log_writes=sum(
+                log.forced_writes for log in self._commit_logs.values()
+            ),
+            lazy_log_writes=sum(log.lazy_writes for log in self._commit_logs.values()),
+            log_records_truncated=sum(
+                log.records_truncated for log in self._commit_logs.values()
+            ),
+            peak_log_records=max(
+                log.peak_records for log in self._commit_logs.values()
+            ),
         )

@@ -92,9 +92,15 @@ class MetricsCollector:
         # Commit-layer and fault-model observations.
         self._commit_latency: WelfordAccumulator = WelfordAccumulator()
         self._in_doubt_time: WelfordAccumulator = WelfordAccumulator()
+        self._max_in_doubt_time = 0.0
         self._lost_writes = 0
         self._commit_aborts = 0
         self._timeout_restarts = 0
+        # Coordinator crash/recovery observations.
+        self._coordinator_recoveries = 0
+        self._redriven_transactions = 0
+        self._recovery_latency: WelfordAccumulator = WelfordAccumulator()
+        self._termination_resolutions = 0
 
     # ---------------------------------------------------------------- #
     # Recording
@@ -175,6 +181,7 @@ class MetricsCollector:
     def record_in_doubt_time(self, duration: float) -> None:
         """Record how long one participant held a prepared record before the decision."""
         self._in_doubt_time.add(duration)
+        self._max_in_doubt_time = max(self._max_in_doubt_time, duration)
 
     def record_lost_write(self) -> None:
         """Count a write-all member silently lost at a crashed site (one-phase commit)."""
@@ -187,6 +194,25 @@ class MetricsCollector:
     def record_timeout_restart(self) -> None:
         """Count an attempt aborted by the coordinator's request-timeout watchdog."""
         self._timeout_restarts += 1
+
+    def record_coordinator_recovery(self) -> None:
+        """Count one coordinator restart that ran its recovery walk."""
+        self._coordinator_recoveries += 1
+
+    def record_coordinator_redrive(self, in_doubt_latency: Optional[float] = None) -> None:
+        """Count one transaction the recovery walk re-drove.
+
+        ``in_doubt_latency`` — how long the transaction's commit round hung
+        undecided before recovery resolved it — is only passed for rounds
+        found ``PREPARING``; restarts of merely stuck attempts carry none.
+        """
+        self._redriven_transactions += 1
+        if in_doubt_latency is not None:
+            self._recovery_latency.add(in_doubt_latency)
+
+    def record_termination_resolution(self) -> None:
+        """Count an in-doubt record resolved by a peer, not its coordinator."""
+        self._termination_resolutions += 1
 
     # ---------------------------------------------------------------- #
     # Reporting
@@ -272,9 +298,34 @@ class MetricsCollector:
         return self._in_doubt_time.mean
 
     @property
+    def max_in_doubt_time(self) -> float:
+        """Longest any participant was blocked in doubt (the E11 headline metric)."""
+        return self._max_in_doubt_time
+
+    @property
     def in_doubt_resolutions(self) -> int:
         """Number of prepared records that have received their decision."""
         return self._in_doubt_time.count
+
+    @property
+    def coordinator_recoveries(self) -> int:
+        """Coordinator restarts that ran the recovery walk."""
+        return self._coordinator_recoveries
+
+    @property
+    def redriven_transactions(self) -> int:
+        """Transactions re-driven (aborted/restarted/finished) by recovery walks."""
+        return self._redriven_transactions
+
+    @property
+    def mean_recovery_latency(self) -> float:
+        """Mean time in-flight commit rounds hung before a recovery walk resolved them."""
+        return self._recovery_latency.mean
+
+    @property
+    def termination_resolutions(self) -> int:
+        """In-doubt records resolved by the cooperative termination protocol."""
+        return self._termination_resolutions
 
     def throughput(self) -> float:
         """Committed transactions per unit of simulated time."""

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 
 from repro.common.config import (
     CommitConfig,
+    CoordinatorCrash,
     DelaySpike,
     DriftConfig,
     DriftSegment,
@@ -424,6 +425,95 @@ register_scenario(
                 crashes=(SiteCrash(site=0, at=0.9, duration=0.5),),
                 crash_rate=0.25,
                 mean_repair_time=0.4,
+                horizon=10.0,
+                request_timeout=1.5,
+            ),
+        ),
+        workload=WorkloadConfig(
+            arrival_rate=30.0,
+            num_transactions=300,
+            min_size=2,
+            max_size=6,
+            read_fraction=0.6,
+            seed=13,
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="coordinator-blackout",
+        description=(
+            "Two staggered data-site outages leave participants in doubt on "
+            "decided rounds, then the transaction manager at another site "
+            "blacks out for 4.8 time units: the cooperative termination "
+            "protocol resolves the blocked participants without their "
+            "coordinator."
+        ),
+        system=SystemConfig(
+            num_sites=4,
+            num_items=48,
+            replication_factor=2,
+            restart_delay=0.02,
+            seed=11,
+            commit=CommitConfig(
+                protocol="two-phase",
+                prepare_timeout=0.5,
+                termination_protocol=True,
+                termination_timeout=0.6,
+                checkpoint_interval=2.0,
+            ),
+            faults=FaultConfig(
+                crashes=(
+                    SiteCrash(site=3, at=0.55, duration=0.75),
+                    SiteCrash(site=2, at=0.9, duration=0.5),
+                ),
+                coordinator_crashes=(
+                    CoordinatorCrash(site=1, at=1.2, duration=4.8),
+                ),
+                request_timeout=1.5,
+            ),
+        ),
+        workload=WorkloadConfig(
+            arrival_rate=30.0,
+            num_transactions=300,
+            min_size=2,
+            max_size=6,
+            read_fraction=0.6,
+            hotspot_probability=0.4,
+            hotspot_fraction=0.1,
+            seed=13,
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="in-doubt-storm",
+        description=(
+            "Stochastic transaction-manager churn on top of site crash/repair "
+            "cycles: presumed-abort with termination and checkpointing keeps "
+            "every round decided and the logs bounded."
+        ),
+        system=SystemConfig(
+            num_sites=4,
+            num_items=48,
+            replication_factor=2,
+            restart_delay=0.02,
+            seed=11,
+            commit=CommitConfig(
+                protocol="presumed-abort",
+                prepare_timeout=0.5,
+                termination_protocol=True,
+                termination_timeout=0.6,
+                checkpoint_interval=2.0,
+            ),
+            faults=FaultConfig(
+                crashes=(SiteCrash(site=0, at=0.9, duration=0.5),),
+                crash_rate=0.15,
+                mean_repair_time=0.4,
+                coordinator_crash_rate=0.2,
+                coordinator_mean_repair_time=0.8,
                 horizon=10.0,
                 request_timeout=1.5,
             ),

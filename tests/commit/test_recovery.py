@@ -1,0 +1,254 @@
+"""Coordinator crash & recovery: protocol family, termination, truncation."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import (
+    CommitConfig,
+    CoordinatorCrash,
+    FaultConfig,
+    SiteCrash,
+    SystemConfig,
+    WorkloadConfig,
+)
+from repro.common.errors import SimulationError
+from repro.storage.log import CommitDecision, PreparedRecord, SiteCommitLog
+from repro.system.runner import run_simulation
+from repro.workload.scenarios import get_scenario
+
+COORDINATOR_BLACKOUT = FaultConfig(
+    crashes=(SiteCrash(site=2, at=0.9, duration=0.5),),
+    coordinator_crashes=(CoordinatorCrash(site=1, at=1.2, duration=4.8),),
+    request_timeout=1.5,
+)
+
+VARIANTS = ("two-phase", "presumed-abort", "presumed-commit")
+
+
+def _system(commit="two-phase", faults=None, *, commit_config=None, **overrides):
+    return SystemConfig(
+        num_sites=4,
+        num_items=48,
+        replication_factor=2,
+        restart_delay=0.02,
+        seed=11,
+        commit=commit_config
+        if commit_config is not None
+        else CommitConfig(protocol=commit, prepare_timeout=0.5),
+        faults=faults,
+        **overrides,
+    )
+
+
+def _workload(**overrides):
+    defaults = dict(arrival_rate=30.0, num_transactions=120, seed=13)
+    defaults.update(overrides)
+    return WorkloadConfig(**defaults)
+
+
+class TestCoordinatorCrashRecovery:
+    @pytest.mark.parametrize("commit", VARIANTS)
+    def test_recovery_walk_redrives_everything(self, commit):
+        result = run_simulation(
+            _system(commit, faults=COORDINATOR_BLACKOUT), _workload()
+        )
+        summary = result.summary()
+        assert summary["coordinator_crashes"] == 1
+        assert summary["coordinator_recoveries"] == 1
+        assert summary["redriven_transactions"] > 0
+        assert result.committed == result.submitted
+        assert result.atomic
+        assert result.serializable
+        assert result.lost_writes == 0
+
+    @pytest.mark.parametrize("commit", VARIANTS)
+    def test_coordinator_crash_runs_are_deterministic(self, commit):
+        system = _system(commit, faults=COORDINATOR_BLACKOUT)
+        first = run_simulation(system, _workload())
+        second = run_simulation(system, _workload())
+        assert first.summary() == second.summary()
+
+    def test_arrivals_during_the_blackout_are_deferred_not_lost(self):
+        result = run_simulation(
+            _system(faults=COORDINATOR_BLACKOUT), _workload()
+        )
+        # Every transaction routed to the dead coordinator is submitted
+        # after its recovery rather than dropped on the floor.
+        assert result.submitted == 120
+        assert result.committed == 120
+
+
+class TestRecoveryEraTimeouts:
+    """A recovering coordinator must not double-fire suppressed watchdogs."""
+
+    def test_dead_coordinator_fires_no_timeout_restarts(self):
+        # Single-site system: every transaction belongs to the coordinator
+        # that crashes, so any timeout restart at all is a double-fire (the
+        # request timeout of every frozen attempt elapses *inside* the
+        # downtime, and the recovery walk already re-drives those attempts).
+        faults = FaultConfig(
+            coordinator_crashes=(CoordinatorCrash(site=0, at=0.1, duration=2.0),),
+            request_timeout=0.5,
+        )
+        system = SystemConfig(
+            num_sites=1,
+            num_items=64,
+            replication_factor=1,
+            restart_delay=0.02,
+            seed=11,
+            commit=CommitConfig(protocol="two-phase", prepare_timeout=0.5),
+            faults=faults,
+        )
+        result = run_simulation(
+            system, _workload(arrival_rate=200.0, num_transactions=20)
+        )
+        summary = result.summary()
+        assert summary["coordinator_crashes"] == 1
+        assert summary["redriven_transactions"] >= 5
+        assert summary["timeout_restarts"] == 0
+        assert result.committed == result.submitted
+        assert result.atomic
+        assert result.serializable
+
+
+class TestTerminationProtocol:
+    def _blackout_run(self, termination):
+        scenario = get_scenario("coordinator-blackout")
+        commit = dataclasses.replace(
+            scenario.system.commit, termination_protocol=termination
+        )
+        system = dataclasses.replace(scenario.system, commit=commit)
+        workload = dataclasses.replace(scenario.workload, num_transactions=150)
+        return run_simulation(system, workload)
+
+    def test_peers_collapse_blocked_in_doubt_time(self):
+        blocked = self._blackout_run(termination=False).summary()
+        freed = self._blackout_run(termination=True).summary()
+        assert freed["termination_resolutions"] > 0
+        assert freed["max_in_doubt_time"] < blocked["max_in_doubt_time"]
+        assert blocked["termination_resolutions"] == 0
+
+    def test_termination_keeps_the_run_atomic_and_serializable(self):
+        result = self._blackout_run(termination=True)
+        kinds = result.messages_by_kind
+        assert kinds.get("peer_query", 0) > 0
+        assert kinds.get("peer_reply", 0) > 0
+        assert result.committed == result.submitted
+        assert result.atomic
+        assert result.serializable
+
+
+class TestLoggingMatrix:
+    """Forced-write and ack accounting of the presumed variants."""
+
+    def _run(self, commit, **workload_overrides):
+        return run_simulation(_system(commit), _workload(**workload_overrides))
+
+    def test_presumed_nothing_forces_everything_and_acks_nothing(self):
+        result = self._run("two-phase")
+        assert result.lazy_log_writes == 0
+        assert result.forced_log_writes > 0
+        assert "ack" not in result.messages_by_kind
+
+    def test_presumed_abort_trades_forced_writes_for_commit_acks(self):
+        nothing = self._run("two-phase")
+        presumed = self._run("presumed-abort")
+        assert presumed.forced_log_writes < nothing.forced_log_writes
+        # Read-only participants prepare with a lazy write instead.
+        assert presumed.lazy_log_writes > 0
+        assert presumed.messages_by_kind["ack"] > 0
+        assert presumed.committed == nothing.committed == 120
+
+    def test_presumed_commit_pays_a_begin_record_but_logs_commits_lazily(self):
+        nothing = self._run("two-phase")
+        presumed = self._run("presumed-commit")
+        # The forced begin record costs one write per round, yet lazy
+        # commit-decision and read-only-prepare writes still win overall.
+        assert presumed.forced_log_writes < nothing.forced_log_writes
+        assert presumed.lazy_log_writes > 0
+        # Failure-free, nothing aborts, so presumed-commit acks nothing.
+        assert "ack" not in presumed.messages_by_kind
+
+    def test_the_family_agrees_on_the_data(self):
+        results = {commit: self._run(commit) for commit in VARIANTS}
+        assert len({result.committed for result in results.values()}) == 1
+        for result in results.values():
+            assert result.atomic
+            assert result.serializable
+
+
+class TestCheckpointTruncation:
+    def test_checkpoints_bound_the_log(self):
+        commit = CommitConfig(
+            protocol="presumed-abort", prepare_timeout=0.5, checkpoint_interval=0.5
+        )
+        result = run_simulation(_system(commit_config=commit), _workload())
+        unbounded = run_simulation(_system("presumed-abort"), _workload())
+        assert unbounded.log_records_truncated == 0
+        assert result.log_records_truncated > 0
+        assert result.peak_log_records < unbounded.peak_log_records
+        assert result.summary() != unbounded.summary()
+        assert result.committed == unbounded.committed
+
+    def test_truncation_respects_retention_rules(self):
+        log = SiteCommitLog(site=0)
+        resolved = PreparedRecord(
+            transaction="t1",
+            attempt=0,
+            coordinator="issuer-1",
+            requests=(),
+            writes={},
+            prepared_at=0.1,
+            decision=CommitDecision.COMMIT,
+            decided_at=0.2,
+        )
+        blocked = PreparedRecord(
+            transaction="t2",
+            attempt=0,
+            coordinator="issuer-1",
+            requests=(),
+            writes={},
+            prepared_at=0.3,
+        )
+        log.log_prepared(resolved)
+        log.log_prepared(blocked, forced=False)
+        # Presumed-nothing decision: neither presumed nor ack-tracked.
+        log.log_decision("t1", 0, CommitDecision.COMMIT, 0.2)
+        # Presumed decision: collectable immediately.
+        log.log_decision("t3", 0, CommitDecision.COMMIT, 0.4, forced=False, presumed=True)
+        # Ack-tracked decision: retained until the last ack lands.
+        log.log_decision(
+            "t4", 0, CommitDecision.ABORT, 0.5, await_acks_from=(1, 2)
+        )
+        log.log_begin("t5", 0, (0, 1), 0.6)
+
+        assert log.truncate() == 2  # resolved prepare + presumed decision
+        assert log.prepared_record("t2", 0) is blocked
+        assert log.decision_for("t1", 0) is CommitDecision.COMMIT
+        assert log.decision_for("t4", 0) is CommitDecision.ABORT
+        assert log.undecided_begin_records()[0].transaction == "t5"
+
+        log.record_ack("t4", 0, 1)
+        assert log.truncate() == 0  # one ack still outstanding
+        log.record_ack("t4", 0, 2)
+        log.record_ack("t4", 0, 2)  # duplicate acks are harmless
+        assert log.truncate() == 1
+        assert log.decision_for("t4", 0) is None
+        # The presumed-nothing decision survives every checkpoint.
+        assert log.decision_for("t1", 0) is CommitDecision.COMMIT
+        assert log.records_truncated == 3
+
+    def test_double_prepare_is_rejected(self):
+        log = SiteCommitLog(site=0)
+        record = PreparedRecord(
+            transaction="t1",
+            attempt=0,
+            coordinator="issuer-1",
+            requests=(),
+            writes={},
+            prepared_at=0.1,
+        )
+        log.log_prepared(record)
+        with pytest.raises(SimulationError):
+            log.log_prepared(record)

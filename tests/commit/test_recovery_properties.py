@@ -1,0 +1,147 @@
+"""Property tests for coordinator recovery and the termination protocol.
+
+Two safety properties under randomly drawn crash timelines:
+
+* **decision uniqueness** — however a commit round is resolved (coordinator
+  decision, recovery walk, presumption, or a peer's termination answer),
+  every durable record of one ``(transaction, attempt)`` round names the
+  same outcome, and the run stays atomic and serializable;
+* **recovery-walk idempotence** — re-running the coordinator recovery walk
+  and the participant site-recovery hook after the run has drained is a
+  no-op: durable state and the event queue are untouched.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import (
+    CommitConfig,
+    CoordinatorCrash,
+    FaultConfig,
+    SiteCrash,
+    SystemConfig,
+    WorkloadConfig,
+)
+from repro.system.database import DistributedDatabase
+from repro.workload.generator import TransactionGenerator
+
+NUM_SITES = 4
+
+
+@st.composite
+def crash_timelines(draw):
+    """A commit variant plus randomly timed site and coordinator crashes."""
+    commit = CommitConfig(
+        protocol=draw(
+            st.sampled_from(["two-phase", "presumed-abort", "presumed-commit"])
+        ),
+        prepare_timeout=0.5,
+        termination_protocol=draw(st.booleans()),
+        termination_timeout=0.6,
+        checkpoint_interval=draw(st.sampled_from([None, 0.5])),
+    )
+    crashes = ()
+    if draw(st.booleans()):
+        crashes = (
+            SiteCrash(
+                site=draw(st.integers(min_value=0, max_value=NUM_SITES - 1)),
+                at=draw(st.sampled_from([0.3, 0.6, 0.9])),
+                duration=draw(st.sampled_from([0.3, 0.6, 1.0])),
+            ),
+        )
+    coordinator_crashes = (
+        CoordinatorCrash(
+            site=draw(st.integers(min_value=0, max_value=NUM_SITES - 1)),
+            at=draw(st.sampled_from([0.4, 0.8, 1.2])),
+            duration=draw(st.sampled_from([0.6, 1.5, 3.0])),
+        ),
+    )
+    system = SystemConfig(
+        num_sites=NUM_SITES,
+        num_items=32,
+        replication_factor=2,
+        restart_delay=0.02,
+        seed=draw(st.integers(min_value=0, max_value=50)),
+        commit=commit,
+        faults=FaultConfig(
+            crashes=crashes,
+            coordinator_crashes=coordinator_crashes,
+            request_timeout=1.5,
+        ),
+    )
+    workload = WorkloadConfig(
+        arrival_rate=30.0,
+        num_transactions=draw(st.integers(min_value=10, max_value=35)),
+        read_fraction=0.6,
+        seed=draw(st.integers(min_value=0, max_value=50)),
+    )
+    return system, workload
+
+
+def _run_database(system, workload):
+    database = DistributedDatabase(system)
+    generator = TransactionGenerator(system, workload)
+    database.load_workload(generator.generate(), workload)
+    result = database.run()
+    return database, result
+
+
+class TestRecoveryProperties:
+    @given(crash_timelines())
+    @settings(max_examples=12, deadline=None)
+    def test_every_round_gets_exactly_one_decision(self, configuration):
+        system, workload = configuration
+        database, result = _run_database(system, workload)
+
+        assert result.committed == result.submitted
+        assert result.atomic
+        assert result.serializable
+
+        # Collect every durable statement about a round's outcome: the
+        # participants' resolved prepared records and the coordinators'
+        # decision records, across all sites.
+        outcomes = {}
+        for site in range(NUM_SITES):
+            log = database.commit_log(site)
+            for key, record in log._prepared.items():
+                if record.decision is not None:
+                    outcomes.setdefault(key, set()).add(record.decision)
+            for key, record in log._decisions.items():
+                outcomes.setdefault(key, set()).add(record.decision)
+        for key, decisions in outcomes.items():
+            assert len(decisions) == 1, f"round {key} decided both ways: {decisions}"
+
+    @given(crash_timelines())
+    @settings(max_examples=10, deadline=None)
+    def test_recovery_walk_is_idempotent_after_the_run(self, configuration):
+        system, workload = configuration
+        database, result = _run_database(system, workload)
+        assert result.atomic
+
+        simulator = database.simulator
+        now = simulator.now
+        values_before = database.value_store.snapshot()
+        records_before = tuple(
+            database.commit_log(site).record_count() for site in range(NUM_SITES)
+        )
+        committed_before = tuple(
+            database.issuer(site).committed_attempts() for site in range(NUM_SITES)
+        )
+        assert simulator.pending_events == 0
+
+        # A spurious second recovery pass (coordinator walk and participant
+        # site-event hook at every site) must find nothing left to re-drive.
+        for site in range(NUM_SITES):
+            database.issuer(site).on_coordinator_recovery(site, now)
+            database.participant(site).on_site_event(site, now)
+
+        assert database.value_store.snapshot() == values_before
+        assert (
+            tuple(database.commit_log(site).record_count() for site in range(NUM_SITES))
+            == records_before
+        )
+        assert (
+            tuple(database.issuer(site).committed_attempts() for site in range(NUM_SITES))
+            == committed_before
+        )
+        assert simulator.pending_events == 0

@@ -1,0 +1,90 @@
+"""The commit-protocol-family refactor left existing configs bit-identical.
+
+``golden_two_phase.json`` pins SHA-256 digests of ``summarize_run`` output
+(restricted to the pre-refactor key set) computed on the commit *before*
+the coordinator-recovery / presumed-variant refactor.  Two-phase runs —
+fault-free, under a deterministic blackout, and under a stochastic crash
+storm — plus a one-phase blackout run must reproduce every one of them
+exactly: same grants, same messages, same drops, same metrics.  Anything
+the refactor adds (watchdogs, peer queries, acks, begin records) must stay
+completely off these code paths.
+"""
+
+import hashlib
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis.replications import SimulationTask, execute_task
+from repro.common.config import (
+    CommitConfig,
+    FaultConfig,
+    SiteCrash,
+    SystemConfig,
+    WorkloadConfig,
+)
+
+GOLDEN = json.loads(
+    (pathlib.Path(__file__).parent / "golden_two_phase.json").read_text()
+)
+
+BLACKOUT = FaultConfig(
+    crashes=(SiteCrash(site=1, at=1.0, duration=1.5),), request_timeout=1.5
+)
+STORM = FaultConfig(
+    crashes=(SiteCrash(site=0, at=0.9, duration=0.5),),
+    crash_rate=0.25,
+    mean_repair_time=0.4,
+    horizon=10.0,
+    request_timeout=1.5,
+)
+
+
+def _system(commit="two-phase", faults=None):
+    return SystemConfig(
+        num_sites=4,
+        num_items=48,
+        replication_factor=2,
+        restart_delay=0.02,
+        seed=11,
+        commit=CommitConfig(protocol=commit, prepare_timeout=0.5),
+        faults=faults,
+    )
+
+
+def _workload(n=120):
+    return WorkloadConfig(arrival_rate=30.0, num_transactions=n, seed=13)
+
+
+CASES = {
+    "two-phase-fault-free": SimulationTask(system=_system(), workload=_workload()),
+    "two-phase-blackout": SimulationTask(
+        system=_system(faults=BLACKOUT), workload=_workload(150)
+    ),
+    "two-phase-storm": SimulationTask(
+        system=_system(faults=STORM), workload=_workload(150)
+    ),
+    "one-phase-blackout": SimulationTask(
+        system=_system(commit="one-phase", faults=BLACKOUT), workload=_workload(150)
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_existing_configs_match_pre_refactor_golden(name):
+    summary = execute_task(CASES[name])
+    filtered = {key: summary[key] for key in GOLDEN["keys"]}
+    blob = json.dumps(filtered, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    assert digest == GOLDEN["digests"][name], (
+        f"run {name!r} diverged from the pre-refactor behaviour"
+    )
+
+
+def test_pre_refactor_paths_never_touch_the_new_machinery():
+    summary = execute_task(CASES["two-phase-blackout"])
+    assert summary["recovery_messages"] == {"ack": 0, "peer_query": 0, "peer_reply": 0}
+    assert summary["coordinator_crashes"] == 0
+    assert summary["termination_resolutions"] == 0
+    assert summary["log_records_truncated"] == 0

@@ -5,6 +5,7 @@ import pytest
 from repro.analysis.replications import SimulationTask
 from repro.common.config import (
     CommitConfig,
+    CoordinatorCrash,
     DriftConfig,
     DriftSegment,
     FaultConfig,
@@ -134,8 +135,9 @@ class TestAdaptiveDriftKeys:
     #: Golden digest of ``_adaptive_drift_task()``.  If this assertion ever
     #: fails, the canonical task encoding changed: bump ``KEY_SCHEMA`` so
     #: stale stores invalidate themselves, then re-pin.  (Re-pinned for
-    #: KEY_SCHEMA v3: commit/fault config joined ``SystemConfig``.)
-    GOLDEN_KEY = "818ed79d1697a2f67c98fc6eea2ac883e33519a59b32fd96de9fcbc66dbb104c"
+    #: KEY_SCHEMA v4: termination/checkpoint and coordinator-crash fields
+    #: joined the commit and fault configs.)
+    GOLDEN_KEY = "4afff28129602330491cab8b21231ef14be9ecddb93b16bf06663b390534a6d1"
 
     def test_adaptive_drift_key_is_stable_across_processes(self):
         assert task_key(_adaptive_drift_task()) == self.GOLDEN_KEY
@@ -208,17 +210,17 @@ class TestAdaptiveDriftKeys:
 
 
 class TestCommitFaultKeys:
-    """Key-schema v3: the commit layer and fault model are part of every digest."""
+    """Key-schema v4: the commit layer and fault model are part of every digest."""
 
-    #: Golden v3 digest of the module fixture's ``base_task`` (all-default
+    #: Golden v4 digest of the module fixture's ``base_task`` (all-default
     #: commit/fault configuration).  Byte-stability of the new defaults: if
     #: this ever fails, the canonical encoding moved again — bump
     #: ``KEY_SCHEMA`` and re-pin.
-    GOLDEN_DEFAULT_KEY = "8abb5d6d434db141801bf8220e1544b9a75252940e433f319049e4a869320f78"
+    GOLDEN_DEFAULT_KEY = "4e6654e6d366d04bddc0b58472939ea7edc291c19a98dcc4af3f7f6f2238fe5a"
 
     #: A KEY_SCHEMA v2 digest (the adaptive-drift golden this file pinned
-    #: before the schema bump).  Kept to prove that rows addressed by v2-era
-    #: keys stay inert under v3 lookups.
+    #: before the v3 schema bump).  Kept to prove that rows addressed by
+    #: old-era keys stay inert under v4 lookups.
     V2_ERA_KEY = "06a8cfeac052da4dc0e4fc617039b75ad3b20c829d5429acca0a84dfc22ffd03"
 
     def test_default_commit_fault_config_is_byte_stable(self, base_task):
@@ -226,10 +228,14 @@ class TestCommitFaultKeys:
 
     def test_default_payload_names_commit_and_faults(self, base_task):
         payload = task_payload(base_task)
-        assert payload["schema"] == 3
+        assert payload["schema"] == 4
         assert payload["system"]["commit"] == {
             "protocol": "one-phase",
             "prepare_timeout": 1.0,
+            "termination_protocol": False,
+            "termination_timeout": 1.0,
+            "termination_backoff": 2.0,
+            "checkpoint_interval": None,
         }
         assert payload["system"]["faults"] is None
 
@@ -263,8 +269,33 @@ class TestCommitFaultKeys:
         )
         assert task_key(changed) != task_key(base_task)
 
+    def test_termination_and_checkpoint_fields_change_the_key(self, base_task):
+        for override in (
+            CommitConfig(termination_protocol=True),
+            CommitConfig(termination_timeout=0.5),
+            CommitConfig(checkpoint_interval=2.0),
+        ):
+            changed = SimulationTask(
+                system=base_task.system.with_overrides(commit=override),
+                workload=base_task.workload,
+                protocol=base_task.protocol,
+            )
+            assert task_key(changed) != task_key(base_task)
+
+    def test_coordinator_crashes_change_the_key(self, base_task):
+        changed = SimulationTask(
+            system=base_task.system.with_overrides(
+                faults=FaultConfig(
+                    coordinator_crashes=(CoordinatorCrash(site=0, at=1.0, duration=2.0),)
+                )
+            ),
+            workload=base_task.workload,
+            protocol=base_task.protocol,
+        )
+        assert task_key(changed) != task_key(base_task)
+
     def test_warm_resume_on_a_v2_store_misses_cleanly(self, base_task, tmp_path):
-        """A store written under the v2 schema serves nothing to v3 lookups.
+        """A store written under the v2 schema serves nothing to v4 lookups.
 
         v2 keys digested a payload without commit/fault fields, so the same
         logical configuration now addresses a different key: the old rows
