@@ -1,7 +1,7 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test check-docs api-docs check-api-docs bench bench-smoke bench-baseline bench-gate
+.PHONY: test check-docs api-docs check-api-docs bench bench-smoke bench-baseline bench-gate memory-gate
 
 ## tier-1 verification gate
 test:
@@ -23,11 +23,16 @@ check-api-docs:
 bench-gate:
 	$(PY) tools/check_bench.py
 
+## memory-regression gate: streaming-audit peak must stay flat across 10x runs
+memory-gate:
+	$(PY) -m pytest tests/system/test_streaming_memory.py -q
+
 ## hot-path + store micros and the E10 availability experiment as plain
 ## tests (no timing) — fast sanity check
 bench-smoke:
 	$(PY) -m pytest benchmarks/bench_micro_hotpaths.py benchmarks/bench_store.py \
 		benchmarks/bench_e10_availability.py benchmarks/bench_e11_recovery.py \
+		benchmarks/bench_streaming_audit.py \
 		-q --benchmark-disable
 
 ## full pytest-benchmark run of the hot-path micros

@@ -255,6 +255,13 @@ def _add_system_arguments(parser: argparse.ArgumentParser) -> None:
         help="atomic-commit layer (one-phase: the paper's implicit commit; "
         "two-phase: presumed-nothing 2PC)",
     )
+    parser.add_argument(
+        "--audit",
+        choices=list(SystemConfig.AUDIT_MODES),
+        default="batch",
+        help="audit pipeline (batch: whole-log oracle at the end; streaming: "
+        "incremental oracle with bounded resident state, same verdict)",
+    )
 
 
 def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
@@ -296,6 +303,7 @@ def _system_from_args(args: argparse.Namespace) -> SystemConfig:
         semi_locks_enabled=not args.no_semi_locks,
         protocol_switch_threshold=args.switch_after,
         commit=CommitConfig(protocol=args.commit),
+        audit=args.audit,
         seed=args.seed,
     )
 

@@ -10,10 +10,11 @@ the lost write simply never reached the crashed copy's log.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Any, Dict, Tuple
 
-from repro.common.ids import ItemId
+from repro.common.ids import CopyId, ItemId
 from repro.storage.catalog import ReplicaCatalog
 from repro.storage.store import ValueStore
 
@@ -56,3 +57,75 @@ def check_replica_convergence(
         ):
             divergent.append(item)
     return ReplicaReport(checked_items=checked, divergent_items=tuple(divergent))
+
+
+class StreamingReplicaAuditor:
+    """Replica-convergence audit that observes writes instead of re-reading.
+
+    Attach to a :class:`~repro.storage.store.ValueStore` with
+    ``value_store.attach_write_observer(auditor)`` (or feed it directly in a
+    harness): every committed write updates a per-copy running ``(value,
+    count, digest)`` triple, so :meth:`report` reproduces exactly the
+    verdict of :func:`check_replica_convergence` — same value and
+    write-count comparisons over the same items — from O(copies) state and
+    without touching the store at the end of the run.  The rolling SHA-256
+    digest of each copy's write *sequence* is extra diagnostic state (two
+    copies can converge in value and count yet have seen different
+    intermediate writes); it never affects the verdict.
+    """
+
+    def __init__(self, default_value: Any = 0) -> None:
+        self._default_value = default_value
+        self._values: Dict[CopyId, Any] = {}
+        self._counts: Dict[CopyId, int] = {}
+        self._digests: Dict[CopyId, "hashlib._Hash"] = {}
+        self._writes_observed = 0
+
+    # Observer protocol (ValueStore.attach_write_observer) --------------- #
+
+    def value_initialized(self, copy: CopyId, value: Any) -> None:
+        """Mirror a load-phase initialisation: sets the value, not the count."""
+        self._values[copy] = value
+        self._fold(copy, "init", value)
+
+    def value_written(self, copy: CopyId, value: Any) -> None:
+        """Mirror one committed write to ``copy``."""
+        self._values[copy] = value
+        self._counts[copy] = self._counts.get(copy, 0) + 1
+        self._writes_observed += 1
+        self._fold(copy, "write", value)
+
+    def _fold(self, copy: CopyId, kind: str, value: Any) -> None:
+        digest = self._digests.get(copy)
+        if digest is None:
+            digest = self._digests[copy] = hashlib.sha256()
+        digest.update(f"{kind}:{value!r};".encode())
+
+    # Reporting ---------------------------------------------------------- #
+
+    @property
+    def writes_observed(self) -> int:
+        """Committed writes folded so far (initialisations excluded)."""
+        return self._writes_observed
+
+    def copy_digest(self, copy: CopyId) -> str:
+        """Hex digest of ``copy``'s observed write sequence (diagnostic only)."""
+        digest = self._digests.get(copy)
+        return digest.hexdigest() if digest is not None else ""
+
+    def report(self, catalog: ReplicaCatalog) -> ReplicaReport:
+        """The same verdict :func:`check_replica_convergence` would produce."""
+        divergent = []
+        checked = 0
+        for item in range(catalog.num_items):
+            copies = catalog.copies_of(item)
+            if len(copies) < 2:
+                continue
+            checked += 1
+            values = [self._values.get(copy, self._default_value) for copy in copies]
+            counts = [self._counts.get(copy, 0) for copy in copies]
+            if any(value != values[0] for value in values[1:]) or any(
+                count != counts[0] for count in counts[1:]
+            ):
+                divergent.append(item)
+        return ReplicaReport(checked_items=checked, divergent_items=tuple(divergent))

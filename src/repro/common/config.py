@@ -345,6 +345,16 @@ class SystemConfig:
         Optional :class:`FaultConfig` site-failure model.  ``None`` (the
         default) keeps every site up forever, exactly as before the fault
         model existed.
+    audit:
+        Audit-pipeline mode.  ``"batch"`` (the default) retains the full
+        execution log and runs the post-hoc oracle, bit-identically to
+        every configuration predating the field.  ``"streaming"`` audits
+        online: the incremental serializability checker retires committed
+        transactions from a bounded execution log as the run progresses,
+        replica convergence is tracked from per-copy running digests, and
+        the metrics collector folds outcomes into per-window accumulators
+        instead of retaining them — same verdicts, memory proportional to
+        the live transaction window instead of the run length.
     """
 
     num_sites: int = 4
@@ -361,9 +371,18 @@ class SystemConfig:
     protocol_switch_threshold: Optional[int] = None
     commit: CommitConfig = field(default_factory=CommitConfig)
     faults: Optional[FaultConfig] = None
+    audit: str = "batch"
     seed: int = 0
 
+    #: Valid values of ``audit``.
+    AUDIT_MODES = ("batch", "streaming")
+
     def __post_init__(self) -> None:
+        if self.audit not in self.AUDIT_MODES:
+            raise ConfigurationError(
+                f"unknown audit mode {self.audit!r}; "
+                f"choose one of {', '.join(self.AUDIT_MODES)}"
+            )
         if self.num_sites < 1:
             raise ConfigurationError("at least one site is required")
         if self.num_items < 1:

@@ -261,6 +261,10 @@ class QueueManager:
                 self._implement(entry.lock, now)
                 self._locks.release(entry.request_id)
             self._queue.remove(entry.request_id)
+        # Every operation of the released attempt(s) is implemented (reads at
+        # grant time, writes just above), so this copy is quiesced for the
+        # transaction: no further log entry of it can appear here.
+        self._log.note_quiesced(self._copy, transaction, attempt)
         self._promote_pre_scheduled(now)
         self._try_grant(now)
 
@@ -316,6 +320,10 @@ class QueueManager:
                     continue
                 self._locks.release(entry.request_id)
             self._queue.remove(entry.request_id)
+        # A deferred semi-lock only delays the *lock* release; its operation
+        # was implemented above, so the copy is quiesced for this attempt
+        # regardless.
+        self._log.note_quiesced(self._copy, transaction, attempt)
         self._promote_pre_scheduled(now)
         self._try_grant(now)
 

@@ -84,6 +84,14 @@ class CopyLog:
         """The implemented operations in implementation order."""
         return tuple(self._entries)
 
+    def transactions(self) -> Tuple[TransactionId, ...]:
+        """Transactions with at least one entry here (O(distinct), unsorted)."""
+        return tuple(self._entry_counts)
+
+    def has_transaction(self, transaction: TransactionId) -> bool:
+        """Whether ``transaction`` has at least one entry in this log."""
+        return transaction in self._entry_counts
+
     def remove_transaction(self, transaction: TransactionId, attempt: Optional[int] = None) -> int:
         """Remove entries of ``transaction`` (used when an attempt aborts).
 
@@ -166,10 +174,45 @@ class CopyLog:
 
 
 class ExecutionLog:
-    """The full execution: one :class:`CopyLog` per physical copy."""
+    """The full execution: one :class:`CopyLog` per physical copy.
 
-    def __init__(self) -> None:
+    The log doubles as the audit pipeline's event bus: observers attached
+    with :meth:`attach_observer` see every recorded entry, every withdrawal,
+    and every per-copy quiesce notification (the queue managers report the
+    processing of a transaction's final release through
+    :meth:`note_quiesced`).  In ``bounded`` mode the incremental
+    serializability checker calls :meth:`retire_transaction` as transactions
+    retire, so the durable log only ever holds the live window of the
+    execution instead of its full history.
+    """
+
+    def __init__(self, *, bounded: bool = False) -> None:
         self._logs: Dict[CopyId, CopyLog] = {}
+        self._bounded = bounded
+        self._observers: List[Any] = []
+        # Copies each transaction has live entries at, so retirement drops a
+        # transaction in O(its own entries) instead of a full-log sweep.
+        self._copies_of: Dict[TransactionId, Set[CopyId]] = {}
+        self._entries_retired = 0
+
+    @property
+    def bounded(self) -> bool:
+        """Whether retired transactions' entries are dropped from the log."""
+        return self._bounded
+
+    @property
+    def entries_retired(self) -> int:
+        """Entries dropped by :meth:`retire_transaction` so far."""
+        return self._entries_retired
+
+    def attach_observer(self, observer: Any) -> None:
+        """Attach an audit observer.
+
+        ``observer`` duck-types three callbacks: ``entry_recorded(entry)``,
+        ``entries_withdrawn(copy, transaction, attempt)`` and
+        ``transaction_quiesced(copy, transaction, attempt)``.
+        """
+        self._observers.append(observer)
 
     def log_for(self, copy: CopyId) -> CopyLog:
         """The log for ``copy``, created on first use."""
@@ -187,7 +230,11 @@ class ExecutionLog:
         attempt: int = 0,
     ) -> LogEntry:
         """Append an implemented operation to the log of ``copy``."""
-        return self.log_for(copy).append(transaction, op_type, protocol, time, attempt)
+        entry = self.log_for(copy).append(transaction, op_type, protocol, time, attempt)
+        self._copies_of.setdefault(transaction, set()).add(copy)
+        for observer in self._observers:
+            observer.entry_recorded(entry)
+        return entry
 
     def remove_transaction(
         self, copy: CopyId, transaction: TransactionId, attempt: Optional[int] = None
@@ -199,7 +246,48 @@ class ExecutionLog:
         """
         if copy not in self._logs:
             return 0
-        return self._logs[copy].remove_transaction(transaction, attempt)
+        log = self._logs[copy]
+        removed = log.remove_transaction(transaction, attempt)
+        if removed:
+            if not log.has_transaction(transaction):
+                copies = self._copies_of.get(transaction)
+                if copies is not None:
+                    copies.discard(copy)
+                    if not copies:
+                        del self._copies_of[transaction]
+            for observer in self._observers:
+                observer.entries_withdrawn(copy, transaction, attempt)
+        return removed
+
+    def note_quiesced(
+        self, copy: CopyId, transaction: TransactionId, attempt: Optional[int] = None
+    ) -> None:
+        """Report that ``copy`` processed the final release of ``transaction``.
+
+        Pure notification for the audit observers — the log itself does not
+        change.  After this point no further entry of the released attempt
+        (``None`` = any attempt) can be recorded at ``copy``, which is the
+        fact the incremental serializability checker's retirement needs.
+        """
+        for observer in self._observers:
+            observer.transaction_quiesced(copy, transaction, attempt)
+
+    def retire_transaction(self, transaction: TransactionId) -> int:
+        """Drop every entry of a retired transaction (bounded mode).
+
+        Called by the incremental checker once ``transaction`` can never
+        again participate in a conflict; unlike :meth:`remove_transaction`
+        this is not a withdrawal (the operations *happened* and were
+        audited), so observers are not notified.  Returns the number of
+        entries dropped.
+        """
+        dropped = 0
+        for copy in self._copies_of.pop(transaction, ()):
+            log = self._logs.get(copy)
+            if log is not None:
+                dropped += log.remove_transaction(transaction)
+        self._entries_retired += dropped
+        return dropped
 
     def copies(self) -> Tuple[CopyId, ...]:
         """Every copy that has at least one implemented operation."""
@@ -209,16 +297,25 @@ class ExecutionLog:
         """The per-copy logs, keyed by copy id."""
         return self._logs.values()
 
-    def all_entries(self) -> List[LogEntry]:
-        """Every log entry across all copies, in no particular global order."""
-        entries: List[LogEntry] = []
+    def iter_entries(self) -> Iterator[LogEntry]:
+        """Stream every log entry across all copies without materialising a list."""
         for log in self._logs.values():
-            entries.extend(log.entries())
-        return entries
+            yield from log
+
+    def all_entries(self) -> List[LogEntry]:
+        """Every log entry across all copies, in no particular global order.
+
+        Materialises the full list — callers that only need iteration or
+        counts should use :meth:`iter_entries` / :meth:`total_operations`,
+        which stay lazy (and therefore bounded in streaming-audit runs).
+        """
+        return list(self.iter_entries())
 
     def transactions(self) -> Tuple[TransactionId, ...]:
         """Every transaction that implemented at least one operation."""
-        seen = {entry.transaction for entry in self.all_entries()}
+        seen: Set[TransactionId] = set()
+        for log in self._logs.values():
+            seen.update(log.transactions())
         return tuple(sorted(seen))
 
     def total_operations(self) -> int:

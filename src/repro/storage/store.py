@@ -30,12 +30,28 @@ class ValueStore:
     def __init__(self, default_value: Any = 0, history_limit: int = 16) -> None:
         self._default_value = default_value
         self._history_limit = max(1, history_limit)
+        self._write_observers: List[Any] = []
         self._versions: Dict[CopyId, List[Version]] = {}
         # Committed writes per copy, unbounded (the history is trimmed).
         # Under write-all every copy of an item must see the same count; a
         # mismatch is durable evidence of a half-applied write-all even when
         # a later full write-all made the final values agree again.
         self._write_counts: Dict[CopyId, int] = {}
+
+    @property
+    def default_value(self) -> Any:
+        """Value a copy reads as before any write or initialisation."""
+        return self._default_value
+
+    def attach_write_observer(self, observer: Any) -> None:
+        """Register a duck-typed observer of committed writes.
+
+        The observer's ``value_written(copy, value)`` is called on every
+        :meth:`write` and ``value_initialized(copy, value)`` on every
+        :meth:`initialize` — enough for a streaming auditor to mirror the
+        store's convergence-relevant state without re-reading it at the end.
+        """
+        self._write_observers.append(observer)
 
     def read(self, copy: CopyId) -> Any:
         """Current value of ``copy`` (the default when never written)."""
@@ -52,6 +68,8 @@ class ValueStore:
         if len(history) > self._history_limit:
             del history[: len(history) - self._history_limit]
         self._write_counts[copy] = self._write_counts.get(copy, 0) + 1
+        for observer in self._write_observers:
+            observer.value_written(copy, value)
         return version
 
     def write_count(self, copy: CopyId) -> int:
@@ -61,6 +79,8 @@ class ValueStore:
     def initialize(self, copy: CopyId, value: Any) -> None:
         """Set an initial value outside of any transaction (load phase)."""
         self._versions[copy] = [Version(value=value, writer=None, write_time=0.0)]
+        for observer in self._write_observers:
+            observer.value_initialized(copy, value)
 
     def history(self, copy: CopyId) -> Tuple[Version, ...]:
         """Committed versions of ``copy``, oldest first (bounded by the history limit)."""

@@ -40,7 +40,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 #: ``CommitConfig`` grew the termination-protocol and checkpoint fields,
 #: ``FaultConfig`` grew coordinator crashes — so every digest moves again
 #: and v3-era stores (which never specified those semantics) miss cleanly.
-KEY_SCHEMA = 4
+#: v5: ``SystemConfig`` grew the ``audit`` field (batch vs streaming audit
+#: pipeline).  The verdicts are proven equivalent, but the canonical config
+#: encoding changed, so every digest moves and v4 stores miss cleanly.
+KEY_SCHEMA = 5
 
 
 def canonical_value(value: object) -> object:

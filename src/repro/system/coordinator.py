@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.commit.base import CommitProtocol, create_commit_protocol
 from repro.common.config import CommitConfig
@@ -54,6 +54,9 @@ from repro.storage.log import SiteCommitLog
 from repro.storage.store import ValueStore
 from repro.system.metrics import MetricsCollector
 from repro.system.queue_manager_actor import GrantDelivery, queue_manager_name
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.streaming import IncrementalSerializabilityChecker as AuditStream
 
 #: Hook used for dynamic protocol selection: ``(spec, now) -> Protocol``.
 ProtocolChooser = Callable[[TransactionSpec, float], Protocol]
@@ -202,6 +205,7 @@ class RequestIssuerActor(Actor):
         commit_config: Optional[CommitConfig] = None,
         commit_log: Optional[SiteCommitLog] = None,
         faults: Optional[FaultInjector] = None,
+        audit_stream: Optional["AuditStream"] = None,
     ) -> None:
         super().__init__(name=request_issuer_name(site), site=site)
         self._simulator = simulator
@@ -219,6 +223,7 @@ class RequestIssuerActor(Actor):
         self._commit_config = commit_config if commit_config is not None else CommitConfig()
         self._commit_log = commit_log if commit_log is not None else SiteCommitLog(site)
         self._faults = faults
+        self._audit_stream = audit_stream
         self._request_timeout = faults.config.request_timeout if faults is not None else None
         self._commit: CommitProtocol = create_commit_protocol(
             self._commit_config.protocol, self
@@ -301,6 +306,13 @@ class RequestIssuerActor(Actor):
                 f"for {execution.tid}"
             )
         execution.status = status
+        if status is TransactionStatus.COMMITTED and self._audit_stream is not None:
+            # The commit point: every path to COMMITTED funnels through this
+            # transition, so the streaming audit learns exactly once which
+            # attempt committed and which copies it must see quiesce.
+            self._audit_stream.note_commit(
+                execution.tid, execution.attempt, execution.copies()
+            )
 
     def compute_write_values(self, execution: TransactionExecution) -> Dict[int, Any]:
         """The write set's values: the spec's logic applied to the read values."""

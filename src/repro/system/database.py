@@ -5,7 +5,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
-from repro.commit.audit import ReplicaReport, check_replica_convergence
+from repro.commit.audit import (
+    ReplicaReport,
+    StreamingReplicaAuditor,
+    check_replica_convergence,
+)
 from repro.commit.participant import CommitParticipantActor
 from repro.common.config import SystemConfig, WorkloadConfig
 from repro.common.errors import SimulationError
@@ -14,6 +18,7 @@ from repro.common.protocol_names import Protocol
 from repro.common.transactions import TransactionSpec
 from repro.core.queue_manager import QueueManager
 from repro.core.serializability import SerializabilityReport, check_serializable
+from repro.core.streaming import IncrementalSerializabilityChecker
 from repro.sim.faults import FaultInjector
 from repro.sim.network import Network
 from repro.sim.rng import RandomStreams
@@ -69,6 +74,11 @@ class RunResult:
     log_records_truncated: int = 0
     #: Largest live commit-log record count any site ever held.
     peak_log_records: int = 0
+    #: Audit pipeline the run used (``batch`` or ``streaming``).
+    audit: str = "batch"
+    #: Streaming-audit bookkeeping (entries seen/retired, peak live state);
+    #: empty for batch runs.
+    audit_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def serializable(self) -> bool:
@@ -150,6 +160,7 @@ class RunResult:
             "serializable": self.serializable,
             "end_time": self.end_time,
             "commit_protocol": self.commit_protocol,
+            "audit": self.audit,
             "availability": self.availability,
             "atomic": self.atomic,
             "replica_divergent_items": len(self.replica_report.divergent_items),
@@ -209,9 +220,25 @@ class DistributedDatabase:
             self._simulator, system.network, self._rng, faults=self._faults
         )
         self._catalog = ReplicaCatalog.from_config(system)
-        self._execution_log = ExecutionLog()
+        streaming = system.audit == "streaming"
+        self._execution_log = ExecutionLog(bounded=streaming)
+        self._audit_checker: Optional[IncrementalSerializabilityChecker] = None
+        if streaming:
+            # The checker observes every recorded/withdrawn entry and, once a
+            # transaction is sealed and safe, retires its log entries so the
+            # execution log stays bounded by the live window.
+            self._audit_checker = IncrementalSerializabilityChecker(
+                on_retire=self._execution_log.retire_transaction
+            )
+            self._execution_log.attach_observer(self._audit_checker)
         self._value_store = value_store if value_store is not None else ValueStore()
-        self._metrics = MetricsCollector()
+        self._replica_auditor: Optional[StreamingReplicaAuditor] = None
+        if streaming:
+            self._replica_auditor = StreamingReplicaAuditor(
+                self._value_store.default_value
+            )
+            self._value_store.attach_write_observer(self._replica_auditor)
+        self._metrics = MetricsCollector(streaming=streaming)
         self._protocol_registry: Dict[TransactionId, Protocol] = {}
         self._pending_arrivals = 0
         self._submitted = 0
@@ -279,6 +306,7 @@ class DistributedDatabase:
                 commit_config=system.commit,
                 commit_log=self._commit_logs[site],
                 faults=self._faults,
+                audit_stream=self._audit_checker,
             )
             self._network.register(issuer)
             self._issuers[site] = issuer
@@ -330,6 +358,11 @@ class DistributedDatabase:
     def execution_log(self) -> ExecutionLog:
         """The per-copy log of implemented operations (the oracle's input)."""
         return self._execution_log
+
+    @property
+    def audit_checker(self) -> Optional[IncrementalSerializabilityChecker]:
+        """The incremental oracle, or ``None`` when the run audits in batch."""
+        return self._audit_checker
 
     @property
     def value_store(self) -> ValueStore:
@@ -474,7 +507,15 @@ class DistributedDatabase:
         committed_attempts: Dict[TransactionId, int] = {}
         for issuer in self._issuers.values():
             committed_attempts.update(issuer.committed_attempts())
-        report = check_serializable(self._execution_log, committed_attempts)
+        audit_stats: Dict[str, int] = {}
+        if self._audit_checker is not None:
+            report = self._audit_checker.finalize(committed_attempts)
+            audit_stats = self._audit_checker.stats()
+            assert self._replica_auditor is not None
+            replica_report = self._replica_auditor.report(self._catalog)
+        else:
+            report = check_serializable(self._execution_log, committed_attempts)
+            replica_report = check_replica_convergence(self._value_store, self._catalog)
         return RunResult(
             system=self._system,
             workload=self._workload_config,
@@ -494,7 +535,9 @@ class DistributedDatabase:
             ),
             protocol_of=dict(self._protocol_registry),
             commit_protocol=self._system.commit.protocol,
-            replica_report=check_replica_convergence(self._value_store, self._catalog),
+            replica_report=replica_report,
+            audit=self._system.audit,
+            audit_stats=audit_stats,
             crashes=self._faults.crash_count if self._faults is not None else 0,
             messages_dropped=self._network.messages_dropped,
             coordinator_crashes=(

@@ -78,9 +78,35 @@ DEFAULT_WINDOW_WIDTH = 2.0
 
 
 class MetricsCollector:
-    """Central sink for everything the request issuers observe."""
+    """Central sink for everything the request issuers observe.
 
-    def __init__(self) -> None:
+    ``streaming=True`` switches the collector from retaining every
+    :class:`~repro.common.transactions.TransactionOutcome` to folding each
+    outcome into running accumulators the moment it is recorded: the overall
+    system-time sum, one accumulator per ``window_width`` bucket of commit
+    time (so :meth:`windowed_series` is O(windows), not O(outcomes)) and one
+    per registered arrival cut (:meth:`register_arrival_cut`, the drift
+    boundaries :meth:`mean_system_time_after` is asked about).  All
+    accumulation happens in commit order — the same order the batch formulas
+    sum the retained list in — so every derived float is bit-identical to
+    batch mode.
+    """
+
+    def __init__(
+        self, *, streaming: bool = False, window_width: float = DEFAULT_WINDOW_WIDTH
+    ) -> None:
+        if window_width <= 0:
+            raise ValueError("window width must be positive")
+        self._streaming = streaming
+        self._window_width = window_width
+        self._committed_count = 0
+        self._system_time_sum = 0.0
+        # Streaming per-window accumulators, keyed by window index.
+        self._windows: Dict[int, Dict[str, object]] = {}
+        # Streaming per-arrival-cut accumulators: boundary -> [sum, count].
+        self._arrival_cuts: Dict[float, List[float]] = {}
+        if streaming:
+            self.register_arrival_cut(0.0)
         self._outcomes: List[TransactionOutcome] = []
         self._by_protocol: Dict[Protocol, ProtocolStatistics] = {
             protocol: ProtocolStatistics(protocol) for protocol in Protocol
@@ -166,13 +192,57 @@ class MetricsCollector:
         else:
             self._grants_by_copy_write[copy] = self._grants_by_copy_write.get(copy, 0) + 1
 
+    def register_arrival_cut(self, boundary: float) -> None:
+        """Pre-register an arrival-time boundary for :meth:`mean_system_time_after`.
+
+        In streaming mode only registered boundaries can be queried later,
+        because the per-outcome data needed to cut anywhere else is folded
+        away as it arrives.  Registering after commits were recorded raises,
+        since the accumulator would silently miss them.  A no-op in batch
+        mode (any boundary can be answered from the retained outcomes).
+        """
+        if not self._streaming:
+            return
+        if boundary in self._arrival_cuts:
+            return
+        if self._committed_count:
+            raise RuntimeError(
+                "arrival cuts must be registered before the first commit is recorded"
+            )
+        self._arrival_cuts[boundary] = [0.0, 0.0]
+
     def record_commit(self, outcome: TransactionOutcome) -> None:
         """Record a committed transaction's outcome."""
-        self._outcomes.append(outcome)
+        self._committed_count += 1
+        if self._streaming:
+            self._fold_outcome(outcome)
+        else:
+            self._outcomes.append(outcome)
         stats = self._by_protocol[outcome.protocol]
         stats.committed += 1
         stats.system_time.add(outcome.system_time)
         self._last_commit = max(self._last_commit, outcome.commit_time)
+
+    def _fold_outcome(self, outcome: TransactionOutcome) -> None:
+        """Fold one outcome into the streaming accumulators and discard it."""
+        self._system_time_sum += outcome.system_time
+        index = int(outcome.commit_time // self._window_width)
+        window = self._windows.get(index)
+        if window is None:
+            window = self._windows[index] = {
+                "committed": 0,
+                "aborts": 0,
+                "system_time_sum": 0.0,
+                "by_protocol": {protocol: 0 for protocol in Protocol},
+            }
+        window["committed"] += 1
+        window["aborts"] += outcome.restarts + outcome.deadlock_aborts
+        window["system_time_sum"] += outcome.system_time
+        window["by_protocol"][outcome.protocol] += 1
+        for boundary, accumulator in self._arrival_cuts.items():
+            if outcome.arrival_time >= boundary:
+                accumulator[0] += outcome.system_time
+                accumulator[1] += 1
 
     def record_commit_latency(self, duration: float) -> None:
         """Record one commit round's latency (prepare sent to decision logged)."""
@@ -219,14 +289,23 @@ class MetricsCollector:
     # ---------------------------------------------------------------- #
 
     @property
+    def streaming(self) -> bool:
+        """Whether outcomes are folded into accumulators instead of retained."""
+        return self._streaming
+
+    @property
     def outcomes(self) -> Tuple[TransactionOutcome, ...]:
-        """Every committed transaction's outcome, in commit order."""
+        """Every committed transaction's outcome, in commit order.
+
+        Empty in streaming mode: the outcomes are folded into running
+        accumulators as they arrive and never retained.
+        """
         return tuple(self._outcomes)
 
     @property
     def committed_count(self) -> int:
         """Number of committed transactions."""
-        return len(self._outcomes)
+        return self._committed_count
 
     @property
     def elapsed_time(self) -> float:
@@ -247,12 +326,20 @@ class MetricsCollector:
         """Average transaction system time ``S``, optionally restricted to one protocol."""
         if protocol is not None:
             return self._by_protocol[protocol].mean_system_time
-        if not self._outcomes:
+        if not self._committed_count:
             return 0.0
+        if self._streaming:
+            return self._system_time_sum / self._committed_count
         return sum(outcome.system_time for outcome in self._outcomes) / len(self._outcomes)
 
     def system_time_summary(self, protocol: Optional[Protocol] = None) -> SummaryStatistics:
-        """Summary statistics of system times, optionally per protocol."""
+        """Summary statistics of system times, optionally per protocol.
+
+        Unavailable in streaming mode (order statistics need the retained
+        sample).
+        """
+        if self._streaming:
+            raise RuntimeError("system_time_summary requires batch mode (retained outcomes)")
         values = [
             outcome.system_time
             for outcome in self._outcomes
@@ -396,6 +483,13 @@ class MetricsCollector:
         """
         if width <= 0:
             raise ValueError("window width must be positive")
+        if self._streaming:
+            if width != self._window_width:
+                raise ValueError(
+                    f"streaming collector accumulated windows of width {self._window_width}; "
+                    f"cannot re-bucket to width {width}"
+                )
+            return self._windowed_series_streaming()
         if not self._outcomes:
             return []
         last_index = max(int(outcome.commit_time // width) for outcome in self._outcomes)
@@ -427,14 +521,53 @@ class MetricsCollector:
             series.append(row)
         return series
 
+    def _windowed_series_streaming(self) -> List[Dict[str, object]]:
+        """Build the windowed series from the O(windows) accumulators."""
+        if not self._windows:
+            return []
+        width = self._window_width
+        series: List[Dict[str, object]] = []
+        for index in range(max(self._windows) + 1):
+            window = self._windows.get(index)
+            committed = int(window["committed"]) if window else 0
+            aborts = int(window["aborts"]) if window else 0
+            attempts = committed + aborts
+            row: Dict[str, object] = {
+                "window": index,
+                "start": index * width,
+                "end": (index + 1) * width,
+                "committed": committed,
+                "mean_system_time": (
+                    float(window["system_time_sum"]) / committed if committed else 0.0
+                ),
+                "restart_probability": aborts / attempts if attempts else 0.0,
+            }
+            by_protocol = window["by_protocol"] if window else {}
+            for protocol in Protocol:
+                row[f"share_{protocol}"] = (
+                    by_protocol.get(protocol, 0) / committed if committed else 0.0
+                )
+            series.append(row)
+        return series
+
     def mean_system_time_after(self, boundary: float) -> float:
         """Mean system time of transactions that *arrived* at or after ``boundary``.
 
         The post-drift performance measure: cutting on arrival time (not
         commit time) charges a slow pre-drift backlog to the old regime
         while measuring every transaction generated under the new one.
-        Returns 0.0 when no such transaction committed.
+        Returns 0.0 when no such transaction committed.  In streaming mode
+        the boundary must have been registered with
+        :meth:`register_arrival_cut` before the run.
         """
+        if self._streaming:
+            accumulator = self._arrival_cuts.get(boundary)
+            if accumulator is None:
+                raise RuntimeError(
+                    f"arrival cut {boundary!r} was not registered before the streaming run"
+                )
+            total, count = accumulator
+            return total / count if count else 0.0
         values = [
             outcome.system_time
             for outcome in self._outcomes

@@ -78,8 +78,13 @@ def run_simulation(
         system, workload, assign_protocols=not dynamic_selection
     )
     database.load_workload(generator.generate(), workload)
+    boundaries = generator.drift_boundaries()
+    # Streaming metrics fold outcomes away as they arrive, so the arrival
+    # cut the analysis layer asks about (the last drift boundary, or 0.0 for
+    # stationary workloads) must be registered before the first commit.
+    database.metrics.register_arrival_cut(boundaries[-1] if boundaries else 0.0)
     result = database.run(max_time=max_time, max_events=max_events)
-    result.drift_boundaries = generator.drift_boundaries()
+    result.drift_boundaries = boundaries
     return result
 
 

@@ -135,9 +135,8 @@ class TestAdaptiveDriftKeys:
     #: Golden digest of ``_adaptive_drift_task()``.  If this assertion ever
     #: fails, the canonical task encoding changed: bump ``KEY_SCHEMA`` so
     #: stale stores invalidate themselves, then re-pin.  (Re-pinned for
-    #: KEY_SCHEMA v4: termination/checkpoint and coordinator-crash fields
-    #: joined the commit and fault configs.)
-    GOLDEN_KEY = "4afff28129602330491cab8b21231ef14be9ecddb93b16bf06663b390534a6d1"
+    #: KEY_SCHEMA v5: the ``audit`` field joined ``SystemConfig``.)
+    GOLDEN_KEY = "70ad84fbb010eafb5b75733e69519bc9bd8bd6b5161a55b20e70967a32b38805"
 
     def test_adaptive_drift_key_is_stable_across_processes(self):
         assert task_key(_adaptive_drift_task()) == self.GOLDEN_KEY
@@ -212,11 +211,11 @@ class TestAdaptiveDriftKeys:
 class TestCommitFaultKeys:
     """Key-schema v4: the commit layer and fault model are part of every digest."""
 
-    #: Golden v4 digest of the module fixture's ``base_task`` (all-default
-    #: commit/fault configuration).  Byte-stability of the new defaults: if
-    #: this ever fails, the canonical encoding moved again — bump
-    #: ``KEY_SCHEMA`` and re-pin.
-    GOLDEN_DEFAULT_KEY = "4e6654e6d366d04bddc0b58472939ea7edc291c19a98dcc4af3f7f6f2238fe5a"
+    #: Golden v5 digest of the module fixture's ``base_task`` (all-default
+    #: commit/fault/audit configuration).  Byte-stability of the new
+    #: defaults: if this ever fails, the canonical encoding moved again —
+    #: bump ``KEY_SCHEMA`` and re-pin.
+    GOLDEN_DEFAULT_KEY = "e8410082d12904909143c4ff25a886280935f4971d8806a855941332e0e557fb"
 
     #: A KEY_SCHEMA v2 digest (the adaptive-drift golden this file pinned
     #: before the v3 schema bump).  Kept to prove that rows addressed by
@@ -228,7 +227,7 @@ class TestCommitFaultKeys:
 
     def test_default_payload_names_commit_and_faults(self, base_task):
         payload = task_payload(base_task)
-        assert payload["schema"] == 4
+        assert payload["schema"] == 5
         assert payload["system"]["commit"] == {
             "protocol": "one-phase",
             "prepare_timeout": 1.0,

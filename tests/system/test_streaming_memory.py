@@ -1,0 +1,50 @@
+"""Memory-regression gate for the streaming audit pipeline.
+
+The pipeline's headline claim is that resident state tracks the
+open-transaction *window*, not the run length.  This gate measures it
+directly: a tracemalloc-instrumented run at 10x the transactions of a
+reference run must not allocate a meaningfully larger peak.  Any change that
+reintroduces per-transaction retention — an observer keeping entries, a
+metrics list that stops folding, a log that stops dropping retired entries —
+fails the ratio assertion immediately.
+"""
+
+import tracemalloc
+
+from repro.core.streaming_harness import drive_streaming_audit
+
+#: Transactions in the reference run; the large run is 10x this.
+BASE_TRANSACTIONS = 1_000
+
+#: The 10x run may allocate at most this multiple of the reference peak.
+#: Flat in theory; the slack absorbs allocator noise and the O(windows)
+#: streaming-metrics buckets, which grow with simulated time but are a few
+#: dozen bytes each.
+PEAK_RATIO_CEILING = 1.5
+
+#: Absolute ceiling for the 10x run's traced peak.  The measured peak is
+#: ~0.2 MiB; a run that has started retaining its ~56k log entries blows
+#: through this by an order of magnitude.
+PEAK_BYTES_CEILING = 4 * 1024 * 1024
+
+
+def _traced_peak(num_transactions: int) -> int:
+    tracemalloc.start()
+    try:
+        result = drive_streaming_audit(num_transactions, seed=7)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    assert result["serializability"].serializable
+    assert result["checker_stats"]["live_entries"] == 0
+    return peak
+
+
+def test_peak_memory_is_flat_across_10x_run_growth():
+    # Warm-up run: first use pays import-time and allocator warm-up costs
+    # that would otherwise be charged to the reference measurement.
+    _traced_peak(200)
+    small = _traced_peak(BASE_TRANSACTIONS)
+    large = _traced_peak(10 * BASE_TRANSACTIONS)
+    assert large <= small * PEAK_RATIO_CEILING, (small, large)
+    assert large <= PEAK_BYTES_CEILING, large

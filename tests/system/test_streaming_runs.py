@@ -1,0 +1,155 @@
+"""Streaming-audit runs end to end: bounded logs, stable results, warm stores.
+
+Companion to the differential harness in
+``tests/properties/test_oracle_equivalence.py`` (which proves the verdicts
+equivalent): these tests pin the *operational* properties of
+``audit="streaming"`` runs — the execution log never materialises its full
+history, the audit survives without any full-log call, and the experiment
+drivers produce byte-identical results serially, in parallel, and from a
+warm result store.
+"""
+
+import pytest
+
+from repro.analysis.replications import SimulationTask, run_tasks
+from repro.common.config import SystemConfig, WorkloadConfig
+from repro.storage.log import ExecutionLog
+from repro.store import ResultStore
+from repro.system.runner import run_simulation
+
+
+@pytest.fixture(scope="module")
+def streaming_system():
+    return SystemConfig(
+        num_sites=2,
+        num_items=16,
+        deadlock_detection_period=0.1,
+        restart_delay=0.02,
+        seed=1,
+        audit="streaming",
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_workload():
+    return WorkloadConfig(
+        arrival_rate=25.0,
+        num_transactions=25,
+        min_size=1,
+        max_size=4,
+        compute_time=0.002,
+        seed=2,
+    )
+
+
+class TestBoundedLogDiscipline:
+    def test_streaming_run_never_materialises_the_full_log(
+        self, streaming_system, tiny_workload, monkeypatch
+    ):
+        """No streaming-path caller may ask the log for its full history.
+
+        ``ExecutionLog.all_entries`` builds an O(run length) list, which is
+        exactly what the streaming pipeline exists to avoid; this regression
+        test makes any reintroduced call fail the run outright.
+        """
+
+        def explode(self):
+            raise AssertionError(
+                "a streaming-audit run materialised the full execution log"
+            )
+
+        monkeypatch.setattr(ExecutionLog, "all_entries", explode)
+        result = run_simulation(streaming_system, tiny_workload, protocol="2PL")
+        assert result.audit == "streaming"
+        assert result.serializability.serializable
+
+    def test_streaming_run_retires_the_whole_log(
+        self, streaming_system, tiny_workload
+    ):
+        result = run_simulation(streaming_system, tiny_workload, protocol="2PL")
+        stats = result.audit_stats
+        assert stats["retired"] == result.committed
+        assert stats["live_entries"] == 0
+        assert stats["live_transactions"] == 0
+        assert stats["peak_live_entries"] < stats["entries_seen"]
+
+    def test_batch_run_reports_no_audit_stats(self, tiny_workload):
+        result = run_simulation(
+            SystemConfig(num_sites=2, num_items=16, seed=1), tiny_workload
+        )
+        assert result.audit == "batch"
+        assert result.audit_stats == {}
+
+
+class TestStreamingDriverIdentity:
+    """Serial == parallel == warm resume, byte for byte, for streaming tasks."""
+
+    def _tasks(self, streaming_system, tiny_workload):
+        return [
+            SimulationTask(
+                system=streaming_system.with_overrides(seed=seed),
+                workload=tiny_workload.with_overrides(seed=seed + 1),
+                protocol=protocol,
+            )
+            for seed in (0, 1)
+            for protocol in ("2PL", "T/O", "PA")
+        ]
+
+    def test_parallel_summaries_identical_to_serial(
+        self, streaming_system, tiny_workload
+    ):
+        tasks = self._tasks(streaming_system, tiny_workload)
+        serial = run_tasks(tasks, jobs=1)
+        parallel = run_tasks(tasks, jobs=4)
+        assert serial == parallel
+        assert all(summary["audit"] == "streaming" for summary in serial)
+
+    def test_warm_resume_serves_identical_summaries_without_executing(
+        self, streaming_system, tiny_workload, tmp_path, monkeypatch
+    ):
+        tasks = self._tasks(streaming_system, tiny_workload)
+        store = ResultStore(tmp_path / "runs.jsonl")
+        first = run_tasks(tasks, store=store)
+
+        def explode(task):
+            raise AssertionError("a warm re-run must not execute any task")
+
+        monkeypatch.setattr("repro.analysis.replications.execute_task", explode)
+        warm_store = ResultStore(store.path)
+        again = run_tasks(tasks, store=warm_store, jobs=2)
+        assert again == first
+        assert warm_store.appended == 0
+        assert warm_store.hits == len(tasks)
+
+    def test_audit_mode_changes_the_task_key(self, streaming_system, tiny_workload):
+        """Batch and streaming results can never serve each other from a store."""
+        from repro.store import task_key
+
+        streaming_task = SimulationTask(
+            system=streaming_system, workload=tiny_workload, protocol="2PL"
+        )
+        batch_task = SimulationTask(
+            system=streaming_system.with_overrides(audit="batch"),
+            workload=tiny_workload,
+            protocol="2PL",
+        )
+        assert task_key(streaming_task) != task_key(batch_task)
+
+    def test_streaming_summary_matches_batch_summary_except_audit_fields(
+        self, streaming_system, tiny_workload
+    ):
+        streaming_task = SimulationTask(
+            system=streaming_system, workload=tiny_workload, protocol="2PL"
+        )
+        batch_task = SimulationTask(
+            system=streaming_system.with_overrides(audit="batch"),
+            workload=tiny_workload,
+            protocol="2PL",
+        )
+        (streaming_summary,) = run_tasks([streaming_task])
+        (batch_summary,) = run_tasks([batch_task])
+        assert streaming_summary.pop("audit") == "streaming"
+        assert batch_summary.pop("audit") == "batch"
+        assert streaming_summary.pop("commit_times") == []
+        assert len(batch_summary.pop("commit_times")) == batch_summary["committed"]
+        assert streaming_summary == batch_summary
