@@ -1,0 +1,270 @@
+"""Benchmark the site-partitioned parallel engine: identity, scaling, scale-out.
+
+Three claims, each checked rather than assumed:
+
+1. **Engine identity** — the full simulator produces byte-identical
+   ``RunResult.summary()`` dictionaries under ``engine=serial`` and
+   ``engine=parallel`` (the determinism contract of docs/determinism.md).
+2. **Backend identity** — the site-partitioned harness
+   (:mod:`repro.sim.parallel.harness`) produces identical per-shard digests
+   under the inline backend and every ``multiprocessing`` worker count.
+3. **Scaling** — with per-message CPU cost, the multiprocessing backend
+   speeds the same run up across workers.  The wall-clock table is always
+   printed and written to the JSON artifact; the ``>= 2.5x at 4 workers``
+   assertion only arms on machines with at least 4 CPUs (a single-core
+   container can prove identity, not parallelism).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_engine.py [--quick]
+    PYTHONPATH=src python benchmarks/bench_parallel_engine.py --full
+    PYTHONPATH=src python benchmarks/bench_parallel_engine.py --output PATH
+
+``--full`` runs the headline deliverable: one full-simulator run past
+10^6 transactions under ``engine=parallel, audit=streaming`` (takes on the
+order of 10-15 minutes; the default mode takes well under a minute with
+``--quick``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+from typing import Any, Dict, List
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.common.config import SystemConfig, WorkloadConfig  # noqa: E402
+from repro.sim.parallel import ConservativeScheduler  # noqa: E402
+from repro.sim.parallel.harness import SiteShardHandler  # noqa: E402
+from repro.system.runner import run_simulation  # noqa: E402
+
+#: Wall-clock speedup the 4-worker harness run must reach on >= 4 CPUs.
+SPEEDUP_FLOOR_AT_4 = 2.5
+
+
+def engine_identity(quick: bool) -> Dict[str, Any]:
+    """Claim 1: serial and parallel full-simulator summaries are byte-equal."""
+    transactions = 60 if quick else 300
+    workload = WorkloadConfig(arrival_rate=25.0, num_transactions=transactions, seed=7)
+    outcomes: Dict[str, str] = {}
+    stats: Dict[str, Any] = {}
+    for engine in ("serial", "parallel"):
+        system = SystemConfig(
+            num_sites=4, num_items=32, replication_factor=2, seed=3, engine=engine
+        )
+        started = time.perf_counter()
+        result = run_simulation(system, workload)
+        elapsed = time.perf_counter() - started
+        outcomes[engine] = json.dumps(result.summary(), sort_keys=True)
+        stats[engine] = {"seconds": round(elapsed, 3)}
+        if engine == "parallel":
+            stats[engine].update(
+                windows=result.engine_stats["windows"],
+                mean_active_lps=round(result.engine_stats["mean_active_lps"], 3),
+            )
+    if outcomes["serial"] != outcomes["parallel"]:
+        raise SystemExit("FAIL: serial and parallel summaries differ")
+    stats["identical"] = True
+    stats["transactions"] = transactions
+    return stats
+
+
+def _run_harness(
+    workers: int, *, sites: int, transactions: int, spin: int
+) -> Dict[str, Any]:
+    handlers = {
+        site: SiteShardHandler(
+            site=site,
+            num_sites=sites,
+            transactions=transactions,
+            remote_fraction=0.2,
+            seed=17,
+            spin=spin,
+        )
+        for site in range(sites)
+    }
+    scheduler = ConservativeScheduler(handlers, lookahead=0.01, workers=workers)
+    started = time.perf_counter()
+    scheduler.run()
+    elapsed = time.perf_counter() - started
+    return {
+        "workers": workers,
+        "seconds": elapsed,
+        "results": scheduler.results,
+        "stats": scheduler.stats,
+    }
+
+
+def harness_scaling(quick: bool) -> Dict[str, Any]:
+    """Claims 2 and 3: backend identity plus the worker scaling table."""
+    sites = 8
+    transactions = 40 if quick else 150
+    spin = 2_000 if quick else 20_000
+    reference = _run_harness(0, sites=sites, transactions=transactions, spin=spin)
+    table: List[Dict[str, Any]] = []
+    cpus = os.cpu_count() or 1
+    for workers in (1, 2, 4):
+        row = _run_harness(workers, sites=sites, transactions=transactions, spin=spin)
+        if row["results"] != reference["results"]:
+            raise SystemExit(f"FAIL: {workers}-worker digests differ from inline")
+        table.append(
+            {
+                "workers": workers,
+                "seconds": round(row["seconds"], 3),
+                "speedup_vs_1": None,  # filled below once the 1-worker time is known
+            }
+        )
+    base = table[0]["seconds"]
+    for row in table:
+        row["speedup_vs_1"] = round(base / row["seconds"], 2) if row["seconds"] else None
+    events = reference["stats"]["events"]
+    summary = {
+        "sites": sites,
+        "transactions_per_site": transactions,
+        "spin": spin,
+        "events": events,
+        "inline_seconds": round(reference["seconds"], 3),
+        "cpus": cpus,
+        "identical_across_backends": True,
+        "table": table,
+    }
+    at4 = table[-1]["speedup_vs_1"]
+    summary["speedup_at_4"] = at4
+    if cpus >= 4 and at4 is not None and at4 < SPEEDUP_FLOOR_AT_4:
+        raise SystemExit(
+            f"FAIL: {at4}x at 4 workers on a {cpus}-CPU machine "
+            f"(floor {SPEEDUP_FLOOR_AT_4}x)"
+        )
+    summary["speedup_asserted"] = cpus >= 4
+    return summary
+
+
+def full_scale_run(transactions: int) -> Dict[str, Any]:
+    """The headline run: the full simulator past 10^6 transactions.
+
+    Low-contention, read-mostly configuration (big item space, small
+    transactions) so throughput measures the engine, not lock queues; the
+    streaming audit keeps memory bounded and still delivers a full
+    serializability verdict.
+    """
+    system = SystemConfig(
+        num_sites=4,
+        num_items=4096,
+        seed=0,
+        engine="parallel",
+        audit="streaming",
+        deadlock_detection_period=5.0,
+    )
+    workload = WorkloadConfig(
+        arrival_rate=400.0,
+        num_transactions=transactions,
+        min_size=1,
+        max_size=3,
+        read_fraction=0.9,
+        seed=7,
+    )
+    started = time.perf_counter()
+    result = run_simulation(system, workload, max_events=200_000_000)
+    elapsed = time.perf_counter() - started
+    stats = result.engine_stats
+    if not result.serializable:
+        raise SystemExit("FAIL: full-scale run is not serializable")
+    if result.committed < transactions:
+        raise SystemExit(
+            f"FAIL: only {result.committed}/{transactions} transactions committed"
+        )
+    return {
+        "transactions": transactions,
+        "committed": result.committed,
+        "seconds": round(elapsed, 1),
+        "txn_per_second": round(transactions / elapsed, 1),
+        "serializable": result.serializable,
+        "atomic": result.atomic,
+        "end_time": result.end_time,
+        "windows": stats["windows"],
+        "mean_active_lps": round(stats["mean_active_lps"], 3),
+        "events": sum(stats["events_per_lp"].values()),
+        "audit_stats": dict(result.audit_stats),
+    }
+
+
+def test_engine_identity_smoke() -> None:
+    """bench-smoke: serial and parallel full-simulator summaries byte-match."""
+    assert engine_identity(quick=True)["identical"] is True
+
+
+def test_harness_backend_identity_smoke() -> None:
+    """bench-smoke: inline and multiprocessing backends agree shard for shard."""
+    assert harness_scaling(quick=True)["identical_across_backends"] is True
+
+
+def main(argv: List[str] | None = None) -> int:
+    """Run the selected benchmark sections and write the JSON artifact."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="smoke-sized runs")
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run the 10^6-transaction full-simulator demonstration",
+    )
+    parser.add_argument(
+        "--transactions",
+        type=int,
+        default=1_000_001,
+        help="transaction count of the --full run",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).parent / "results" / "bench_parallel_engine.json",
+        help="JSON artifact path",
+    )
+    args = parser.parse_args(argv)
+
+    report: Dict[str, Any] = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+        "mode": "full" if args.full else ("quick" if args.quick else "default"),
+    }
+    if args.full:
+        print(f"full-scale run: {args.transactions} transactions "
+              f"(engine=parallel, audit=streaming) ...", flush=True)
+        report["full_scale"] = full_scale_run(args.transactions)
+        row = report["full_scale"]
+        print(
+            f"  {row['committed']} committed in {row['seconds']}s "
+            f"({row['txn_per_second']} txn/s), serializable={row['serializable']}, "
+            f"windows={row['windows']}, mean active LPs={row['mean_active_lps']}"
+        )
+    else:
+        print("engine identity (serial vs parallel, full simulator) ...", flush=True)
+        report["engine_identity"] = engine_identity(args.quick)
+        print(f"  identical summaries; {report['engine_identity']}")
+        print("harness scaling (inline vs multiprocessing) ...", flush=True)
+        report["harness_scaling"] = harness_scaling(args.quick)
+        for row in report["harness_scaling"]["table"]:
+            print(
+                f"  {row['workers']} worker(s): {row['seconds']}s "
+                f"(speedup vs 1: {row['speedup_vs_1']}x)"
+            )
+        if not report["harness_scaling"]["speedup_asserted"]:
+            print(
+                f"  NOTE: {report['harness_scaling']['cpus']} CPU(s) — scaling "
+                f"measured and reported, {SPEEDUP_FLOOR_AT_4}x floor not asserted"
+            )
+
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

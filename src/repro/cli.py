@@ -168,6 +168,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the per-window time series of every replication to this file",
     )
+    scenario_parser.add_argument(
+        "--engine",
+        choices=list(SystemConfig.ENGINES),
+        default=None,
+        help="override the scenario's simulation engine (summaries are "
+        "byte-identical between serial and parallel)",
+    )
     _add_jobs_argument(scenario_parser)
     _add_store_arguments(scenario_parser)
 
@@ -262,6 +269,13 @@ def _add_system_arguments(parser: argparse.ArgumentParser) -> None:
         help="audit pipeline (batch: whole-log oracle at the end; streaming: "
         "incremental oracle with bounded resident state, same verdict)",
     )
+    parser.add_argument(
+        "--engine",
+        choices=list(SystemConfig.ENGINES),
+        default="serial",
+        help="simulation engine (serial: single event list; parallel: "
+        "site-partitioned conservative windows, byte-identical summaries)",
+    )
 
 
 def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
@@ -304,6 +318,7 @@ def _system_from_args(args: argparse.Namespace) -> SystemConfig:
         protocol_switch_threshold=args.switch_after,
         commit=CommitConfig(protocol=args.commit),
         audit=args.audit,
+        engine=args.engine,
         seed=args.seed,
     )
 
@@ -465,7 +480,7 @@ def _command_scenario(args: argparse.Namespace) -> int:
         print("at least one replication is required", file=sys.stderr)
         return 2
     configured = scenario.configured(
-        transactions=args.transactions, arrival_rate=args.arrival_rate
+        transactions=args.transactions, arrival_rate=args.arrival_rate, engine=args.engine
     )
     store = _open_store(args)
     result = configured.run(

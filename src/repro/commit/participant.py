@@ -198,6 +198,7 @@ class CommitParticipantActor(Actor):
             interval,
             lambda: self._on_in_doubt_timeout(transaction, attempt, interval),
             label=f"in-doubt-{transaction}",
+            site=self.site,
         )
 
     def _on_in_doubt_timeout(

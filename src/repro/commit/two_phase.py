@@ -164,6 +164,7 @@ class TwoPhaseCommit(CommitProtocol):
             coordinator.commit_config.prepare_timeout,
             lambda: self._on_prepare_timeout(execution.tid, attempt),
             label=f"prepare-timeout-{execution.tid}",
+            site=coordinator.site,
         )
 
     # ---------------------------------------------------------------- #

@@ -355,6 +355,16 @@ class SystemConfig:
         the metrics collector folds outcomes into per-window accumulators
         instead of retaining them — same verdicts, memory proportional to
         the live transaction window instead of the run length.
+    engine:
+        Simulation engine.  ``"serial"`` (the default) runs the classic
+        single event list.  ``"parallel"`` partitions the run by site into
+        logical processes advanced in conservative lookahead windows
+        (:mod:`repro.sim.parallel`); the lookahead is derived from
+        ``network.fixed_delay`` and the engine degrades to barrier windows
+        when it is zero.  Both engines produce byte-identical
+        ``RunResult.summary()`` values — the determinism contract in
+        docs/determinism.md — so the field selects an execution strategy,
+        never an outcome.
     """
 
     num_sites: int = 4
@@ -372,16 +382,25 @@ class SystemConfig:
     commit: CommitConfig = field(default_factory=CommitConfig)
     faults: Optional[FaultConfig] = None
     audit: str = "batch"
+    engine: str = "serial"
     seed: int = 0
 
     #: Valid values of ``audit``.
     AUDIT_MODES = ("batch", "streaming")
+
+    #: Valid values of ``engine``.
+    ENGINES = ("serial", "parallel")
 
     def __post_init__(self) -> None:
         if self.audit not in self.AUDIT_MODES:
             raise ConfigurationError(
                 f"unknown audit mode {self.audit!r}; "
                 f"choose one of {', '.join(self.AUDIT_MODES)}"
+            )
+        if self.engine not in self.ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; "
+                f"choose one of {', '.join(self.ENGINES)}"
             )
         if self.num_sites < 1:
             raise ConfigurationError("at least one site is required")

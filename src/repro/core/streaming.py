@@ -40,7 +40,7 @@ the queue managers feed per-copy quiesce points through
 from __future__ import annotations
 
 import hashlib
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.common.errors import SimulationError
 from repro.common.ids import CopyId, TransactionId
@@ -113,8 +113,14 @@ class IncrementalSerializabilityChecker:
         self._order_digest = hashlib.sha256()
         self._retired_count = 0
         # Edges whose source retired, awaiting their target's fate (exact
-        # edge accounting for the report's ``conflict_edges``).
-        self._pending_in: Dict[TransactionId, int] = {}
+        # edge accounting for the report's ``conflict_edges``).  Each banked
+        # edge carries the set of target attempts that supported it, or
+        # ``None`` when the target had already committed at banking time
+        # (its surviving support can only be the committed attempt); the
+        # target's commit point drops edges supported solely by attempts
+        # that turned out to be stale, keeping the count a true lower bound
+        # of the batch committed view.
+        self._pending_in: Dict[TransactionId, List[Optional[FrozenSet[int]]]] = {}
         self._edges_finalized = 0
         # Statistics.
         self._live_entry_count = 0
@@ -229,6 +235,18 @@ class IncrementalSerializabilityChecker:
             )
         self._committed[transaction] = attempt
         self._commit_copies[transaction] = tuple(copies)
+        pending = self._pending_in.get(transaction)
+        if pending is not None:
+            # Resolve edges banked while this transaction was uncommitted:
+            # one supported only by attempts other than the committed one is
+            # built on entries the committed view can never contain.
+            resolved: List[Optional[FrozenSet[int]]] = [
+                None for supports in pending if supports is None or attempt in supports
+            ]
+            if resolved:
+                self._pending_in[transaction] = resolved
+            else:
+                del self._pending_in[transaction]
         for copy in tuple(self._tx_copies.get(transaction, ())):
             self._withdraw(copy, transaction, attempt, invert=True)
         self._check_seal(transaction)
@@ -282,7 +300,7 @@ class IncrementalSerializabilityChecker:
         transactions_checked = self._retired_count + len(residual)
         conflict_edges = (
             self._edges_finalized
-            + sum(self._pending_in.get(tid, 0) for tid in residual)
+            + sum(len(self._pending_in.get(tid, ())) for tid in residual)
             + len(self._support)
         )
         if not residual:
@@ -379,7 +397,14 @@ class IncrementalSerializabilityChecker:
             self._preds.setdefault(later, set()).add(earlier)
         self._support[key] = total + pairs
 
-    def _drop_support(self, key: _Pair, pairs: int, *, bank: bool = False) -> None:
+    def _drop_support(
+        self,
+        key: _Pair,
+        pairs: int,
+        *,
+        bank: bool = False,
+        bank_attempts: Optional[FrozenSet[int]] = None,
+    ) -> None:
         remaining = self._support[key] - pairs
         if remaining:
             self._support[key] = remaining
@@ -389,12 +414,14 @@ class IncrementalSerializabilityChecker:
         self._succs[earlier].discard(later)
         self._preds[later].discard(earlier)
         if bank:
-            # The source retired, so the pair support behind this edge is
-            # final (committed, sealed operations on both ends at the time
-            # of banking); remember it against the target until the
-            # target's own fate resolves the edge's membership in the
-            # committed view.
-            self._pending_in[later] = self._pending_in.get(later, 0) + 1
+            # The source retired: remember the edge against the target until
+            # the target's own fate resolves its membership in the committed
+            # view.  ``bank_attempts`` names the target attempts supporting
+            # it (``None`` once the support is known final — the target had
+            # already committed, so stale attempts were withdrawn before
+            # banking); the target's commit point prunes the conditional
+            # entries whose every supporting attempt turned out stale.
+            self._pending_in.setdefault(later, []).append(bank_attempts)
         if later in self._sealed and not self._preds[later]:
             self._retire_candidates.append(later)
 
@@ -539,10 +566,30 @@ class IncrementalSerializabilityChecker:
         self._retired_count += 1
         if self._retain_order:
             self._retired.add(transaction)
-        self._edges_finalized += self._pending_in.pop(transaction, 0)
+        self._edges_finalized += len(self._pending_in.pop(transaction, ()))
         # Purge every live entry of the transaction; the support drops
-        # cascade into edge removals, each of which is an out-edge whose
-        # support is now final — bank them against their targets.
+        # cascade into edge removals, each an out-edge banked against its
+        # target.  An uncommitted target may yet commit a *different*
+        # attempt and withdraw the very entries supporting the edge, so the
+        # replay below records which target attempts support each pair
+        # (mirroring ``entry_recorded``'s direction rule: a later write
+        # conflicts with any earlier operation, a later read only with an
+        # earlier write) for the target's commit point to resolve.
+        support_attempts: Dict[TransactionId, Set[int]] = {}
+        for copy in self._tx_copies.get(transaction, ()):
+            copy_pairs = self._pairs.get(copy)
+            if not copy_pairs:
+                continue
+            reads = writes = 0
+            for tid, item_attempt, is_write in self._live.get(copy, ()):
+                if tid == transaction:
+                    if is_write:
+                        writes += 1
+                    else:
+                        reads += 1
+                elif (transaction, tid) in copy_pairs and tid not in self._committed:
+                    if writes + (reads if is_write else 0):
+                        support_attempts.setdefault(tid, set()).add(item_attempt)
         for copy in tuple(self._tx_copies.get(transaction, ())):
             live = self._live.get(copy)
             if live is None:
@@ -550,7 +597,10 @@ class IncrementalSerializabilityChecker:
             counts = self._counts[copy]
             pairs = self._pairs.get(copy, {})
             for key in [k for k in pairs if transaction in k]:
-                self._drop_support(key, pairs.pop(key), bank=True)
+                attempts: Optional[FrozenSet[int]] = None
+                if key[0] == transaction and key[1] not in self._committed:
+                    attempts = frozenset(support_attempts.get(key[1], ()))
+                self._drop_support(key, pairs.pop(key), bank=True, bank_attempts=attempts)
             kept = [item for item in live if item[0] != transaction]
             removed = len(live) - len(kept)
             if kept:

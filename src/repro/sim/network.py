@@ -183,7 +183,10 @@ class Network:
             self._dropped_by_kind[kind] += 1
             return message
         self._simulator.schedule(
-            delay, lambda: receiver.handle(message), label=f"{kind}:{sender.name}->{receiver_name}"
+            delay,
+            lambda: receiver.handle(message),
+            label=f"{kind}:{sender.name}->{receiver_name}",
+            site=receiver.site,
         )
         return message
 

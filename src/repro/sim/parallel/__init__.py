@@ -1,0 +1,47 @@
+"""Site-partitioned parallel simulation with conservative lookahead.
+
+This package is the intra-run parallelism subsystem (ROADMAP item 2): one
+simulation run is decomposed into per-site **logical processes** (LPs), each
+with its own local event queue, synchronised conservatively in the
+Chandy-Misra style.  An LP may safely advance to
+
+    ``min(inbound channel clocks) + lookahead``
+
+where the *lookahead* is the minimum latency any cross-site message can have
+(:func:`~repro.sim.parallel.lookahead.derive_lookahead` extracts it from the
+network model), and *null messages* — pure clock promises — keep the clocks
+moving when an LP has nothing to send.  When the lookahead collapses to zero
+the scheduler degrades to a **barrier window** per timestamp instead of
+deadlocking.
+
+Two consumers build on the kernel:
+
+* :class:`~repro.sim.parallel.engine.PartitionedSimulator` runs the *full*
+  simulated database (every actor of :mod:`repro.system`) as per-site LPs
+  inside one process, with the conservative-safety invariant asserted on
+  every fired event and byte-identical results to the serial engine
+  (``SystemConfig.engine = "parallel"``; see docs/determinism.md).
+* :class:`~repro.sim.parallel.scheduler.ConservativeScheduler` drives
+  payload-based LPs (:class:`~repro.sim.parallel.lp.LogicalProcess`) either
+  in-process or across ``multiprocessing`` workers — the backend behind
+  ``benchmarks/bench_parallel_engine.py`` and the site-partitioned harness
+  (:mod:`repro.sim.parallel.harness`).
+"""
+
+from repro.sim.parallel.channels import ChannelState, TimedMessage
+from repro.sim.parallel.engine import PartitionedSimulator
+from repro.sim.parallel.lookahead import LookaheadPolicy, derive_lookahead
+from repro.sim.parallel.lp import LogicalProcess, LPContext
+from repro.sim.parallel.scheduler import ConservativeScheduler, conservative_horizons
+
+__all__ = [
+    "ChannelState",
+    "TimedMessage",
+    "PartitionedSimulator",
+    "LookaheadPolicy",
+    "derive_lookahead",
+    "LogicalProcess",
+    "LPContext",
+    "ConservativeScheduler",
+    "conservative_horizons",
+]

@@ -1,0 +1,116 @@
+"""Inter-LP channels: FIFO timed messages, clock promises and null messages.
+
+A *channel* is the one-directional link between two logical processes.  The
+conservative synchronisation protocol needs exactly two things from it:
+
+* **FIFO delivery** — messages carry a per-channel sequence number and are
+  merged in ``(time, src, seq)`` order, so delivery is deterministic no
+  matter how worker processes interleave physically;
+* **a clock** — a lower bound on the delivery time of any *future* message
+  on the channel.  Data messages raise it to their own timestamp; **null
+  messages** raise it without carrying work (a pure promise, the
+  Chandy-Misra device that keeps a quiet channel from blocking its
+  receiver forever).
+
+The in-process scheduler keeps :class:`ChannelState` bookkeeping only; the
+multiprocessing backend additionally moves :class:`TimedMessage` values over
+``multiprocessing`` pipes (see :class:`WorkerLink`), routed through the
+master so the merge order — and therefore the simulation — is identical to
+the in-process run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+
+
+@dataclass(frozen=True, order=True)
+class TimedMessage:
+    """One cross-LP message: delivery time, provenance and payload.
+
+    The ordering — ``(time, src, seq)`` — is the deterministic merge order
+    the scheduler delivers in; ``null`` marks clock promises that advance a
+    channel without scheduling work.  Payloads must be picklable so the same
+    message value crosses process boundaries unchanged.
+    """
+
+    time: float
+    src: int
+    seq: int
+    dst: int = field(compare=False)
+    payload: Any = field(default=None, compare=False)
+    null: bool = field(default=False, compare=False)
+
+
+@dataclass
+class ChannelState:
+    """Clock and FIFO bookkeeping of one ``src -> dst`` channel."""
+
+    src: int
+    dst: int
+    #: Lower bound on the delivery time of any future message; starts at 0.
+    clock: float = 0.0
+    #: Per-channel sequence of the next message (FIFO tie-break).
+    next_seq: int = 0
+
+    def stamp(self, time: float, payload: Any = None, null: bool = False) -> TimedMessage:
+        """Create the next message on this channel and advance its clock.
+
+        A channel clock never moves backwards: sending below the current
+        promise would retract it, which is exactly the causality violation
+        conservative synchronisation exists to rule out.
+        """
+        if time < self.clock:
+            raise SimulationError(
+                f"channel {self.src}->{self.dst} cannot send at {time} "
+                f"after promising nothing before {self.clock}"
+            )
+        message = TimedMessage(
+            time=time, src=self.src, seq=self.next_seq, dst=self.dst, payload=payload, null=null
+        )
+        self.next_seq += 1
+        self.clock = time
+        return message
+
+    def promise(self, time: float) -> Optional[TimedMessage]:
+        """Emit a null message raising the clock to ``time`` (None if stale)."""
+        if time <= self.clock:
+            return None
+        return self.stamp(time, payload=None, null=True)
+
+
+def merge_inbox(messages: List[TimedMessage]) -> List[TimedMessage]:
+    """Deterministic delivery order of a batch of messages.
+
+    Sorting by ``(time, src, seq)`` makes delivery independent of the order
+    worker processes happened to hand their outboxes back — the property the
+    inline-vs-multiprocessing identity tests pin.
+    """
+    return sorted(messages)
+
+
+class WorkerLink:
+    """Master-side handle of one worker process: a duplex pipe plus its LPs.
+
+    The protocol is synchronous rounds: the master sends
+    ``("window", floors, horizons, inbox)`` and the worker answers
+    ``("done", next_times, outbox, events)``; ``("collect",)`` asks for the
+    worker's final per-LP results and ``("stop",)`` terminates it.  Keeping
+    the protocol this small is what makes the backend deterministic: all
+    cross-LP traffic funnels through :func:`merge_inbox` on the master.
+    """
+
+    def __init__(self, connection: Any, lp_ids: Tuple[int, ...]) -> None:
+        self.connection = connection
+        self.lp_ids = lp_ids
+
+    def send(self, message: Tuple[Any, ...]) -> None:
+        """Ship one protocol tuple to the worker."""
+        self.connection.send(message)
+
+    def receive(self) -> Tuple[Any, ...]:
+        """Block for the worker's next protocol tuple."""
+        return self.connection.recv()

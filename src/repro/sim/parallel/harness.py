@@ -1,0 +1,247 @@
+"""Site-partitioned harness: real queue managers driven as logical processes.
+
+The partitioned full simulator (:mod:`repro.sim.parallel.engine`) shares its
+execution log, value store and metrics collector across every actor, so it
+cannot leave the process.  This harness is the piece that *can*: each
+:class:`SiteShardHandler` is one site's slice of the concurrency-control
+core — real :class:`~repro.core.queue_manager.QueueManager` instances, one
+per local copy — plus a transaction driver, wired together only through the
+payload messages of :class:`~repro.sim.parallel.lp.LPContext`.  The whole
+shard pickles, so the same handler runs unchanged under the inline backend
+and across ``multiprocessing`` workers, and the per-LP digests prove the two
+executions identical (``benchmarks/bench_parallel_engine.py`` measures the
+scaling on top of that identity).
+
+The driver runs strict two-phase locking with **globally ordered
+acquisition**: every transaction requests its copies in ascending
+``CopyId`` order, one grant at a time, so cross-site wait cycles cannot
+form and the harness needs no distributed deadlock detector.  Request,
+grant and release messages between shards travel with exactly the
+lookahead delay; same-site traffic uses the (smaller) local delay via the
+LP's own queue.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Any, Dict, List, Tuple
+
+from repro.common.ids import CopyId, RequestId, TransactionId
+from repro.common.operations import OperationType
+from repro.common.protocol_names import Protocol
+from repro.core.effects import GrantIssued
+from repro.core.queue_manager import QueueManager
+from repro.core.requests import Request
+from repro.sim.parallel.lp import LPContext
+
+
+class SiteShardHandler:
+    """One site of the sharded concurrency-control core, as an LP handler.
+
+    Parameters
+    ----------
+    site / num_sites:
+        This shard's identity and the shard count (LP ids are site ids).
+    items_per_site:
+        Number of physical copies this site owns (copy ``k`` of site ``s``
+        is ``CopyId(item=s * items_per_site + k, site=s)``).
+    transactions:
+        Transactions this shard originates over the run.
+    ops_per_transaction:
+        Copies each transaction locks (write locks, the worst case).
+    remote_fraction:
+        Probability that an access targets another site's copy — the knob
+        that trades local work against cross-shard synchronisation.
+    lookahead:
+        Cross-shard message delay (and the conservative lookahead bound).
+    local_delay:
+        Same-site request/grant delay; must be below ``lookahead`` for the
+        harness to model anything worth partitioning.
+    arrival_rate:
+        Mean transaction arrivals per simulated time unit at this shard.
+    hold_time:
+        Time a fully granted transaction holds its locks before releasing.
+    seed:
+        Base seed; each shard derives its own stream from ``(seed, site)``.
+    spin:
+        Per-message CPU burn (iterations of an integer hash), modelling the
+        processing cost a real queue manager pays per message.  This is what
+        the multiprocessing backend parallelises.
+    """
+
+    def __init__(
+        self,
+        *,
+        site: int,
+        num_sites: int,
+        items_per_site: int = 8,
+        transactions: int = 50,
+        ops_per_transaction: int = 4,
+        remote_fraction: float = 0.3,
+        lookahead: float = 0.01,
+        local_delay: float = 0.001,
+        arrival_rate: float = 40.0,
+        hold_time: float = 0.002,
+        seed: int = 0,
+        spin: int = 0,
+    ) -> None:
+        self.site = site
+        self.num_sites = num_sites
+        self.items_per_site = items_per_site
+        self.transactions = transactions
+        self.ops_per_transaction = ops_per_transaction
+        self.remote_fraction = remote_fraction
+        self.lookahead = lookahead
+        self.local_delay = local_delay
+        self.arrival_rate = arrival_rate
+        self.hold_time = hold_time
+        self.seed = seed
+        self.spin = spin
+        self.committed = 0
+        self.events = 0
+        # Chained hex digest rather than a live hashlib object: the shard must
+        # pickle into a worker process, and a chain of one-shot hashes is
+        # state-free between events.
+        self._digest = ""
+        self._managers: Dict[CopyId, QueueManager] = {}
+        # Per-transaction driver state: copies to lock, grants collected.
+        self._plans: Dict[TransactionId, Tuple[CopyId, ...]] = {}
+        self._granted: Dict[TransactionId, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Topology helpers
+    # ------------------------------------------------------------------ #
+
+    def _local_copies(self) -> List[CopyId]:
+        base = self.site * self.items_per_site
+        return [CopyId(item=base + k, site=self.site) for k in range(self.items_per_site)]
+
+    def _random_copy(self, rng: random.Random) -> CopyId:
+        if self.num_sites > 1 and rng.random() < self.remote_fraction:
+            owner = rng.randrange(self.num_sites - 1)
+            if owner >= self.site:
+                owner += 1
+        else:
+            owner = self.site
+        item = owner * self.items_per_site + rng.randrange(self.items_per_site)
+        return CopyId(item=item, site=owner)
+
+    def _dispatch(self, ctx: LPContext, owner: int, payload: Any) -> None:
+        """Route a message to a shard: local queue or cross-LP channel."""
+        if owner == self.site:
+            ctx.schedule(self.local_delay, payload)
+        else:
+            ctx.send(owner, payload, self.lookahead)
+
+    def _burn(self) -> None:
+        value = self.site + 1
+        for _ in range(self.spin):
+            value = (value * 1103515245 + 12345) & 0xFFFFFFFF
+
+    def _note(self, now: float, kind: str, tid: TransactionId, copy: CopyId) -> None:
+        self.events += 1
+        line = f"{self._digest}|{now:.9f} {kind} {tid} {copy}"
+        self._digest = hashlib.sha256(line.encode()).hexdigest()
+
+    # ------------------------------------------------------------------ #
+    # LP handler contract
+    # ------------------------------------------------------------------ #
+
+    def on_start(self, ctx: LPContext) -> None:
+        """Build the local queue managers and schedule this shard's arrivals."""
+        for copy in self._local_copies():
+            self._managers[copy] = QueueManager(copy)
+        rng = random.Random(f"{self.seed}:{self.site}")
+        at = 0.0
+        for seq in range(self.transactions):
+            at += rng.expovariate(self.arrival_rate)
+            tid = TransactionId(site=self.site, seq=seq)
+            copies = sorted({self._random_copy(rng) for _ in range(self.ops_per_transaction)})
+            self._plans[tid] = tuple(copies)
+            ctx.schedule(at, ("begin", tid))
+
+    def on_event(self, ctx: LPContext, payload: Any) -> None:
+        """Process one driver or queue-manager message."""
+        kind = payload[0]
+        if kind == "begin":
+            self._on_begin(ctx, payload[1])
+        elif kind == "request":
+            self._on_request(ctx, payload[1])
+        elif kind == "grant":
+            self._on_grant(ctx, payload[1], payload[2])
+        elif kind == "release":
+            self._on_release(ctx, payload[1], payload[2])
+        elif kind == "commit":
+            self._on_commit(ctx, payload[1])
+
+    # -- issuer side ---------------------------------------------------- #
+
+    def _on_begin(self, ctx: LPContext, tid: TransactionId) -> None:
+        self._granted[tid] = 0
+        self._request_next(ctx, tid)
+
+    def _request_next(self, ctx: LPContext, tid: TransactionId) -> None:
+        index = self._granted[tid]
+        copy = self._plans[tid][index]
+        request = Request(
+            request_id=RequestId(transaction=tid, index=index),
+            transaction=tid,
+            protocol=Protocol.TWO_PHASE_LOCKING,
+            op_type=OperationType.WRITE,
+            copy=copy,
+            timestamp=float(tid.seq * self.num_sites + tid.site),
+            issuer=str(self.site),
+        )
+        self._dispatch(ctx, copy.site, ("request", request))
+
+    def _on_grant(self, ctx: LPContext, tid: TransactionId, copy: CopyId) -> None:
+        self._note(ctx.now, "grant", tid, copy)
+        self._granted[tid] += 1
+        if self._granted[tid] < len(self._plans[tid]):
+            self._request_next(ctx, tid)
+        else:
+            ctx.schedule(self.hold_time, ("commit", tid))
+
+    def _on_commit(self, ctx: LPContext, tid: TransactionId) -> None:
+        for copy in self._plans[tid]:
+            self._note(ctx.now, "release", tid, copy)
+            self._dispatch(ctx, copy.site, ("release", tid, copy))
+        self.committed += 1
+
+    # -- owner (queue manager) side ------------------------------------- #
+
+    def _on_request(self, ctx: LPContext, request: Request) -> None:
+        self._note(ctx.now, "request", request.transaction, request.copy)
+        self._burn()
+        manager = self._managers[request.copy]
+        manager.submit(request, ctx.now)
+        self._emit_grants(ctx, manager)
+
+    def _on_release(self, ctx: LPContext, tid: TransactionId, copy: CopyId) -> None:
+        self._burn()
+        manager = self._managers[copy]
+        manager.release(tid, ctx.now)
+        self._emit_grants(ctx, manager)
+
+    def _emit_grants(self, ctx: LPContext, manager: QueueManager) -> None:
+        for effect in manager.drain_effects():
+            if isinstance(effect, GrantIssued):
+                issuer = int(effect.request.issuer)
+                self._dispatch(
+                    ctx,
+                    issuer,
+                    ("grant", effect.request.transaction, effect.request.copy),
+                )
+
+    # -- results -------------------------------------------------------- #
+
+    def result(self) -> Dict[str, Any]:
+        """Shard summary: committed count, event count and the order digest."""
+        return {
+            "site": self.site,
+            "committed": self.committed,
+            "events": self.events,
+            "digest": self._digest,
+            "grants": sum(m.grants_issued for m in self._managers.values()),
+        }

@@ -1,0 +1,97 @@
+"""Deriving the conservative lookahead from the system configuration.
+
+The lookahead of a conservative parallel simulation is a *lower bound* on
+the delivery delay of any message that crosses a logical-process boundary:
+if LP ``A``'s clock stands at ``t``, no event it ever emits can affect
+another LP before ``t + lookahead``, so every other LP may safely advance
+that far.  The bound must hold for **every** cross-site message the run can
+produce, faults included — an optimistic bound would silently break the
+causal order, which in this codebase means breaking seed-determinism.
+
+For the network model of :class:`~repro.common.config.NetworkConfig` the
+remote latency is ``fixed_delay + Exponential(variable_delay)`` (plus a
+non-negative service delay), so the infimum is exactly ``fixed_delay``:
+the exponential part can come arbitrarily close to zero and may not be
+counted.  Delay *spikes* multiply latencies by a factor ``>= 1`` and can
+therefore never shrink the bound; site and coordinator crashes only drop
+messages, which is also harmless to a lower bound.  A ``fixed_delay`` of
+zero collapses the lookahead — the scheduler then falls back to barrier
+windows (one synchronisation per distinct timestamp) instead of
+deadlocking on null messages that cannot advance any clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.config import SystemConfig
+
+
+def derive_lookahead(system: SystemConfig) -> float:
+    """The guaranteed minimum cross-site delivery delay of ``system``.
+
+    This is the window width the conservative engine may execute without
+    synchronising: ``network.fixed_delay``.  The exponential component of
+    the latency has infimum zero and contributes nothing; fault-model delay
+    spikes only multiply latencies (by ``>= 1``) and cannot lower it.
+    Negative values cannot be configured (:class:`NetworkConfig` validates),
+    but the clamp keeps the function total for hand-built configs.
+    """
+    network = system.network
+    return max(0.0, network.fixed_delay)
+
+
+@dataclass(frozen=True)
+class LookaheadPolicy:
+    """How a conservative scheduler should synchronise, given its lookahead.
+
+    ``window`` is the safe advance past the global clock floor; ``barrier``
+    says whether the scheduler must degrade to one barrier per timestamp
+    because the window is empty.  ``from_system`` derives the policy a full
+    simulator run needs; ``of`` builds one from a raw bound (the kernel's
+    tests and the harness use arbitrary bounds).
+    """
+
+    window: float
+    barrier: bool
+
+    @classmethod
+    def of(cls, lookahead: float) -> "LookaheadPolicy":
+        """Policy for a raw lookahead bound (non-positive => barrier mode)."""
+        if lookahead > 0.0:
+            return cls(window=lookahead, barrier=False)
+        return cls(window=0.0, barrier=True)
+
+    @classmethod
+    def from_system(cls, system: SystemConfig) -> "LookaheadPolicy":
+        """Policy for a full-simulator run under ``system``."""
+        return cls.of(derive_lookahead(system))
+
+    def horizon(self, floor: float) -> float:
+        """Exclusive safe-execution bound for a window starting at ``floor``.
+
+        In barrier mode the window is the single instant ``floor`` itself
+        (callers treat the bound inclusively); with real lookahead every
+        event strictly below ``floor + window`` is safe because any message
+        generated inside the window is delivered at or beyond it.
+        """
+        if self.barrier:
+            return floor
+        return floor + self.window
+
+
+def effective_lookahead(base: float, adjustment: float = 0.0) -> Optional[float]:
+    """Combine a derived bound with an adjustment, clamping at zero.
+
+    Scenario code occasionally tightens the bound (for example to model a
+    transport whose minimum latency is below the configured fixed delay).
+    A non-positive result means conservative windows are impossible and the
+    caller must run barrier-synchronised; ``None`` is returned in that case
+    so the degradation is an explicit decision at the call site rather than
+    a silently empty window.
+    """
+    effective = base + adjustment
+    if effective <= 0.0:
+        return None
+    return effective

@@ -1,0 +1,154 @@
+"""Logical processes: site-local event queues behind a conservative horizon.
+
+A :class:`LogicalProcess` is one partition of a simulation run — in the
+site-partitioned decomposition, one site's actors and their local event
+queue.  It executes *payload* events (plain picklable values, not
+callbacks) through a user-supplied handler, so the same LP definition runs
+unchanged in-process or inside a ``multiprocessing`` worker.
+
+The handler contract is two methods::
+
+    class Handler:
+        def on_start(self, ctx: LPContext) -> None: ...
+        def on_event(self, ctx: LPContext, payload) -> None: ...
+        def result(self): ...          # optional: final per-LP value
+
+``on_start`` seeds the initial events; ``on_event`` processes one event and
+may schedule further local events (any non-negative delay) or send
+cross-LP messages (delay **at least the lookahead** — the promise the whole
+conservative protocol rests on, asserted at send time).  ``result`` is
+collected by the scheduler when the run quiesces.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+from repro.sim.parallel.channels import ChannelState, TimedMessage
+
+
+class LPContext:
+    """The scheduling interface a handler sees while one of its events runs."""
+
+    def __init__(self, lp: "LogicalProcess") -> None:
+        self._lp = lp
+
+    @property
+    def lp_id(self) -> int:
+        """Identity of the logical process executing the current event."""
+        return self._lp.lp_id
+
+    @property
+    def now(self) -> float:
+        """Local simulated time of the event being processed."""
+        return self._lp.now
+
+    def schedule(self, delay: float, payload: Any) -> None:
+        """Schedule a local event ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule a local event {delay} units in the past")
+        self._lp.push_local(self._lp.now + delay, payload)
+
+    def send(self, dst: int, payload: Any, delay: float) -> None:
+        """Send a cross-LP message delivered ``delay`` time units from now.
+
+        ``delay`` must respect the lookahead bound: the receiver may already
+        have advanced to ``now + lookahead``, so an earlier delivery would
+        arrive in its past.  This is the invariant that makes conservative
+        windows safe, so it fails loudly rather than corrupting the order.
+        """
+        if delay < self._lp.lookahead:
+            raise SimulationError(
+                f"LP {self._lp.lp_id} sent to LP {dst} with delay {delay}, "
+                f"below the lookahead bound {self._lp.lookahead}"
+            )
+        self._lp.push_remote(dst, self._lp.now + delay, payload)
+
+
+class LogicalProcess:
+    """One partition: local clock, local event heap, outbound channel clocks."""
+
+    def __init__(self, lp_id: int, handler: Any, lookahead: float) -> None:
+        self.lp_id = lp_id
+        self.handler = handler
+        self.lookahead = lookahead
+        self.now = 0.0
+        self.events_processed = 0
+        self._heap: List[Tuple[float, int, Any]] = []
+        self._seq = 0
+        self._outbox: List[TimedMessage] = []
+        self._channels: Dict[int, ChannelState] = {}
+        self._context = LPContext(self)
+
+    # ------------------------------------------------------------------ #
+    # Event plumbing
+    # ------------------------------------------------------------------ #
+
+    def push_local(self, time: float, payload: Any) -> None:
+        """Insert a local event (``(time, insertion)`` ordered, deterministic)."""
+        heapq.heappush(self._heap, (time, self._seq, payload))
+        self._seq += 1
+
+    def push_remote(self, dst: int, time: float, payload: Any) -> None:
+        """Emit a cross-LP message into the current window's outbox."""
+        channel = self._channels.get(dst)
+        if channel is None:
+            channel = self._channels[dst] = ChannelState(src=self.lp_id, dst=dst)
+        self._outbox.append(channel.stamp(time, payload))
+
+    def deliver(self, message: TimedMessage) -> None:
+        """Accept one cross-LP message into the local queue (nulls carry none)."""
+        if not message.null:
+            self.push_local(message.time, message.payload)
+
+    def next_time(self) -> float:
+        """Time of the earliest local event (``inf`` when idle)."""
+        if not self._heap:
+            return float("inf")
+        return self._heap[0][0]
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Run the handler's ``on_start`` to seed the initial events."""
+        self.handler.on_start(self._context)
+
+    def advance(self, bound: float, inclusive: bool) -> int:
+        """Execute every local event below ``bound`` (or at it, if inclusive).
+
+        Returns the number of events fired.  ``inclusive`` is the barrier
+        window: with zero lookahead the safe set is exactly the events at
+        the window's single instant, including any same-instant events they
+        spawn — which mirrors how the serial event loop drains ties.
+        """
+        fired = 0
+        while self._heap:
+            time = self._heap[0][0]
+            if time > bound or (time == bound and not inclusive):
+                break
+            time, _, payload = heapq.heappop(self._heap)
+            self.now = time
+            self.events_processed += 1
+            fired += 1
+            self.handler.on_event(self._context, payload)
+        if bound > self.now:
+            # Quiet advance: the window passed with no event at its end, the
+            # LP's promise to its neighbours still moves to the bound.
+            self.now = bound
+        return fired
+
+    def take_outbox(self) -> List[TimedMessage]:
+        """Drain the messages generated since the previous window."""
+        outbox, self._outbox = self._outbox, []
+        return outbox
+
+    def result(self) -> Optional[Any]:
+        """The handler's final value, when it defines one."""
+        collect = getattr(self.handler, "result", None)
+        if collect is None:
+            return None
+        return collect()

@@ -1,0 +1,387 @@
+"""The conservative LP scheduler: null-message windows over one or many processes.
+
+The scheduler drives a set of :class:`~repro.sim.parallel.lp.LogicalProcess`
+partitions in synchronised **windows**.  Every window it
+
+1. computes each LP's *earliest input time* (EIT) — the null-message fixpoint
+   ``EOT_i = min(next_i, EIT_i) + lookahead``, ``EIT_i = min over inbound
+   EOT_j`` — which is exactly what a flood of Chandy-Misra null messages
+   would converge to, evaluated eagerly instead of as message traffic;
+2. lets every LP execute all events strictly below its EIT (its conservative
+   safe horizon), in parallel across workers;
+3. merges the cross-LP messages the window produced in deterministic
+   ``(time, src, seq)`` order and delivers them.
+
+With a positive lookahead the horizons sit at least ``lookahead`` past the
+global clock floor, so every LP with work in the window advances without
+further synchronisation.  With zero lookahead no window is safe and the
+scheduler degrades to a **barrier window**: all LPs execute exactly the
+events at the global minimum timestamp, then resynchronise — slow, but
+correct and deadlock-free, which is the required behaviour under e.g. a
+zero ``fixed_delay`` network.
+
+Execution backends share the master loop through a small pool interface:
+:class:`_InlinePool` runs the LPs in-process (deterministic reference, used
+for debugging and the identity tests) and :class:`_ProcessPool` fans them
+across ``multiprocessing`` workers.  Because all cross-LP traffic funnels
+through the master's deterministic merge, both backends produce identical
+simulations — a property the kernel tests pin.
+
+Termination is null-message quiescence: when every LP reports an empty
+queue (``next == inf``) and no messages are in flight, the promises all
+stand at infinity and the master collects results and stops the workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import SimulationError
+from repro.sim.parallel.channels import TimedMessage, WorkerLink, merge_inbox
+from repro.sim.parallel.lookahead import LookaheadPolicy
+from repro.sim.parallel.lp import LogicalProcess
+
+#: Hard cap on synchronisation windows, a guard against handler livelock
+#: (mirrors the serial engine's ``max_events`` guard).
+DEFAULT_MAX_WINDOWS = 50_000_000
+
+
+def conservative_horizons(
+    next_times: Sequence[float],
+    lookahead: float,
+    *,
+    rounds: int = 0,
+) -> Tuple[float, List[float], bool]:
+    """Per-LP safe horizons for one window: ``(floor, horizons, barrier)``.
+
+    ``next_times[i]`` is LP *i*'s earliest pending event (``inf`` when
+    idle).  The horizons are the null-message fixpoint over the complete
+    channel graph (any LP may message any other, the worst case — a sparser
+    topology could only widen the windows, never shrink them; ``rounds`` is
+    ignored and accepted for signature stability).  With zero lookahead the
+    fixpoint collapses to the global floor and ``barrier`` is ``True``: only
+    the events at exactly the floor are safe.
+    """
+    floor = min(next_times) if next_times else float("inf")
+    count = len(next_times)
+    if floor == float("inf"):
+        return floor, [float("inf")] * count, False
+    if lookahead <= 0.0:
+        return floor, [floor] * count, True
+    # Fully-connected fixpoint, solved directly: every LP's inbound promises
+    # bottom out at the floor LP, so EOT_i = min(next_i, floor + L) + L and
+    # EIT_i = min over j != i of EOT_j.  The floor LP itself is bounded by
+    # the *second* smallest queue instead.
+    second = float("inf")
+    floor_count = 0
+    for time in next_times:
+        if time == floor:
+            floor_count += 1
+        elif time < second:
+            second = time
+    if floor_count > 1:
+        second = floor
+    horizons: List[float] = []
+    for time in next_times:
+        if time == floor and floor_count == 1:
+            horizons.append(min(second, floor + lookahead) + lookahead)
+        else:
+            horizons.append(floor + lookahead)
+    return floor, horizons, False
+
+
+# --------------------------------------------------------------------------- #
+# Execution pools
+# --------------------------------------------------------------------------- #
+
+
+class _InlinePool:
+    """Runs every LP in the calling process (the deterministic reference)."""
+
+    def __init__(self, lps: Sequence[LogicalProcess]) -> None:
+        self._lps = {lp.lp_id: lp for lp in lps}
+
+    def start(self) -> Tuple[Dict[int, float], List[TimedMessage]]:
+        """Seed every LP and report initial queue times plus any sends."""
+        outbox: List[TimedMessage] = []
+        for lp_id in sorted(self._lps):
+            self._lps[lp_id].start()
+            outbox.extend(self._lps[lp_id].take_outbox())
+        return {lp_id: lp.next_time() for lp_id, lp in self._lps.items()}, outbox
+
+    def window(
+        self,
+        horizons: Dict[int, Tuple[float, bool]],
+        inbox: Dict[int, List[TimedMessage]],
+    ) -> Tuple[Dict[int, float], List[TimedMessage], int]:
+        """Deliver, advance every LP to its horizon, and drain the outboxes."""
+        fired = 0
+        outbox: List[TimedMessage] = []
+        for lp_id in sorted(self._lps):
+            lp = self._lps[lp_id]
+            for message in inbox.get(lp_id, ()):
+                lp.deliver(message)
+            bound, inclusive = horizons[lp_id]
+            if bound != float("-inf"):
+                fired += lp.advance(bound, inclusive)
+            outbox.extend(lp.take_outbox())
+        return {lp_id: lp.next_time() for lp_id, lp in self._lps.items()}, outbox, fired
+
+    def collect(self) -> Dict[int, Any]:
+        """Final per-LP handler results."""
+        return {lp_id: lp.result() for lp_id, lp in self._lps.items()}
+
+    def events_processed(self) -> Dict[int, int]:
+        """Per-LP fired-event counts."""
+        return {lp_id: lp.events_processed for lp_id, lp in self._lps.items()}
+
+    def stop(self) -> None:
+        """Nothing to tear down in-process."""
+
+
+def _worker_main(connection: Any, specs: List[Tuple[int, Any, float]]) -> None:
+    """Entry point of one worker process: an :class:`_InlinePool` over a slice."""
+    pool = _InlinePool(
+        [LogicalProcess(lp_id, handler, lookahead) for lp_id, handler, lookahead in specs]
+    )
+    while True:
+        request = connection.recv()
+        kind = request[0]
+        if kind == "start":
+            connection.send(("ready",) + pool.start())
+        elif kind == "window":
+            _, horizons, inbox = request
+            connection.send(("done",) + pool.window(horizons, inbox))
+        elif kind == "collect":
+            connection.send(("results", pool.collect(), pool.events_processed()))
+        elif kind == "stop":
+            connection.close()
+            return
+
+
+class _ProcessPool:
+    """Fans the LPs across worker processes, one duplex pipe each.
+
+    LP *i* lives on worker ``i % workers``; all cross-LP traffic flows
+    through the master, so delivery order (and with it the simulation) is
+    identical to the inline pool.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[Tuple[int, Any, float]],
+        workers: int,
+    ) -> None:
+        context = multiprocessing.get_context("fork" if sys.platform == "linux" else None)
+        self._links: List[WorkerLink] = []
+        self._processes = []
+        slices: List[List[Tuple[int, Any, float]]] = [[] for _ in range(workers)]
+        for position, spec in enumerate(sorted(specs, key=lambda spec: spec[0])):
+            slices[position % workers].append(spec)
+        for chunk in slices:
+            if not chunk:
+                continue
+            parent, child = context.Pipe(duplex=True)
+            process = context.Process(target=_worker_main, args=(child, chunk), daemon=True)
+            process.start()
+            child.close()
+            self._links.append(WorkerLink(parent, tuple(lp_id for lp_id, _, _ in chunk)))
+            self._processes.append(process)
+
+    def start(self) -> Tuple[Dict[int, float], List[TimedMessage]]:
+        """Seed every worker's LPs and gather their initial states."""
+        for link in self._links:
+            link.send(("start",))
+        next_times: Dict[int, float] = {}
+        outbox: List[TimedMessage] = []
+        for link in self._links:
+            tag, times, sent = link.receive()
+            assert tag == "ready"
+            next_times.update(times)
+            outbox.extend(sent)
+        return next_times, outbox
+
+    def window(
+        self,
+        horizons: Dict[int, Tuple[float, bool]],
+        inbox: Dict[int, List[TimedMessage]],
+    ) -> Tuple[Dict[int, float], List[TimedMessage], int]:
+        """Run one window on every worker concurrently and merge the replies."""
+        for link in self._links:
+            link.send(
+                (
+                    "window",
+                    {lp_id: horizons[lp_id] for lp_id in link.lp_ids},
+                    {lp_id: inbox.get(lp_id, []) for lp_id in link.lp_ids},
+                )
+            )
+        next_times: Dict[int, float] = {}
+        outbox: List[TimedMessage] = []
+        fired = 0
+        for link in self._links:
+            tag, times, sent, count = link.receive()
+            assert tag == "done"
+            next_times.update(times)
+            outbox.extend(sent)
+            fired += count
+        return next_times, outbox, fired
+
+    def collect(self) -> Dict[int, Any]:
+        """Gather the final per-LP results from every worker."""
+        self._event_counts: Dict[int, int] = {}
+        results: Dict[int, Any] = {}
+        for link in self._links:
+            link.send(("collect",))
+        for link in self._links:
+            tag, values, counts = link.receive()
+            assert tag == "results"
+            results.update(values)
+            self._event_counts.update(counts)
+        return results
+
+    def events_processed(self) -> Dict[int, int]:
+        """Per-LP fired-event counts (captured by :meth:`collect`)."""
+        return dict(getattr(self, "_event_counts", {}))
+
+    def stop(self) -> None:
+        """Terminate and join every worker."""
+        for link in self._links:
+            try:
+                link.send(("stop",))
+            except (BrokenPipeError, OSError):  # pragma: no cover - dead worker
+                pass
+        for process in self._processes:
+            process.join(timeout=10)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+
+
+# --------------------------------------------------------------------------- #
+# The scheduler
+# --------------------------------------------------------------------------- #
+
+
+class ConservativeScheduler:
+    """Conservative parallel driver of payload-based logical processes.
+
+    ``handlers`` maps LP id to its handler object; ``lookahead`` is the
+    cross-LP delivery bound (see :mod:`repro.sim.parallel.lookahead`);
+    ``workers=0`` runs in-process, ``workers >= 1`` across that many
+    ``multiprocessing`` workers (handlers must then be picklable).
+    """
+
+    def __init__(
+        self,
+        handlers: Dict[int, Any],
+        *,
+        lookahead: float,
+        workers: int = 0,
+    ) -> None:
+        if not handlers:
+            raise SimulationError("a conservative schedule needs at least one LP")
+        if workers < 0:
+            raise SimulationError("workers must be non-negative")
+        self._policy = LookaheadPolicy.of(lookahead)
+        self._lookahead = max(0.0, lookahead)
+        self._handlers = dict(handlers)
+        self._workers = min(workers, len(handlers))
+        self._stats: Dict[str, Any] = {}
+        self._results: Dict[int, Any] = {}
+
+    @property
+    def stats(self) -> Dict[str, Any]:
+        """Synchronisation statistics of the last :meth:`run`."""
+        return dict(self._stats)
+
+    @property
+    def results(self) -> Dict[int, Any]:
+        """Per-LP handler results of the last :meth:`run`."""
+        return dict(self._results)
+
+    def run(
+        self,
+        *,
+        until: Optional[float] = None,
+        max_windows: int = DEFAULT_MAX_WINDOWS,
+    ) -> Dict[int, Any]:
+        """Drive every LP to quiescence (or ``until``) and return the results."""
+        specs = [
+            (lp_id, handler, self._lookahead)
+            for lp_id, handler in sorted(self._handlers.items())
+        ]
+        lp_ids = [lp_id for lp_id, _, _ in specs]
+        if self._workers >= 1:
+            pool: Any = _ProcessPool(specs, self._workers)
+        else:
+            pool = _InlinePool(
+                [LogicalProcess(lp_id, handler, lookahead) for lp_id, handler, lookahead in specs]
+            )
+        windows = 0
+        barrier_windows = 0
+        null_advances = 0
+        events = 0
+        quiesced = False
+        try:
+            next_times, pending = pool.start()
+            while True:
+                effective = dict(next_times)
+                for message in pending:
+                    if message.dst not in effective:
+                        raise SimulationError(
+                            f"LP {message.src} sent to unknown LP {message.dst}"
+                        )
+                    effective[message.dst] = min(effective[message.dst], message.time)
+                floor, horizons, barrier = conservative_horizons(
+                    [effective[lp_id] for lp_id in lp_ids], self._lookahead
+                )
+                if floor == float("inf"):
+                    # Null-message quiescence: every queue is empty and no
+                    # message is in flight, so every promise stands at
+                    # infinity and the run is over.
+                    quiesced = True
+                    break
+                if until is not None and floor > until:
+                    break
+                if windows >= max_windows:
+                    raise SimulationError(
+                        f"conservative schedule exceeded {max_windows} windows "
+                        f"(likely a same-instant message livelock)"
+                    )
+                windows += 1
+                if barrier:
+                    barrier_windows += 1
+                inbox: Dict[int, List[TimedMessage]] = {lp_id: [] for lp_id in lp_ids}
+                for message in merge_inbox(pending):
+                    inbox[message.dst].append(message)
+                bounds = {
+                    lp_id: (horizon, barrier)
+                    for lp_id, horizon in zip(lp_ids, horizons)
+                }
+                next_times, pending, fired = pool.window(bounds, inbox)
+                events += fired
+                if fired == 0:
+                    null_advances += 1
+                for message in pending:
+                    if message.time < floor:
+                        raise SimulationError(
+                            f"LP {message.src} emitted a straggler at {message.time} "
+                            f"behind the window floor {floor}"
+                        )
+            self._results = pool.collect()
+            per_lp_events = pool.events_processed()
+        finally:
+            pool.stop()
+        self._stats = {
+            "windows": windows,
+            "barrier_windows": barrier_windows,
+            "null_advances": null_advances,
+            "events": events,
+            "events_per_lp": per_lp_events,
+            "lookahead": self._lookahead,
+            "barrier_mode": self._policy.barrier,
+            "workers": self._workers,
+            "quiesced": quiesced,
+        }
+        return dict(self._results)

@@ -43,7 +43,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 #: v5: ``SystemConfig`` grew the ``audit`` field (batch vs streaming audit
 #: pipeline).  The verdicts are proven equivalent, but the canonical config
 #: encoding changed, so every digest moves and v4 stores miss cleanly.
-KEY_SCHEMA = 5
+#: v6: ``SystemConfig`` grew the ``engine`` field (serial vs site-partitioned
+#: parallel event loop).  The engines produce byte-identical summaries, but
+#: the engine deliberately joins the digest anyway: the engine-identity
+#: checks re-run a configuration under both engines and byte-diff the
+#: results, which would be vacuous if the store served one engine's cached
+#: summary to the other.
+KEY_SCHEMA = 6
 
 
 def canonical_value(value: object) -> object:

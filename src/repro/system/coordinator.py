@@ -360,6 +360,7 @@ class RequestIssuerActor(Actor):
                         execution, attempt
                     ),
                     label=f"release-timeout-{execution.tid}",
+                    site=self.site,
                 )
             self._advance(execution)
         else:
@@ -525,6 +526,7 @@ class RequestIssuerActor(Actor):
                     self._restart_delay,
                     lambda execution=execution: self._restart(execution),
                     label=f"restart-{execution.tid}",
+                    site=self.site,
                 )
             elif (
                 status is TransactionStatus.COMMITTED
@@ -596,6 +598,7 @@ class RequestIssuerActor(Actor):
                 self._request_timeout,
                 lambda attempt=execution.attempt: self._on_request_timeout(execution, attempt),
                 label=f"request-timeout-{execution.tid}",
+                site=self.site,
             )
 
     def _on_request_timeout(self, execution: TransactionExecution, attempt: int) -> None:
@@ -650,6 +653,7 @@ class RequestIssuerActor(Actor):
             self._restart_delay,
             lambda: self._restart(execution),
             label=f"restart-{execution.tid}",
+            site=self.site,
         )
 
     def _restart(self, execution: TransactionExecution) -> None:
@@ -796,6 +800,7 @@ class RequestIssuerActor(Actor):
             duration,
             lambda attempt=execution.attempt: self._complete_execution(execution, attempt),
             label=f"execute-{execution.tid}",
+            site=self.site,
         )
 
     def _fill_missing_read_values(self, execution: TransactionExecution) -> None:

@@ -79,6 +79,14 @@ class RunResult:
     #: Streaming-audit bookkeeping (entries seen/retired, peak live state);
     #: empty for batch runs.
     audit_stats: Dict[str, int] = field(default_factory=dict)
+    #: Simulation engine the run used (``serial`` or ``parallel``).  Kept out
+    #: of :meth:`summary` deliberately: the determinism contract requires the
+    #: two engines' summaries to be byte-identical.
+    engine: str = "serial"
+    #: Partitioning/synchronisation statistics of a parallel-engine run
+    #: (windows, events per LP, mean active LPs); empty for serial runs and,
+    #: like ``engine``, excluded from :meth:`summary`.
+    engine_stats: Dict[str, object] = field(default_factory=dict)
 
     @property
     def serializable(self) -> bool:
@@ -209,7 +217,18 @@ class DistributedDatabase:
         value_store: Optional[ValueStore] = None,
     ) -> None:
         self._system = system
-        self._simulator = Simulator()
+        if system.engine == "parallel":
+            # Imported lazily so the serial engine never pays for (or depends
+            # on) the parallel subsystem.
+            from repro.sim.parallel.engine import PartitionedSimulator
+            from repro.sim.parallel.lookahead import derive_lookahead
+
+            self._simulator = PartitionedSimulator(
+                num_sites=system.num_sites,
+                lookahead=derive_lookahead(system),
+            )
+        else:
+            self._simulator = Simulator()
         self._rng = RandomStreams(system.seed)
         self._faults: Optional[FaultInjector] = None
         if system.faults is not None:
@@ -435,6 +454,7 @@ class DistributedDatabase:
             max(spec.arrival_time, self._simulator.now),
             lambda spec=spec: self._arrive(spec),
             label=f"arrival-{spec.tid}",
+            site=spec.origin_site,
         )
 
     def _arrive(self, spec: TransactionSpec) -> None:
@@ -450,6 +470,7 @@ class DistributedDatabase:
                 recovery,
                 lambda spec=spec: self._arrive(spec),
                 label=f"arrival-deferred-{spec.tid}",
+                site=spec.origin_site,
             )
             return
         self._pending_arrivals -= 1
@@ -538,6 +559,12 @@ class DistributedDatabase:
             replica_report=replica_report,
             audit=self._system.audit,
             audit_stats=audit_stats,
+            engine=self._system.engine,
+            engine_stats=(
+                self._simulator.engine_stats()
+                if hasattr(self._simulator, "engine_stats")
+                else {}
+            ),
             crashes=self._faults.crash_count if self._faults is not None else 0,
             messages_dropped=self._network.messages_dropped,
             coordinator_crashes=(

@@ -73,16 +73,20 @@ class Scenario:
         *,
         transactions: Optional[int] = None,
         arrival_rate: Optional[float] = None,
+        engine: Optional[str] = None,
     ) -> "Scenario":
-        """A copy with the common size/load overrides applied."""
+        """A copy with the common size/load/engine overrides applied."""
         overrides: Dict[str, object] = {}
         if transactions is not None:
             overrides["num_transactions"] = transactions
         if arrival_rate is not None:
             overrides["arrival_rate"] = arrival_rate
-        if not overrides:
-            return self
-        return replace(self, workload=self.workload.with_overrides(**overrides))
+        scenario = self
+        if overrides:
+            scenario = replace(scenario, workload=scenario.workload.with_overrides(**overrides))
+        if engine is not None:
+            scenario = replace(scenario, system=scenario.system.with_overrides(engine=engine))
+        return scenario
 
     def run(
         self,

@@ -304,6 +304,46 @@ class TestRetirementSafety:
             checker.finalize()
 
 
+class TestBankedEdgeResolution:
+    """Edges banked at a source's retirement respect the target's commit.
+
+    Regression for a hypothesis-found overcount: a source retired while its
+    only out-edge support was a *stale, not-yet-committed* attempt of the
+    target (the dropped-abort path).  The banked edge must dissolve at the
+    target's commit point — the committed view never contains those entries
+    — keeping ``conflict_edges`` a true lower bound of the batch count.
+    """
+
+    def test_stale_attempt_support_dissolves_at_the_commit_point(self):
+        stream = [
+            ("op", 0, 0, 0, False),  # T1 attempt 0 reads copy 0
+            ("op", 1, 0, 0, True),  # T2 attempt 0 writes copy 0 (stale later)
+            ("commit", 0, 0),  # T1 seals and retires; edge T1 -> T2 banked
+            ("op", 1, 1, 0, False),  # T2 attempt 1 reads copy 0
+            ("commit", 1, 1),  # attempt 0 withdrawn: the banked edge is void
+        ]
+        checker = IncrementalSerializabilityChecker()
+        log, committed = replay(stream, checker=checker)
+        report = checker.finalize(committed)
+        assert report.serializable
+        assert report.conflict_edges == 0
+        assert_reports_equivalent(log, committed, report)
+
+    def test_committed_attempt_support_survives_the_commit_point(self):
+        stream = [
+            ("op", 0, 0, 0, False),  # T1 attempt 0 reads copy 0
+            ("op", 1, 1, 0, True),  # T2 writes with its eventual attempt
+            ("commit", 0, 0),  # T1 retires; edge banked on attempt 1
+            ("commit", 1, 1),  # attempt 1 committed: the edge is real
+        ]
+        checker = IncrementalSerializabilityChecker()
+        log, committed = replay(stream, checker=checker)
+        report = checker.finalize(committed)
+        assert report.serializable
+        assert report.conflict_edges == 1
+        assert_reports_equivalent(log, committed, report)
+
+
 # --------------------------------------------------------------------------- #
 # End-to-end: full simulation runs under both audit modes
 # --------------------------------------------------------------------------- #

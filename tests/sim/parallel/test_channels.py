@@ -1,0 +1,99 @@
+"""Inter-LP channels: FIFO stamping, clock promises, deterministic merge."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.parallel.channels import ChannelState, TimedMessage, merge_inbox
+
+
+class TestTimedMessageOrdering:
+    def test_orders_by_time_first(self):
+        early = TimedMessage(time=1.0, src=5, seq=9, dst=0)
+        late = TimedMessage(time=2.0, src=0, seq=0, dst=0)
+        assert early < late
+
+    def test_ties_break_by_source_then_sequence(self):
+        a = TimedMessage(time=1.0, src=0, seq=1, dst=2)
+        b = TimedMessage(time=1.0, src=1, seq=0, dst=2)
+        c = TimedMessage(time=1.0, src=1, seq=1, dst=2)
+        assert a < b < c
+
+    def test_payload_and_destination_do_not_affect_order(self):
+        a = TimedMessage(time=1.0, src=0, seq=0, dst=9, payload="zzz")
+        b = TimedMessage(time=1.0, src=0, seq=1, dst=1, payload="aaa")
+        assert a < b
+
+
+class TestChannelState:
+    def test_stamp_assigns_fifo_sequence_numbers(self):
+        channel = ChannelState(src=0, dst=1)
+        first = channel.stamp(1.0, "a")
+        second = channel.stamp(1.0, "b")
+        assert (first.seq, second.seq) == (0, 1)
+
+    def test_stamp_advances_the_channel_clock(self):
+        channel = ChannelState(src=0, dst=1)
+        channel.stamp(3.5)
+        assert channel.clock == 3.5
+
+    def test_stamping_behind_the_clock_is_a_causality_error(self):
+        """A send below the standing promise would retract it — hard error."""
+        channel = ChannelState(src=0, dst=1)
+        channel.stamp(2.0)
+        with pytest.raises(SimulationError, match="cannot send"):
+            channel.stamp(1.0)
+
+    def test_stamping_exactly_at_the_clock_is_allowed(self):
+        channel = ChannelState(src=0, dst=1)
+        channel.stamp(2.0)
+        message = channel.stamp(2.0)
+        assert message.seq == 1
+
+
+class TestPromises:
+    def test_promise_emits_a_null_message(self):
+        channel = ChannelState(src=0, dst=1)
+        null = channel.promise(4.0)
+        assert null is not None and null.null
+        assert channel.clock == 4.0
+
+    def test_stale_promise_is_suppressed(self):
+        """A promise at or below the clock adds nothing and must not send."""
+        channel = ChannelState(src=0, dst=1)
+        channel.stamp(4.0)
+        assert channel.promise(4.0) is None
+        assert channel.promise(3.0) is None
+
+    def test_promise_keeps_fifo_numbering_with_data(self):
+        channel = ChannelState(src=0, dst=1)
+        data = channel.stamp(1.0, "x")
+        null = channel.promise(2.0)
+        assert null is not None
+        assert (data.seq, null.seq) == (0, 1)
+
+
+class TestMergeInbox:
+    def test_merge_is_independent_of_arrival_order(self):
+        """Delivery order must not depend on how workers returned outboxes."""
+        messages = [
+            TimedMessage(time=2.0, src=0, seq=1, dst=3),
+            TimedMessage(time=1.0, src=1, seq=0, dst=3),
+            TimedMessage(time=1.0, src=0, seq=0, dst=3),
+            TimedMessage(time=2.0, src=1, seq=1, dst=3),
+        ]
+        forward = merge_inbox(list(messages))
+        backward = merge_inbox(list(reversed(messages)))
+        assert forward == backward
+        assert [(m.time, m.src, m.seq) for m in forward] == [
+            (1.0, 0, 0),
+            (1.0, 1, 0),
+            (2.0, 0, 1),
+            (2.0, 1, 1),
+        ]
+
+    def test_merge_preserves_per_channel_fifo(self):
+        channel = ChannelState(src=2, dst=0)
+        first = channel.stamp(1.0, "early")
+        second = channel.stamp(1.0, "late")
+        merged = merge_inbox([second, first])
+        assert [m.payload for m in merged] == ["early", "late"]

@@ -1,0 +1,201 @@
+"""The partitioned engine: routing, merge order, promises, window accounting."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.parallel.engine import PartitionedSimulator
+
+
+def _noop():
+    """Payload-free event body."""
+
+
+class TestConstruction:
+    def test_requires_at_least_one_site(self):
+        with pytest.raises(SimulationError, match="at least one site"):
+            PartitionedSimulator(num_sites=0, lookahead=0.02)
+
+    def test_starts_with_no_pending_events(self):
+        sim = PartitionedSimulator(num_sites=3, lookahead=0.02)
+        assert sim.pending_events == 0
+
+
+class TestRouting:
+    def test_unattributed_events_go_to_the_control_lp(self):
+        sim = PartitionedSimulator(num_sites=2, lookahead=0.02)
+        sim.schedule(1.0, _noop, label="detector-scan")
+        sim.run()
+        assert sim.engine_stats()["events_per_lp"] == {"control": 1}
+
+    def test_out_of_range_sites_go_to_the_control_lp(self):
+        sim = PartitionedSimulator(num_sites=2, lookahead=0.02)
+        sim.schedule(1.0, _noop, site=7, label="weird")
+        sim.run()
+        assert sim.engine_stats()["events_per_lp"] == {"control": 1}
+
+    def test_site_events_land_on_their_own_partition(self):
+        sim = PartitionedSimulator(num_sites=3, lookahead=0.02)
+        sim.schedule(1.0, _noop, site=0)
+        sim.schedule(1.0, _noop, site=2)
+        sim.schedule(1.0, _noop, site=2)
+        sim.run()
+        assert sim.engine_stats()["events_per_lp"] == {"site0": 1, "site2": 2}
+
+
+class TestMergeOrder:
+    def test_cross_partition_order_matches_the_serial_order(self):
+        """Time, then priority, then global insertion order — across queues."""
+        fired = []
+        sim = PartitionedSimulator(num_sites=2, lookahead=0.02)
+        sim.schedule(2.0, lambda: fired.append("late-site0"), site=0)
+        sim.schedule(1.0, lambda: fired.append("tie-first"), site=1)
+        sim.schedule(1.0, lambda: fired.append("tie-second"), site=0)
+        sim.schedule(1.0, lambda: fired.append("urgent"), priority=-1, site=0)
+        sim.run()
+        assert fired == ["urgent", "tie-first", "tie-second", "late-site0"]
+
+    def test_insertion_ties_break_globally_not_per_partition(self):
+        """The shared sequence counter is what keeps parallel == serial: a
+        per-partition counter would re-order same-time same-priority events
+        scheduled alternately onto different sites."""
+        fired = []
+        sim = PartitionedSimulator(num_sites=2, lookahead=0.02)
+        for index, site in enumerate([1, 0, 1, 0]):
+            sim.schedule(1.0, lambda i=index: fired.append(i), site=site)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+
+
+class TestLookaheadPromise:
+    def test_cross_site_send_below_the_lookahead_is_rejected(self):
+        sim = PartitionedSimulator(num_sites=2, lookahead=0.02)
+
+        def cheat():
+            sim.schedule(0.001, _noop, site=1, label="too-soon")
+
+        sim.schedule(1.0, cheat, site=0)
+        with pytest.raises(SimulationError, match="lookahead violation"):
+            sim.run()
+
+    def test_cross_site_send_at_the_lookahead_is_allowed(self):
+        sim = PartitionedSimulator(num_sites=2, lookahead=0.02)
+        sim.schedule(1.0, lambda: sim.schedule(0.02, _noop, site=1), site=0)
+        assert sim.run() == pytest.approx(1.02)
+        assert sim.engine_stats()["promise_checks"] == 1
+
+    def test_same_site_scheduling_is_exempt(self):
+        """Site-local work (lock grants, queue pops) has no delivery latency."""
+        sim = PartitionedSimulator(num_sites=2, lookahead=0.02)
+        sim.schedule(1.0, lambda: sim.schedule(0.0, _noop, site=0), site=0)
+        sim.run()
+        assert sim.engine_stats()["promise_checks"] == 0
+
+    def test_control_crossings_are_exempt(self):
+        """Detector scans and fault events are centralised machinery, not
+        site-to-site messages; they may fire without network latency."""
+        sim = PartitionedSimulator(num_sites=2, lookahead=0.02)
+        sim.schedule(1.0, lambda: sim.schedule(0.0, _noop, label="scan"), site=0)
+        sim.schedule(2.0, lambda: sim.schedule(0.0, _noop, site=1), label="fault")
+        sim.run()
+        assert sim.engine_stats()["promise_checks"] == 0
+
+    def test_promise_marker_clears_when_a_handler_raises(self):
+        sim = PartitionedSimulator(num_sites=2, lookahead=0.02)
+
+        def explode():
+            raise RuntimeError("boom")
+
+        sim.schedule(1.0, explode, site=0)
+        with pytest.raises(RuntimeError):
+            sim.run()
+        # A later control-scheduled cross-site event must not be charged to
+        # the site LP whose handler died.
+        sim.schedule(0.0, _noop, site=1)
+        sim.run()
+        assert sim.engine_stats()["promise_checks"] == 0
+
+
+class TestWindows:
+    def test_events_within_one_lookahead_share_a_window(self):
+        sim = PartitionedSimulator(num_sites=2, lookahead=0.5)
+        sim.schedule(1.0, _noop, site=0)
+        sim.schedule(1.2, _noop, site=1)
+        sim.schedule(2.0, _noop, site=0)
+        sim.run()
+        stats = sim.engine_stats()
+        assert stats["windows"] == 2
+        assert stats["barrier_windows"] == 0
+        assert stats["mean_active_lps"] == pytest.approx(1.5)  # {0,1} then {0}
+
+    def test_zero_lookahead_runs_barrier_windows(self):
+        sim = PartitionedSimulator(num_sites=2, lookahead=0.0)
+        sim.schedule(1.0, _noop, site=0)
+        sim.schedule(1.0, _noop, site=1)
+        sim.schedule(2.0, _noop, site=0)
+        sim.run()
+        stats = sim.engine_stats()
+        assert stats["barrier_mode"] is True
+        assert stats["windows"] == stats["barrier_windows"] == 2
+        assert stats["mean_active_lps"] == pytest.approx(1.5)
+
+    def test_single_site_degrades_to_serial_semantics(self):
+        """One site: every event shares the one LP with the control queue,
+        there are no cross-site messages, no promise checks, and the merge
+        is trivially the serial order."""
+        fired = []
+        sim = PartitionedSimulator(num_sites=1, lookahead=0.02)
+        sim.schedule(1.0, lambda: fired.append("a"), site=0)
+        sim.schedule(1.5, lambda: fired.append("scan"))
+        sim.schedule(2.0, lambda: fired.append("b"), site=0)
+        sim.run()
+        stats = sim.engine_stats()
+        assert fired == ["a", "scan", "b"]
+        assert stats["promise_checks"] == 0
+        assert stats["mean_active_lps"] == pytest.approx(1.0)
+
+    def test_engine_stats_shape(self):
+        sim = PartitionedSimulator(num_sites=2, lookahead=0.02)
+        sim.schedule(1.0, _noop, site=0)
+        sim.run()
+        stats = sim.engine_stats()
+        assert stats["engine"] == "parallel"
+        assert stats["lookahead"] == 0.02
+        assert stats["control_events"] == 0
+        assert set(stats) == {
+            "engine",
+            "lookahead",
+            "barrier_mode",
+            "windows",
+            "barrier_windows",
+            "events_per_lp",
+            "control_events",
+            "mean_active_lps",
+            "promise_checks",
+        }
+
+
+class TestSimulatorContract:
+    """The engine stays a drop-in Simulator: run bounds, step, stop."""
+
+    def test_until_bound_is_respected(self):
+        sim = PartitionedSimulator(num_sites=2, lookahead=0.02)
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1), site=0)
+        sim.schedule(5.0, lambda: fired.append(5), site=1)
+        assert sim.run(until=2.0) == 2.0
+        assert fired == [1]
+        assert sim.pending_events == 1
+
+    def test_step_pops_the_global_minimum(self):
+        sim = PartitionedSimulator(num_sites=2, lookahead=0.02)
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("b"), site=0)
+        sim.schedule(1.0, lambda: fired.append("a"), site=1)
+        assert sim.step() is True
+        assert fired == ["a"]
+        assert sim.now == 1.0
+
+    def test_empty_run_returns_immediately(self):
+        sim = PartitionedSimulator(num_sites=2, lookahead=0.02)
+        assert sim.step() is False
+        assert sim.engine_stats()["windows"] == 0

@@ -1,0 +1,73 @@
+"""Lookahead derivation and policy: windows, barriers, fault adjustments."""
+
+import pytest
+
+from repro.common.config import DelaySpike, FaultConfig, NetworkConfig, SystemConfig
+from repro.sim.parallel.lookahead import (
+    LookaheadPolicy,
+    derive_lookahead,
+    effective_lookahead,
+)
+
+
+class TestDeriveLookahead:
+    def test_default_config_gives_the_fixed_delay(self):
+        system = SystemConfig()
+        assert derive_lookahead(system) == system.network.fixed_delay
+
+    def test_zero_fixed_delay_gives_zero(self):
+        system = SystemConfig(network=NetworkConfig(fixed_delay=0.0, variable_delay=0.02))
+        assert derive_lookahead(system) == 0.0
+
+    def test_variable_delay_never_contributes(self):
+        """Only the guaranteed minimum counts; the exponential part can be ~0."""
+        system = SystemConfig(network=NetworkConfig(fixed_delay=0.03, variable_delay=9.0))
+        assert derive_lookahead(system) == 0.03
+
+    def test_delay_spikes_do_not_shrink_the_bound(self):
+        """Spikes multiply latency by >= 1, so the fixed-delay floor survives.
+
+        This is the edge case that matters for conservatism: a fault that
+        could *shorten* a delivery below the lookahead would break every
+        window; the fault model only ever lengthens, and the engine asserts
+        the promise per event anyway.
+        """
+        spiky = SystemConfig(
+            faults=FaultConfig(spikes=(DelaySpike(at=0.5, duration=1.0, multiplier=50.0),))
+        )
+        calm = SystemConfig()
+        assert derive_lookahead(spiky) == derive_lookahead(calm)
+
+
+class TestLookaheadPolicy:
+    def test_positive_lookahead_windows(self):
+        policy = LookaheadPolicy.of(0.25)
+        assert not policy.barrier
+        assert policy.horizon(4.0) == 4.25
+
+    def test_zero_lookahead_degrades_to_barrier(self):
+        policy = LookaheadPolicy.of(0.0)
+        assert policy.barrier
+        assert policy.horizon(4.0) == 4.0
+
+    def test_negative_lookahead_clamps_to_barrier(self):
+        policy = LookaheadPolicy.of(-1.0)
+        assert policy.barrier
+
+    def test_from_system_matches_derive(self):
+        system = SystemConfig()
+        policy = LookaheadPolicy.from_system(system)
+        assert policy.window == derive_lookahead(system)
+
+
+class TestEffectiveLookahead:
+    def test_unadjusted_value_passes_through(self):
+        assert effective_lookahead(0.01, 0.0) == 0.01
+
+    def test_adjustment_reduces_the_bound(self):
+        assert effective_lookahead(0.01, -0.004) == pytest.approx(0.006)
+
+    @pytest.mark.parametrize("adjustment", [-0.01, -0.02])
+    def test_zero_or_negative_collapses_to_none(self, adjustment):
+        """A collapsed lookahead means no safe window exists: barrier mode."""
+        assert effective_lookahead(0.01, adjustment) is None

@@ -1,0 +1,175 @@
+"""Logical processes: scheduling bounds, window advance, null delivery."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.parallel.channels import TimedMessage
+from repro.sim.parallel.lp import LogicalProcess
+
+
+class Recorder:
+    """Handler that records every event it executes as ``(now, payload)``."""
+
+    def __init__(self, seeds=()):
+        self.seeds = tuple(seeds)
+        self.log = []
+
+    def on_start(self, ctx):
+        for time, payload in self.seeds:
+            ctx.schedule(time, payload)
+
+    def on_event(self, ctx, payload):
+        self.log.append((ctx.now, payload))
+
+    def result(self):
+        return list(self.log)
+
+
+def _started(handler, lp_id=0, lookahead=0.1):
+    lp = LogicalProcess(lp_id, handler, lookahead)
+    lp.start()
+    return lp
+
+
+class TestScheduling:
+    def test_on_start_seeds_the_local_queue(self):
+        lp = _started(Recorder([(1.0, "a"), (0.5, "b")]))
+        assert lp.next_time() == 0.5
+
+    def test_negative_local_delay_is_rejected(self):
+        class BadHandler:
+            def on_start(self, ctx):
+                ctx.schedule(-0.1, "oops")
+
+            def on_event(self, ctx, payload):
+                """Unused."""
+
+        with pytest.raises(SimulationError, match="in the past"):
+            _started(BadHandler())
+
+    def test_send_below_lookahead_is_rejected(self):
+        """The output promise: no cross-LP send inside the lookahead bound."""
+
+        class EagerSender:
+            def on_start(self, ctx):
+                ctx.schedule(0.0, "go")
+
+            def on_event(self, ctx, payload):
+                ctx.send(1, "too-soon", 0.05)
+
+        lp = _started(EagerSender(), lookahead=0.1)
+        with pytest.raises(SimulationError, match="below the lookahead"):
+            lp.advance(1.0, inclusive=False)
+
+    def test_send_at_exactly_the_lookahead_is_allowed(self):
+        class BoundarySender:
+            def on_start(self, ctx):
+                ctx.schedule(0.0, "go")
+
+            def on_event(self, ctx, payload):
+                ctx.send(1, "on-time", 0.1)
+
+        lp = _started(BoundarySender(), lookahead=0.1)
+        lp.advance(1.0, inclusive=False)
+        outbox = lp.take_outbox()
+        assert len(outbox) == 1
+        assert outbox[0].time == pytest.approx(0.1)
+        assert outbox[0].dst == 1
+
+    def test_idle_lp_reports_infinite_next_time(self):
+        lp = _started(Recorder())
+        assert lp.next_time() == float("inf")
+
+
+class TestAdvance:
+    def test_exclusive_bound_leaves_events_at_the_bound(self):
+        handler = Recorder([(1.0, "a"), (2.0, "b")])
+        lp = _started(handler)
+        fired = lp.advance(2.0, inclusive=False)
+        assert fired == 1
+        assert handler.log == [(1.0, "a")]
+        assert lp.next_time() == 2.0
+
+    def test_inclusive_bound_fires_events_at_the_bound(self):
+        """Barrier windows execute exactly the floor instant, ties included."""
+        handler = Recorder([(1.0, "a"), (1.0, "b"), (2.0, "c")])
+        lp = _started(handler)
+        fired = lp.advance(1.0, inclusive=True)
+        assert fired == 2
+        assert handler.log == [(1.0, "a"), (1.0, "b")]
+
+    def test_same_instant_spawns_drain_within_an_inclusive_window(self):
+        """An event at the barrier instant may spawn more ties; all must fire."""
+
+        class Spawner:
+            def __init__(self):
+                self.fired = []
+
+            def on_start(self, ctx):
+                ctx.schedule(1.0, "parent")
+
+            def on_event(self, ctx, payload):
+                self.fired.append(payload)
+                if payload == "parent":
+                    ctx.schedule(0.0, "child")
+
+        handler = Spawner()
+        lp = LogicalProcess(0, handler, 0.0)
+        lp.start()
+        assert lp.advance(1.0, inclusive=True) == 2
+        assert handler.fired == ["parent", "child"]
+
+    def test_quiet_advance_moves_the_clock_to_the_bound(self):
+        """An empty window still advances the LP's promise to its neighbours."""
+        lp = _started(Recorder())
+        lp.advance(7.5, inclusive=False)
+        assert lp.now == 7.5
+
+    def test_events_processed_counts_across_windows(self):
+        handler = Recorder([(1.0, "a"), (2.0, "b"), (3.0, "c")])
+        lp = _started(handler)
+        lp.advance(2.5, inclusive=False)
+        lp.advance(4.0, inclusive=False)
+        assert lp.events_processed == 3
+
+
+class TestDelivery:
+    def test_data_message_enters_the_local_queue(self):
+        handler = Recorder()
+        lp = _started(handler)
+        lp.deliver(TimedMessage(time=3.0, src=1, seq=0, dst=0, payload="hello"))
+        lp.advance(4.0, inclusive=False)
+        assert handler.log == [(3.0, "hello")]
+
+    def test_null_message_schedules_nothing(self):
+        """Nulls are pure clock promises: no event, no handler call."""
+        handler = Recorder()
+        lp = _started(handler)
+        lp.deliver(TimedMessage(time=3.0, src=1, seq=0, dst=0, null=True))
+        assert lp.next_time() == float("inf")
+        lp.advance(4.0, inclusive=False)
+        assert handler.log == []
+
+    def test_take_outbox_drains(self):
+        class Sender:
+            def on_start(self, ctx):
+                ctx.schedule(0.0, "go")
+
+            def on_event(self, ctx, payload):
+                ctx.send(1, "out", 0.2)
+
+        lp = _started(Sender(), lookahead=0.1)
+        lp.advance(1.0, inclusive=False)
+        assert len(lp.take_outbox()) == 1
+        assert lp.take_outbox() == []
+
+    def test_result_defaults_to_none_without_a_result_method(self):
+        class Minimal:
+            def on_start(self, ctx):
+                """No seeds."""
+
+            def on_event(self, ctx, payload):
+                """Unused."""
+
+        lp = LogicalProcess(0, Minimal(), 0.1)
+        assert lp.result() is None

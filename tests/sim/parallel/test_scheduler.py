@@ -1,0 +1,212 @@
+"""The conservative scheduler: horizons, quiescence, backends, error paths."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.parallel.scheduler import ConservativeScheduler, conservative_horizons
+
+INF = float("inf")
+
+
+class TestConservativeHorizons:
+    def test_all_idle_is_quiescence(self):
+        floor, horizons, barrier = conservative_horizons([INF, INF], 0.1)
+        assert floor == INF
+        assert horizons == [INF, INF]
+        assert not barrier
+
+    def test_non_floor_lps_get_floor_plus_lookahead(self):
+        floor, horizons, _ = conservative_horizons([1.0, 5.0, 9.0], 0.1)
+        assert floor == 1.0
+        assert horizons[1] == pytest.approx(1.1)
+        assert horizons[2] == pytest.approx(1.1)
+
+    def test_unique_floor_lp_gets_the_wider_asymmetric_bound(self):
+        """The floor LP's inbound promises bottom out at the *second* queue.
+
+        EOT_j = min(next_j, floor + L) + L for every other LP, so the floor
+        LP may run to min(second, floor + L) + L — strictly wider than the
+        floor + L everyone else gets, which is what lets the busiest LP
+        stream ahead instead of stalling on its own window.
+        """
+        floor, horizons, _ = conservative_horizons([1.0, 5.0, 9.0], 0.1)
+        # second = 5.0 > floor + L = 1.1, so bound = 1.1 + 0.1.
+        assert horizons[0] == pytest.approx(1.2)
+
+    def test_floor_lp_bound_tightens_to_a_near_second_queue(self):
+        floor, horizons, _ = conservative_horizons([1.0, 1.05, 9.0], 0.1)
+        # second = 1.05 < floor + L = 1.1, so bound = 1.05 + 0.1.
+        assert horizons[0] == pytest.approx(1.15)
+
+    def test_tied_floor_lps_all_get_floor_plus_lookahead(self):
+        floor, horizons, _ = conservative_horizons([1.0, 1.0, 9.0], 0.1)
+        assert horizons[0] == pytest.approx(1.1)
+        assert horizons[1] == pytest.approx(1.1)
+
+    def test_zero_lookahead_collapses_to_a_barrier_at_the_floor(self):
+        floor, horizons, barrier = conservative_horizons([2.0, 3.0], 0.0)
+        assert barrier
+        assert floor == 2.0
+        assert horizons == [2.0, 2.0]
+
+    def test_single_lp_with_positive_lookahead_never_barriers(self):
+        _, horizons, barrier = conservative_horizons([4.0], 0.5)
+        assert not barrier
+        assert horizons[0] > 4.5  # unbounded by any neighbour's queue
+
+
+class PingPong:
+    """Two LPs volleying a counter until ``rallies`` exchanges happened."""
+
+    def __init__(self, peer, rallies, serve=False):
+        self.peer = peer
+        self.rallies = rallies
+        self.serve = serve
+        self.received = []
+
+    def on_start(self, ctx):
+        if self.serve:
+            ctx.send(self.peer, 0, 0.1)
+
+    def on_event(self, ctx, payload):
+        self.received.append((round(ctx.now, 6), payload))
+        if payload + 1 < self.rallies:
+            ctx.send(self.peer, payload + 1, 0.1)
+
+    def result(self):
+        return list(self.received)
+
+
+class SelfDraining:
+    """An LP that schedules a finite local chain, then goes quiet."""
+
+    def __init__(self, chain):
+        self.chain = chain
+        self.fired = 0
+
+    def on_start(self, ctx):
+        ctx.schedule(0.0, "tick")
+
+    def on_event(self, ctx, payload):
+        self.fired += 1
+        if self.fired < self.chain:
+            ctx.schedule(0.5, "tick")
+
+    def result(self):
+        return self.fired
+
+
+def _pingpong_handlers(rallies=10):
+    return {
+        0: PingPong(peer=1, rallies=rallies, serve=True),
+        1: PingPong(peer=0, rallies=rallies),
+    }
+
+
+class TestRun:
+    def test_run_returns_per_lp_results(self):
+        scheduler = ConservativeScheduler(_pingpong_handlers(6), lookahead=0.1)
+        results = scheduler.run()
+        # Six volleys alternate: LP 1 sees 0, 2, 4; LP 0 sees 1, 3, 5.
+        assert [p for _, p in results[1]] == [0, 2, 4]
+        assert [p for _, p in results[0]] == [1, 3, 5]
+
+    def test_null_message_quiescence_ends_the_run(self):
+        """Quiet channels must not block termination: the run ends exactly
+        when every queue is empty and nothing is in flight, with the
+        ``quiesced`` flag set — no timeout, no stuck null-message loop."""
+        scheduler = ConservativeScheduler(_pingpong_handlers(4), lookahead=0.1)
+        scheduler.run()
+        assert scheduler.stats["quiesced"] is True
+        assert scheduler.stats["events"] == 4
+
+    def test_barrier_mode_runs_and_quiesces_at_zero_lookahead(self):
+        handlers = {0: SelfDraining(5), 1: SelfDraining(3)}
+        scheduler = ConservativeScheduler(handlers, lookahead=0.0)
+        results = scheduler.run()
+        assert results == {0: 5, 1: 3}
+        assert scheduler.stats["barrier_mode"] is True
+        assert scheduler.stats["barrier_windows"] == scheduler.stats["windows"] > 0
+        assert scheduler.stats["quiesced"] is True
+
+    def test_until_bound_stops_before_quiescence(self):
+        handlers = {0: SelfDraining(100), 1: SelfDraining(100)}
+        scheduler = ConservativeScheduler(handlers, lookahead=0.1)
+        scheduler.run(until=10.0)
+        assert scheduler.stats["quiesced"] is False
+        assert 0 < scheduler.stats["events"] < 200
+
+    def test_max_windows_guard_trips_on_livelock(self):
+        handlers = {0: SelfDraining(10_000), 1: SelfDraining(10_000)}
+        scheduler = ConservativeScheduler(handlers, lookahead=0.1)
+        with pytest.raises(SimulationError, match="exceeded"):
+            scheduler.run(max_windows=3)
+
+    def test_stats_expose_the_window_accounting(self):
+        scheduler = ConservativeScheduler(_pingpong_handlers(10), lookahead=0.1)
+        scheduler.run()
+        stats = scheduler.stats
+        assert stats["lookahead"] == 0.1
+        assert stats["barrier_mode"] is False
+        assert stats["workers"] == 0
+        assert stats["events_per_lp"] == {0: 5, 1: 5}
+        assert stats["windows"] >= 10  # one volley lands per window here
+
+
+class TestErrors:
+    def test_empty_handler_map_is_rejected(self):
+        with pytest.raises(SimulationError, match="at least one LP"):
+            ConservativeScheduler({}, lookahead=0.1)
+
+    def test_negative_workers_is_rejected(self):
+        with pytest.raises(SimulationError, match="non-negative"):
+            ConservativeScheduler({0: SelfDraining(1)}, lookahead=0.1, workers=-1)
+
+    def test_send_to_unknown_lp_is_an_error(self):
+        class Misaddressed:
+            def on_start(self, ctx):
+                ctx.send(99, "lost", 0.2)
+
+            def on_event(self, ctx, payload):
+                """Unused."""
+
+        scheduler = ConservativeScheduler({0: Misaddressed()}, lookahead=0.1)
+        with pytest.raises(SimulationError, match="unknown LP 99"):
+            scheduler.run()
+
+
+class TestMultiprocessingBackend:
+    """Inline and multiprocessing executions must be the same simulation."""
+
+    def _run(self, workers, rallies=12):
+        scheduler = ConservativeScheduler(
+            _pingpong_handlers(rallies), lookahead=0.1, workers=workers
+        )
+        scheduler.run()
+        return scheduler.results, scheduler.stats
+
+    def test_two_workers_match_inline(self):
+        inline_results, inline_stats = self._run(0)
+        mp_results, mp_stats = self._run(2)
+        assert mp_results == inline_results
+        assert mp_stats["events"] == inline_stats["events"]
+        assert mp_stats["windows"] == inline_stats["windows"]
+        assert mp_stats["events_per_lp"] == inline_stats["events_per_lp"]
+
+    def test_worker_count_clamps_to_lp_count(self):
+        scheduler = ConservativeScheduler(
+            _pingpong_handlers(4), lookahead=0.1, workers=16
+        )
+        scheduler.run()
+        assert scheduler.stats["workers"] == 2
+
+    def test_barrier_mode_matches_inline_under_multiprocessing(self):
+        handlers = {0: SelfDraining(4), 1: SelfDraining(6)}
+        inline = ConservativeScheduler(dict(handlers), lookahead=0.0)
+        inline.run()
+        mp = ConservativeScheduler(
+            {0: SelfDraining(4), 1: SelfDraining(6)}, lookahead=0.0, workers=2
+        )
+        mp.run()
+        assert mp.results == inline.results
+        assert mp.stats["barrier_windows"] == inline.stats["barrier_windows"]

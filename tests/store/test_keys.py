@@ -135,8 +135,8 @@ class TestAdaptiveDriftKeys:
     #: Golden digest of ``_adaptive_drift_task()``.  If this assertion ever
     #: fails, the canonical task encoding changed: bump ``KEY_SCHEMA`` so
     #: stale stores invalidate themselves, then re-pin.  (Re-pinned for
-    #: KEY_SCHEMA v5: the ``audit`` field joined ``SystemConfig``.)
-    GOLDEN_KEY = "70ad84fbb010eafb5b75733e69519bc9bd8bd6b5161a55b20e70967a32b38805"
+    #: KEY_SCHEMA v6: the ``engine`` field joined ``SystemConfig``.)
+    GOLDEN_KEY = "9981b23af7674207dfb11fb33de03d45e8854dd94bc824959e15787e4617d44c"
 
     def test_adaptive_drift_key_is_stable_across_processes(self):
         assert task_key(_adaptive_drift_task()) == self.GOLDEN_KEY
@@ -211,11 +211,11 @@ class TestAdaptiveDriftKeys:
 class TestCommitFaultKeys:
     """Key-schema v4: the commit layer and fault model are part of every digest."""
 
-    #: Golden v5 digest of the module fixture's ``base_task`` (all-default
-    #: commit/fault/audit configuration).  Byte-stability of the new
+    #: Golden v6 digest of the module fixture's ``base_task`` (all-default
+    #: commit/fault/audit/engine configuration).  Byte-stability of the new
     #: defaults: if this ever fails, the canonical encoding moved again —
     #: bump ``KEY_SCHEMA`` and re-pin.
-    GOLDEN_DEFAULT_KEY = "e8410082d12904909143c4ff25a886280935f4971d8806a855941332e0e557fb"
+    GOLDEN_DEFAULT_KEY = "5ac2d82ea184bf0c6c13b5d65ad2634b5d0b6f651d55596a8e00224f657e3d95"
 
     #: A KEY_SCHEMA v2 digest (the adaptive-drift golden this file pinned
     #: before the v3 schema bump).  Kept to prove that rows addressed by
@@ -227,7 +227,7 @@ class TestCommitFaultKeys:
 
     def test_default_payload_names_commit_and_faults(self, base_task):
         payload = task_payload(base_task)
-        assert payload["schema"] == 5
+        assert payload["schema"] == 6
         assert payload["system"]["commit"] == {
             "protocol": "one-phase",
             "prepare_timeout": 1.0,

@@ -1,0 +1,239 @@
+"""Serial/parallel engine identity: the determinism contract, end to end.
+
+``engine="parallel"`` must be *invisible* in every result: the partitioned
+engine merges its per-site queues in the global ``(time, priority, seq)``
+order, so a parallel run is the same simulation as a serial run, byte for
+byte (docs/determinism.md).  This module pins that contract at full system
+scale:
+
+* every registered scenario — faults, crashes, delay spikes, two-phase
+  commit, streaming audit — summarises identically under both engines;
+* the parallel engine reproduces the pre-refactor golden digests of
+  ``tests/commit/golden_one_phase.json`` exactly;
+* the replication drivers stay byte-identical across ``--jobs`` and warm
+  result-store resumes when the tasks run parallel;
+* the ``engine`` field keys separately in the result store, so the identity
+  above is checked, never assumed via a shared cache row.
+"""
+
+import dataclasses
+import hashlib
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis.replications import (
+    SimulationTask,
+    execute_task,
+    run_tasks,
+    summarize_run,
+)
+from repro.common.config import (
+    DelaySpike,
+    FaultConfig,
+    NetworkConfig,
+    SystemConfig,
+    WorkloadConfig,
+)
+from repro.store import ResultStore, task_key
+from repro.system.runner import run_simulation
+from repro.workload.scenarios import all_scenarios
+
+
+def _both_engines(scenario):
+    """Run one scenario under both engines and return the two results."""
+    results = {}
+    for engine in ("serial", "parallel"):
+        results[engine] = run_simulation(
+            scenario.system.with_overrides(engine=engine),
+            scenario.workload,
+            protocol=scenario.protocol,
+            dynamic_selection=scenario.dynamic_selection,
+            selection_mode=scenario.selection_mode,
+        )
+    return results["serial"], results["parallel"]
+
+
+def _assert_identical(scenario):
+    serial, parallel = _both_engines(scenario)
+    assert serial.engine == "serial" and parallel.engine == "parallel"
+    # The full experiment-facing summary, not a filtered subset: engine and
+    # engine_stats are deliberately excluded from summaries, so nothing may
+    # differ at all.
+    assert summarize_run(parallel) == summarize_run(serial)
+    # And the parallel run really ran partitioned: window accounting exists.
+    assert parallel.engine_stats["engine"] == "parallel"
+    assert parallel.engine_stats["windows"] > 0
+    assert serial.engine_stats == {}
+    return parallel
+
+
+@pytest.mark.parametrize(
+    "scenario", all_scenarios(), ids=lambda scenario: scenario.name
+)
+def test_every_registered_scenario_runs_identically(scenario):
+    """Both engines agree on every registered scenario, faults included."""
+    _assert_identical(scenario.configured(transactions=40))
+
+
+class TestEdgeConfigurations:
+    """The lookahead edge cases, at full system scale."""
+
+    def test_single_site_degrades_to_serial_semantics(self):
+        scenario = dataclasses.replace(
+            all_scenarios()[0].configured(transactions=40),
+            system=SystemConfig(num_sites=1, num_items=16, seed=3),
+        )
+        parallel = _assert_identical(scenario)
+        # One site: no cross-site messages exist, so no promises are checked
+        # and (almost) every window holds a single LP.
+        assert parallel.engine_stats["promise_checks"] == 0
+
+    def test_zero_lookahead_runs_barrier_windows_identically(self):
+        """``fixed_delay=0`` collapses the lookahead: the engine must fall
+        back to barrier windows and *still* match the serial run."""
+        scenario = dataclasses.replace(
+            all_scenarios()[0].configured(transactions=30),
+            system=SystemConfig(
+                num_sites=3,
+                num_items=16,
+                seed=3,
+                network=NetworkConfig(fixed_delay=0.0, variable_delay=0.02),
+            ),
+        )
+        parallel = _assert_identical(scenario)
+        stats = parallel.engine_stats
+        assert stats["barrier_mode"] is True
+        assert stats["lookahead"] == 0.0
+        assert stats["windows"] == stats["barrier_windows"] > 0
+
+    def test_delay_spikes_never_undercut_the_promise(self):
+        """Spikes multiply latency by >= 1; the per-event promise assertion
+        inside the engine is what turns that argument into a checked fact."""
+        scenario = dataclasses.replace(
+            all_scenarios()[0].configured(transactions=40),
+            system=SystemConfig(
+                num_sites=3,
+                num_items=16,
+                seed=3,
+                faults=FaultConfig(
+                    spikes=(DelaySpike(at=0.5, duration=2.0, multiplier=8.0),)
+                ),
+            ),
+        )
+        parallel = _assert_identical(scenario)
+        assert parallel.engine_stats["promise_checks"] > 0
+
+    def test_streaming_audit_runs_identically_under_parallel(self):
+        scenario = dataclasses.replace(
+            all_scenarios()[0].configured(transactions=40),
+            system=SystemConfig(num_sites=3, num_items=16, seed=3, audit="streaming"),
+        )
+        parallel = _assert_identical(scenario)
+        assert parallel.audit == "streaming"
+        assert parallel.audit_stats["live_entries"] == 0
+
+
+class TestGoldenDigestsUnderParallel:
+    """The parallel engine reproduces the pre-refactor golden digests.
+
+    These are the same five configurations ``tests/commit/
+    test_one_phase_identity.py`` pins for the serial engine; running them
+    with ``engine="parallel"`` must land on the *same* digests — identity
+    not just serial-vs-parallel within this codebase, but against behaviour
+    frozen before the commit-pipeline refactor ever happened.
+    """
+
+    GOLDEN = json.loads(
+        (
+            pathlib.Path(__file__).parent.parent / "commit" / "golden_one_phase.json"
+        ).read_text()
+    )
+
+    CASES = {
+        "mixed-default": SimulationTask(
+            system=SystemConfig(num_sites=3, num_items=24, seed=5, engine="parallel"),
+            workload=WorkloadConfig(arrival_rate=25.0, num_transactions=120, seed=7),
+        ),
+        "pure-2pl-replicated": SimulationTask(
+            system=SystemConfig(
+                num_sites=3,
+                num_items=24,
+                replication_factor=2,
+                seed=5,
+                engine="parallel",
+            ),
+            workload=WorkloadConfig(arrival_rate=25.0, num_transactions=120, seed=7),
+            protocol="2PL",
+        ),
+        "dynamic": SimulationTask(
+            system=SystemConfig(num_sites=3, num_items=24, seed=5, engine="parallel"),
+            workload=WorkloadConfig(arrival_rate=25.0, num_transactions=100, seed=7),
+            dynamic_selection=True,
+        ),
+    }
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_parallel_engine_matches_pre_refactor_golden(self, name):
+        summary = execute_task(self.CASES[name])
+        filtered = {key: summary[key] for key in self.GOLDEN["keys"]}
+        blob = json.dumps(filtered, sort_keys=True, separators=(",", ":"))
+        digest = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+        assert digest == self.GOLDEN["digests"][name], (
+            f"parallel-engine run {name!r} diverged from the golden behaviour"
+        )
+
+
+class TestDriverIdentity:
+    """``--jobs`` and warm resumes stay byte-identical for parallel tasks."""
+
+    def _tasks(self):
+        return [
+            SimulationTask(
+                system=SystemConfig(
+                    num_sites=3, num_items=16, seed=seed, engine="parallel"
+                ),
+                workload=WorkloadConfig(
+                    arrival_rate=25.0, num_transactions=25, seed=seed + 1
+                ),
+                protocol=protocol,
+            )
+            for seed in (0, 1)
+            for protocol in ("2PL", "T/O", "PA")
+        ]
+
+    def test_parallel_tasks_identical_across_jobs(self):
+        tasks = self._tasks()
+        serial = run_tasks(tasks, jobs=1)
+        fanned = run_tasks(tasks, jobs=4)
+        assert fanned == serial
+
+    def test_warm_resume_serves_parallel_tasks_without_executing(
+        self, tmp_path, monkeypatch
+    ):
+        tasks = self._tasks()
+        store = ResultStore(tmp_path / "runs.jsonl")
+        first = run_tasks(tasks, store=store)
+
+        def explode(task):
+            raise AssertionError("a warm re-run must not execute any task")
+
+        monkeypatch.setattr("repro.analysis.replications.execute_task", explode)
+        warm_store = ResultStore(store.path)
+        again = run_tasks(tasks, store=warm_store, jobs=4)
+        assert again == first
+        assert warm_store.appended == 0
+        assert warm_store.hits == len(tasks)
+
+    def test_engine_changes_the_task_key(self):
+        """Serial and parallel runs may never serve each other from a store —
+        otherwise every identity test above would silently compare a cached
+        row against itself."""
+        serial_task = self._tasks()[0]
+        parallel_task = SimulationTask(
+            system=serial_task.system.with_overrides(engine="serial"),
+            workload=serial_task.workload,
+            protocol=serial_task.protocol,
+        )
+        assert task_key(serial_task) != task_key(parallel_task)

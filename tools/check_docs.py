@@ -16,10 +16,11 @@ Fails (exit 1) when the source tree's documentation references drift:
    exactly (no drift in either direction).
 4. **Scenario examples** — every ``repro.cli scenario <name>`` example in
    the Markdown docs must name a registered scenario.
-5. **Module references** — every dotted ``repro.*`` path mentioned in
-   ``README.md`` or ``DESIGN.md`` must resolve to a module under ``src/``
-   (a trailing attribute such as ``repro.store.task_key`` is allowed, but
-   the module part must exist).
+5. **Module references** — every dotted ``repro.*`` path mentioned in a
+   narrative document (``README.md``, ``DESIGN.md``, ``docs/architecture.md``,
+   ``docs/determinism.md``) must resolve to a module under ``src/`` (a
+   trailing attribute such as ``repro.store.task_key`` is allowed, but the
+   module part must exist).
 6. **Docstring coverage** — every public module, class, function and method
    in ``src/repro/`` must carry a docstring; coverage below
    ``DOCSTRING_COVERAGE_THRESHOLD`` fails, and each undocumented item is
@@ -41,7 +42,17 @@ ROOT = Path(__file__).resolve().parent.parent
 #: Directories whose Python files are scanned for references.
 SOURCE_DIRS = ("src", "tests", "benchmarks", "tools")
 #: Top-level documentation that is scanned (and must itself exist).
-DOC_FILES = ("README.md", "DESIGN.md", "ROADMAP.md", "Makefile")
+DOC_FILES = (
+    "README.md",
+    "DESIGN.md",
+    "ROADMAP.md",
+    "Makefile",
+    "docs/architecture.md",
+    "docs/determinism.md",
+)
+#: Narrative documents whose dotted ``repro.*`` references and scenario
+#: examples must resolve (the hand-written prose, not the generated API).
+NARRATIVE_DOCS = ("README.md", "DESIGN.md", "docs/architecture.md", "docs/determinism.md")
 
 MD_REFERENCE = re.compile(r"\b([A-Za-z0-9_.-]+\.md)\b")
 EXPERIMENT_RANGE = re.compile(r"\bE(\d+)\s*[-–]\s*E(\d+)\b")
@@ -173,7 +184,7 @@ def check_scenario_examples(errors: List[str]) -> None:
     finally:
         sys.path.pop(0)
     known = set(scenario_names())
-    for name in ("README.md", "DESIGN.md"):
+    for name in NARRATIVE_DOCS:
         path = ROOT / name
         if not path.exists():
             continue
@@ -204,7 +215,7 @@ def check_module_references(errors: List[str]) -> None:
     A reference may carry one trailing attribute (``repro.store.task_key``);
     everything before it must be an importable module or package.
     """
-    for name in ("README.md", "DESIGN.md"):
+    for name in NARRATIVE_DOCS:
         path = ROOT / name
         if not path.exists():
             continue
