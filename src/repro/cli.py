@@ -9,7 +9,7 @@ Four subcommands are provided::
 
 ``run`` executes a single workload under one protocol (or the dynamic
 selector) and prints the result summary; ``sweep`` regenerates one of the
-experiments of DESIGN.md's index (E1-E11) with configurable parameters and
+experiments of DESIGN.md's index (E1-E12) with configurable parameters and
 prints the result table; ``scenario`` runs a named end-to-end workload
 profile from the registry in :mod:`repro.workload.scenarios` (``--list``
 shows them all; ``--windows PATH`` additionally writes the per-window
@@ -45,6 +45,7 @@ from repro.analysis.experiments import (
     protocol_switching_ablation,
     semilock_ablation,
     single_item_write_experiment,
+    sim_live_equivalence,
     stl_cost_experiment,
     sweep_arrival_rate,
     sweep_transaction_size,
@@ -64,7 +65,9 @@ from repro.system.runner import run_simulation
 from repro.workload.scenarios import all_scenarios, get_scenario
 
 #: Experiment ids accepted by ``sweep``; must match DESIGN.md's index.
-EXPERIMENT_IDS = ("e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11")
+EXPERIMENT_IDS = (
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+)
 
 #: Default transaction count of ``run``/``sweep`` when ``--transactions``
 #: is not given (E9 instead falls back to each scenario's own size).
@@ -100,7 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--experiment",
         choices=list(EXPERIMENT_IDS),
         required=True,
-        help="experiment id from the DESIGN.md index (E1-E11)",
+        help="experiment id from the DESIGN.md index (E1-E12)",
     )
     sweep_parser.add_argument(
         "--rates",
@@ -187,7 +190,107 @@ def build_parser() -> argparse.ArgumentParser:
         help="stats: accounting summary; table: render the stored summaries",
     )
     store_parser.add_argument("path", help="path to the result store (JSONL)")
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run one site of a live cluster as a networked daemon",
+    )
+    _add_live_arguments(serve_parser)
+    serve_parser.add_argument(
+        "--site", type=int, required=True, help="the site this daemon hosts"
+    )
+
+    drive_parser = subparsers.add_parser(
+        "drive",
+        help="replay a scenario's workload against a live cluster and audit it",
+    )
+    _add_live_arguments(drive_parser)
+    drive_parser.add_argument(
+        "--spawn",
+        action="store_true",
+        help="spawn the site daemons as subprocesses on free ports "
+        "(otherwise --cluster must point at already-running daemons)",
+    )
+    drive_parser.add_argument(
+        "--pacing",
+        type=float,
+        default=0.0,
+        help="wall-clock seconds per unit of arrival time (0: submit "
+        "immediately in arrival order)",
+    )
+    drive_parser.add_argument(
+        "--compute-scale",
+        type=float,
+        default=0.1,
+        help="factor applied to each transaction's compute time",
+    )
+    drive_parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=300.0,
+        help="hard wall-clock deadline for the whole run (seconds)",
+    )
+    drive_parser.add_argument(
+        "--log-dir",
+        default="live-logs",
+        metavar="PATH",
+        help="with --spawn: directory for the captured per-site daemon logs",
+    )
+    drive_parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the run summary as JSON to this file",
+    )
     return parser
+
+
+def _add_live_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flags ``serve`` and ``drive`` share; both sides must pass the same
+    scenario flags so they derive identical catalogs and workloads."""
+    parser.add_argument(
+        "--scenario",
+        default="uniform-baseline",
+        help="registered scenario supplying the system and workload",
+    )
+    parser.add_argument(
+        "--transactions",
+        type=int,
+        default=None,
+        help="override the scenario's transaction count",
+    )
+    parser.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=None,
+        help="override the scenario's arrival rate",
+    )
+    parser.add_argument(
+        "--num-sites",
+        type=int,
+        default=None,
+        help="override the scenario's site count (applied before workload "
+        "generation, so daemons and driver still agree)",
+    )
+    parser.add_argument(
+        "--commit",
+        choices=[name for name in commit_protocol_names() if name != "one-phase"],
+        default="two-phase",
+        help="atomic-commit layer (one-phase cannot run over a real network)",
+    )
+    parser.add_argument(
+        "--cluster",
+        default=None,
+        metavar="HOST:PORT,...",
+        help="listen addresses of sites 0..N-1, comma-separated "
+        "(required for serve; required for drive without --spawn)",
+    )
+    parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=2.0,
+        help="per-attempt liveness watchdog of the site daemons (seconds)",
+    )
 
 
 def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
@@ -446,6 +549,21 @@ def _command_sweep(args: argparse.Namespace) -> int:
             store=store,
             force=force,
         )
+    elif args.experiment == "e12":
+        # E12 replays one scenario through the simulator and through an
+        # in-process live TCP cluster; the run is on the wall clock, so
+        # the store/--jobs machinery does not apply.
+        print(
+            "note: e12 boots a live localhost cluster; "
+            "system/workload/--jobs/--store flags are ignored "
+            "(use --scenarios, --transactions, --commit)",
+            file=sys.stderr,
+        )
+        rows = sim_live_equivalence(
+            args.scenarios[0] if args.scenarios else "uniform-baseline",
+            transactions=args.transactions,
+            commit=args.commit if args.commit != "one-phase" else "two-phase",
+        )
     else:
         rows = protocol_switching_ablation(
             arrival_rate=args.arrival_rate,
@@ -459,7 +577,11 @@ def _command_sweep(args: argparse.Namespace) -> int:
     print(rows_to_table(rows))
     _report_store(store)
     all_serializable = all(row.get("serializable", True) for row in rows)
-    return 0 if all_serializable else 1
+    # E12's verdict row carries the differential harness's gate.
+    all_equivalent = all(
+        bool(row["equivalent"]) for row in rows if row.get("mode") == "equal"
+    )
+    return 0 if all_serializable and all_equivalent else 1
 
 
 def _command_scenario(args: argparse.Namespace) -> int:
@@ -534,6 +656,130 @@ def _command_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_cluster(text: str):
+    """Parse ``host:port,host:port,...`` into a site → address map."""
+    addresses = {}
+    for site, part in enumerate(text.split(",")):
+        host, _, port = part.strip().rpartition(":")
+        if not host or not port.isdigit():
+            raise ConfigurationError(f"malformed cluster address {part!r}")
+        addresses[site] = (host, int(port))
+    return addresses
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    """Run one site daemon until the driver's ``ctl_shutdown`` arrives."""
+    import asyncio
+
+    from repro.live.cluster import live_setup
+    from repro.live.daemon import SiteDaemon
+
+    if args.cluster is None:
+        raise ConfigurationError("serve requires --cluster")
+    cluster = _parse_cluster(args.cluster)
+    if args.site not in cluster:
+        raise ConfigurationError(
+            f"--site {args.site} has no address in the {len(cluster)}-site cluster"
+        )
+    system, _ = live_setup(
+        args.scenario,
+        transactions=args.transactions,
+        arrival_rate=args.arrival_rate,
+        commit=args.commit,
+        num_sites=args.num_sites,
+    )
+    if system.num_sites != len(cluster):
+        raise ConfigurationError(
+            f"scenario {args.scenario!r} has {system.num_sites} sites but the "
+            f"cluster map lists {len(cluster)} addresses"
+        )
+
+    async def _serve() -> None:
+        daemon = SiteDaemon(
+            args.site, system, cluster, request_timeout=args.request_timeout
+        )
+        print(
+            f"site {args.site} serving {args.scenario!r} "
+            f"({args.commit}) on {cluster[args.site][0]}:{cluster[args.site][1]}",
+            file=sys.stderr,
+            flush=True,
+        )
+        await daemon.serve()
+
+    asyncio.run(_serve())
+    return 0
+
+
+def _command_drive(args: argparse.Namespace) -> int:
+    """Replay a scenario against a live cluster; print and gate on the audit."""
+    import json
+
+    from repro.live.cluster import (
+        SubprocessCluster,
+        free_ports,
+        live_setup,
+        local_cluster_map,
+    )
+    from repro.live.driver import LiveRunError, drive_cluster
+
+    if args.cluster is None and not args.spawn:
+        raise ConfigurationError("drive requires --cluster, or --spawn to boot one")
+    system, specs = live_setup(
+        args.scenario,
+        transactions=args.transactions,
+        arrival_rate=args.arrival_rate,
+        commit=args.commit,
+        num_sites=args.num_sites,
+    )
+    if args.cluster is not None:
+        cluster = _parse_cluster(args.cluster)
+    else:
+        cluster = local_cluster_map(free_ports(system.num_sites))
+
+    def _drive() -> "object":
+        return drive_cluster(
+            system,
+            cluster,
+            specs,
+            pacing=args.pacing,
+            compute_scale=args.compute_scale,
+            drain_timeout=args.drain_timeout,
+        )
+
+    try:
+        if args.spawn:
+            serve_args = ["--scenario", args.scenario, "--commit", args.commit]
+            if args.transactions is not None:
+                serve_args += ["--transactions", str(args.transactions)]
+            if args.arrival_rate is not None:
+                serve_args += ["--arrival-rate", str(args.arrival_rate)]
+            if args.num_sites is not None:
+                serve_args += ["--num-sites", str(args.num_sites)]
+            serve_args += ["--request-timeout", str(args.request_timeout)]
+            with SubprocessCluster(cluster, serve_args, Path(args.log_dir)) as spawned:
+                spawned.check_alive()
+                result = _drive()
+        else:
+            result = _drive()
+    except LiveRunError as error:
+        print(f"live run failed: {error}", file=sys.stderr)
+        return 1
+    summary = result.summary()
+    print(kv_table(summary))
+    if args.output is not None:
+        Path(args.output).write_text(
+            json.dumps(summary, indent=2, sort_keys=True, default=str) + "\n",
+            encoding="utf-8",
+        )
+    ok = (
+        result.serializable
+        and result.atomic
+        and result.committed == result.submitted
+        and not result.conflicting_decisions()
+    )
+    return 0 if ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_parser()
@@ -545,6 +791,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_scenario(args)
         if args.command == "store":
             return _command_store(args)
+        if args.command == "serve":
+            return _command_serve(args)
+        if args.command == "drive":
+            return _command_drive(args)
         return _command_sweep(args)
     except ConfigurationError as error:
         print(f"configuration error: {error}", file=sys.stderr)

@@ -31,7 +31,8 @@ Four protocols are registered (see :mod:`repro.commit.one_phase`,
 
 A commit protocol runs inside one coordinator
 (:class:`~repro.system.coordinator.RequestIssuerActor`) and drives it
-through a narrow surface: the coordinator's ``simulator`` / ``network`` /
+through a narrow surface: the coordinator's ``transport`` (the seam of
+:mod:`repro.live.transport` — message send, timers and the clock) /
 ``metrics`` / ``catalog`` / ``value_store`` / ``faults`` / ``commit_config``
 / ``commit_log`` attributes, plus ``compute_write_values``,
 ``record_outcome``, ``release_phase``, ``abort_for_commit`` and

@@ -34,7 +34,7 @@ class OnePhaseCommit(CommitProtocol):
     def begin_commit(self, execution: "TransactionExecution") -> None:
         """Install the writes, mark the transaction committed, release the locks."""
         coordinator = self._coordinator
-        now = coordinator.simulator.now
+        now = coordinator.transport.now
         self._write_phase(execution, now)
         coordinator.transition(execution, TransactionStatus.COMMITTED)
         execution.commit_time = now

@@ -53,10 +53,9 @@ from repro.common.config import CommitConfig
 from repro.common.errors import SimulationError
 from repro.common.ids import CopyId, SiteId, TransactionId
 from repro.core.queue_manager import QueueManager
+from repro.live.transport import Transport
 from repro.sim.actor import Actor, Message
 from repro.sim.faults import FaultInjector
-from repro.sim.network import Network
-from repro.sim.simulator import Simulator
 from repro.storage.log import CommitDecision, PreparedRecord, SiteCommitLog
 from repro.storage.store import ValueStore
 from repro.system.metrics import MetricsCollector
@@ -76,8 +75,7 @@ class CommitParticipantActor(Actor):
     def __init__(
         self,
         site: SiteId,
-        simulator: Simulator,
-        network: Network,
+        transport: Transport,
         metrics: MetricsCollector,
         value_store: ValueStore,
         managers: Dict[CopyId, QueueManager],
@@ -87,8 +85,7 @@ class CommitParticipantActor(Actor):
         faults: Optional[FaultInjector] = None,
     ) -> None:
         super().__init__(name=commit_participant_name(site), site=site)
-        self._simulator = simulator
-        self._network = network
+        self._transport = transport
         self._metrics = metrics
         self._value_store = value_store
         self._managers = dict(managers)
@@ -136,7 +133,7 @@ class CommitParticipantActor(Actor):
             )
 
     def _on_prepare(self, prepare: PrepareRequest) -> None:
-        now = self._simulator.now
+        now = self._transport.now
         verified = all(
             self._managers[request.copy].holds_granted_lock(request.request_id)
             for request in prepare.requests
@@ -161,7 +158,7 @@ class CommitParticipantActor(Actor):
                     prepare.attempt,
                     self._commit_config.termination_timeout,
                 )
-        self._network.send(
+        self._transport.send(
             self,
             prepare.coordinator,
             "vote",
@@ -194,7 +191,7 @@ class CommitParticipantActor(Actor):
     def _arm_watchdog(
         self, transaction: TransactionId, attempt: int, interval: float
     ) -> None:
-        self._simulator.schedule(
+        self._transport.schedule(
             interval,
             lambda: self._on_in_doubt_timeout(transaction, attempt, interval),
             label=f"in-doubt-{transaction}",
@@ -215,7 +212,7 @@ class CommitParticipantActor(Actor):
         record = self._log.prepared_record(transaction, attempt)
         if record is None or not record.in_doubt:
             return
-        self._network.send(
+        self._transport.send(
             self,
             record.coordinator,
             "status_query",
@@ -225,7 +222,7 @@ class CommitParticipantActor(Actor):
             for site in record.participants:
                 if site == self.site:
                     continue
-                self._network.send(
+                self._transport.send(
                     self,
                     commit_participant_name(site),
                     "peer_query",
@@ -251,7 +248,7 @@ class CommitParticipantActor(Actor):
             record = self._log.prepared_record(query.transaction, query.attempt)
             if record is not None:
                 decision = record.decision
-        self._network.send(
+        self._transport.send(
             self,
             query.reply_to,
             "peer_reply",
@@ -285,7 +282,7 @@ class CommitParticipantActor(Actor):
         cannot overtake the earlier conflicting operation it was ordered
         behind.
         """
-        now = self._simulator.now
+        now = self._transport.now
         record.decision = decision
         record.decided_at = now
         self._metrics.record_in_doubt_time(now - record.prepared_at)
@@ -296,14 +293,14 @@ class CommitParticipantActor(Actor):
         else:
             kind = "abort"
         for request in record.requests:
-            self._network.send(
+            self._transport.send(
                 self,
                 queue_manager_name(request.copy),
                 kind,
                 (record.transaction, record.attempt),
             )
         if record.ack_decision is not None and record.ack_decision is decision:
-            self._network.send(
+            self._transport.send(
                 self,
                 record.coordinator,
                 "ack",
@@ -332,7 +329,7 @@ class CommitParticipantActor(Actor):
         for record in in_doubt:
             for request in record.requests:
                 self._managers[request.copy].restore_lock(request, now)
-            self._network.send(
+            self._transport.send(
                 self,
                 record.coordinator,
                 "status_query",

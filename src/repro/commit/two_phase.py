@@ -115,7 +115,7 @@ class TwoPhaseCommit(CommitProtocol):
     def begin_commit(self, execution: "TransactionExecution") -> None:
         """Open a commit round: send ``prepare`` to every participant site."""
         coordinator = self._coordinator
-        now = coordinator.simulator.now
+        now = coordinator.transport.now
         coordinator.transition(execution, TransactionStatus.PREPARING)
         execution.prepare_time = now
         new_values = coordinator.compute_write_values(execution)
@@ -145,7 +145,7 @@ class TwoPhaseCommit(CommitProtocol):
             force_log = not (
                 self.lazy_read_only_prepares and not writes_by_site.get(site)
             )
-            coordinator.network.send(
+            coordinator.transport.send(
                 coordinator,
                 commit_participant_name(site),
                 "prepare",
@@ -160,7 +160,7 @@ class TwoPhaseCommit(CommitProtocol):
                     ack_decision=self.ack_decision,
                 ),
             )
-        coordinator.simulator.schedule(
+        coordinator.transport.schedule(
             coordinator.commit_config.prepare_timeout,
             lambda: self._on_prepare_timeout(execution.tid, attempt),
             label=f"prepare-timeout-{execution.tid}",
@@ -225,7 +225,7 @@ class TwoPhaseCommit(CommitProtocol):
     def _decide(self, commit_round: _CommitRound, decision: CommitDecision) -> None:
         """Log the decision, notify the participants, finish or retry the transaction."""
         coordinator = self._coordinator
-        now = coordinator.simulator.now
+        now = coordinator.transport.now
         execution = commit_round.execution
         attempt = execution.attempt
         commit_round.decided = True
@@ -234,7 +234,7 @@ class TwoPhaseCommit(CommitProtocol):
             execution.tid, attempt, decision, now, commit_round.participants
         )
         for site in commit_round.participants:
-            coordinator.network.send(
+            coordinator.transport.send(
                 coordinator,
                 commit_participant_name(site),
                 "decide",
@@ -278,7 +278,7 @@ class TwoPhaseCommit(CommitProtocol):
             # (that absence-of-record reading is what lets the presumed
             # variants skip a forced write for the presumed outcome).
             decision = self.presumption
-        coordinator.network.send(
+        coordinator.transport.send(
             coordinator,
             query.reply_to,
             "status_reply",
@@ -292,7 +292,7 @@ class TwoPhaseCommit(CommitProtocol):
         self, transaction: TransactionId, attempt: int, decision: CommitDecision
     ) -> None:
         for reply_to in self._waiting_queries.pop((transaction, attempt), ()):
-            self._coordinator.network.send(
+            self._coordinator.transport.send(
                 self._coordinator,
                 reply_to,
                 "status_reply",
@@ -319,7 +319,7 @@ class TwoPhaseCommit(CommitProtocol):
         the classic "no commit record ⇒ abort" recovery reading.
         """
         coordinator = self._coordinator
-        now = coordinator.simulator.now
+        now = coordinator.transport.now
         attempt = execution.attempt
         participants = tuple(
             sorted({state.request.copy.site for state in execution.requests.values()})
@@ -328,7 +328,7 @@ class TwoPhaseCommit(CommitProtocol):
             execution.tid, attempt, CommitDecision.ABORT, now, participants
         )
         for site in participants:
-            coordinator.network.send(
+            coordinator.transport.send(
                 coordinator,
                 commit_participant_name(site),
                 "decide",

@@ -3,12 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from types import MappingProxyType
+from typing import Any, Mapping
 
 from repro.common.ids import SiteId
 
 
-@dataclass
+@dataclass(frozen=True)
 class Message:
     """Envelope for one message exchanged between actors.
 
@@ -16,6 +17,12 @@ class Message:
     ``"request"``, ``"grant"``, ``"backoff"``, ``"release"``); ``payload``
     carries the typed body.  Sender/receiver names identify actors registered
     with the :class:`repro.sim.network.Network`.
+
+    The envelope is frozen and ``metadata`` is defensively copied into a
+    read-only view at construction: one envelope may be held by a transport
+    queue, a trace hook and the receiving actor at once (and, in live mode,
+    by an outbound frame encoder), so a mutable envelope would let any one
+    holder silently change what the others observe.
     """
 
     kind: str
@@ -24,7 +31,10 @@ class Message:
     payload: Any = None
     send_time: float = 0.0
     deliver_time: float = 0.0
-    metadata: Dict[str, Any] = field(default_factory=dict)
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "metadata", MappingProxyType(dict(self.metadata)))
 
 
 class Actor:

@@ -582,6 +582,26 @@ class SiteCommitLog:
         """Number of decisions this site's coordinator has logged."""
         return len(self._decisions)
 
+    def decisions(self) -> Tuple[Tuple[TransactionId, int, CommitDecision], ...]:
+        """Every decision this site's log holds, from both commit roles.
+
+        Combines the coordinator-side :class:`DecisionRecord` entries with
+        the decisions resolved on participant-side :class:`PreparedRecord`
+        entries, as ``(transaction, attempt, decision)`` triples sorted by
+        key.  The live-mode differential harness uses this to assert that
+        each 2PC round reached a *unique* decision across all site logs.
+        """
+        seen: Dict[Tuple[TransactionId, int], CommitDecision] = {}
+        for (transaction, attempt), record in self._decisions.items():
+            seen[(transaction, attempt)] = record.decision
+        for (transaction, attempt), prepared in self._prepared.items():
+            if prepared.decision is not None and (transaction, attempt) not in seen:
+                seen[(transaction, attempt)] = prepared.decision
+        return tuple(
+            (transaction, attempt, decision)
+            for (transaction, attempt), decision in sorted(seen.items())
+        )
+
     def truncate(self) -> int:
         """Checkpoint the log: drop every record recovery can no longer need.
 

@@ -47,8 +47,6 @@ from repro.core.effects import BackoffIssued, GrantIssued, RequestRejected
 from repro.core.requests import Request
 from repro.sim.actor import Actor, Message
 from repro.sim.faults import FaultInjector
-from repro.sim.network import Network
-from repro.sim.simulator import Simulator
 from repro.storage.catalog import ReplicaCatalog
 from repro.storage.log import SiteCommitLog
 from repro.storage.store import ValueStore
@@ -57,6 +55,7 @@ from repro.system.queue_manager_actor import GrantDelivery, queue_manager_name
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.streaming import IncrementalSerializabilityChecker as AuditStream
+    from repro.live.transport import Transport
 
 #: Hook used for dynamic protocol selection: ``(spec, now) -> Protocol``.
 ProtocolChooser = Callable[[TransactionSpec, float], Protocol]
@@ -189,8 +188,7 @@ class RequestIssuerActor(Actor):
     def __init__(
         self,
         site: SiteId,
-        simulator: Simulator,
-        network: Network,
+        transport: "Transport",
         catalog: ReplicaCatalog,
         metrics: MetricsCollector,
         *,
@@ -206,10 +204,10 @@ class RequestIssuerActor(Actor):
         commit_log: Optional[SiteCommitLog] = None,
         faults: Optional[FaultInjector] = None,
         audit_stream: Optional["AuditStream"] = None,
+        request_timeout: Optional[float] = None,
     ) -> None:
         super().__init__(name=request_issuer_name(site), site=site)
-        self._simulator = simulator
-        self._network = network
+        self._transport = transport
         self._catalog = catalog
         self._metrics = metrics
         self._io_time = io_time
@@ -224,7 +222,12 @@ class RequestIssuerActor(Actor):
         self._commit_log = commit_log if commit_log is not None else SiteCommitLog(site)
         self._faults = faults
         self._audit_stream = audit_stream
-        self._request_timeout = faults.config.request_timeout if faults is not None else None
+        # Under the fault model the watchdog interval comes from the fault
+        # configuration; live mode (no fault injector, but real message loss
+        # and no global deadlock detector) passes an explicit timeout.
+        self._request_timeout = (
+            faults.config.request_timeout if faults is not None else request_timeout
+        )
         self._commit: CommitProtocol = create_commit_protocol(
             self._commit_config.protocol, self
         )
@@ -237,14 +240,9 @@ class RequestIssuerActor(Actor):
     # ---------------------------------------------------------------- #
 
     @property
-    def simulator(self) -> Simulator:
-        """The simulator driving this coordinator."""
-        return self._simulator
-
-    @property
-    def network(self) -> Network:
-        """The message network this coordinator sends on."""
-        return self._network
+    def transport(self) -> "Transport":
+        """The transport this coordinator sends messages and arms timers on."""
+        return self._transport
 
     @property
     def catalog(self) -> ReplicaCatalog:
@@ -290,7 +288,7 @@ class RequestIssuerActor(Actor):
         restarts for transactions the recovery walk re-drives from the log.
         """
         return self._faults is None or self._faults.coordinator_up(
-            self.site, self._simulator.now
+            self.site, self._transport.now
         )
 
     def transition(
@@ -348,13 +346,13 @@ class RequestIssuerActor(Actor):
         if needs_semi:
             execution.awaiting_final_release = True
             for copy in execution.copies():
-                self._network.send(self, queue_manager_name(copy), "downgrade", execution.tid)
+                self._transport.send(self, queue_manager_name(copy), "downgrade", execution.tid)
             if self._request_timeout is not None:
                 # Fault-model watchdog: a crashed site wipes the pre-scheduled
                 # lock whose normal grant this wait depends on, so the wait
                 # could otherwise outlive the run and leak the transaction's
                 # locks at every healthy site.
-                self._simulator.schedule(
+                self._transport.schedule(
                     self._request_timeout,
                     lambda attempt=execution.attempt: self._on_release_timeout(
                         execution, attempt
@@ -399,7 +397,7 @@ class RequestIssuerActor(Actor):
 
     def submit_transaction(self, spec: TransactionSpec) -> None:
         """Accept a newly arrived transaction and start its first attempt."""
-        now = self._simulator.now
+        now = self._transport.now
         protocol = spec.protocol
         if protocol is None:
             if self._choose_protocol is None:
@@ -522,7 +520,7 @@ class RequestIssuerActor(Actor):
                 self._abort_attempt(execution, due_to_deadlock=False)
             elif status is TransactionStatus.ABORTED:
                 self._metrics.record_coordinator_redrive()
-                self._simulator.schedule(
+                self._transport.schedule(
                     self._restart_delay,
                     lambda execution=execution: self._restart(execution),
                     label=f"restart-{execution.tid}",
@@ -592,9 +590,9 @@ class RequestIssuerActor(Actor):
             )
             execution.requests[request.request_id] = RequestState(request=request)
             self._metrics.record_request_issued(execution.protocol, operation.op_type)
-            self._network.send(self, queue_manager_name(operation.copy), "request", request)
+            self._transport.send(self, queue_manager_name(operation.copy), "request", request)
         if self._request_timeout is not None:
-            self._simulator.schedule(
+            self._transport.schedule(
                 self._request_timeout,
                 lambda attempt=execution.attempt: self._on_request_timeout(execution, attempt),
                 label=f"request-timeout-{execution.tid}",
@@ -635,21 +633,21 @@ class RequestIssuerActor(Actor):
         return [strongest[copy] for copy in sorted(strongest)]
 
     def _abort_attempt(self, execution: TransactionExecution, due_to_deadlock: bool) -> None:
-        now = self._simulator.now
+        now = self._transport.now
         for state in execution.requests.values():
             if state.phase is _RequestPhase.GRANTED and state.grant_time is not None:
                 self._metrics.record_lock_time(
                     execution.protocol, now - state.grant_time, aborted=True
                 )
         for copy in execution.copies():
-            self._network.send(self, queue_manager_name(copy), "abort", execution.tid)
+            self._transport.send(self, queue_manager_name(copy), "abort", execution.tid)
         self.transition(execution, TransactionStatus.ABORTED)
         if due_to_deadlock:
             execution.deadlock_aborts += 1
         else:
             execution.restarts += 1
         self._metrics.record_restart(execution.protocol, due_to_deadlock)
-        self._simulator.schedule(
+        self._transport.schedule(
             self._restart_delay,
             lambda: self._restart(execution),
             label=f"restart-{execution.tid}",
@@ -663,7 +661,7 @@ class RequestIssuerActor(Actor):
         if execution.status is not TransactionStatus.ABORTED:
             return
         execution.attempt += 1
-        execution.timestamp = self._new_timestamp(self._simulator.now)
+        execution.timestamp = self._new_timestamp(self._transport.now)
         self._maybe_switch_protocol(execution)
         self._start_attempt(execution)
 
@@ -713,7 +711,7 @@ class RequestIssuerActor(Actor):
             return
         if state.phase is not _RequestPhase.GRANTED:
             state.phase = _RequestPhase.GRANTED
-            state.grant_time = self._simulator.now
+            state.grant_time = self._transport.now
             if effect.request.is_read:
                 # The value attached to the grant is what the read observed;
                 # keep the first copy (later "normal" re-grants carry no data).
@@ -788,7 +786,7 @@ class RequestIssuerActor(Actor):
             state.phase = _RequestPhase.WAITING
             state.backoff_timestamp = None
         for copy in execution.copies():
-            self._network.send(
+            self._transport.send(
                 self, queue_manager_name(copy), "update_ts", (execution.tid, agreed)
             )
 
@@ -796,7 +794,7 @@ class RequestIssuerActor(Actor):
         self.transition(execution, TransactionStatus.EXECUTING)
         self._fill_missing_read_values(execution)
         duration = execution.spec.compute_time + self._io_time * len(execution.physical_operations)
-        self._simulator.schedule(
+        self._transport.schedule(
             duration,
             lambda attempt=execution.attempt: self._complete_execution(execution, attempt),
             label=f"execute-{execution.tid}",
@@ -837,7 +835,7 @@ class RequestIssuerActor(Actor):
         self._commit.begin_commit(execution)
 
     def _final_release(self, execution: TransactionExecution) -> None:
-        now = self._simulator.now
+        now = self._transport.now
         execution.awaiting_final_release = False
         for state in execution.requests.values():
             if state.grant_time is not None:
@@ -845,5 +843,5 @@ class RequestIssuerActor(Actor):
                     execution.protocol, now - state.grant_time, aborted=False
                 )
         for copy in execution.copies():
-            self._network.send(self, queue_manager_name(copy), "release", execution.tid)
+            self._transport.send(self, queue_manager_name(copy), "release", execution.tid)
         self.transition(execution, TransactionStatus.FINISHED)

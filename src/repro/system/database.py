@@ -19,6 +19,7 @@ from repro.common.transactions import TransactionSpec
 from repro.core.queue_manager import QueueManager
 from repro.core.serializability import SerializabilityReport, check_serializable
 from repro.core.streaming import IncrementalSerializabilityChecker
+from repro.live.transport import SimTransport
 from repro.sim.faults import FaultInjector
 from repro.sim.network import Network
 from repro.sim.rng import RandomStreams
@@ -79,6 +80,10 @@ class RunResult:
     #: Streaming-audit bookkeeping (entries seen/retired, peak live state);
     #: empty for batch runs.
     audit_stats: Dict[str, int] = field(default_factory=dict)
+    #: Attempt number each committed transaction committed under, keyed by
+    #: transaction id.  The live-mode differential harness compares this
+    #: against a live run's committed set; excluded from :meth:`summary`.
+    committed_attempts: Dict[TransactionId, int] = field(default_factory=dict)
     #: Simulation engine the run used (``serial`` or ``parallel``).  Kept out
     #: of :meth:`summary` deliberately: the determinism contract requires the
     #: two engines' summaries to be byte-identical.
@@ -238,6 +243,10 @@ class DistributedDatabase:
         self._network = Network(
             self._simulator, system.network, self._rng, faults=self._faults
         )
+        # The transport seam: under the simulator it is pure delegation to
+        # the network and simulator above, so actor behaviour is
+        # byte-identical to pre-seam code; live mode swaps in a TcpTransport.
+        self._transport = SimTransport(self._simulator, self._network)
         self._catalog = ReplicaCatalog.from_config(system)
         streaming = system.audit == "streaming"
         self._execution_log = ExecutionLog(bounded=streaming)
@@ -276,7 +285,7 @@ class DistributedDatabase:
                     semi_locks_enabled=system.semi_locks_enabled,
                 )
                 actor = QueueManagerActor(
-                    manager, self._network, self._metrics, self._value_store
+                    manager, self._transport, self._metrics, self._value_store
                 )
                 self._network.register(actor)
                 self._queue_managers[copy] = manager
@@ -286,8 +295,7 @@ class DistributedDatabase:
         for site in range(system.num_sites):
             participant = CommitParticipantActor(
                 site=site,
-                simulator=self._simulator,
-                network=self._network,
+                transport=self._transport,
                 metrics=self._metrics,
                 value_store=self._value_store,
                 managers={
@@ -310,8 +318,7 @@ class DistributedDatabase:
         for site in range(system.num_sites):
             issuer = RequestIssuerActor(
                 site=site,
-                simulator=self._simulator,
-                network=self._network,
+                transport=self._transport,
                 catalog=self._catalog,
                 metrics=self._metrics,
                 io_time=system.io_time,
@@ -362,6 +369,11 @@ class DistributedDatabase:
     def network(self) -> Network:
         """The message-passing network between actors."""
         return self._network
+
+    @property
+    def transport(self) -> SimTransport:
+        """The transport seam the actors send and schedule through."""
+        return self._transport
 
     @property
     def catalog(self) -> ReplicaCatalog:
@@ -556,6 +568,7 @@ class DistributedDatabase:
             ),
             protocol_of=dict(self._protocol_registry),
             commit_protocol=self._system.commit.protocol,
+            committed_attempts=committed_attempts,
             replica_report=replica_report,
             audit=self._system.audit,
             audit_stats=audit_stats,

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.common.errors import SimulationError
 from repro.common.ids import CopyId, TransactionId
@@ -11,9 +11,11 @@ from repro.core.effects import BackoffIssued, GrantIssued, RequestRejected
 from repro.core.queue_manager import QueueManager
 from repro.core.requests import Request
 from repro.sim.actor import Actor, Message
-from repro.sim.network import Network
 from repro.storage.store import ValueStore
 from repro.system.metrics import MetricsCollector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.live.transport import Transport
 
 
 def queue_manager_name(copy: CopyId) -> str:
@@ -67,13 +69,13 @@ class QueueManagerActor(Actor):
     def __init__(
         self,
         manager: QueueManager,
-        network: Network,
+        transport: "Transport",
         metrics: Optional[MetricsCollector] = None,
         value_store: Optional[ValueStore] = None,
     ) -> None:
         super().__init__(name=queue_manager_name(manager.copy), site=manager.copy.site)
         self._manager = manager
-        self._network = network
+        self._transport = transport
         self._metrics = metrics
         self._value_store = value_store
 
@@ -84,7 +86,7 @@ class QueueManagerActor(Actor):
 
     def handle(self, message: Message) -> None:
         """Dispatch one inbound network message to the queue manager."""
-        now = self._network.simulator.now
+        now = self._transport.now
         if message.kind == "request":
             request: Request = message.payload
             self._manager.submit(request, now)
@@ -124,15 +126,15 @@ class QueueManagerActor(Actor):
                 read_value = None
                 if effect.request.is_read and self._value_store is not None:
                     read_value = self._value_store.read(self._manager.copy)
-                self._network.send(
+                self._transport.send(
                     self,
                     effect.request.issuer,
                     "grant",
                     GrantDelivery(effect=effect, read_value=read_value),
                 )
             elif isinstance(effect, BackoffIssued):
-                self._network.send(self, effect.request.issuer, "backoff", effect)
+                self._transport.send(self, effect.request.issuer, "backoff", effect)
             elif isinstance(effect, RequestRejected):
-                self._network.send(self, effect.request.issuer, "reject", effect)
+                self._transport.send(self, effect.request.issuer, "reject", effect)
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown queue manager effect {effect!r}")

@@ -1,0 +1,137 @@
+"""Flake guards for the live-mode tests.
+
+Real sockets and wall-clock timers make live tests the flakiest kind in
+any suite, so every test here goes through fixtures that (a) allocate
+genuinely free localhost ports per test, (b) supervise the in-process
+daemon lifecycle so a crashed site fails the test instead of wedging it,
+and (c) convert timeouts into assertion failures carrying the captured
+per-site state — never a silently hanging pytest process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import replace
+from typing import List, Optional, Sequence
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.common.transactions import TransactionSpec
+from repro.live.cluster import (
+    InProcessCluster,
+    free_ports,
+    live_setup,
+    local_cluster_map,
+)
+from repro.live.driver import LiveDriver, LiveRunError, LiveRunResult
+
+#: Hard wall-clock ceiling for one in-process live run.  Generous next to
+#: the observed few-second runs, but small enough that a wedged cluster
+#: fails the suite instead of eating the CI job's whole timeout.
+HARD_TIMEOUT = 120.0
+
+
+def tuned(system: SystemConfig) -> SystemConfig:
+    """Shrink the wall-clock knobs so live tests run in seconds.
+
+    The simulator's defaults (1 s PA back-off quantum, 50 ms restart
+    delay) are simulated-time units, but in live mode they are real
+    seconds on the event loop.  Equivalence is unaffected — the *same*
+    tuned system is handed to both the simulator and the live cluster.
+    """
+    return system.with_overrides(
+        io_time=0.001,
+        restart_delay=0.01,
+        pa_backoff_interval=0.05,
+        commit=replace(system.commit, prepare_timeout=0.5),
+    )
+
+
+def small_workload(
+    scenario: str = "uniform-baseline",
+    *,
+    transactions: int = 20,
+    commit: str = "two-phase",
+):
+    """A registered scenario resolved for live mode and tuned for speed."""
+    system, specs = live_setup(scenario, transactions=transactions, commit=commit)
+    return tuned(system), specs
+
+
+@pytest.fixture
+def ports():
+    """Allocate free localhost ports: ``ports(n) -> tuple of n ports``."""
+    return free_ports
+
+
+@pytest.fixture
+def live_run():
+    """Run specs against a supervised in-process cluster, or fail loudly.
+
+    Returns a callable ``run(system, specs, **driver_options)`` that boots
+    one daemon per site on fresh ports, drives the workload, and tears the
+    cluster down.  On any timeout or driver error the test fails with the
+    captured per-site errors and daemon status instead of hanging.
+    """
+
+    def run(
+        system: SystemConfig,
+        specs: Sequence[TransactionSpec],
+        *,
+        request_timeout: float = 2.0,
+        hard_timeout: float = HARD_TIMEOUT,
+        **driver_options,
+    ) -> LiveRunResult:
+        driver_options.setdefault("compute_scale", 0.1)
+        driver_options.setdefault("drain_timeout", hard_timeout)
+
+        async def _run() -> LiveRunResult:
+            cluster = local_cluster_map(free_ports(system.num_sites))
+            async with InProcessCluster(
+                system, cluster, request_timeout=request_timeout
+            ) as supervisor:
+                driver = LiveDriver(system, cluster, specs, **driver_options)
+                try:
+                    return await asyncio.wait_for(driver.run(), timeout=hard_timeout)
+                except (LiveRunError, asyncio.TimeoutError) as error:
+                    statuses = [
+                        {"site": daemon.site, **daemon.status()}
+                        for daemon in supervisor.daemons
+                    ]
+                    pytest.fail(
+                        f"live run did not complete: {error!r}\n"
+                        f"daemon status: {statuses}\n"
+                        f"site errors: {supervisor.site_errors()}"
+                    )
+
+        return asyncio.run(_run())
+
+    return run
+
+
+def run_sim(system: SystemConfig, specs: Optional[List[TransactionSpec]] = None):
+    """Run the same specs through the plain simulator, for differentials."""
+    from repro.system.database import DistributedDatabase
+
+    database = DistributedDatabase(system)
+    database.load_workload(list(specs or []))
+    return database.run()
+
+
+@pytest.fixture
+def workload():
+    """Factory fixture over :func:`small_workload` (tuned live scenarios)."""
+    return small_workload
+
+
+@pytest.fixture
+def sim_run():
+    """Factory fixture over :func:`run_sim` (the simulator half)."""
+    return run_sim
+
+
+@pytest.fixture
+def tuned_system():
+    """Factory fixture over :func:`tuned` (wall-clock knob shrinking)."""
+    return tuned

@@ -1,0 +1,205 @@
+"""Unit tests for :class:`repro.live.tcp.TcpTransport`.
+
+Each test boots the smallest cluster that exercises one routing path —
+local same-process delivery, cross-process TCP delivery, and the reverse
+route a listener-less driver is reached through — on freshly allocated
+localhost ports, and always closes the transports so no sockets or tasks
+leak into the next test.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import List
+
+import pytest
+
+from repro.live.cluster import free_ports, local_cluster_map
+from repro.live.tcp import LiveTransportError, TcpTransport, site_of_name
+from repro.sim.actor import Actor, Message
+
+
+class Recorder(Actor):
+    """An actor that records everything delivered to it."""
+
+    def __init__(self, name: str, site: int) -> None:
+        super().__init__(name, site)
+        self.received: List[Message] = []
+
+    def handle(self, message: Message) -> None:
+        self.received.append(message)
+
+
+class Echo(Recorder):
+    """Records the message and sends an acknowledgement back to its sender."""
+
+    def __init__(self, name: str, site: int, transport: TcpTransport) -> None:
+        super().__init__(name, site)
+        self.transport = transport
+
+    def handle(self, message: Message) -> None:
+        super().handle(message)
+        self.transport.send(self, message.sender, f"{message.kind}_ack", message.payload)
+
+
+async def wait_for(condition, timeout: float = 5.0) -> None:
+    """Poll ``condition()`` until true, failing the test on timeout."""
+    deadline = asyncio.get_running_loop().time() + timeout
+    while not condition():
+        if asyncio.get_running_loop().time() > deadline:
+            pytest.fail("condition not reached within timeout")
+        await asyncio.sleep(0.01)
+
+
+class TestSiteOfName:
+    def test_protocol_actor_names(self) -> None:
+        assert site_of_name("ri-0") == 0
+        assert site_of_name("cp-2") == 2
+        assert site_of_name("qm-17-1") == 1
+        assert site_of_name("ctl-3") == 3
+
+    def test_names_without_a_site(self) -> None:
+        assert site_of_name("drv") is None
+        assert site_of_name("-3") is None
+        assert site_of_name("qm-x") is None
+
+
+class TestTcpTransport:
+    def test_requires_running_loop(self) -> None:
+        with pytest.raises(LiveTransportError, match="running"):
+            TcpTransport("lonely", 0, {0: ("127.0.0.1", 1)})
+
+    def test_local_delivery_preserves_order(self) -> None:
+        async def scenario() -> None:
+            cluster = local_cluster_map(free_ports(1))
+            transport = TcpTransport("site-0", 0, cluster)
+            receiver = Recorder("qm-1-0", 0)
+            sender = Recorder("ri-0", 0)
+            transport.register(receiver)
+            transport.register(sender)
+            for index in range(5):
+                transport.send(sender, "qm-1-0", "request", index)
+            await wait_for(lambda: len(receiver.received) == 5)
+            assert [m.payload for m in receiver.received] == [0, 1, 2, 3, 4]
+            assert transport.local_messages == 5
+            assert transport.remote_messages == 0
+            assert transport.messages_by_kind() == {"request": 5}
+            await transport.close()
+
+        asyncio.run(scenario())
+
+    def test_cross_site_delivery_over_tcp(self) -> None:
+        async def scenario() -> None:
+            cluster = local_cluster_map(free_ports(2))
+            alpha = TcpTransport("site-0", 0, cluster)
+            beta = TcpTransport("site-1", 1, cluster)
+            await alpha.start_server()
+            await beta.start_server()
+            remote = Echo("cp-1", 1, beta)
+            local = Recorder("ri-0", 0)
+            beta.register(remote)
+            alpha.register(local)
+            alpha.send(local, "cp-1", "prepare", {"round": 1})
+            await wait_for(lambda: len(remote.received) == 1)
+            # The ack crosses back over a second connection (site-1 dials
+            # site-0's listener, since "ri-0" resolves through the map).
+            await wait_for(lambda: len(local.received) == 1)
+            assert remote.received[0].payload == {"round": 1}
+            assert local.received[0].kind == "prepare_ack"
+            assert alpha.remote_messages == 1
+            assert not alpha.errors and not beta.errors
+            await alpha.close()
+            await beta.close()
+
+        asyncio.run(scenario())
+
+    def test_reverse_route_to_listener_less_driver(self) -> None:
+        async def scenario() -> None:
+            cluster = local_cluster_map(free_ports(1))
+            daemon = TcpTransport("site-0", 0, cluster)
+            await daemon.start_server()
+            driver = TcpTransport("driver", None, cluster)
+            control = Echo("ctl-0", 0, daemon)
+            daemon.register(control)
+            probe = Recorder("drv", -1)
+            driver.register(probe)
+            # "drv" resolves to no site; the daemon must answer over the
+            # connection the hello arrived on.
+            driver.send(probe, "ctl-0", "hello", "ping")
+            await wait_for(lambda: len(probe.received) == 1)
+            assert probe.received[0].kind == "hello_ack"
+            assert probe.received[0].payload == "ping"
+            await driver.close()
+            await daemon.close()
+
+        asyncio.run(scenario())
+
+    def test_reply_before_route_is_buffered_not_dropped(self) -> None:
+        async def scenario() -> None:
+            cluster = local_cluster_map(free_ports(1))
+            daemon = TcpTransport("site-0", 0, cluster)
+            await daemon.start_server()
+            anchor = Recorder("ctl-0", 0)
+            daemon.register(anchor)
+            # Send to an unknown listener-less name before any route exists:
+            # the frame must wait in the pending buffer, then flush when the
+            # peer's first frame teaches the daemon the way back.
+            daemon.send(anchor, "drv", "audit_entry", ("early", 1))
+            driver = TcpTransport("driver", None, cluster)
+            probe = Recorder("drv", -1)
+            driver.register(probe)
+            driver.send(probe, "ctl-0", "hello", None)
+            await wait_for(lambda: len(probe.received) == 1)
+            assert probe.received[0].kind == "audit_entry"
+            assert probe.received[0].payload == ("early", 1)
+            assert daemon.messages_dropped == 0
+            await driver.close()
+            await daemon.close()
+
+        asyncio.run(scenario())
+
+    def test_handler_errors_are_captured_for_the_supervisor(self) -> None:
+        async def scenario() -> None:
+            cluster = local_cluster_map(free_ports(1))
+            transport = TcpTransport("site-0", 0, cluster)
+
+            class Exploding(Actor):
+                def handle(self, message: Message) -> None:
+                    raise RuntimeError("boom")
+
+            transport.register(Exploding("qm-1-0", 0))
+            sender = Recorder("ri-0", 0)
+            transport.register(sender)
+            transport.send(sender, "qm-1-0", "request", None)
+            await wait_for(lambda: bool(transport.errors))
+            with pytest.raises(RuntimeError, match="boom"):
+                transport.raise_errors()
+            await transport.close()
+
+        asyncio.run(scenario())
+
+    def test_schedule_runs_and_cancels(self) -> None:
+        async def scenario() -> None:
+            cluster = local_cluster_map(free_ports(1))
+            transport = TcpTransport("site-0", 0, cluster)
+            fired: List[str] = []
+            transport.schedule(0.01, lambda: fired.append("ran"))
+            cancelled = transport.schedule(0.01, lambda: fired.append("cancelled"))
+            cancelled.cancel()
+            await asyncio.sleep(0.05)
+            assert fired == ["ran"]
+            await transport.close()
+
+        asyncio.run(scenario())
+
+    def test_send_after_close_is_refused(self) -> None:
+        async def scenario() -> None:
+            cluster = local_cluster_map(free_ports(1))
+            transport = TcpTransport("site-0", 0, cluster)
+            sender = Recorder("ri-0", 0)
+            transport.register(sender)
+            await transport.close()
+            with pytest.raises(LiveTransportError, match="closed"):
+                transport.send(sender, "ri-0", "request", None)
+
+        asyncio.run(scenario())

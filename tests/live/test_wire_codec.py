@@ -1,0 +1,360 @@
+"""Property tests for the live wire codec and the frozen message envelope.
+
+The codec's contract is stronger than "decode(encode(x)) == x": re-encoding
+the decoded message must reproduce the original frame *byte for byte*, and
+the incremental :class:`~repro.live.wire.FrameDecoder` must tolerate the
+stream being split at any byte boundary — exactly what a TCP receiver sees.
+Hypothesis drives both properties over the full set of registered payload
+types (ids, requests, commit messages, specs, tuples, and dicts keyed by
+non-string values such as ``CopyId``).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.commit.messages import (
+    AckMessage,
+    DecisionMessage,
+    PeerQuery,
+    PeerReply,
+    PrepareRequest,
+    StatusQuery,
+    StatusReply,
+    VoteMessage,
+)
+from repro.common.ids import CopyId, RequestId, TransactionId
+from repro.common.operations import LogicalOperation, OperationType, PhysicalOperation
+from repro.common.protocol_names import Protocol
+from repro.common.transactions import TransactionSpec
+from repro.core.effects import BackoffIssued, GrantIssued, RequestRejected
+from repro.core.locks import LockMode
+from repro.core.requests import Request
+from repro.live.wire import (
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    WireError,
+    decode_frame_body,
+    encode_message,
+)
+from repro.sim.actor import Message
+from repro.storage.log import CommitDecision, LogEntry
+
+# ---------------------------------------------------------------------------
+# Strategies over the registered wire types
+# ---------------------------------------------------------------------------
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False, width=64)
+small_text = st.text(max_size=12)
+names = st.text(min_size=1, max_size=16)
+
+tids = st.builds(TransactionId, site=st.integers(0, 7), seq=st.integers(0, 999))
+copies = st.builds(CopyId, item=st.integers(0, 63), site=st.integers(0, 7))
+request_ids = st.builds(
+    RequestId, transaction=tids, index=st.integers(0, 9), attempt=st.integers(0, 4)
+)
+protocols = st.sampled_from(list(Protocol))
+op_types = st.sampled_from(list(OperationType))
+lock_modes = st.sampled_from(list(LockMode))
+decisions = st.sampled_from(list(CommitDecision))
+
+requests = st.builds(
+    Request,
+    request_id=request_ids,
+    transaction=tids,
+    protocol=protocols,
+    op_type=op_types,
+    copy=copies,
+    timestamp=finite_floats,
+    backoff_interval=finite_floats,
+    issuer=small_text,
+)
+
+grants = st.builds(
+    GrantIssued,
+    request=requests,
+    mode=lock_modes,
+    normal=st.booleans(),
+    time=finite_floats,
+)
+
+effects = st.one_of(
+    grants,
+    st.builds(BackoffIssued, request=requests, new_timestamp=finite_floats, time=finite_floats),
+    st.builds(RequestRejected, request=requests, time=finite_floats, reason=small_text),
+)
+
+#: Values a frame payload may carry, including nested containers and dicts
+#: whose keys are dataclasses (the ``writes: Dict[CopyId, Any]`` case).
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(2**31), 2**31),
+    finite_floats,
+    small_text,
+    tids,
+    copies,
+    request_ids,
+    protocols,
+    op_types,
+    lock_modes,
+    decisions,
+)
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.tuples(children, children),
+        st.lists(children, max_size=3),
+        st.dictionaries(st.one_of(small_text, copies, tids), children, max_size=3),
+    ),
+    max_leaves=8,
+)
+
+# TransactionSpec validates itself (non-empty access set, non-negative
+# times), so the strategy only generates legal specs.
+non_negative = st.floats(min_value=0.0, allow_nan=False, allow_infinity=False)
+specs = st.builds(
+    TransactionSpec,
+    tid=tids,
+    read_items=st.tuples(st.integers(0, 63)),
+    write_items=st.tuples(st.integers(0, 63)),
+    compute_time=non_negative,
+    protocol=st.one_of(st.none(), protocols),
+    arrival_time=non_negative,
+)
+
+prepares = st.builds(
+    PrepareRequest,
+    transaction=tids,
+    attempt=st.integers(0, 4),
+    coordinator=names,
+    requests=st.tuples(requests),
+    writes=st.dictionaries(copies, values, max_size=3),
+    participants=st.tuples(st.integers(0, 7)),
+    force_log=st.booleans(),
+    ack_decision=st.one_of(st.none(), decisions),
+)
+
+attempts = st.integers(0, 4)
+sites = st.integers(0, 7)
+commit_messages = st.one_of(
+    prepares,
+    st.builds(VoteMessage, transaction=tids, attempt=attempts, site=sites, commit=st.booleans()),
+    st.builds(DecisionMessage, transaction=tids, attempt=attempts, decision=decisions),
+    st.builds(StatusQuery, transaction=tids, attempt=attempts, reply_to=names),
+    st.builds(StatusReply, transaction=tids, attempt=attempts, decision=decisions),
+    st.builds(PeerQuery, transaction=tids, attempt=attempts, reply_to=names),
+    st.builds(
+        PeerReply,
+        transaction=tids,
+        attempt=attempts,
+        decision=st.one_of(st.none(), decisions),
+        site=sites,
+    ),
+    st.builds(AckMessage, transaction=tids, attempt=attempts, site=sites),
+)
+
+payloads = st.one_of(
+    values,
+    requests,
+    effects,
+    specs,
+    commit_messages,
+    st.builds(LogicalOperation, op_type=op_types, item=st.integers(0, 63)),
+    st.builds(PhysicalOperation, op_type=op_types, copy=copies),
+    st.builds(
+        LogEntry,
+        copy=copies,
+        transaction=tids,
+        op_type=op_types,
+        protocol=protocols,
+        time=finite_floats,
+        attempt=st.integers(0, 4),
+    ),
+)
+
+messages = st.builds(
+    Message,
+    kind=names,
+    sender=names,
+    receiver=names,
+    payload=payloads,
+    send_time=finite_floats,
+    metadata=st.dictionaries(small_text, scalars, max_size=3),
+)
+
+
+def assert_same_message(left: Message, right: Message) -> None:
+    """Field-wise envelope equality (metadata is a read-only view)."""
+    assert left.kind == right.kind
+    assert left.sender == right.sender
+    assert left.receiver == right.receiver
+    assert left.payload == right.payload
+    assert left.send_time == right.send_time
+    assert dict(left.metadata) == dict(right.metadata)
+
+
+class TestRoundTrip:
+    @given(message=messages)
+    @settings(max_examples=200, deadline=None)
+    def test_round_trip_is_byte_identical(self, message: Message) -> None:
+        frame = encode_message(message)
+        decoded = decode_frame_body(frame[4:])
+        assert_same_message(decoded, message)
+        assert encode_message(decoded) == frame
+
+    @given(batch=st.lists(messages, min_size=1, max_size=4), data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_decoder_accepts_any_byte_boundary(self, batch, data) -> None:
+        stream = b"".join(encode_message(message) for message in batch)
+        cuts = sorted(
+            data.draw(
+                st.lists(st.integers(0, len(stream)), max_size=8, unique=True)
+            )
+        )
+        decoder = FrameDecoder()
+        received = []
+        previous = 0
+        for cut in [*cuts, len(stream)]:
+            received.extend(decoder.feed(stream[previous:cut]))
+            previous = cut
+        decoder.check_eof()
+        assert len(received) == len(batch)
+        for got, sent in zip(received, batch):
+            assert_same_message(got, sent)
+
+    @given(message=messages)
+    @settings(max_examples=50, deadline=None)
+    def test_one_byte_at_a_time(self, message: Message) -> None:
+        frame = encode_message(message)
+        decoder = FrameDecoder()
+        received = []
+        for index in range(len(frame)):
+            received.extend(decoder.feed(frame[index : index + 1]))
+        decoder.check_eof()
+        assert len(received) == 1
+        assert_same_message(received[0], message)
+
+
+class TestMalformedFrames:
+    def test_truncated_frame_reported_at_eof(self) -> None:
+        frame = encode_message(Message("kind", "a", "b"))
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:-1]) == []
+        with pytest.raises(WireError, match="mid-frame"):
+            decoder.check_eof()
+
+    def test_truncated_length_prefix_reported_at_eof(self) -> None:
+        decoder = FrameDecoder()
+        assert decoder.feed(b"\x00\x00") == []
+        with pytest.raises(WireError, match="mid-frame"):
+            decoder.check_eof()
+
+    def test_oversized_length_prefix_rejected_before_body(self) -> None:
+        decoder = FrameDecoder()
+        with pytest.raises(WireError, match="exceeds"):
+            decoder.feed(struct.pack(">I", MAX_FRAME_BYTES + 1))
+
+    def test_invalid_json_body(self) -> None:
+        with pytest.raises(WireError, match="JSON"):
+            decode_frame_body(b"{not json")
+
+    def test_non_utf8_body(self) -> None:
+        with pytest.raises(WireError, match="JSON"):
+            decode_frame_body(b"\xff\xfe")
+
+    def test_non_object_body(self) -> None:
+        with pytest.raises(WireError, match="object"):
+            decode_frame_body(b"[1,2,3]")
+
+    def test_missing_envelope_field(self) -> None:
+        with pytest.raises(WireError, match="kind"):
+            decode_frame_body(b'{"sender":"a","receiver":"b"}')
+
+    def test_unknown_tag_rejected(self) -> None:
+        body = json.dumps(
+            {
+                "kind": "k",
+                "sender": "a",
+                "receiver": "b",
+                "payload": {"__t": "EvilClass", "v": {}},
+            }
+        ).encode()
+        with pytest.raises(WireError, match="unknown wire tag"):
+            decode_frame_body(body)
+
+    def test_wrong_dataclass_fields_rejected(self) -> None:
+        body = json.dumps(
+            {
+                "kind": "k",
+                "sender": "a",
+                "receiver": "b",
+                "payload": {"__t": "TransactionId", "v": {"bogus": 1}},
+            }
+        ).encode()
+        with pytest.raises(WireError, match="TransactionId"):
+            decode_frame_body(body)
+
+    def test_tag_without_value_rejected(self) -> None:
+        body = json.dumps(
+            {"kind": "k", "sender": "a", "receiver": "b", "payload": {"__t": "tuple"}}
+        ).encode()
+        with pytest.raises(WireError, match="__t/v"):
+            decode_frame_body(body)
+
+    def test_spec_with_logic_refused(self) -> None:
+        spec = TransactionSpec(
+            tid=TransactionId(site=0, seq=1),
+            read_items=(1,),
+            write_items=(2,),
+            logic=lambda reads: {},
+        )
+        with pytest.raises(WireError, match="logic"):
+            encode_message(Message("submit", "drv", "ri-0", payload=spec))
+
+    def test_non_finite_float_refused(self) -> None:
+        with pytest.raises(WireError, match="non-finite"):
+            encode_message(Message("k", "a", "b", payload=float("inf")))
+        with pytest.raises(WireError, match="non-finite"):
+            encode_message(Message("k", "a", "b", payload=float("nan")))
+
+    def test_unregistered_type_refused(self) -> None:
+        class NotOnTheWire:
+            pass
+
+        with pytest.raises(WireError, match="not wire-encodable"):
+            encode_message(Message("k", "a", "b", payload=NotOnTheWire()))
+
+
+class TestMessageEnvelope:
+    """Regression tests for the shared-mutable ``Message`` hazard.
+
+    One envelope may be held by the transport queue, a trace hook, the
+    receiving actor and (live mode) an outbound frame encoder at once; the
+    fix froze the dataclass and made ``metadata`` a defensive read-only
+    copy so no holder can change what the others observe.
+    """
+
+    def test_fields_are_frozen(self) -> None:
+        message = Message("k", "a", "b", payload=1)
+        with pytest.raises(AttributeError):
+            message.kind = "other"
+        with pytest.raises(AttributeError):
+            message.payload = 2
+
+    def test_metadata_view_is_read_only(self) -> None:
+        message = Message("k", "a", "b", metadata={"hop": 1})
+        with pytest.raises(TypeError):
+            message.metadata["hop"] = 2
+
+    def test_metadata_is_defensively_copied(self) -> None:
+        source = {"hop": 1}
+        message = Message("k", "a", "b", metadata=source)
+        source["hop"] = 99
+        source["extra"] = True
+        assert dict(message.metadata) == {"hop": 1}
