@@ -178,6 +178,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the scenario's simulation engine (summaries are "
         "byte-identical between serial and parallel)",
     )
+    scenario_parser.add_argument(
+        "--engine-workers",
+        type=int,
+        default=None,
+        help="worker processes for the parallel engine (0: inline in one "
+        "process; requires --engine parallel, summaries stay byte-identical)",
+    )
     _add_jobs_argument(scenario_parser)
     _add_store_arguments(scenario_parser)
 
@@ -379,6 +386,14 @@ def _add_system_arguments(parser: argparse.ArgumentParser) -> None:
         help="simulation engine (serial: single event list; parallel: "
         "site-partitioned conservative windows, byte-identical summaries)",
     )
+    parser.add_argument(
+        "--engine-workers",
+        type=int,
+        default=0,
+        help="worker processes for the parallel engine (0: run the "
+        "partitioned engine inline in one process; requires --engine "
+        "parallel; summaries stay byte-identical at any worker count)",
+    )
 
 
 def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
@@ -422,6 +437,7 @@ def _system_from_args(args: argparse.Namespace) -> SystemConfig:
         commit=CommitConfig(protocol=args.commit),
         audit=args.audit,
         engine=args.engine,
+        engine_workers=args.engine_workers,
         seed=args.seed,
     )
 
@@ -602,7 +618,10 @@ def _command_scenario(args: argparse.Namespace) -> int:
         print("at least one replication is required", file=sys.stderr)
         return 2
     configured = scenario.configured(
-        transactions=args.transactions, arrival_rate=args.arrival_rate, engine=args.engine
+        transactions=args.transactions,
+        arrival_rate=args.arrival_rate,
+        engine=args.engine,
+        engine_workers=args.engine_workers,
     )
     store = _open_store(args)
     result = configured.run(

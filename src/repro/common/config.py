@@ -365,6 +365,19 @@ class SystemConfig:
         ``RunResult.summary()`` values — the determinism contract in
         docs/determinism.md — so the field selects an execution strategy,
         never an outcome.
+    engine_workers:
+        Number of OS worker processes the parallel engine runs the per-site
+        logical processes in.  ``0`` (the default) keeps the partitions
+        interleaved inside the calling process; ``N >= 1`` forks ``N``
+        workers (clamped to the site count) that own contiguous site ranges
+        and exchange cross-site traffic through the conservative window
+        scheduler (:mod:`repro.sim.parallel.process`).  Requires
+        ``engine="parallel"``.  Like ``engine``, the field selects an
+        execution strategy, never an outcome: summaries stay byte-identical
+        to serial, and configurations that the process backend cannot split
+        (dynamic selection, zero lookahead, single site, platforms without
+        ``fork``) fall back to the inline engine, recorded in
+        ``engine_stats["process_fallback"]``.
     """
 
     num_sites: int = 4
@@ -383,6 +396,7 @@ class SystemConfig:
     faults: Optional[FaultConfig] = None
     audit: str = "batch"
     engine: str = "serial"
+    engine_workers: int = 0
     seed: int = 0
 
     #: Valid values of ``audit``.
@@ -401,6 +415,13 @@ class SystemConfig:
             raise ConfigurationError(
                 f"unknown engine {self.engine!r}; "
                 f"choose one of {', '.join(self.ENGINES)}"
+            )
+        if self.engine_workers < 0:
+            raise ConfigurationError("engine_workers must be non-negative")
+        if self.engine_workers and self.engine != "parallel":
+            raise ConfigurationError(
+                "engine_workers requires engine='parallel' "
+                f"(got engine={self.engine!r})"
             )
         if self.num_sites < 1:
             raise ConfigurationError("at least one site is required")

@@ -26,18 +26,35 @@ Two consumers build on the kernel:
   in-process or across ``multiprocessing`` workers — the backend behind
   ``benchmarks/bench_parallel_engine.py`` and the site-partitioned harness
   (:mod:`repro.sim.parallel.harness`).
+* :class:`~repro.sim.parallel.process.ProcessEngineRunner` executes the
+  *full* simulator's per-site LPs across ``SystemConfig.engine_workers``
+  forked worker processes, funnelling every cross-site side effect through
+  the capture instruments of :mod:`repro.sim.parallel.instruments` and
+  folding them back in the global deterministic order — still
+  byte-identical to a serial run.
 """
 
 from repro.sim.parallel.channels import ChannelState, TimedMessage
 from repro.sim.parallel.engine import PartitionedSimulator
+from repro.sim.parallel.instruments import CaptureBus, ProcessNetwork
 from repro.sim.parallel.lookahead import LookaheadPolicy, derive_lookahead
 from repro.sim.parallel.lp import LogicalProcess, LPContext
+from repro.sim.parallel.process import (
+    ProcessEngineRunner,
+    WorkerCrashError,
+    backend_unavailable_reason,
+)
 from repro.sim.parallel.scheduler import ConservativeScheduler, conservative_horizons
 
 __all__ = [
     "ChannelState",
     "TimedMessage",
     "PartitionedSimulator",
+    "CaptureBus",
+    "ProcessNetwork",
+    "ProcessEngineRunner",
+    "WorkerCrashError",
+    "backend_unavailable_reason",
     "LookaheadPolicy",
     "derive_lookahead",
     "LogicalProcess",

@@ -60,6 +60,12 @@ _PROMISE_SLACK = 1e-9
 class PartitionedSimulator(Simulator):
     """Site-partitioned event loop with conservative-window accounting."""
 
+    #: Optional push interceptor installed by the process backend
+    #: (:mod:`repro.sim.parallel.process`): inside a worker or the parent of
+    #: a multi-process run, scheduling is routed through the runtime instead
+    #: of the in-process partition queues.
+    _router = None
+
     def __init__(
         self,
         num_sites: int,
@@ -109,6 +115,9 @@ class PartitionedSimulator(Simulator):
         label: str,
         site: Optional[int],
     ) -> Event:
+        router = self._router
+        if router is not None:
+            return router.route_push(time, callback, priority, label, site)
         target = self._partition_of(site)
         source = self._executing_lp
         if (
@@ -227,6 +236,10 @@ class PartitionedSimulator(Simulator):
             "engine": "parallel",
             "lookahead": self._lookahead,
             "barrier_mode": self._policy.barrier,
+            # Named explicitly so zero-lookahead degradation is observable:
+            # True means the conservative windows collapsed to one barrier
+            # per timestamp (no cross-window concurrency was available).
+            "barrier_fallback": self._policy.barrier,
             "windows": self._windows,
             "barrier_windows": self._barrier_windows,
             "events_per_lp": {

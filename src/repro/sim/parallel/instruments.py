@@ -1,0 +1,439 @@
+"""Capture instrumentation for the process backend of the parallel engine.
+
+When a run executes its per-site logical processes in worker OS processes
+(:mod:`repro.sim.parallel.process`), the globally shared side-effect sinks —
+the metrics collector, the execution log, the value store, the protocol
+registry, the streaming-audit commit stream and the network counters — can
+no longer be mutated in place by every actor: each worker only holds a
+forked replica.  Instead, the database is built with the ``Recording*``
+subclasses below.  They are exact pass-throughs while the
+:class:`CaptureBus` is inactive (the inline engine and the parent process
+use them unchanged, byte-identically), and in an activated worker they
+*capture* every mutating call as a ``(emit_key, sub, k, channel, name,
+args, kwargs)`` tuple instead of (or in addition to) applying it locally.
+
+The parent replays the captured calls against its authoritative objects in
+the global deterministic event order — the merge-order clause of
+docs/determinism.md — so every derived float, digest and counter is
+bit-identical to a serial run.
+
+Capture channels:
+
+``"m"``
+    :class:`RecordingMetrics` — worker skips the mutation entirely (no
+    actor reads metrics mid-run); the parent applies it in merge order.
+``"l"``
+    :class:`RecordingExecutionLog` — worker skips the append (actors only
+    write the audit log), which both avoids observer fan-out in the worker
+    and keeps worker memory bounded; the parent's replay drives the
+    incremental serializability checker exactly as in a serial run.
+``"s"``
+    :class:`RecordingValueStore` — worker applies the write locally (its
+    own queue managers read their copies) *and* captures it; the parent
+    applies it to the authoritative store (feeding the replica auditor)
+    and rebroadcasts it to the other workers.
+``"r"``
+    :class:`RecordingRegistry` — protocol registry writes, applied locally
+    and replayed/rebroadcast like value-store writes.
+``"a"``
+    :class:`AuditStreamTap` — commit points for the streaming checker;
+    worker-side the checker replica is never touched.
+``"n"``
+    :class:`ProcessNetwork` — cross-site sends.  The worker does *not*
+    execute them (the delivery latency draws from the run's seeded RNG
+    stream, which only the parent may consume); the parent replays the
+    full send in merge order and ships the delivery to the receiver's
+    worker.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.sim.actor import Actor, Message
+from repro.sim.network import Network
+from repro.storage.log import ExecutionLog
+from repro.storage.store import ValueStore
+from repro.system.metrics import MetricsCollector
+
+#: Sorts before every post-fork order token: pre-fork events carry the flat
+#: serial sequence number they were scheduled with, tagged with this time so
+#: they win any (time, priority) tie against events scheduled after the fork
+#: (whose tokens lead with the scheduling parent's non-negative time).
+PREFORK_TIME = -1.0
+
+
+class CaptureBus:
+    """Ordered side-effect capture shared by one worker's instruments.
+
+    Inactive (``capturing=False``) until the worker runtime activates it
+    post-fork, so the instrumented objects behave exactly like their base
+    classes in the parent and in inline runs.  While an event executes, the
+    runtime points ``emit_key`` at the event's global order key
+    ``(time, priority, token)`` and resets the per-event call counter
+    ``k``; every captured call and every locally scheduled event consumes
+    one ``k``, so ``(emit_key, sub, k)`` reproduces the serial engine's
+    relative sequence order exactly (``sub`` is the fault-listener index,
+    0 for ordinary events — see the listener surgery in
+    :mod:`repro.sim.parallel.process`).
+    """
+
+    __slots__ = ("capturing", "entries", "emit_key", "sub", "_k")
+
+    def __init__(self) -> None:
+        self.capturing = False
+        self.entries: List[tuple] = []
+        self.emit_key: Optional[tuple] = None
+        self.sub = 0
+        self._k = 0
+
+    def begin_event(self, key: tuple) -> None:
+        """Start capturing under the event whose global order key is ``key``."""
+        self.emit_key = key
+        self.sub = 0
+        self._k = 0
+
+    def next_k(self) -> int:
+        """Consume the next per-event call index (captures and schedules share it)."""
+        k = self._k
+        self._k += 1
+        return k
+
+    def capture(self, channel: str, name: str, args: tuple, kwargs: Optional[dict] = None) -> None:
+        """Record one mutating call for parent-side replay."""
+        self.entries.append(
+            (self.emit_key, self.sub, self.next_k(), channel, name, args, kwargs or {})
+        )
+
+    def drain(self) -> List[tuple]:
+        """Return and clear the captured entries (sorted by construction)."""
+        entries = self.entries
+        self.entries = []
+        return entries
+
+
+#: Every mutator of :class:`MetricsCollector` that actors call mid-run.
+#: ``register_arrival_cut`` is deliberately absent: it is called once by the
+#: runner before the simulation starts (pre-fork), never by an actor.
+METRIC_MUTATORS: Tuple[str, ...] = (
+    "record_arrival",
+    "record_attempt",
+    "record_request_issued",
+    "record_rejection",
+    "record_backoff",
+    "record_backoff_round",
+    "record_restart",
+    "record_lock_time",
+    "record_grant",
+    "record_commit",
+    "record_commit_latency",
+    "record_in_doubt_time",
+    "record_lost_write",
+    "record_commit_abort",
+    "record_timeout_restart",
+    "record_coordinator_recovery",
+    "record_coordinator_redrive",
+    "record_termination_resolution",
+)
+
+
+class RecordingMetrics(MetricsCollector):
+    """Metrics collector whose mutators divert to the capture bus in a worker.
+
+    The wrappers are generated below from :data:`METRIC_MUTATORS`; with no
+    bus attached (or an inactive one) every call is a plain pass-through to
+    :class:`MetricsCollector`, so inline runs are byte-identical.
+    """
+
+    _capture_bus: Optional[CaptureBus] = None
+
+
+def _metric_wrapper(name: str, base: Callable) -> Callable:
+    def wrapper(self: RecordingMetrics, *args: Any, **kwargs: Any) -> None:
+        bus = self._capture_bus
+        if bus is not None and bus.capturing:
+            bus.capture("m", name, args, kwargs)
+            return None
+        return base(self, *args, **kwargs)
+
+    wrapper.__name__ = name
+    wrapper.__qualname__ = f"RecordingMetrics.{name}"
+    wrapper.__doc__ = base.__doc__
+    return wrapper
+
+
+for _name in METRIC_MUTATORS:
+    setattr(RecordingMetrics, _name, _metric_wrapper(_name, getattr(MetricsCollector, _name)))
+
+
+class RecordingExecutionLog(ExecutionLog):
+    """Execution log that captures appends instead of applying them in a worker.
+
+    Actors only ever *write* this log (queue managers append, withdraw and
+    quiesce); all reads happen in the audit layer, which lives in the
+    parent.  Skipping the local apply keeps worker memory bounded and means
+    log observers — the incremental serializability checker — fire exactly
+    once, in the parent's deterministic replay.
+    """
+
+    _capture_bus: Optional[CaptureBus] = None
+
+    def record(self, *args: Any, **kwargs: Any):
+        """Append an implemented operation (captured in a worker)."""
+        bus = self._capture_bus
+        if bus is not None and bus.capturing:
+            bus.capture("l", "record", args, kwargs)
+            return None
+        return super().record(*args, **kwargs)
+
+    def remove_transaction(self, *args: Any, **kwargs: Any) -> int:
+        """Withdraw tentative entries (captured in a worker)."""
+        bus = self._capture_bus
+        if bus is not None and bus.capturing:
+            bus.capture("l", "remove_transaction", args, kwargs)
+            return 0
+        return super().remove_transaction(*args, **kwargs)
+
+    def note_quiesced(self, *args: Any, **kwargs: Any) -> None:
+        """Report a final release (captured in a worker)."""
+        bus = self._capture_bus
+        if bus is not None and bus.capturing:
+            bus.capture("l", "note_quiesced", args, kwargs)
+            return None
+        return super().note_quiesced(*args, **kwargs)
+
+
+class RecordingValueStore(ValueStore):
+    """Value store that captures writes *and* applies them locally.
+
+    A worker's own queue managers and participants read the copies of the
+    sites it owns, so the local apply must happen; the captured call lets
+    the parent update the authoritative store (feeding the streaming
+    replica auditor) and rebroadcast the write to every other worker.  The
+    worker runtime detaches the forked write observers at activation, so
+    observer effects also happen exactly once, in the parent.
+    """
+
+    _capture_bus: Optional[CaptureBus] = None
+
+    def write(self, copy: Any, value: Any, writer: Any, time: float):
+        """Write a copy's value (captured and locally applied in a worker)."""
+        bus = self._capture_bus
+        if bus is not None and bus.capturing:
+            bus.capture("s", "write", (copy, value, writer, time))
+        return super().write(copy, value, writer, time)
+
+
+class RecordingRegistry(dict):
+    """Protocol registry (``tid -> Protocol``) with captured assignments.
+
+    Subclasses ``dict`` so every reader (issuers, the detector's victim
+    selection) sees a plain mapping; assignments in a worker are applied
+    locally and captured for parent replay and rebroadcast.
+    """
+
+    _capture_bus: Optional[CaptureBus] = None
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        """Assign, capturing the write when a worker bus is active."""
+        bus = self._capture_bus
+        if bus is not None and bus.capturing:
+            bus.capture("r", "set", (key, value))
+        dict.__setitem__(self, key, value)
+
+    def apply_foreign(self, key: Any, value: Any) -> None:
+        """Apply a rebroadcast assignment from another worker (no re-capture)."""
+        dict.__setitem__(self, key, value)
+
+
+class AuditStreamTap:
+    """Commit-point stream handed to issuers in place of the streaming checker.
+
+    The wrapped :class:`~repro.core.streaming.IncrementalSerializabilityChecker`
+    lives in the parent; a worker captures ``note_commit`` calls so the
+    parent can feed them to the checker in merge order, interleaved
+    correctly with the replayed log entries.
+    """
+
+    def __init__(self, checker: Any) -> None:
+        self._checker = checker
+        self._capture_bus: Optional[CaptureBus] = None
+
+    def note_commit(self, transaction: Any, attempt: int, copies: Any) -> None:
+        """Record a commit point (captured in a worker)."""
+        bus = self._capture_bus
+        if bus is not None and bus.capturing:
+            bus.capture("a", "note_commit", (transaction, attempt, tuple(copies)))
+            return
+        self._checker.note_commit(transaction, attempt, copies)
+
+
+class ProcessNetwork(Network):
+    """Network whose cross-site sends are captured (worker) or shipped (parent).
+
+    Three modes, selected by ``_process_mode``:
+
+    ``None``
+        Plain :class:`Network` — inline runs and the pre-fork phase.
+    ``"capture"``
+        A worker.  Same-site sends execute fully locally (their latency is
+        a constant; the drop check reads the precomputed fault timeline).
+        Cross-site sends are captured instead of executed: their variable
+        latency draws from the run's seeded RNG stream, which only the
+        parent may consume, in global merge order.
+    ``"mediate"``
+        The parent.  Used while parent-executed control events (deadlock
+        scans) send messages: the full serial send body runs — RNG draw,
+        FIFO channel nudge, counters, crash drop checks — but the delivery
+        is handed to ``_ship`` (the runner) instead of the local simulator,
+        which forwards it to the owning worker.
+    """
+
+    _process_mode: Optional[str] = None
+    _capture_bus: Optional[CaptureBus] = None
+    #: Parent-side delivery hook: ``_ship(receiver, message, delay, token)``.
+    _ship: Optional[Callable[[Actor, Message, float, tuple], None]] = None
+    #: Parent-side order-token source for mediate-mode sends.
+    _token_source: Optional[Callable[[], tuple]] = None
+
+    def send(
+        self,
+        sender: Actor,
+        receiver_name: str,
+        kind: str,
+        payload: object = None,
+        extra_delay: float = 0.0,
+    ) -> Message:
+        """Send a message; behaviour depends on the process mode (see class docs)."""
+        mode = self._process_mode
+        if mode is None:
+            return super().send(sender, receiver_name, kind, payload, extra_delay)
+        receiver = self.actor(receiver_name)
+        if mode == "capture":
+            if sender.site == receiver.site:
+                return super().send(sender, receiver_name, kind, payload, extra_delay)
+            bus = self._capture_bus
+            assert bus is not None and bus.capturing, "capture-mode send outside a window"
+            bus.capture(
+                "n",
+                "send",
+                (sender.name, sender.site, receiver_name, kind, payload, extra_delay),
+            )
+            # Callers ignore the returned message; deliver_time is filled in
+            # by the parent's replay, so a placeholder marks it unsampled.
+            return Message(
+                kind=kind,
+                sender=sender.name,
+                receiver=receiver_name,
+                payload=payload,
+                send_time=self._simulator.now,
+                deliver_time=float("nan"),
+            )
+        assert mode == "mediate", f"unknown process mode {mode!r}"
+        assert self._token_source is not None, "mediate-mode send without a token source"
+        return self.replay_send(
+            self._simulator.now,
+            sender.name,
+            sender.site,
+            receiver_name,
+            kind,
+            payload,
+            extra_delay,
+            self._token_source(),
+        )
+
+    def replay_send(
+        self,
+        now: float,
+        sender_name: str,
+        sender_site: int,
+        receiver_name: str,
+        kind: str,
+        payload: object,
+        extra_delay: float,
+        token: tuple,
+    ) -> Message:
+        """Execute one send's serial body at time ``now``, shipping the delivery.
+
+        This is :meth:`Network.send` verbatim — latency sample, delay-spike
+        multiplier, FIFO channel nudge, counters, drop-at-delivery checks —
+        except that the send instant is the *capturing event's* time rather
+        than this process's clock, and a surviving delivery goes to
+        ``_ship`` (which forwards it to the receiving site's worker) tagged
+        with the deterministic order ``token``.
+        """
+        receiver = self.actor(receiver_name)
+        latency = self.latency(sender_site, receiver.site)
+        if self._faults is not None and sender_site != receiver.site:
+            latency *= self._faults.delay_multiplier(sender_site, receiver.site, now)
+        delay = latency + extra_delay
+        channel = (sender_name, receiver_name)
+        deliver_time = now + delay
+        previous = self._channel_clock.get(channel, float("-inf"))
+        if deliver_time <= previous:
+            deliver_time = previous + 1e-12
+            delay = deliver_time - now
+        self._channel_clock[channel] = deliver_time
+        message = Message(
+            kind=kind,
+            sender=sender_name,
+            receiver=receiver_name,
+            payload=payload,
+            send_time=now,
+            deliver_time=deliver_time,
+        )
+        self._messages_sent += 1
+        self._messages_by_kind[kind] += 1
+        if sender_site == receiver.site:
+            self._local_messages += 1
+        else:
+            self._remote_messages += 1
+        if (
+            self._faults is not None
+            and receiver.crashable
+            and not self._faults.site_up(receiver.site, deliver_time)
+        ):
+            self._messages_dropped += 1
+            self._dropped_by_kind[kind] += 1
+            return message
+        if (
+            self._faults is not None
+            and receiver.coordinator_crashable
+            and not self._faults.coordinator_up(receiver.site, deliver_time)
+        ):
+            self._messages_dropped += 1
+            self._dropped_by_kind[kind] += 1
+            return message
+        assert self._ship is not None, "replay_send without a delivery hook"
+        self._ship(receiver, message, delay, token)
+        return message
+
+    def fold_counter_deltas(
+        self,
+        sent: int,
+        local: int,
+        dropped: int,
+        by_kind: Dict[str, int],
+        dropped_by_kind: Dict[str, int],
+    ) -> None:
+        """Add a worker's local-send counter deltas to this (parent) network.
+
+        Workers execute same-site sends themselves; their counter movements
+        are gathered at finalize and folded here so ``messages_sent`` /
+        ``messages_dropped`` match a serial run exactly.
+        """
+        self._messages_sent += sent
+        self._local_messages += local
+        self._messages_dropped += dropped
+        self._messages_by_kind.update(by_kind)
+        self._dropped_by_kind.update(dropped_by_kind)
+
+    def counter_snapshot(self) -> tuple:
+        """Snapshot of the mutable counters (a worker diffs this at finalize)."""
+        return (
+            self._messages_sent,
+            self._local_messages,
+            self._messages_dropped,
+            dict(self._messages_by_kind),
+            dict(self._dropped_by_kind),
+        )

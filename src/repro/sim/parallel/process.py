@@ -1,0 +1,1047 @@
+"""Multi-core execution of the partitioned engine: the process backend.
+
+``SystemConfig.engine_workers > 0`` routes a full-simulator parallel run
+over real OS processes: the per-site logical processes of
+:class:`~repro.sim.parallel.engine.PartitionedSimulator` are distributed
+across ``engine_workers`` forked workers (contiguous site ranges), while the
+parent keeps the run's shared, order-sensitive state — the RNG streams, the
+metrics collector, the execution log and its streaming checker, the
+authoritative value store, the network counters, and the whole control LP
+(fault timeline, deadlock scans, checkpoints).
+
+The determinism contract is the same as the inline engine's: the run is
+**byte-identical** to a serial run.  The mechanism is a global order key per
+event.  Events scheduled before the fork keep their serial sequence number
+as the token ``(PREFORK_TIME, seq)``; an event scheduled *by* event ``E``
+gets the token ``(*key(E), sub, k)`` where ``key(E) = (time, priority,
+token)``, ``sub`` is the fault-listener index (0 for ordinary events) and
+``k`` is a per-event counter shared by every schedule *and* every captured
+side effect.  Tokens compare element-wise, so at any ``(time, priority)``
+tie the token order reproduces the serial engine's scheduling-sequence
+order exactly — across workers, captured cross-site messages, and
+parent-executed control events alike.
+
+Per conservative window (width = lookahead, the minimum cross-site latency)
+each worker runs its heap up to its horizon and returns the side effects it
+captured (:mod:`repro.sim.parallel.instruments`).  The parent buffers them
+in one global heap and *folds* — applies in key order — exactly the prefix
+below the global frontier, which is final: no worker can still produce an
+earlier-keyed entry.  Folding a captured cross-site send replays the full
+serial send body (RNG latency draw, FIFO channel nudge, counters, crash
+drop checks) and ships the surviving delivery to the receiving site's owner
+in its next window; store and registry writes are rebroadcast to the other
+workers' replicas the same way.  Control events run in the parent at global
+barriers: a deadlock scan gathers wait-for edges and lock counts from the
+workers through the seams in
+:meth:`~repro.system.detector.DeadlockDetectorActor.install_process_seams`,
+a checkpoint commands every worker to truncate its owned commit logs.
+
+A worker that dies — crash, unpicklable payload, injected test fault —
+never hangs the run: the failure propagates as :class:`WorkerCrashError`
+naming the owned sites and the window index.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import os
+import pickle
+import time as _wall
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.common.errors import SimulationError
+from repro.sim.actor import Message
+from repro.sim.events import Event
+from repro.sim.parallel.instruments import PREFORK_TIME
+from repro.sim.parallel.lookahead import derive_lookahead
+
+#: Slack for the replayed lookahead promise (same rationale as the inline
+#: engine's ``_PROMISE_SLACK``).
+_PROMISE_SLACK = 1e-9
+
+#: Test seam: set to a callable ``hook(worker_id, window_index, owned_sites)``
+#: *before* ``DistributedDatabase.run`` (workers inherit it through the fork)
+#: to run code inside each worker at the start of every window — e.g. raise
+#: to exercise the crash-propagation path.
+_worker_fault_hook: Optional[Callable[[int, int, FrozenSet[int]], None]] = None
+
+#: Control-event kinds that are *fault* notifications: every worker executes
+#: them (with its listener slice), the parent only counts them.
+_FAULT_KINDS = frozenset({"crash", "recovery", "coordinator-crash", "coordinator-recovery"})
+
+_FAULT_LABEL_PREFIXES = (
+    ("site-crash-", "crash"),
+    ("site-recover-", "recovery"),
+    ("coordinator-crash-", "coordinator-crash"),
+    ("coordinator-recover-", "coordinator-recovery"),
+)
+
+
+class WorkerCrashError(SimulationError):
+    """A worker process of a multi-process run died.
+
+    Raised in the parent, never swallowed into a hang: carries the sites the
+    dead worker owned, the window index it was executing, and the worker's
+    own error report (repr + traceback) when one made it over the pipe.
+    """
+
+    def __init__(self, sites: Sequence[int], window: int, detail: str) -> None:
+        self.sites = tuple(sorted(sites))
+        self.window = window
+        self.detail = detail
+        super().__init__(
+            f"engine worker owning sites {list(self.sites)} died in window "
+            f"{window}: {detail}"
+        )
+
+
+@dataclass
+class ProcessRunArtifacts:
+    """Worker-held result state gathered at the end of a process-backend run.
+
+    ``DistributedDatabase._build_result`` consults this instead of its own
+    (stale, pre-fork) replicas of the issuers and commit logs.
+    """
+
+    committed_attempts: Dict[Any, int]
+    protocol_switches: int
+    forced_log_writes: int
+    lazy_log_writes: int
+    log_records_truncated: int
+    peak_log_records: int
+    engine_stats: Dict[str, object] = field(default_factory=dict)
+
+
+def backend_unavailable_reason(
+    system: Any,
+    *,
+    choose_protocol: Any,
+    external_store: bool,
+) -> Optional[str]:
+    """Why this configuration cannot run the process backend (``None`` = it can).
+
+    The returned reason string lands in ``engine_stats["process_fallback"]``
+    of the inline run the database falls back to, so a degraded selection is
+    always observable, never silent.
+    """
+    if choose_protocol is not None:
+        # The chooser closure reads cross-site selector state every arrival;
+        # replicating it per worker would need its own capture protocol.
+        return "dynamic-selection"
+    if external_store:
+        # A caller-supplied value store may be observed externally mid-run.
+        return "external-value-store"
+    if system.num_sites < 2:
+        return "single-site"
+    if derive_lookahead(system) <= 0.0:
+        return "zero-lookahead"
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return "no-fork"
+    if multiprocessing.current_process().daemon:
+        # Inside a --jobs pool worker: daemonic processes may not fork
+        # children, so the run degrades to the inline engine (which is
+        # byte-identical anyway — the pool already provides the parallelism).
+        return "daemonic-parent"
+    return None
+
+
+def classify_control_event(event: Event, database: Any) -> Tuple[str, Optional[int]]:
+    """Classify one control-LP event as ``(kind, site)``.
+
+    Kinds: the four fault notifications of :data:`_FAULT_KINDS` (classified
+    by the labels :meth:`~repro.sim.faults.FaultInjector.start` attaches),
+    ``"scan"`` (the deadlock-scan chain, classified by its bound method) and
+    ``"checkpoint"``.  Anything else is a loud error — an unknown control
+    event cannot be partitioned safely.
+    """
+    callback = event.callback
+    owner = getattr(callback, "__self__", None)
+    if owner is database.detector:
+        return ("scan", None)
+    if owner is database:
+        func = getattr(callback, "__func__", None)
+        if func is not None and func.__name__ == "_run_checkpoint":
+            return ("checkpoint", None)
+    for prefix, kind in _FAULT_LABEL_PREFIXES:
+        if event.label.startswith(prefix):
+            return (kind, int(event.label[len(prefix):]))
+    raise SimulationError(
+        f"the process backend cannot classify control event {event.label!r}; "
+        "control events must be fault notifications, deadlock scans or "
+        "checkpoints"
+    )
+
+
+def assign_sites(num_sites: int, workers: int) -> List[Tuple[int, ...]]:
+    """Contiguous site ranges, one per worker, sizes differing by at most one."""
+    base, extra = divmod(num_sites, workers)
+    ranges: List[Tuple[int, ...]] = []
+    start = 0
+    for worker in range(workers):
+        count = base + (1 if worker < extra else 0)
+        ranges.append(tuple(range(start, start + count)))
+        start += count
+    return ranges
+
+
+# --------------------------------------------------------------------------- #
+# Worker side
+# --------------------------------------------------------------------------- #
+
+
+class _WorkerRuntime:
+    """One forked worker: a token-ordered heap over its owned site LPs.
+
+    Constructed *inside* the child process from the fork-inherited database.
+    ``activate`` rewires the inherited world — drains the owned site
+    partitions into the heap, drops foreign ones, performs the
+    fault-listener surgery, detaches store observers, switches the network
+    to capture mode and turns the capture bus on — and ``serve`` then
+    processes window commands from the parent until told to stop.
+    """
+
+    def __init__(self, runner: "ProcessEngineRunner", worker_id: int, conn: Any) -> None:
+        self._runner = runner
+        self._db = runner._database
+        self._sim = self._db.simulator
+        self._net = self._db.network
+        self._bus = self._db._capture_bus
+        self._conn = conn
+        self._worker_id = worker_id
+        self._owned: FrozenSet[int] = frozenset(runner._assignments[worker_id])
+        self._heap: List[tuple] = []
+        self._exec_key: Optional[tuple] = None
+        self._window_index = -1
+        self._fired_total = 0
+        self._idle_seconds = 0.0
+        self._net_base: Optional[tuple] = None
+
+    # -------------------------- activation --------------------------- #
+
+    def activate(self) -> None:
+        """Rewire the fork-inherited world into this worker's partition."""
+        sim = self._sim
+        for site in range(sim._num_sites):
+            queue = sim._partitions[site]
+            if site in self._owned:
+                while queue.peek() is not None:
+                    event = queue.pop()
+                    heapq.heappush(
+                        self._heap,
+                        (event.time, event.priority, (PREFORK_TIME, event.seq), event),
+                    )
+            else:
+                queue.clear()
+        # The parent drained the control partition before forking; every
+        # worker executes the fault notifications (with its listener slice).
+        sim._partitions[sim._control].clear()
+        for event in self._runner._fault_events:
+            heapq.heappush(
+                self._heap,
+                (event.time, event.priority, (PREFORK_TIME, event.seq), event),
+            )
+        faults = self._db.faults
+        if faults is not None:
+            for attr in (
+                "_crash_listeners",
+                "_recovery_listeners",
+                "_coordinator_crash_listeners",
+                "_coordinator_recovery_listeners",
+            ):
+                setattr(faults, attr, [self._make_dispatcher(getattr(faults, attr))])
+        # Store-write observers (the streaming replica auditor) belong to the
+        # parent's replay; the worker replica applies values silently.
+        self._db.value_store._write_observers.clear()
+        self._net_base = self._net.counter_snapshot()
+        self._net._process_mode = "capture"
+        sim._router = self
+        self._bus.capturing = True
+
+    def _make_dispatcher(self, listeners: List[Callable]) -> Callable[[int, float], None]:
+        """Collapse one fault-listener list to the slice this worker owns.
+
+        Each kept listener remembers its *original* registration index; the
+        dispatcher stamps it on the capture bus (``sub``) while the listener
+        runs, so side effects of the same fault event merge across workers
+        in exact registration order.  The database's own listener (queue
+        manager crash wipes) is kept with a crashed-site ownership filter;
+        actor-bound listeners are kept when the actor's site is owned.
+        """
+        kept: List[Tuple[int, Callable, Optional[int]]] = []
+        for index, listener in enumerate(listeners):
+            owner = getattr(listener, "__self__", None)
+            if owner is self._db:
+                kept.append((index, listener, None))
+            elif getattr(owner, "site", None) in self._owned:
+                kept.append((index, listener, owner.site))
+        bus = self._bus
+        owned = self._owned
+
+        def dispatch(site: int, now: float) -> None:
+            for index, listener, owner_site in kept:
+                if owner_site is None and site not in owned:
+                    continue
+                bus.sub = index
+                try:
+                    listener(site, now)
+                finally:
+                    bus.sub = 0
+
+        return dispatch
+
+    # ------------------------- scheduling ---------------------------- #
+
+    def route_push(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int,
+        label: str,
+        site: Optional[int],
+    ) -> Event:
+        """Simulator push hook: only owned-site events may be scheduled here.
+
+        Cross-site traffic travels as captured network sends and control
+        events live in the parent, so anything else reaching this heap is a
+        partitioning bug and fails loudly.
+        """
+        if site is None or not 0 <= site < self._sim._num_sites:
+            raise SimulationError(
+                f"engine worker for sites {sorted(self._owned)} scheduled "
+                f"control event {label!r}; control events belong to the parent"
+            )
+        if site not in self._owned:
+            raise SimulationError(
+                f"engine worker for sites {sorted(self._owned)} scheduled "
+                f"{label!r} on foreign site {site} without a network message"
+            )
+        key = self._exec_key
+        if key is None:
+            raise SimulationError(
+                f"engine worker scheduled {label!r} outside an executing event"
+            )
+        bus = self._bus
+        token = key + (bus.sub, bus.next_k())
+        event = Event(time=time, priority=priority, seq=0, callback=callback, label=label)
+        heapq.heappush(self._heap, (time, priority, token, event))
+        return event
+
+    # --------------------------- windows ----------------------------- #
+
+    def _insert_delivery(self, delivery: tuple) -> None:
+        (time, priority, token, receiver_name, kind, sender_name,
+         payload, send_time, deliver_time, label) = delivery
+        receiver = self._net.actor(receiver_name)
+        message = Message(
+            kind=kind,
+            sender=sender_name,
+            receiver=receiver_name,
+            payload=payload,
+            send_time=send_time,
+            deliver_time=deliver_time,
+        )
+        event = Event(
+            time=time,
+            priority=priority,
+            seq=0,
+            callback=lambda receiver=receiver, message=message: receiver.handle(message),
+            label=label,
+        )
+        heapq.heappush(self._heap, (time, priority, token, event))
+
+    def _run_window(
+        self,
+        window_index: int,
+        cap_key: Optional[tuple],
+        horizon: float,
+        until: Optional[float],
+        deliveries: List[tuple],
+        foreign_writes: List[tuple],
+    ) -> Tuple[int, Optional[float]]:
+        self._window_index = window_index
+        bus = self._bus
+        # Foreign store/registry writes were folded by the parent strictly
+        # before this window's frontier; apply them before any local event
+        # can read the copies (capture off: they are replica refreshes, not
+        # new effects).
+        bus.capturing = False
+        try:
+            for channel, args in foreign_writes:
+                if channel == "s":
+                    self._db.value_store.write(*args)
+                else:
+                    self._db._protocol_registry.apply_foreign(*args)
+        finally:
+            bus.capturing = True
+        for delivery in deliveries:
+            self._insert_delivery(delivery)
+        hook = _worker_fault_hook
+        if hook is not None:
+            hook(self._worker_id, window_index, self._owned)
+        heap = self._heap
+        sim = self._sim
+        fired = 0
+        last_time: Optional[float] = None
+        while heap:
+            head = heap[0]
+            if head[3].cancelled:
+                heapq.heappop(heap)
+                continue
+            if until is not None and head[0] > until:
+                break
+            if head[0] >= horizon:
+                break
+            if cap_key is not None and (head[0], head[1], head[2]) >= cap_key:
+                break
+            time, priority, token, event = heapq.heappop(heap)
+            sim._now = time
+            sim._events_processed += 1
+            self._exec_key = (time, priority, token)
+            bus.begin_event(self._exec_key)
+            event.callback()
+            fired += 1
+            last_time = time
+        self._exec_key = None
+        self._fired_total += fired
+        return fired, last_time
+
+    def _peek_key(self) -> Optional[tuple]:
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+        if not heap:
+            return None
+        head = heap[0]
+        return (head[0], head[1], head[2])
+
+    # --------------------------- gathers ----------------------------- #
+
+    def _remaining_parts(self) -> Tuple[int, int]:
+        """(local pending-arrival counter, active transactions of owned sites)."""
+        active = sum(
+            len(self._db.issuer(site).active_transactions()) for site in sorted(self._owned)
+        )
+        return (self._db._pending_arrivals, active)
+
+    def _gather_scan_state(self) -> tuple:
+        adjacency: Dict[int, set] = {}
+        transaction_of: Dict[int, Any] = {}
+        for site in sorted(self._owned):
+            for copy in self._db.catalog.copies_at(site):
+                self._db.queue_manager(copy).collect_wait_edges(adjacency, transaction_of)
+        locks: Dict[Any, int] = {}
+        for site in sorted(self._owned):
+            issuer = self._db.issuer(site)
+            for tid in issuer.active_transactions():
+                locks[tid] = issuer.granted_lock_count(tid)
+        return (adjacency, transaction_of, locks, self._remaining_parts())
+
+    def _finalize_payload(self) -> Dict[str, Any]:
+        db = self._db
+        committed: Dict[Any, int] = {}
+        for site in sorted(self._owned):
+            committed.update(db.issuer(site).committed_attempts())
+        switches = sum(db.issuer(site).protocol_switches for site in sorted(self._owned))
+        logs = {
+            site: (
+                db.commit_log(site).forced_writes,
+                db.commit_log(site).lazy_writes,
+                db.commit_log(site).records_truncated,
+                db.commit_log(site).peak_records,
+            )
+            for site in sorted(self._owned)
+        }
+        current = self._net.counter_snapshot()
+        base = self._net_base
+        deltas = (
+            current[0] - base[0],
+            current[1] - base[1],
+            current[2] - base[2],
+            {kind: count - base[3].get(kind, 0) for kind, count in current[3].items()
+             if count != base[3].get(kind, 0)},
+            {kind: count - base[4].get(kind, 0) for kind, count in current[4].items()
+             if count != base[4].get(kind, 0)},
+        )
+        return {
+            "committed_attempts": committed,
+            "protocol_switches": switches,
+            "commit_logs": logs,
+            "network": deltas,
+            "fired": self._fired_total,
+            "idle_seconds": self._idle_seconds,
+        }
+
+    # -------------------------- command loop ------------------------- #
+
+    def _reply(self, payload: tuple) -> None:
+        self._conn.send_bytes(pickle.dumps(payload))
+
+    def serve(self) -> None:
+        """Answer parent commands until ``stop`` (or pipe EOF) ends the worker."""
+        self._reply(("ready", self._peek_key()))
+        while True:
+            started = _wall.monotonic()
+            try:
+                data = self._conn.recv_bytes()
+            except EOFError:
+                return
+            self._idle_seconds += _wall.monotonic() - started
+            command = pickle.loads(data)
+            op = command[0]
+            if op == "win":
+                _, window_index, cap_key, horizon, until, deliveries, writes = command
+                fired, last_time = self._run_window(
+                    window_index, cap_key, horizon, until, deliveries, writes
+                )
+                self._reply(("win", self._peek_key(), last_time, fired, self._bus.drain()))
+            elif op == "gather":
+                self._reply(("gather", self._gather_scan_state()))
+            elif op == "ckpt":
+                for site in sorted(self._owned):
+                    self._db.commit_log(site).truncate()
+                self._reply(("ckpt", self._remaining_parts()))
+            elif op == "fin":
+                self._reply(("fin", self._finalize_payload()))
+            elif op == "stop":
+                return
+            else:
+                raise SimulationError(f"unknown engine-worker command {op!r}")
+
+
+def _worker_entry(runner: "ProcessEngineRunner", worker_id: int, conns: Tuple[Any, Any]) -> None:
+    """Child-process entry point (fork-inherited arguments, nothing pickled)."""
+    parent_end, child_end = conns
+    try:
+        parent_end.close()
+    except OSError:
+        pass
+    runtime = _WorkerRuntime(runner, worker_id, child_end)
+    try:
+        runtime.activate()
+        runtime.serve()
+    except BaseException as exc:  # noqa: BLE001 - everything must reach the parent
+        detail = f"{exc!r}\n{traceback.format_exc()}"
+        try:
+            child_end.send_bytes(
+                pickle.dumps(("err", tuple(sorted(runtime._owned)), runtime._window_index, detail))
+            )
+        except Exception:
+            pass
+        os._exit(1)
+    # _exit: a forked pytest/CLI child must not run the parent's atexit and
+    # teardown machinery.
+    os._exit(0)
+
+
+# --------------------------------------------------------------------------- #
+# Parent side
+# --------------------------------------------------------------------------- #
+
+
+class ProcessEngineRunner:
+    """Parent-side orchestrator of one multi-process partitioned run."""
+
+    def __init__(self, database: Any, workers: int) -> None:
+        self._database = database
+        sim = database.simulator
+        self._sim = sim
+        self._num_sites = sim._num_sites
+        self._lookahead = sim._lookahead
+        if self._lookahead <= 0.0:
+            raise SimulationError("the process backend requires positive lookahead")
+        self._requested = workers
+        self._count = max(1, min(workers, self._num_sites))
+        self._assignments = assign_sites(self._num_sites, self._count)
+        self._site_owner: Dict[int, int] = {
+            site: worker
+            for worker, sites in enumerate(self._assignments)
+            for site in sites
+        }
+        self._net = database.network
+        self._fault_events: List[Event] = []
+        self._fault_schedule: List[Tuple[float, str]] = []
+        self._control_heap: List[tuple] = []  # (time, priority, token, kind)
+        # Entries: (emit_key, sub, k, worker, channel, name, args, kwargs).
+        self._capture_heap: List[tuple] = []
+        self._pending: List[List[tuple]] = [[] for _ in range(self._count)]
+        self._outboxes: List[List[tuple]] = [[] for _ in range(self._count)]
+        self._worker_next: List[Optional[tuple]] = [None] * self._count
+        self._procs: List[Any] = []
+        self._conns: List[Any] = []
+        self._initial_pending = database._pending_arrivals
+        self._scan_cache: Optional[tuple] = None
+        self._exec_key: Optional[tuple] = None
+        self._exec_k = 0
+        # Stats.
+        self._windows = 0
+        self._null_windows = 0
+        self._control_steps = 0
+        self._window_index = -1
+        self._width_sum = 0.0
+        self._bytes_shipped = 0
+        self._bytes_received = 0
+        self._promise_checks = 0
+        self._total_fired = 0
+        self._worker_fired: Dict[str, int] = {}
+        self._worker_idle = 0.0
+        self._engine_stats: Dict[str, object] = {}
+
+    # ----------------------------- lifecycle -------------------------- #
+
+    def run(self, until: Optional[float], max_events: Optional[int]) -> float:
+        """Drive the run to completion; returns the final simulated time."""
+        self._prepare_control()
+        self._spawn(until)
+        try:
+            end_time = self._drive(until, max_events)
+            self._collect_artifacts(until)
+        finally:
+            self._shutdown()
+            self._restore_parent()
+        self._sim._now = end_time
+        return end_time
+
+    def _prepare_control(self) -> None:
+        """Pre-fork: classify and drain the control partition.
+
+        Fault notifications go to ``_fault_events`` (every worker inherits
+        the list and executes them); scans and checkpoints stay here on the
+        parent's control heap.  Classification errors surface *before* any
+        process is forked.
+        """
+        control = self._sim._partitions[self._sim._control]
+        while control.peek() is not None:
+            event = control.pop()
+            kind, _site = classify_control_event(event, self._database)
+            if kind in _FAULT_KINDS:
+                self._fault_events.append(event)
+                self._fault_schedule.append((event.time, kind))
+            else:
+                heapq.heappush(
+                    self._control_heap,
+                    (event.time, event.priority, (PREFORK_TIME, event.seq), kind),
+                )
+
+    def _spawn(self, until: Optional[float]) -> None:
+        ctx = multiprocessing.get_context("fork")
+        for worker in range(self._count):
+            parent_end, child_end = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_worker_entry,
+                args=(self, worker, (parent_end, child_end)),
+                name=f"engine-worker-{worker}",
+                daemon=True,
+            )
+            proc.start()
+            child_end.close()
+            self._procs.append(proc)
+            self._conns.append(parent_end)
+        # Post-fork parent rewiring: the site partitions now live in the
+        # workers; the parent keeps control, replay and the scan seams.
+        for site in range(self._num_sites):
+            self._sim._partitions[site].clear()
+        self._net._process_mode = "mediate"
+        self._net._ship = self._ship_delivery
+        self._net._token_source = self._next_token
+        self._sim._router = self
+        self._database.detector.install_process_seams(
+            edge_source=lambda: (self._scan_cache[0], self._scan_cache[1]),
+            lock_count_source=lambda tid: self._scan_cache[2].get(tid, 0),
+            keep_running=lambda: self._scan_cache[3] > 0,
+        )
+        for worker in range(self._count):
+            reply = self._recv(worker)
+            self._worker_next[worker] = reply[1]
+
+    def _restore_parent(self) -> None:
+        self._net._process_mode = None
+        self._net._ship = None
+        self._net._token_source = None
+        self._sim._router = None
+
+    def _shutdown(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send_bytes(pickle.dumps(("stop",)))
+            except (OSError, ValueError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=10)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # ----------------------------- transport -------------------------- #
+
+    def _send(self, worker: int, command: tuple) -> None:
+        data = pickle.dumps(command)
+        self._bytes_shipped += len(data)
+        try:
+            self._conns[worker].send_bytes(data)
+        except (BrokenPipeError, OSError):
+            # The worker is gone; pull its error report (or raise EOF-based).
+            self._recv(worker)
+            raise WorkerCrashError(
+                self._assignments[worker], self._window_index, "pipe closed mid-command"
+            )
+
+    def _recv(self, worker: int) -> tuple:
+        try:
+            data = self._conns[worker].recv_bytes()
+        except (EOFError, OSError) as exc:
+            raise WorkerCrashError(
+                self._assignments[worker],
+                self._window_index,
+                f"worker process died without a report: {exc!r}",
+            ) from None
+        self._bytes_received += len(data)
+        reply = pickle.loads(data)
+        if reply[0] == "err":
+            raise WorkerCrashError(reply[1], reply[2], reply[3])
+        return reply
+
+    # ----------------------------- ordering --------------------------- #
+
+    def _next_token(self) -> tuple:
+        key = self._exec_key
+        if key is None:
+            raise SimulationError("parent-side send outside an executing control event")
+        k = self._exec_k
+        self._exec_k += 1
+        return key + (0, k)
+
+    def route_push(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int,
+        label: str,
+        site: Optional[int],
+    ) -> Event:
+        """Parent push hook: only the scan chain reschedules itself here."""
+        if getattr(callback, "__self__", None) is not self._database.detector:
+            raise SimulationError(
+                f"unexpected parent-side schedule of {label!r} during a "
+                "process-backend run"
+            )
+        token = self._next_token()
+        heapq.heappush(self._control_heap, (time, priority, token, "scan"))
+        return Event(time=time, priority=priority, seq=0, callback=callback, label=label)
+
+    def _ship_delivery(self, receiver: Any, message: Message, delay: float, token: tuple) -> None:
+        """Queue one surviving replayed delivery for the receiving site's owner."""
+        sender_site = self._net.actor(message.sender).site
+        if sender_site != receiver.site:
+            self._promise_checks += 1
+            if message.deliver_time + _PROMISE_SLACK < message.send_time + self._lookahead:
+                raise SimulationError(
+                    f"lookahead violation: replayed {message.kind!r} from site "
+                    f"{sender_site} to site {receiver.site} delivers at "
+                    f"{message.deliver_time}, inside the promise window "
+                    f"[{message.send_time}, {message.send_time + self._lookahead})"
+                )
+        key = (message.deliver_time, 0, token)
+        delivery = (
+            message.deliver_time,
+            0,
+            token,
+            receiver.name,
+            message.kind,
+            message.sender,
+            message.payload,
+            message.send_time,
+            message.deliver_time,
+            f"{message.kind}:{message.sender}->{receiver.name}",
+        )
+        heapq.heappush(self._pending[self._site_owner[receiver.site]], (key, delivery))
+
+    # ------------------------------- fold ------------------------------ #
+
+    def _fold(self, limit: Optional[tuple]) -> None:
+        """Apply buffered captures with key strictly below ``limit`` (None = all).
+
+        Entries below the global frontier are final — every worker's next
+        event and every pending delivery keys at or above it — so applying
+        them here, in global key order, reproduces the serial mutation order
+        of the metrics, the log, the store, the checker and the RNG-drawing
+        network replays exactly.
+        """
+        heap = self._capture_heap
+        database = self._database
+        while heap and (limit is None or heap[0][0] < limit):
+            emit_key, sub, k, worker, channel, name, args, kwargs = heapq.heappop(heap)
+            if channel == "m":
+                getattr(database.metrics, name)(*args, **kwargs)
+            elif channel == "l":
+                getattr(database.execution_log, name)(*args, **kwargs)
+            elif channel == "s":
+                database.value_store.write(*args)
+                self._broadcast(worker, "s", args)
+            elif channel == "r":
+                database._protocol_registry[args[0]] = args[1]
+                self._broadcast(worker, "r", args)
+            elif channel == "a":
+                database.audit_checker.note_commit(*args)
+            elif channel == "n":
+                sender_name, sender_site, receiver_name, kind, payload, extra_delay = args
+                self._net.replay_send(
+                    emit_key[0],
+                    sender_name,
+                    sender_site,
+                    receiver_name,
+                    kind,
+                    payload,
+                    extra_delay,
+                    emit_key + (sub, k),
+                )
+            else:
+                raise SimulationError(f"unknown capture channel {channel!r}")
+
+    def _broadcast(self, origin: int, channel: str, args: tuple) -> None:
+        for worker in range(self._count):
+            if worker != origin:
+                self._outboxes[worker].append((channel, args))
+
+    # ----------------------------- main loop --------------------------- #
+
+    def _frontier(self) -> Optional[tuple]:
+        keys = []
+        for worker in range(self._count):
+            if self._worker_next[worker] is not None:
+                keys.append(self._worker_next[worker])
+            if self._pending[worker]:
+                keys.append(self._pending[worker][0][0])
+        if self._control_heap:
+            head = self._control_heap[0]
+            keys.append((head[0], head[1], head[2]))
+        return min(keys) if keys else None
+
+    def _effective_times(self) -> List[float]:
+        times = []
+        for worker in range(self._count):
+            best = float("inf")
+            if self._worker_next[worker] is not None:
+                best = self._worker_next[worker][0]
+            if self._pending[worker]:
+                best = min(best, self._pending[worker][0][0][0])
+            times.append(best)
+        return times
+
+    def _drive(self, until: Optional[float], max_events: Optional[int]) -> float:
+        end_time = self._sim.now
+        while True:
+            frontier = self._frontier()
+            self._fold(frontier)
+            frontier = self._frontier()
+            if frontier is None:
+                break
+            if until is not None and frontier[0] > until:
+                # Serial parity: events past `until` never fire, but every
+                # already-executed event's side effects (including RNG-
+                # drawing sends whose deliveries never happen) must land.
+                self._fold(None)
+                end_time = until
+                break
+            if self._control_heap:
+                head = self._control_heap[0]
+                if (head[0], head[1], head[2]) == frontier:
+                    end_time = max(end_time, self._control_step(until))
+                    self._total_fired += 1
+                    continue
+            last = self._run_window(until)
+            if last is not None:
+                end_time = max(end_time, last)
+            if max_events is not None and self._total_fired >= max_events:
+                if until is None:
+                    remaining = self._gather_remaining()
+                    raise SimulationError(
+                        f"simulation exceeded {max_events} events with "
+                        f"{remaining} transactions still outstanding"
+                    )
+                break
+        self._sim._events_processed = max(self._sim._events_processed, self._total_fired)
+        return end_time
+
+    def _run_window(self, until: Optional[float]) -> Optional[float]:
+        times = self._effective_times()
+        lookahead = self._lookahead
+        # Every horizon is the flat conservative floor + L.  The sharper
+        # unique-floor refinement of conservative_horizons is *unsound* here:
+        # windows are batched, so a send another worker performs during this
+        # round (at any v < floor + L) only ships next round, and its
+        # delivery at v + L can undercut a refined horizon beyond floor + L —
+        # the floor worker would have run past it already.  The inline
+        # engine can refine because its shared heap sees every schedule
+        # instantly; a batched backend cannot.
+        floor = min(times)
+        horizons = [floor + lookahead] * self._count
+        self._windows += 1
+        self._window_index += 1
+        self._width_sum += lookahead
+        cap_key: Optional[tuple] = None
+        if self._control_heap:
+            head = self._control_heap[0]
+            cap_key = (head[0], head[1], head[2])
+        commanded: List[int] = []
+        for worker in range(self._count):
+            has_work = times[worker] < horizons[worker]
+            if not has_work:
+                continue
+            deliveries = [entry[1] for entry in sorted(self._pending[worker])]
+            self._pending[worker] = []
+            writes = self._outboxes[worker]
+            self._outboxes[worker] = []
+            self._send(
+                worker,
+                ("win", self._window_index, cap_key, horizons[worker], until, deliveries, writes),
+            )
+            commanded.append(worker)
+        last_time: Optional[float] = None
+        for worker in commanded:
+            reply = self._recv(worker)
+            _, next_key, worker_last, fired, captures = reply
+            self._worker_next[worker] = next_key
+            self._total_fired += fired
+            if fired == 0:
+                self._null_windows += 1
+            if worker_last is not None:
+                last_time = worker_last if last_time is None else max(last_time, worker_last)
+            for entry in captures:
+                emit_key, sub, k, channel, name, args, kwargs = entry
+                heapq.heappush(
+                    self._capture_heap, (emit_key, sub, k, worker, channel, name, args, kwargs)
+                )
+        return last_time
+
+    # --------------------------- control steps ------------------------- #
+
+    def _control_step(self, until: Optional[float]) -> float:
+        time, priority, token, kind = heapq.heappop(self._control_heap)
+        self._control_steps += 1
+        self._sim._now = time
+        self._sim._events_processed += 1
+        self._exec_key = (time, priority, token)
+        self._exec_k = 0
+        try:
+            if kind == "scan":
+                self._run_scan()
+            else:
+                self._run_checkpoint(time)
+        finally:
+            self._exec_key = None
+        return time
+
+    def _gather_workers(self) -> List[tuple]:
+        for worker in range(self._count):
+            self._send(worker, ("gather",))
+        return [self._recv(worker)[1] for worker in range(self._count)]
+
+    def _merge_remaining(self, parts: Sequence[Tuple[int, int]]) -> int:
+        pending = self._initial_pending - sum(
+            self._initial_pending - worker_pending for worker_pending, _ in parts
+        )
+        return pending + sum(active for _, active in parts)
+
+    def _gather_remaining(self) -> int:
+        return self._merge_remaining([state[3] for state in self._gather_workers()])
+
+    def _run_scan(self) -> None:
+        """Execute one deadlock scan in the parent against gathered worker state.
+
+        Workers are quiescent at the barrier, so their wait-for edges, lock
+        counts and remaining-work counters are exactly the serial run's
+        state at this instant.  The plain set-union merge is order-safe:
+        ``DeadlockDetector.resolve_packed`` sorts nodes and buckets before
+        any order-sensitive decision.
+        """
+        states = self._gather_workers()
+        adjacency: Dict[int, set] = {}
+        transaction_of: Dict[int, Any] = {}
+        locks: Dict[Any, int] = {}
+        for state in states:
+            for node, bucket in state[0].items():
+                adjacency.setdefault(node, set()).update(bucket)
+            transaction_of.update(state[1])
+            locks.update(state[2])
+        remaining = self._merge_remaining([state[3] for state in states])
+        self._scan_cache = (adjacency, transaction_of, locks, remaining)
+        self._database.detector._scan()
+
+    def _run_checkpoint(self, now: float) -> None:
+        parts = []
+        for worker in range(self._count):
+            self._send(worker, ("ckpt",))
+        for worker in range(self._count):
+            parts.append(self._recv(worker)[1])
+        if self._merge_remaining(parts) > 0:
+            interval = self._database._system.commit.checkpoint_interval
+            heapq.heappush(
+                self._control_heap,
+                (now + interval, 0, self._next_token(), "checkpoint"),
+            )
+
+    # ----------------------------- finalize ---------------------------- #
+
+    def _collect_artifacts(self, until: Optional[float]) -> None:
+        committed: Dict[Any, int] = {}
+        switches = 0
+        log_counters: Dict[int, tuple] = {}
+        for worker in range(self._count):
+            self._send(worker, ("fin",))
+        for worker in range(self._count):
+            payload = self._recv(worker)[1]
+            # Workers own contiguous ascending site ranges, so folding them
+            # in worker order reproduces the serial per-site iteration order.
+            committed.update(payload["committed_attempts"])
+            switches += payload["protocol_switches"]
+            log_counters.update(payload["commit_logs"])
+            self._net.fold_counter_deltas(*payload["network"])
+            self._worker_fired[f"worker{worker}"] = payload["fired"]
+            self._worker_idle += payload["idle_seconds"]
+        faults = self._database.faults
+        if faults is not None:
+            for time, kind in self._fault_schedule:
+                if until is not None and time > until:
+                    continue
+                if kind == "crash":
+                    faults._crash_count += 1
+                elif kind == "coordinator-crash":
+                    faults._coordinator_crash_count += 1
+        self._engine_stats = {
+            "engine": "parallel",
+            "backend": "process",
+            "workers": self._count,
+            "requested_workers": self._requested,
+            "lookahead": self._lookahead,
+            "barrier_mode": False,
+            "barrier_fallback": False,
+            "windows": self._windows,
+            "null_windows": self._null_windows,
+            "control_events": self._control_steps,
+            "mean_window_width": (self._width_sum / self._windows) if self._windows else 0.0,
+            "bytes_shipped": self._bytes_shipped,
+            "bytes_received": self._bytes_received,
+            "worker_idle_seconds": self._worker_idle,
+            "events_per_worker": dict(self._worker_fired),
+            "events_total": self._total_fired,
+            "promise_checks": self._promise_checks,
+        }
+        self._database._engine_override = ProcessRunArtifacts(
+            committed_attempts=committed,
+            protocol_switches=switches,
+            forced_log_writes=sum(counters[0] for counters in log_counters.values()),
+            lazy_log_writes=sum(counters[1] for counters in log_counters.values()),
+            log_records_truncated=sum(counters[2] for counters in log_counters.values()),
+            peak_log_records=max(
+                (counters[3] for counters in log_counters.values()), default=0
+            ),
+            engine_stats=self._engine_stats,
+        )

@@ -49,7 +49,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 #: checks re-run a configuration under both engines and byte-diff the
 #: results, which would be vacuous if the store served one engine's cached
 #: summary to the other.
-KEY_SCHEMA = 6
+#: v7: ``SystemConfig`` grew the ``engine_workers`` field (inline vs
+#: process backend of the parallel engine).  The backends are byte-identical
+#: by contract, but — as with ``engine`` in v6 — the field joins the digest
+#: so backend-identity checks are never served from a shared cache row.
+KEY_SCHEMA = 7
 
 
 def canonical_value(value: object) -> object:

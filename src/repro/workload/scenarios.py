@@ -74,6 +74,7 @@ class Scenario:
         transactions: Optional[int] = None,
         arrival_rate: Optional[float] = None,
         engine: Optional[str] = None,
+        engine_workers: Optional[int] = None,
     ) -> "Scenario":
         """A copy with the common size/load/engine overrides applied."""
         overrides: Dict[str, object] = {}
@@ -84,8 +85,15 @@ class Scenario:
         scenario = self
         if overrides:
             scenario = replace(scenario, workload=scenario.workload.with_overrides(**overrides))
+        system_overrides: Dict[str, object] = {}
         if engine is not None:
-            scenario = replace(scenario, system=scenario.system.with_overrides(engine=engine))
+            system_overrides["engine"] = engine
+        if engine_workers is not None:
+            system_overrides["engine_workers"] = engine_workers
+        if system_overrides:
+            scenario = replace(
+                scenario, system=scenario.system.with_overrides(**system_overrides)
+            )
         return scenario
 
     def run(

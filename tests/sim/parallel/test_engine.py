@@ -165,6 +165,7 @@ class TestWindows:
             "engine",
             "lookahead",
             "barrier_mode",
+            "barrier_fallback",
             "windows",
             "barrier_windows",
             "events_per_lp",
@@ -172,6 +173,25 @@ class TestWindows:
             "mean_active_lps",
             "promise_checks",
         }
+
+    def test_zero_lookahead_reports_barrier_fallback(self):
+        """``lookahead=0`` degrades to one barrier window per timestamp; the
+        degradation must be *named* in the stats, not inferred from the
+        window counters."""
+        sim = PartitionedSimulator(num_sites=2, lookahead=0.0)
+        sim.schedule(1.0, _noop, site=0)
+        sim.schedule(1.0, _noop, site=1)
+        sim.run()
+        stats = sim.engine_stats()
+        assert stats["barrier_fallback"] is True
+        assert stats["barrier_mode"] is True
+        assert stats["windows"] == stats["barrier_windows"] > 0
+
+    def test_positive_lookahead_reports_no_barrier_fallback(self):
+        sim = PartitionedSimulator(num_sites=2, lookahead=0.02)
+        sim.schedule(1.0, _noop, site=0)
+        sim.run()
+        assert sim.engine_stats()["barrier_fallback"] is False
 
 
 class TestSimulatorContract:

@@ -1,0 +1,169 @@
+"""Unit seams of the process backend: partitioning, classification, capture."""
+
+import pytest
+
+from repro.common.config import NetworkConfig, SystemConfig
+from repro.common.errors import SimulationError
+from repro.common.protocol_names import Protocol
+from repro.sim.parallel.instruments import (
+    PREFORK_TIME,
+    CaptureBus,
+    RecordingMetrics,
+    RecordingRegistry,
+)
+from repro.sim.parallel.process import (
+    assign_sites,
+    backend_unavailable_reason,
+    classify_control_event,
+)
+from repro.system.database import DistributedDatabase
+from repro.system.metrics import MetricsCollector
+
+
+class TestAssignSites:
+    def test_even_split_is_contiguous(self):
+        assert assign_sites(4, 2) == [(0, 1), (2, 3)]
+
+    def test_remainder_goes_to_the_first_workers(self):
+        assert assign_sites(5, 2) == [(0, 1, 2), (3, 4)]
+        assert assign_sites(7, 3) == [(0, 1, 2), (3, 4), (5, 6)]
+
+    def test_one_worker_per_site(self):
+        assert assign_sites(3, 3) == [(0,), (1,), (2,)]
+
+    def test_every_site_is_assigned_exactly_once(self):
+        for sites in range(1, 9):
+            for workers in range(1, sites + 1):
+                flat = [s for owned in assign_sites(sites, workers) for s in owned]
+                assert flat == list(range(sites))
+
+
+class TestBackendEligibility:
+    def _system(self, **overrides):
+        return SystemConfig(num_sites=4, num_items=16, seed=3).with_overrides(**overrides)
+
+    def test_plain_multi_site_config_is_eligible(self):
+        assert (
+            backend_unavailable_reason(
+                self._system(), choose_protocol=None, external_store=False
+            )
+            is None
+        )
+
+    def test_dynamic_selection_is_named(self):
+        reason = backend_unavailable_reason(
+            self._system(), choose_protocol=lambda spec: None, external_store=False
+        )
+        assert reason == "dynamic-selection"
+
+    def test_external_store_is_named(self):
+        reason = backend_unavailable_reason(
+            self._system(), choose_protocol=None, external_store=True
+        )
+        assert reason == "external-value-store"
+
+    def test_single_site_is_named(self):
+        reason = backend_unavailable_reason(
+            self._system(num_sites=1), choose_protocol=None, external_store=False
+        )
+        assert reason == "single-site"
+
+    def test_zero_lookahead_is_named(self):
+        system = self._system(network=NetworkConfig(fixed_delay=0.0, variable_delay=0.02))
+        reason = backend_unavailable_reason(
+            system, choose_protocol=None, external_store=False
+        )
+        assert reason == "zero-lookahead"
+
+
+class TestControlClassification:
+    @pytest.fixture(scope="class")
+    def database(self):
+        system = SystemConfig(
+            num_sites=3, num_items=16, seed=3, engine="parallel", engine_workers=2
+        )
+        return DistributedDatabase(system)
+
+    def _control_events(self, database):
+        simulator = database.simulator
+        queue = simulator._partitions[simulator._control]
+        events = []
+        while queue.peek() is not None:
+            events.append(queue.pop())
+        return events
+
+    def test_scan_and_checkpoint_chains_classify(self, database):
+        database.detector.start()
+        database._simulator._partitions  # touch: the control queue exists
+        (scan_event,) = self._control_events(database)
+        assert classify_control_event(scan_event, database) == ("scan", None)
+
+    def test_unknown_control_events_fail_loudly_before_forking(self, database):
+        database.simulator.schedule(1.0, lambda: None, label="mystery-control")
+        (event,) = self._control_events(database)
+        with pytest.raises(SimulationError, match="mystery-control"):
+            classify_control_event(event, database)
+
+
+class TestCaptureBus:
+    def test_inactive_instruments_pass_straight_through(self):
+        metrics = RecordingMetrics()
+        metrics._capture_bus = CaptureBus()  # present but not capturing
+        metrics.record_attempt(Protocol.TWO_PHASE_LOCKING)
+        base = MetricsCollector()
+        base.record_attempt(Protocol.TWO_PHASE_LOCKING)
+        assert (
+            metrics._by_protocol[Protocol.TWO_PHASE_LOCKING].attempts
+            == base._by_protocol[Protocol.TWO_PHASE_LOCKING].attempts
+            == 1
+        )
+
+    def test_active_bus_captures_instead_of_applying(self):
+        bus = CaptureBus()
+        metrics = RecordingMetrics()
+        metrics._capture_bus = bus
+        bus.capturing = True
+        bus.begin_event((1.0, 0, (PREFORK_TIME, 7)))
+        metrics.record_arrival(Protocol.TWO_PHASE_LOCKING, 2.0)
+        metrics.record_attempt(Protocol.TWO_PHASE_LOCKING)
+        assert metrics._by_protocol[Protocol.TWO_PHASE_LOCKING].attempts == 0
+        entries = bus.drain()
+        assert [entry[4] for entry in entries] == ["record_arrival", "record_attempt"]
+        # Captures of one event share its emit key and count up in k.
+        assert [entry[0] for entry in entries] == [(1.0, 0, (PREFORK_TIME, 7))] * 2
+        assert [entry[2] for entry in entries] == [0, 1]
+
+    def test_capture_order_keys_sort_like_the_serial_engine(self):
+        """(emit_key, sub, k) tuples from different events sort by the
+        emitting event's global order first, then listener index, then call
+        order — the merge-order clause of docs/determinism.md."""
+        bus = CaptureBus()
+        bus.capturing = True
+        bus.begin_event((2.0, 0, (PREFORK_TIME, 3)))
+        bus.capture("m", "later", ())
+        first_event = bus.drain()
+        bus.begin_event((1.0, 0, (PREFORK_TIME, 9)))
+        bus.capture("m", "earlier-a", ())
+        bus.sub = 2
+        bus.capture("m", "earlier-b", ())
+        second_event = bus.drain()
+        merged = sorted(first_event + second_event)
+        assert [entry[3:5] for entry in merged] == [
+            ("m", "earlier-a"),
+            ("m", "earlier-b"),
+            ("m", "later"),
+        ]
+
+    def test_registry_applies_and_captures(self):
+        bus = CaptureBus()
+        registry = RecordingRegistry()
+        registry._capture_bus = bus
+        bus.capturing = True
+        bus.begin_event((1.0, 0, (PREFORK_TIME, 1)))
+        registry["tid"] = "2PL"
+        assert registry["tid"] == "2PL"
+        ((_, _, _, channel, name, args, _),) = bus.drain()
+        assert (channel, name, args) == ("r", "set", ("tid", "2PL"))
+        registry.apply_foreign("other", "T/O")
+        assert registry["other"] == "T/O"
+        assert bus.drain() == []

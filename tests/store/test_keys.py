@@ -55,6 +55,7 @@ class TestTaskKey:
             {"num_items": 17},
             {"restart_delay": 0.5},
             {"protocol_switch_threshold": 2},
+            {"engine": "parallel", "engine_workers": 2},
         ],
     )
     def test_system_changes_change_the_key(self, base_task, override):
@@ -135,8 +136,8 @@ class TestAdaptiveDriftKeys:
     #: Golden digest of ``_adaptive_drift_task()``.  If this assertion ever
     #: fails, the canonical task encoding changed: bump ``KEY_SCHEMA`` so
     #: stale stores invalidate themselves, then re-pin.  (Re-pinned for
-    #: KEY_SCHEMA v6: the ``engine`` field joined ``SystemConfig``.)
-    GOLDEN_KEY = "9981b23af7674207dfb11fb33de03d45e8854dd94bc824959e15787e4617d44c"
+    #: KEY_SCHEMA v7: the ``engine_workers`` field joined ``SystemConfig``.)
+    GOLDEN_KEY = "bdd72e9e6d7c1b2c76d6a52f6583ccfd1b4ceeaef021e17c11315b3a98bf6ce5"
 
     def test_adaptive_drift_key_is_stable_across_processes(self):
         assert task_key(_adaptive_drift_task()) == self.GOLDEN_KEY
@@ -211,11 +212,11 @@ class TestAdaptiveDriftKeys:
 class TestCommitFaultKeys:
     """Key-schema v4: the commit layer and fault model are part of every digest."""
 
-    #: Golden v6 digest of the module fixture's ``base_task`` (all-default
+    #: Golden v7 digest of the module fixture's ``base_task`` (all-default
     #: commit/fault/audit/engine configuration).  Byte-stability of the new
     #: defaults: if this ever fails, the canonical encoding moved again —
     #: bump ``KEY_SCHEMA`` and re-pin.
-    GOLDEN_DEFAULT_KEY = "5ac2d82ea184bf0c6c13b5d65ad2634b5d0b6f651d55596a8e00224f657e3d95"
+    GOLDEN_DEFAULT_KEY = "72728a73fedbcf77ff30dee85a0a191bd99a9c139cb32b815a5b868a48352840"
 
     #: A KEY_SCHEMA v2 digest (the adaptive-drift golden this file pinned
     #: before the v3 schema bump).  Kept to prove that rows addressed by
@@ -227,7 +228,7 @@ class TestCommitFaultKeys:
 
     def test_default_payload_names_commit_and_faults(self, base_task):
         payload = task_payload(base_task)
-        assert payload["schema"] == 6
+        assert payload["schema"] == 7
         assert payload["system"]["commit"] == {
             "protocol": "one-phase",
             "prepare_timeout": 1.0,

@@ -37,26 +37,35 @@ from repro.common.config import (
     WorkloadConfig,
 )
 from repro.store import ResultStore, task_key
+from repro.system.database import DistributedDatabase
 from repro.system.runner import run_simulation
 from repro.workload.scenarios import all_scenarios
 
 
-def _both_engines(scenario):
-    """Run one scenario under both engines and return the two results."""
+def _both_engines(scenario, *, process_workers=0):
+    """Run one scenario under both engines and return the two results.
+
+    ``process_workers > 0`` additionally runs the multi-process backend of
+    the parallel engine and returns it as a third result.
+    """
     results = {}
-    for engine in ("serial", "parallel"):
-        results[engine] = run_simulation(
-            scenario.system.with_overrides(engine=engine),
+    variants = {"serial": ("serial", 0), "parallel": ("parallel", 0)}
+    if process_workers:
+        variants["process"] = ("parallel", process_workers)
+    for label, (engine, workers) in variants.items():
+        results[label] = run_simulation(
+            scenario.system.with_overrides(engine=engine, engine_workers=workers),
             scenario.workload,
             protocol=scenario.protocol,
             dynamic_selection=scenario.dynamic_selection,
             selection_mode=scenario.selection_mode,
         )
-    return results["serial"], results["parallel"]
+    return results
 
 
-def _assert_identical(scenario):
-    serial, parallel = _both_engines(scenario)
+def _assert_identical(scenario, *, process_workers=0):
+    results = _both_engines(scenario, process_workers=process_workers)
+    serial, parallel = results["serial"], results["parallel"]
     assert serial.engine == "serial" and parallel.engine == "parallel"
     # The full experiment-facing summary, not a filtered subset: engine and
     # engine_stats are deliberately excluded from summaries, so nothing may
@@ -66,6 +75,15 @@ def _assert_identical(scenario):
     assert parallel.engine_stats["engine"] == "parallel"
     assert parallel.engine_stats["windows"] > 0
     assert serial.engine_stats == {}
+    if process_workers:
+        process = results["process"]
+        assert summarize_run(process) == summarize_run(serial)
+        # The run really crossed process boundaries — no silent fallback.
+        assert process.engine_stats["backend"] == "process"
+        assert process.engine_stats["workers"] == min(
+            process_workers, scenario.system.num_sites
+        )
+        assert process.engine_stats["bytes_shipped"] > 0
     return parallel
 
 
@@ -73,8 +91,9 @@ def _assert_identical(scenario):
     "scenario", all_scenarios(), ids=lambda scenario: scenario.name
 )
 def test_every_registered_scenario_runs_identically(scenario):
-    """Both engines agree on every registered scenario, faults included."""
-    _assert_identical(scenario.configured(transactions=40))
+    """Serial, inline-parallel and process-parallel agree on every registered
+    scenario — faults, crashes, delay spikes and commit variants included."""
+    _assert_identical(scenario.configured(transactions=40), process_workers=4)
 
 
 class TestEdgeConfigurations:
@@ -237,3 +256,176 @@ class TestDriverIdentity:
             protocol=serial_task.protocol,
         )
         assert task_key(serial_task) != task_key(parallel_task)
+
+
+class TestProcessBackend:
+    """The multi-process backend: fallbacks, crashes, stores, statistics."""
+
+    def _scenario(self, **system_overrides):
+        scenario = all_scenarios()[0].configured(transactions=40)
+        if system_overrides:
+            scenario = dataclasses.replace(
+                scenario, system=scenario.system.with_overrides(**system_overrides)
+            )
+        return scenario
+
+    def _run(self, scenario, **kwargs):
+        return run_simulation(
+            scenario.system,
+            scenario.workload,
+            protocol=scenario.protocol,
+            dynamic_selection=scenario.dynamic_selection,
+            selection_mode=scenario.selection_mode,
+            **kwargs,
+        )
+
+    def test_worker_count_clamps_to_the_site_count(self):
+        scenario = self._scenario(engine="parallel", engine_workers=16)
+        result = self._run(scenario)
+        stats = result.engine_stats
+        assert stats["backend"] == "process"
+        assert stats["workers"] == scenario.system.num_sites
+        assert stats["requested_workers"] == 16
+
+    def test_scheduler_statistics_are_reported(self):
+        result = self._run(self._scenario(engine="parallel", engine_workers=2))
+        stats = result.engine_stats
+        assert stats["windows"] > 0
+        assert stats["bytes_shipped"] > 0 and stats["bytes_received"] > 0
+        assert stats["mean_window_width"] == pytest.approx(stats["lookahead"])
+        # Workers fire the site events; the parent fires the control events.
+        assert (
+            sum(stats["events_per_worker"].values()) + stats["control_events"]
+            == stats["events_total"]
+        )
+        assert stats["worker_idle_seconds"] >= 0.0
+        assert stats["barrier_fallback"] is False
+
+    def test_single_site_falls_back_inline_and_says_so(self):
+        scenario = dataclasses.replace(
+            self._scenario(),
+            system=SystemConfig(
+                num_sites=1, num_items=16, seed=3, engine="parallel", engine_workers=4
+            ),
+        )
+        stats = self._run(scenario).engine_stats
+        assert stats["backend"] == "inline"
+        assert stats["process_fallback"] == "single-site"
+        assert stats["requested_workers"] == 4
+
+    def test_zero_lookahead_falls_back_inline_with_barrier_windows(self):
+        scenario = dataclasses.replace(
+            self._scenario(),
+            system=SystemConfig(
+                num_sites=3,
+                num_items=16,
+                seed=3,
+                engine="parallel",
+                engine_workers=2,
+                network=NetworkConfig(fixed_delay=0.0, variable_delay=0.02),
+            ),
+        )
+        stats = self._run(scenario).engine_stats
+        assert stats["process_fallback"] == "zero-lookahead"
+        assert stats["barrier_fallback"] is True
+
+    def test_dynamic_selection_falls_back_inline(self):
+        scenario = self._scenario(engine="parallel", engine_workers=2)
+        result = self._run(
+            dataclasses.replace(scenario, dynamic_selection=True, protocol=None)
+        )
+        assert result.engine_stats["process_fallback"] == "dynamic-selection"
+
+    def test_trace_hooks_fall_back_inline(self):
+        from repro.workload.generator import generate_workload
+
+        scenario = self._scenario(engine="parallel", engine_workers=2)
+        database = DistributedDatabase(scenario.system)
+        database.simulator.add_trace_hook(lambda *args: None)
+        database.load_workload(
+            generate_workload(scenario.system, scenario.workload), scenario.workload
+        )
+        result = database.run()
+        assert result.engine_stats["process_fallback"] == "trace-hooks"
+        assert result.engine_stats["backend"] == "inline"
+
+    def test_worker_crash_propagates_as_a_typed_error(self, monkeypatch):
+        """A dying worker must surface as WorkerCrashError naming its sites
+        and window — never a hang, never a bare pipe error."""
+        from repro.sim.parallel import process as process_module
+
+        def explode(worker_id, window_index, owned_sites):
+            if worker_id == 1 and window_index >= 2:
+                raise RuntimeError("injected worker fault")
+
+        monkeypatch.setattr(process_module, "_worker_fault_hook", explode)
+        scenario = self._scenario(engine="parallel", engine_workers=2)
+        with pytest.raises(process_module.WorkerCrashError) as excinfo:
+            self._run(scenario)
+        error = excinfo.value
+        expected_sites = process_module.assign_sites(scenario.system.num_sites, 2)[1]
+        assert error.sites == expected_sites
+        assert error.window >= 2
+        assert "injected worker fault" in error.detail
+
+    def test_engine_workers_change_the_task_key(self):
+        """Inline and multi-process runs must not serve each other from a
+        result store, or the identity sweep would compare a row to itself."""
+        base = SimulationTask(
+            system=SystemConfig(num_sites=3, num_items=16, seed=0, engine="parallel"),
+            workload=WorkloadConfig(arrival_rate=25.0, num_transactions=25, seed=1),
+            protocol="2PL",
+        )
+        keys = {
+            task_key(
+                SimulationTask(
+                    system=base.system.with_overrides(engine_workers=workers),
+                    workload=base.workload,
+                    protocol=base.protocol,
+                )
+            )
+            for workers in (0, 2, 3)
+        }
+        assert len(keys) == 3
+
+    def _process_tasks(self):
+        return [
+            SimulationTask(
+                system=SystemConfig(
+                    num_sites=3,
+                    num_items=16,
+                    seed=seed,
+                    engine="parallel",
+                    engine_workers=3,
+                ),
+                workload=WorkloadConfig(
+                    arrival_rate=25.0, num_transactions=25, seed=seed + 1
+                ),
+                protocol=protocol,
+            )
+            for seed in (0, 1)
+            for protocol in ("2PL", "T/O")
+        ]
+
+    def test_process_tasks_identical_across_jobs(self):
+        tasks = self._process_tasks()
+        assert run_tasks(tasks, jobs=4) == run_tasks(tasks, jobs=1)
+
+    def test_warm_resume_serves_process_tasks_without_executing(
+        self, tmp_path, monkeypatch
+    ):
+        """Cold multi-process runs and a warm store resume are byte-identical,
+        and the warm pass never forks a single worker."""
+        tasks = self._process_tasks()
+        store = ResultStore(tmp_path / "runs.jsonl")
+        first = run_tasks(tasks, store=store)
+
+        def explode(task):
+            raise AssertionError("a warm re-run must not execute any task")
+
+        monkeypatch.setattr("repro.analysis.replications.execute_task", explode)
+        warm_store = ResultStore(store.path)
+        again = run_tasks(tasks, store=warm_store, jobs=4)
+        assert again == first
+        assert warm_store.appended == 0
+        assert warm_store.hits == len(tasks)
